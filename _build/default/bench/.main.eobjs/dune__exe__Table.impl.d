@@ -1,0 +1,1 @@
+bench/table.ml: List Printf String

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Cell Ext_array Odex_crypto Odex_extmem Stats Storage Trace

@@ -1,0 +1,96 @@
+(* Experiment harness: one section per experiment in DESIGN.md's index
+   (E1–E14) plus Bechamel wall-clock micro-benches for the headline
+   operations.
+
+   Usage: main.exe            — run everything
+          main.exe E9 E10     — run selected experiments
+          main.exe time       — wall-clock benches only *)
+
+open Bechamel
+open Toolkit
+
+let wallclock_tests () =
+  let open Odex_extmem in
+  let b = 8 in
+  let n = 8192 in
+  let fresh shape =
+    let rng = Odex_crypto.Rng.create ~seed:42 in
+    Workloads.array ~rng ~b ~n shape
+  in
+  [
+    Test.make ~name:"sort-thm21-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        let rng = Odex_crypto.Rng.create ~seed:1 in
+        ignore (Odex.Sort.run ~sweep:false ~m:64 ~rng a)));
+    Test.make ~name:"sort-bitonic-win-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:64 a));
+    Test.make ~name:"selection-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        let rng = Odex_crypto.Rng.create ~seed:2 in
+        ignore (Odex.Selection.select ~m:64 ~rng ~k:(n / 2) a)));
+    Test.make ~name:"quantiles-q4-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        let rng = Odex_crypto.Rng.create ~seed:3 in
+        ignore (Odex.Quantiles.run ~m:64 ~rng ~q:4 a)));
+    Test.make ~name:"butterfly-compact-2k" (Staged.stage (fun () ->
+        let _, a = Workloads.consolidated_blocks ~b ~n:2048 ~occupied:700 () in
+        ignore (Odex.Butterfly.compact ~m:64 a)));
+    Test.make ~name:"loose-compact-2k" (Staged.stage (fun () ->
+        let _, a = Workloads.consolidated_blocks ~b ~n:2048 ~occupied:256 () in
+        let rng = Odex_crypto.Rng.create ~seed:4 in
+        ignore (Odex.Loose_compaction.run ~m:64 ~rng ~capacity:512 a)));
+    Test.make ~name:"consolidation-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        ignore (Odex.Consolidation.run ~into:None a)));
+    Test.make ~name:"iblt-insert-1k" (Staged.stage (fun () ->
+        let t = Odex_iblt.Iblt.create ~size:8192 (Odex_crypto.Prf.key_of_int 5) in
+        for x = 0 to 999 do
+          Odex_iblt.Iblt.insert t ~key:x ~value:x
+        done));
+    Test.make ~name:"sort-columnsort-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.columnsort ~m:128 a));
+    Test.make ~name:"hier-oram-access-1k" (Staged.stage (fun () ->
+        let s = Storage.create ~trace_mode:Trace.Off ~block_size:4 () in
+        let rng = Odex_crypto.Rng.create ~seed:7 in
+        let t = Odex_oram.Hierarchical_oram.init ~m:64 ~rng s ~values:(Array.make 1024 0) in
+        for i = 1 to 64 do
+          ignore (Odex_oram.Hierarchical_oram.read t (i mod 1024))
+        done));
+    Test.make ~name:"sqrt-oram-epoch-1k" (Staged.stage (fun () ->
+        let s = Storage.create ~trace_mode:Trace.Off ~block_size:4 () in
+        let rng = Odex_crypto.Rng.create ~seed:6 in
+        let t = Odex_oram.Sqrt_oram.init ~m:64 ~rng s ~values:(Array.make 1024 0) in
+        while Odex_oram.Sqrt_oram.epochs t < 1 do
+          ignore (Odex_oram.Sqrt_oram.read t 0)
+        done));
+  ]
+
+let run_wallclock () =
+  print_endline "\n== Wall-clock micro-benches (Bechamel, monotonic clock) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let tests = Test.make_grouped ~name:"odex" ~fmt:"%s %s" (wallclock_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns_per_run ] -> rows := (name, ns_per_run) :: !rows
+      | _ -> ())
+    results;
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e6 then Printf.printf "  %-34s %10.2f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "  %-34s %10.2f us/run\n" name (ns /. 1e3))
+    rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want id = args = [] || List.mem id args in
+  List.iter (fun (id, f) -> if want id then f ()) Experiments.all;
+  if args = [] || List.mem "time" args then run_wallclock ()

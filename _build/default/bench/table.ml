@@ -1,0 +1,32 @@
+(* Fixed-width table printing for the experiment harness. *)
+
+let hrule widths =
+  print_string "+";
+  List.iter (fun w -> print_string (String.make (w + 2) '-' ^ "+")) widths;
+  print_newline ()
+
+let row widths cells =
+  print_string "|";
+  List.iter2 (fun w c -> Printf.printf " %-*s |" w c) widths cells;
+  print_newline ()
+
+let print ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let all = header :: rows in
+  let widths =
+    List.mapi (fun i _ -> List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) 0 all)
+      header
+  in
+  hrule widths;
+  row widths header;
+  hrule widths;
+  List.iter (row widths) rows;
+  hrule widths
+
+let note fmt = Printf.printf fmt
+
+let fint n = string_of_int n
+let ffloat f = Printf.sprintf "%.2f" f
+let fratio f = Printf.sprintf "%.2fx" f
+let fprob p = Printf.sprintf "%.4f" p
+let fbool b = if b then "yes" else "NO"

@@ -1,0 +1,179 @@
+(* odx — command-line front end for the ODEX library.
+
+   Feed it a file of integers (one per line, "-" for stdin); it loads
+   them into the simulated outsourced store and runs the requested
+   data-oblivious computation, reporting the answer together with what
+   the storage provider observed.
+
+     odx sort data.txt
+     odx select -k 500 data.txt
+     odx quantiles -q 4 data.txt
+     odx compact --keep-even data.txt
+     odx audit -n 600 *)
+
+open Cmdliner
+open Odex_extmem
+
+let read_keys path =
+  let ic = if path = "-" then stdin else open_in path in
+  let keys = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then keys := int_of_string line :: !keys
+     done
+   with End_of_file -> ());
+  if path <> "-" then close_in ic;
+  Array.of_list (List.rev !keys)
+
+let setup ~block_size ~seed keys =
+  let server = Storage.create ~trace_mode:Trace.Digest ~block_size () in
+  let cells = Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:i ()) keys in
+  let a = Ext_array.of_cells server ~block_size cells in
+  let rng = Odex_crypto.Rng.create ~seed in
+  (server, a, rng)
+
+let report_trace server =
+  Printf.printf "; provider view: %d I/Os, trace digest %016Lx\n"
+    (Trace.length (Storage.trace server))
+    (Trace.digest (Storage.trace server))
+
+(* ---- common options ---- *)
+
+let file_arg =
+  let doc = "Input file of integers, one per line ('-' = stdin)." in
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc)
+
+let block_size_arg =
+  let doc = "Block size B (cells per block) of the simulated store." in
+  Arg.(value & opt int 8 & info [ "b"; "block-size" ] ~docv:"B" ~doc)
+
+let cache_arg =
+  let doc = "Alice's cache size m, in blocks (M = m*B words)." in
+  Arg.(value & opt int 64 & info [ "m"; "cache-blocks" ] ~docv:"M" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (fix it to reproduce a trace exactly)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ---- sort ---- *)
+
+let sort_cmd =
+  let run block_size m seed file =
+    let keys = read_keys file in
+    if Array.length keys = 0 then prerr_endline "no input"
+    else begin
+      let server, a, rng = setup ~block_size ~seed keys in
+      let outcome = Odex.Sort.run ~m ~rng a in
+      List.iter
+        (fun (it : Cell.item) -> print_endline (string_of_int it.key))
+        (Ext_array.items a);
+      Printf.printf "; ok = %b\n" outcome.Odex.Sort.ok;
+      report_trace server
+    end
+  in
+  let doc = "Data-oblivious external-memory sort (Theorem 21)." in
+  Cmd.v (Cmd.info "sort" ~doc)
+    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ file_arg)
+
+(* ---- select ---- *)
+
+let select_cmd =
+  let k_arg =
+    let doc = "Rank to select (1-indexed)." in
+    Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
+  in
+  let run block_size m seed k file =
+    let keys = read_keys file in
+    let server, a, rng = setup ~block_size ~seed keys in
+    let r = Odex.Selection.select ~m ~rng ~k a in
+    (match r.Odex.Selection.item with
+    | Some it -> Printf.printf "%d\n; rank %d of %d, ok = %b\n" it.key k (Array.length keys) r.ok
+    | None -> Printf.printf "; selection failed (re-run with a fresh --seed)\n");
+    report_trace server
+  in
+  let doc = "Data-oblivious selection of the k-th smallest (Theorem 13)." in
+  Cmd.v (Cmd.info "select" ~doc)
+    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ k_arg $ file_arg)
+
+(* ---- quantiles ---- *)
+
+let quantiles_cmd =
+  let q_arg =
+    let doc = "Number of quantiles." in
+    Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
+  in
+  let run block_size m seed q file =
+    let keys = read_keys file in
+    let server, a, rng = setup ~block_size ~seed keys in
+    let r = Odex.Quantiles.run ~m ~rng ~q a in
+    Array.iteri
+      (fun i (it : Cell.item) -> Printf.printf "p%d = %d\n" ((i + 1) * 100 / (q + 1)) it.key)
+      r.Odex.Quantiles.quantiles;
+    Printf.printf "; ok = %b\n" r.Odex.Quantiles.ok;
+    report_trace server
+  in
+  let doc = "Data-oblivious quantiles (Theorem 17)." in
+  Cmd.v (Cmd.info "quantiles" ~doc)
+    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ q_arg $ file_arg)
+
+(* ---- compact ---- *)
+
+let compact_cmd =
+  let keep_even =
+    let doc = "Treat even keys as the distinguished items (default: all)." in
+    Arg.(value & flag & info [ "keep-even" ] ~doc)
+  in
+  let run block_size m seed keep_even file =
+    let keys = read_keys file in
+    let server, a, _rng = setup ~block_size ~seed keys in
+    let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
+    let d = Odex.Consolidation.run ~distinguished ~into:None a in
+    let occupied = Odex.Butterfly.compact ~m d in
+    List.iter (fun (it : Cell.item) -> print_endline (string_of_int it.key)) (Ext_array.items d);
+    Printf.printf "; %d occupied blocks after tight compaction (Theorem 6)\n" occupied;
+    report_trace server
+  in
+  let doc = "Consolidate + tight order-preserving compaction (Lemma 3 + Theorem 6)." in
+  Cmd.v (Cmd.info "compact" ~doc)
+    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ keep_even $ file_arg)
+
+(* ---- audit ---- *)
+
+let audit_cmd =
+  let n_arg =
+    let doc = "Input size (cells) for the audit datasets." in
+    Arg.(value & opt int 600 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run block_size m seed n =
+    let rng = Odex_crypto.Rng.create ~seed in
+    let inputs = Odex.Oblivious.input_classes ~rng ~n in
+    let subjects =
+      [
+        {
+          Odex.Oblivious.name = "sort";
+          run = (fun rng _ a -> ignore (Odex.Sort.run ~m ~rng a));
+        };
+        {
+          Odex.Oblivious.name = "selection";
+          run = (fun rng _ a -> ignore (Odex.Selection.select ~m ~rng ~k:(max 1 (n / 3)) a));
+        };
+        {
+          Odex.Oblivious.name = "consolidation";
+          run = (fun _ _ a -> ignore (Odex.Consolidation.run ~into:None a));
+        };
+      ]
+    in
+    List.iter
+      (fun subject ->
+        let report = Odex.Oblivious.audit ~b:block_size ~inputs subject in
+        Format.printf "%a@." Odex.Oblivious.pp_report report)
+      subjects
+  in
+  let doc = "Run the obliviousness audit: fixed coins, contrasting inputs, compare traces." in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ n_arg)
+
+let () =
+  let doc = "data-oblivious external-memory algorithms (Goodrich, SPAA 2011)" in
+  let info = Cmd.info "odx" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ sort_cmd; select_cmd; quantiles_cmd; compact_cmd; audit_cmd ]))

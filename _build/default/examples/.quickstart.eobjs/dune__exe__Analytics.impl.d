@@ -1,0 +1,1 @@
+examples/analytics.ml: Array Cell Ext_array Odex Odex_crypto Odex_extmem Printf Storage Trace

@@ -1,0 +1,1 @@
+examples/audit.ml: Block Ext_array Format List Oblivious Odex Odex_crypto Odex_extmem Sort

@@ -1,0 +1,1 @@
+examples/defrag.ml: Array Block Cell Ext_array Float Odex Odex_crypto Odex_extmem Printf Storage Trace

@@ -1,0 +1,1 @@
+examples/oram_demo.ml: Array Float Odex_crypto Odex_extmem Odex_oram Odex_sortnet Printf Stats Storage Trace

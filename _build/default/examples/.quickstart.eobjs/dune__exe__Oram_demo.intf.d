@@ -1,0 +1,1 @@
+examples/oram_demo.mli:

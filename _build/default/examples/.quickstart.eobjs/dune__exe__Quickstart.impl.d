@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cell Ext_array List Odex Odex_crypto Odex_extmem Printf Storage String Trace

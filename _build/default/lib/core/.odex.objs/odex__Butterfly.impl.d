@@ -1,0 +1,1 @@
+lib/core/butterfly.ml: Array Block Cache Cell Emodel Ext_array List Odex_extmem Storage

@@ -1,0 +1,1 @@
+lib/core/butterfly.mli: Ext_array Odex_extmem

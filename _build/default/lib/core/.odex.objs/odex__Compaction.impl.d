@@ -1,0 +1,1 @@
+lib/core/compaction.ml: Butterfly Consolidation Emodel Ext_array Loose_compaction Odex_crypto Odex_extmem Printf Sparse_compaction

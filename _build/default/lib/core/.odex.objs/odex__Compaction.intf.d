@@ -1,0 +1,1 @@
+lib/core/compaction.mli: Cell Ext_array Odex_crypto Odex_extmem Odex_sortnet

@@ -1,0 +1,1 @@
+lib/core/consolidation.ml: Array Block Cell Ext_array Odex_extmem Queue Storage

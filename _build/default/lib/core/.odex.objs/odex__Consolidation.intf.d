@@ -1,0 +1,1 @@
+lib/core/consolidation.mli: Cell Ext_array Odex_extmem

@@ -1,0 +1,1 @@
+lib/core/failure_sweep.ml: Array Ext_array Odex_extmem Odex_sortnet

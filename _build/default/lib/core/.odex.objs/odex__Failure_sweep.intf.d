@@ -1,0 +1,1 @@
+lib/core/failure_sweep.mli: Ext_array Odex_extmem

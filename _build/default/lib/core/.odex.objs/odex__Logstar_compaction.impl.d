@@ -1,0 +1,1 @@
+lib/core/logstar_compaction.ml: Array Block Butterfly Cache Emodel Ext_array Float Hashtbl List Odex_crypto Odex_extmem Sparse_compaction Thinning

@@ -1,0 +1,1 @@
+lib/core/logstar_compaction.mli: Ext_array Odex_crypto Odex_extmem

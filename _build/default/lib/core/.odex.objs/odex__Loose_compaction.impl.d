@@ -1,0 +1,1 @@
+lib/core/loose_compaction.ml: Block Cache Emodel Ext_array Float List Odex_extmem Odex_sortnet Printf Thinning

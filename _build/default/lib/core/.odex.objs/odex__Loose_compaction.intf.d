@@ -1,0 +1,1 @@
+lib/core/loose_compaction.mli: Ext_array Odex_crypto Odex_extmem Odex_sortnet

@@ -1,0 +1,1 @@
+lib/core/multiway.ml: Array Block Cell Ext_array List Odex_extmem Queue Storage

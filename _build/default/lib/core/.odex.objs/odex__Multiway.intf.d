@@ -1,0 +1,1 @@
+lib/core/multiway.mli: Cell Ext_array Odex_extmem

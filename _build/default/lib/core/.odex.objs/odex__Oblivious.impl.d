@@ -1,0 +1,1 @@
+lib/core/oblivious.ml: Array Cell Ext_array Format List Odex_crypto Odex_extmem Storage Trace

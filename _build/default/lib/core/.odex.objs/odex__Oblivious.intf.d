@@ -1,0 +1,1 @@
+lib/core/oblivious.mli: Cell Ext_array Format Odex_crypto Odex_extmem Storage

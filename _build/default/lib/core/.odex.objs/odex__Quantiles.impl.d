@@ -1,0 +1,1 @@
+lib/core/quantiles.ml: Array Block Cache Cell Compaction Consolidation Emodel Ext_array Float List Odex_extmem Odex_sortnet Option Selection

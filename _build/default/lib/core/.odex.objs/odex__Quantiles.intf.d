@@ -1,0 +1,1 @@
+lib/core/quantiles.mli: Cell Ext_array Odex_crypto Odex_extmem

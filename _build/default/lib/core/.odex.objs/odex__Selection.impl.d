@@ -1,0 +1,1 @@
+lib/core/selection.ml: Array Block Cache Cell Compaction Consolidation Emodel Ext_array Float List Odex_crypto Odex_extmem Odex_sortnet Queue

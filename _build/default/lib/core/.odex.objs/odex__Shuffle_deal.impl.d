@@ -1,0 +1,1 @@
+lib/core/shuffle_deal.ml: Array Block Emodel Ext_array Odex_crypto Odex_extmem Queue Storage

@@ -1,0 +1,1 @@
+lib/core/shuffle_deal.mli: Cell Ext_array Odex_crypto Odex_extmem

@@ -1,0 +1,1 @@
+lib/core/sort.ml: Array Block Butterfly Cell Compaction Consolidation Emodel Ext_array Failure_sweep Float List Multiway Odex_crypto Odex_extmem Odex_sortnet Shuffle_deal

@@ -1,0 +1,1 @@
+lib/core/sort.mli: Ext_array Odex_crypto Odex_extmem

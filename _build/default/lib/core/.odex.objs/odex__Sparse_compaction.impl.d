@@ -1,0 +1,1 @@
+lib/core/sparse_compaction.ml: Block Ext_array List Odex_extmem Odex_iblt Printf

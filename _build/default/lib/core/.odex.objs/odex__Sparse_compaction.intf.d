@@ -1,0 +1,1 @@
+lib/core/sparse_compaction.mli: Ext_array Odex_crypto Odex_extmem

@@ -1,0 +1,1 @@
+lib/core/thinning.ml: Block Ext_array Odex_crypto Odex_extmem Storage

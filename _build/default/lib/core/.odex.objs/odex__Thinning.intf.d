@@ -1,0 +1,1 @@
+lib/core/thinning.mli: Ext_array Odex_crypto Odex_extmem

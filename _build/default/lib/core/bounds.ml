@@ -1,0 +1,48 @@
+let log2 x = Float.log x /. Float.log 2.
+
+let binomial_tail_lemma22 ~gamma ~mu =
+  if gamma <= 2. *. Float.exp 1. then 1.
+  else Float.min 1. (Float.pow 2. (-.gamma *. mu *. log2 (gamma /. Float.exp 1.)))
+
+let negative_binomial_tail_lemma23 ~n ~p ~t =
+  if p <= 0. || p > 1. || n <= 0 then invalid_arg "Bounds.negative_binomial_tail_lemma23";
+  let alpha = 1. /. p in
+  let nf = Float.of_int n in
+  let bound =
+    if t < alpha /. 2. then Float.exp (-.((t *. p) ** 2.) *. nf /. 3.)
+    else if t < alpha then Float.exp (-.t *. p *. nf /. 9.)
+    else if t < 2. *. alpha then Float.exp (-.t *. p *. nf /. 5.)
+    else if t < 3. *. alpha then Float.exp (-.t *. p *. nf /. 3.)
+    else Float.exp (-.t *. p *. nf /. 2.)
+  in
+  Float.min 1. bound
+
+let loose_compaction_failure ~n_blocks ~c0 ~c1 =
+  if n_blocks < 2 then 0.
+  else begin
+    let n = Float.of_int n_blocks in
+    let region = Float.of_int c1 *. log2 n in
+    (* Survival probability per block after c0 thinning rounds. *)
+    let q = Float.pow 0.25 (Float.of_int c0) in
+    let mu = region *. q in
+    let gamma = region /. 2. /. mu in
+    let per_region = binomial_tail_lemma22 ~gamma ~mu in
+    Float.min 1. (n /. region *. per_region)
+  end
+
+let selection_failure ~n =
+  if n < 16 then 1.
+  else begin
+    let nf = Float.of_int n in
+    let a = 2. *. Float.exp (-.Float.pow nf (1. /. 8.) /. 9.) in
+    let b = Float.exp (-4. *. Float.pow nf (3. /. 8.) /. 5.) in
+    let c = Float.exp (-.Float.pow nf (1. /. 4.) /. 3.) in
+    let d = Float.exp (-.Float.pow nf (1. /. 4.) /. 2.) in
+    Float.min 1. (a +. b +. c +. d)
+  end
+
+let shuffle_deal_overflow ~m_blocks ~d =
+  let m = Float.of_int m_blocks in
+  let c = (2. *. Float.of_int d *. Float.exp 1.) +. 1. in
+  let mu = Float.sqrt m in
+  binomial_tail_lemma22 ~gamma:c ~mu

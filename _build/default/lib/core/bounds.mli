@@ -1,0 +1,32 @@
+(** Chernoff-bound calculators — Appendix A (Lemmas 22 and 23).
+
+    The paper's constants (c₀ thinning rounds, c₁ region size, the
+    shuffle-and-deal constant c) are "determined in the analysis"; these
+    functions make that analysis executable so tests and the experiment
+    harness can check the advertised failure probabilities against
+    Monte-Carlo estimates (experiment E13) and derive constants for a
+    target exponent d. *)
+
+val binomial_tail_lemma22 : gamma:float -> mu:float -> float
+(** Lemma 22: for a sum X of independent 0–1 variables with E[X] <= mu
+    and gamma > 2e, an upper bound on Pr(X > gamma·mu):
+    2^{-gamma·mu·log2(gamma/e)}. *)
+
+val negative_binomial_tail_lemma23 : n:int -> p:float -> t:float -> float
+(** Lemma 23: for X the sum of [n] independent geometric(p) variables
+    (alpha = 1/p), an upper bound on Pr(X > (alpha + t)·n), using the
+    case analysis of the lemma. *)
+
+val loose_compaction_failure : n_blocks:int -> c0:int -> c1:int -> float
+(** Lemma 7 instantiated: probability that some region of c₁·log₂ n
+    blocks keeps more than half its blocks after c₀ thinning rounds
+    (union bound over regions). *)
+
+val selection_failure : n:int -> float
+(** Lemma 11's additive failure-probability bound for selection on [n]
+    items. *)
+
+val shuffle_deal_overflow : m_blocks:int -> d:int -> float
+(** Lemma 18: probability that a window of (M/B)^{3/4} blocks contains
+    more than c·(M/B)^{1/2} blocks of one color, for the c implied by
+    exponent [d]. *)

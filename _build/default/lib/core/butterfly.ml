@@ -1,0 +1,183 @@
+open Odex_extmem
+
+exception Collision of { level : int; position : int }
+
+(* A block's remaining routing distance is stored in the [aux] word of
+   every item it carries (occupied blocks after consolidation have at
+   least one item). Routes are fully determined by the initial labels.
+
+   Compaction consumes label bits low-to-high: a phase covering strides
+   2^lo .. 2^(lo+g-1) moves each block left by (d mod 2^(lo+g)) (its
+   lower bits are already zero), which Lemma 5 guarantees is
+   collision-free. Expansion runs the same network backwards in time —
+   phases high-bit-first, rightward moves — so its intermediate
+   configurations are exactly those of the corresponding compaction and
+   inherit its collision-freedom. *)
+
+let label_of blk =
+  let rec find i =
+    if i >= Array.length blk then None
+    else match blk.(i) with Cell.Empty -> find (i + 1) | Cell.Item it -> Some it.aux
+  in
+  find 0
+
+let set_label blk d = Array.iteri (fun i c -> blk.(i) <- Cell.with_aux c d) blk
+
+(* Route one residue class of a phase.
+
+   [pos u] maps the class's u-th sub-position to a block index of [a];
+   [step d] returns the sub-space move (0 .. modulus-1) and the new
+   label. Sub-positions are consumed in increasing [u] with a sliding
+   window of 2w-1 cached blocks, finalizing w destinations at a time;
+   every block is read once and written once in an order depending only
+   on (n, m, s, c) — the circuit-simulation obliviousness of Theorem 6. *)
+let route_class a cache ~level ~pos ~len ~w ~step =
+  let storage = Ext_array.storage a in
+  let b = Ext_array.block_size a in
+  let route uq =
+    let addr = Ext_array.addr a (pos uq) in
+    let blk = Cache.load cache addr in
+    Cache.drop cache addr;
+    match label_of blk with
+    | None -> ()
+    | Some d ->
+        let u_move, d' = step d in
+        let u_dst = uq - u_move in
+        set_label blk d';
+        let dst_addr = Ext_array.addr a (pos u_dst) in
+        if Cache.is_resident cache dst_addr then
+          raise (Collision { level; position = pos u_dst });
+        Cache.put cache dst_addr blk
+  in
+  let finalize u =
+    let addr = Ext_array.addr a (pos u) in
+    if Cache.is_resident cache addr then Cache.flush cache addr
+    else Storage.write storage addr (Block.make b)
+  in
+  let read_cursor = ref 0 in
+  let t = ref 0 in
+  while !t < len do
+    let hi = min len (!t + (2 * w) - 1) in
+    while !read_cursor < hi do
+      route !read_cursor;
+      incr read_cursor
+    done;
+    let stop = min len (!t + w) in
+    while !t < stop do
+      finalize !t;
+      incr t
+    done
+  done
+
+let route_all a ~m ~direction =
+  let n = Ext_array.blocks a in
+  if m < 3 then invalid_arg "Butterfly: need m >= 3 (the paper's M >= 3B)";
+  if n > 1 then begin
+    (* 2w - 1 cached blocks per window; g = log2 w levels per phase. *)
+    let w = 1 lsl Emodel.ilog2_floor ((m + 1) / 2) in
+    let g = Emodel.ilog2_floor w in
+    let modulus = 1 lsl g in
+    let cache = Cache.create (Ext_array.storage a) ~capacity:m in
+    let bits = Emodel.ilog2_ceil n in
+    let phase_los =
+      let rec build lo acc = if lo >= bits then acc else build (lo + g) (lo :: acc) in
+      (* Ascending for compaction (low bits first), the reverse run for
+         expansion. *)
+      match direction with
+      | `Compact -> List.rev (build 0 [])
+      | `Expand -> build 0 []
+    in
+    List.iter
+      (fun lo ->
+        let s = 1 lsl lo in
+        let step d =
+          match direction with
+          | `Compact ->
+              (* d is a multiple of s; consume bits [lo, lo+g). *)
+              let move_raw = d mod (s * modulus) in
+              (move_raw / s, d - move_raw)
+          | `Expand ->
+              (* Higher bits already applied: d < s * modulus; apply
+                 bits [lo, lo+g), keep the rest for later phases. *)
+              ((d mod (s * modulus)) / s, d mod s)
+        in
+        for c = 0 to min s n - 1 do
+          let len = (n - c + s - 1) / s in
+          let pos u =
+            match direction with
+            | `Compact -> c + (u * s)
+            (* Rightward moves: finalize the high end first by running
+               the class in mirror order. *)
+            | `Expand -> c + ((len - 1 - u) * s)
+          in
+          route_class a cache ~level:lo ~len ~w ~step ~pos
+        done)
+      phase_los
+  end
+
+let compact ~m a =
+  let n = Ext_array.blocks a in
+  (* Pass 1: label occupied blocks with their leftward distance. *)
+  let rank = ref 0 in
+  for j = 0 to n - 1 do
+    let blk = Ext_array.read_block a j in
+    if not (Block.is_empty blk) then begin
+      set_label blk (j - !rank);
+      incr rank
+    end;
+    Ext_array.write_block a j blk
+  done;
+  route_all a ~m ~direction:`Compact;
+  !rank
+
+let expand ~m a factor =
+  let n = Ext_array.blocks a in
+  (* Label occupied blocks with their rightward distance. Destinations
+     [rank + factor rank] must be strictly increasing and in bounds. *)
+  let rank = ref 0 in
+  let last_dest = ref (-1) in
+  for j = 0 to n - 1 do
+    let blk = Ext_array.read_block a j in
+    if not (Block.is_empty blk) then begin
+      let f = factor !rank in
+      if f < 0 || j + f >= n then invalid_arg "Butterfly.expand: factor out of range";
+      if j + f <= !last_dest then
+        invalid_arg "Butterfly.expand: destinations must be strictly increasing";
+      last_dest := j + f;
+      set_label blk f;
+      incr rank
+    end;
+    Ext_array.write_block a j blk
+  done;
+  route_all a ~m ~direction:`Expand
+
+let naive_levels a =
+  let n = Ext_array.blocks a in
+  let storage = Ext_array.storage a in
+  (* Private simulation: labels per position, -1 = empty. *)
+  let labels = Array.make n (-1) in
+  let rank = ref 0 in
+  for j = 0 to n - 1 do
+    let blk = Storage.unchecked_peek storage (Ext_array.addr a j) in
+    if not (Block.is_empty blk) then begin
+      labels.(j) <- j - !rank;
+      incr rank
+    end
+  done;
+  let out = ref [ Array.to_list labels ] in
+  let levels = if n <= 1 then 0 else Emodel.ilog2_ceil n in
+  for i = 0 to levels - 1 do
+    let next = Array.make n (-1) in
+    for j = 0 to n - 1 do
+      let d = labels.(j) in
+      if d >= 0 then begin
+        let move = d mod (1 lsl (i + 1)) in
+        let dst = j - move in
+        if next.(dst) >= 0 then raise (Collision { level = i; position = dst });
+        next.(dst) <- d - move
+      end
+    done;
+    Array.blit next 0 labels 0 n;
+    out := Array.to_list labels :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,61 @@
+open Odex_extmem
+
+let run ?(distinguished = fun (_ : Cell.item) -> true) ~into a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  let dst =
+    match into with
+    | Some d ->
+        if Ext_array.blocks d <> n then invalid_arg "Consolidation.run: size mismatch";
+        d
+    | None -> Ext_array.create (Ext_array.storage a) ~blocks:n
+  in
+  if n > 0 then begin
+    (* Alice's pending queue never holds 2B or more items: each step adds
+       at most B and drains B whenever it reaches B. *)
+    let pending = Queue.create () in
+    let take_in blk =
+      Array.iter
+        (fun c ->
+          match c with
+          | Cell.Empty -> ()
+          | Cell.Item it -> if distinguished it then Queue.add it pending)
+        blk
+    in
+    let emit_block () =
+      let blk = Block.make b in
+      let count = min b (Queue.length pending) in
+      for slot = 0 to count - 1 do
+        blk.(slot) <- Cell.Item (Queue.pop pending)
+      done;
+      blk
+    in
+    take_in (Ext_array.read_block a 0);
+    for i = 1 to n - 1 do
+      take_in (Ext_array.read_block a i);
+      let out = if Queue.length pending >= b then emit_block () else Block.make b in
+      Ext_array.write_block dst (i - 1) out
+    done;
+    (* After every scan step at most one block's worth is pending, and
+       the final emit drains it entirely. *)
+    assert (Queue.length pending <= b);
+    Ext_array.write_block dst (n - 1) (emit_block ())
+  end;
+  dst
+
+let occupied_prefix_property a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  let last_nonempty = ref (-1) in
+  for i = 0 to n - 1 do
+    if not (Block.is_empty (Storage.unchecked_peek (Ext_array.storage a) (Ext_array.addr a i)))
+    then last_nonempty := i
+  done;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let blk = Storage.unchecked_peek (Ext_array.storage a) (Ext_array.addr a i) in
+    let c = Block.count_items blk in
+    if i = !last_nonempty then (if c < 1 then ok := false)
+    else if c <> 0 && c <> b then ok := false
+  done;
+  !ok

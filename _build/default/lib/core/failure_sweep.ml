@@ -1,0 +1,12 @@
+open Odex_extmem
+
+let sweep ~m subarrays ok_flags =
+  let k = Array.length subarrays in
+  if Array.length ok_flags <> k then invalid_arg "Failure_sweep.sweep: flag count mismatch";
+  Array.iteri
+    (fun i a ->
+      ignore (Ext_array.block_size a);
+      Odex_sortnet.Ext_sort.run_selective Odex_sortnet.Ext_sort.auto ~real:(not ok_flags.(i)) ~m
+        a)
+    subarrays;
+  true

@@ -1,0 +1,168 @@
+open Odex_extmem
+
+type outcome = { dest : Ext_array.t; phases : int; ok : bool }
+
+(* One thinning step for a single source block (shared by the full-array
+   and region-prefix passes). *)
+let thin_step ~rng src i dst =
+  let b = Ext_array.block_size src in
+  let c_size = Ext_array.blocks dst in
+  let blk = Ext_array.read_block src i in
+  let j = Odex_crypto.Rng.int rng c_size in
+  let target = Ext_array.read_block dst j in
+  if (not (Block.is_empty blk)) && Block.is_empty target then begin
+    Ext_array.write_block dst j blk;
+    Ext_array.write_block src i (Block.make b)
+  end
+  else begin
+    Ext_array.write_block dst j target;
+    Ext_array.write_block src i blk
+  end
+
+(* Compact each region to its first [prefix] blocks using the cache;
+   survivors that do not fit stay in place (the final Theorem 4 pass
+   collects them). Fixed trace: every region block is read and written
+   once. *)
+let compact_regions cache ~rho ~prefix a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  let regions = Emodel.ceil_div n rho in
+  for g = 0 to regions - 1 do
+    let lo = g * rho in
+    let len = min rho (n - lo) in
+    let occupied = ref [] in
+    let overflow = ref [] in
+    let count = ref 0 in
+    for i = lo + len - 1 downto lo do
+      let blk = Cache.load cache (Ext_array.addr a i) in
+      if not (Block.is_empty blk) then begin
+        incr count;
+        if !count <= prefix then occupied := (Block.copy blk, i) :: !occupied
+        else overflow := (Block.copy blk, i) :: !overflow
+      end;
+      Cache.drop cache (Ext_array.addr a i)
+    done;
+    (* Fitting survivors go to the prefix; overflow stays at its own
+       position; everything else becomes empty. *)
+    let fits = Array.of_list (List.map fst !occupied) in
+    let overflow_at = Hashtbl.create 4 in
+    List.iter (fun (blk, i) -> Hashtbl.replace overflow_at i blk) !overflow;
+    for i = lo to lo + len - 1 do
+      let slot = i - lo in
+      let out =
+        if slot < Array.length fits && slot < prefix then fits.(slot)
+        else
+          match Hashtbl.find_opt overflow_at i with
+          | Some blk when slot >= prefix -> blk
+          | _ -> Block.make b
+      in
+      Ext_array.write_block a i out
+    done
+  done
+
+let run ?(c0 = 8) ?key ?sparse_threshold ~m ~rng ~capacity a =
+  if capacity < 0 then invalid_arg "Logstar_compaction.run: negative capacity";
+  let storage = Ext_array.storage a in
+  let b = Ext_array.block_size a in
+  let r = capacity in
+  let reserve = Emodel.ceil_div r 4 in
+  let dest = Ext_array.create storage ~blocks:((4 * r) + reserve) in
+  if r = 0 then { dest; phases = 0; ok = true }
+  else begin
+    let main = Ext_array.sub dest ~off:0 ~len:(4 * r) in
+    let n0 = Ext_array.blocks a in
+    let cache = Cache.create storage ~capacity:(max 2 m) in
+    (* Initial c0 A-to-main thinning passes. *)
+    for _ = 1 to c0 do
+      Thinning.pass ~rng ~src:a ~dst:main
+    done;
+    (* Tower phases. *)
+    let sparse_threshold =
+      match sparse_threshold with
+      | Some t -> t
+      | None ->
+          let lg = Float.of_int (max 2 (Emodel.ilog2_ceil (max 2 n0))) in
+          max 2 (Float.to_int (Float.of_int n0 /. (lg *. lg)))
+    in
+    let cur = ref a in
+    let phases = ref 0 in
+    let i = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let t_i = Emodel.tower_of_twos !i in
+      let budget = if t_i >= 64 then 0 else r / (t_i * t_i * t_i * t_i) in
+      if budget <= sparse_threshold || t_i >= 64 || budget = 0 then continue := false
+      else begin
+        incr phases;
+        (* Thinning-out: two A-to-C passes, t_i C-to-main passes, then A
+           grows by C. *)
+        let c_arr = Ext_array.create storage ~blocks:(max 1 (Emodel.ceil_div r t_i)) in
+        Thinning.pass ~rng ~src:!cur ~dst:c_arr;
+        Thinning.pass ~rng ~src:!cur ~dst:c_arr;
+        for _ = 1 to t_i do
+          Thinning.pass ~rng ~src:c_arr ~dst:main
+        done;
+        let grown =
+          Ext_array.create storage ~blocks:(Ext_array.blocks !cur + Ext_array.blocks c_arr)
+        in
+        let cursor = ref 0 in
+        List.iter
+          (fun src ->
+            for j = 0 to Ext_array.blocks src - 1 do
+              Ext_array.write_block grown !cursor (Ext_array.read_block src j);
+              incr cursor
+            done)
+          [ !cur; c_arr ];
+        cur := grown;
+        (* Region compaction: regions of min(m, 2^{4 t_i}) blocks,
+           prefixes of 1/t_i^2, then t_i^2 prefix-to-main thinning
+           passes. *)
+        let rho =
+          let cap = if t_i >= 16 then max_int else 1 lsl (4 * t_i) in
+          max 2 (min (max 2 m) cap)
+        in
+        let prefix = max 1 (rho / (t_i * t_i)) in
+        compact_regions cache ~rho ~prefix !cur;
+        let n_cur = Ext_array.blocks !cur in
+        let regions = Emodel.ceil_div n_cur rho in
+        for _ = 1 to t_i * t_i do
+          for g = 0 to regions - 1 do
+            let lo = g * rho in
+            let len = min prefix (n_cur - lo) in
+            for s = 0 to len - 1 do
+              thin_step ~rng !cur (lo + s) main
+            done
+          done
+        done;
+        incr i
+      end
+    done;
+    (* Final sparse compaction of whatever remains into the reserve. *)
+    let key = match key with Some k -> k | None -> Odex_crypto.Prf.key_of_int 0x106 in
+    let ok = ref true in
+    let final_capacity = reserve in
+    (* Engine choice depends only on public parameters. *)
+    let fits_sparse =
+      final_capacity > 0 && 3 * final_capacity * Emodel.ceil_div (2 + (5 * b)) (4 * b) <= m
+    in
+    let compacted =
+      if fits_sparse then begin
+        let out = Sparse_compaction.run ~m ~key ~capacity:final_capacity !cur in
+        if not out.Sparse_compaction.complete then ok := false;
+        out.Sparse_compaction.dest
+      end
+      else begin
+        let occupied = Butterfly.compact ~m:(max 3 m) !cur in
+        if occupied > final_capacity then ok := false;
+        Ext_array.sub !cur ~off:0 ~len:(min (Ext_array.blocks !cur) final_capacity)
+      end
+    in
+    for j = 0 to reserve - 1 do
+      let blk =
+        if j < Ext_array.blocks compacted then Ext_array.read_block compacted j
+        else Block.make b
+      in
+      Ext_array.write_block dest ((4 * r) + j) blk
+    done;
+    { dest; phases = !phases; ok = !ok }
+  end

@@ -1,0 +1,48 @@
+(** Loose compaction without the wide-block/tall-cache assumptions —
+    Theorem 9 / Appendix B.
+
+    Compacts a consolidated array of n blocks with at most [capacity] =
+    r <= n/4 occupied into 4.25r blocks using O(n log* n) I/Os, assuming
+    only B >= 1 and M >= 2B. The phase structure follows the appendix:
+
+    + c₀ initial A-to-D thinning passes into the 4r main region, after
+      which at most r/t₁⁴ blocks survive (Lemma 24, t₁ = 4);
+    + phase i (tower-of-twos t_{i+1} = 2^{t_i}): a thinning-out step
+      through an auxiliary array C of r/t_i blocks (two A-to-C passes,
+      t_i C-to-D passes, then A grows by C), and a region-compaction
+      step — regions of min(m, 2^{4 t_i}) blocks are compacted in-cache
+      to a 1/t_i² prefix and the prefixes get t_i² extra thinning
+      passes;
+    + once the survivor budget r/t_i⁴ falls below the sparse threshold,
+      one Theorem 4 compaction moves everything left into the 0.25r
+      reserve at the end of D.
+
+    Survivors that overflow a region prefix are left in place (they are
+    swept up by the final Theorem 4 step), so the only failure mode is
+    the final compaction's capacity/decode check, reported in [ok]. The
+    trace depends only on (n, r, m, B) and the coins. Not
+    order-preserving. The input array is consumed. *)
+
+open Odex_extmem
+
+type outcome = {
+  dest : Ext_array.t;  (** ceil(4.25 · capacity) blocks. *)
+  phases : int;  (** Number of tower phases executed (<= log* n). *)
+  ok : bool;
+}
+
+val run :
+  ?c0:int ->
+  ?key:Odex_crypto.Prf.key ->
+  ?sparse_threshold:int ->
+  m:int ->
+  rng:Odex_crypto.Rng.t ->
+  capacity:int ->
+  Ext_array.t ->
+  outcome
+(** Default c₀ = 8 initial passes (survival probability 4^{-8} per
+    block; the paper's analysis uses c₀ >= 23 to get theorem-grade
+    exponents). [sparse_threshold] overrides the n/log²n cut-over to the
+    final Theorem 4 step — the tower constants put every feasible n in
+    the zero-phase regime (r/t₁⁴ = r/256 < n/log²n needs log n > 32), so
+    the experiment harness forces phases with [~sparse_threshold:0]. *)

@@ -1,0 +1,91 @@
+open Odex_extmem
+
+type outcome = { dest : Ext_array.t; ok : bool }
+
+(* Compact each region of [rho] blocks of [src] to its first ceil(rho/2)
+   blocks, writing them to [dst] (of half the size). One in-cache pass per
+   region; the trace is a fixed interleaving of region reads and
+   half-region writes. Returns false if any region overflowed. *)
+let halve_regions cache ~rho src dst =
+  let n = Ext_array.blocks src in
+  let b = Ext_array.block_size src in
+  let half = (rho + 1) / 2 in
+  let regions = Emodel.ceil_div n rho in
+  let ok = ref true in
+  for g = 0 to regions - 1 do
+    let lo = g * rho in
+    let len = min rho (n - lo) in
+    let out_lo = g * half in
+    let out_len = min half (Ext_array.blocks dst - out_lo) in
+    (* Gather the region. *)
+    let occupied = ref [] in
+    for i = lo + len - 1 downto lo do
+      let blk = Cache.load cache (Ext_array.addr src i) in
+      if not (Block.is_empty blk) then occupied := Block.copy blk :: !occupied;
+      Cache.drop cache (Ext_array.addr src i)
+    done;
+    if List.length !occupied > out_len then ok := false;
+    (* Scatter the survivors (possibly truncated on overflow). *)
+    for slot = 0 to out_len - 1 do
+      let blk =
+        match !occupied with
+        | blk :: rest ->
+            occupied := rest;
+            blk
+        | [] -> Block.make b
+      in
+      Ext_array.write_block dst (out_lo + slot) blk
+    done
+  done;
+  !ok
+
+let run ?(c0 = 4) ?(c1 = 3) ?(sorter = Odex_sortnet.Ext_sort.auto) ~m ~rng ~capacity a =
+  if capacity < 0 then invalid_arg "Loose_compaction.run: negative capacity";
+  let storage = Ext_array.storage a in
+  let b = Ext_array.block_size a in
+  let n = Ext_array.blocks a in
+  let dest = Ext_array.create storage ~blocks:(5 * capacity) in
+  if capacity = 0 then { dest; ok = true }
+  else begin
+    let c_region = Ext_array.sub dest ~off:0 ~len:(4 * capacity) in
+    let rho = max 2 (c1 * Emodel.ilog2_ceil (max 2 n)) in
+    if rho > m then
+      invalid_arg
+        (Printf.sprintf
+           "Loose_compaction.run: region of %d blocks exceeds cache m = %d (wide-block/tall-cache \
+            assumption violated)"
+           rho m);
+    let cache = Cache.create storage ~capacity:m in
+    (* Stop the halving once A is below n / log_m^2 n blocks (and always
+       once regions stop making sense). *)
+    let log_m_n =
+      Float.max 1.
+        (Emodel.log_base ~base:(Float.of_int (max 2 m)) (Float.of_int (max 2 n)))
+    in
+    let threshold =
+      max (2 * rho) (Float.to_int (Float.of_int n /. (log_m_n *. log_m_n)))
+    in
+    let ok = ref true in
+    let cur = ref a in
+    while Ext_array.blocks !cur > threshold do
+      for _ = 1 to c0 do
+        Thinning.pass ~rng ~src:!cur ~dst:c_region
+      done;
+      let next =
+        Ext_array.create storage
+          ~blocks:(Emodel.ceil_div (Ext_array.blocks !cur) rho * ((rho + 1) / 2))
+      in
+      if not (halve_regions cache ~rho !cur next) then ok := false;
+      cur := next
+    done;
+    (* Final deterministic compression of the residue: occupied cells
+       first, then copy the first [capacity] blocks to the output tail. *)
+    Odex_sortnet.Ext_sort.run sorter ~m !cur;
+    for i = 0 to capacity - 1 do
+      let blk =
+        if i < Ext_array.blocks !cur then Ext_array.read_block !cur i else Block.make b
+      in
+      Ext_array.write_block dest ((4 * capacity) + i) blk
+    done;
+    { dest; ok = !ok }
+  end

@@ -1,0 +1,41 @@
+(** Loose compaction — Theorem 8.
+
+    Compacts a consolidated array of n blocks, at most [capacity] = r of
+    them occupied (r <= n/4), into an array of 5r blocks using O(n) I/Os:
+
+    + c₀ rounds of A-to-C thinning passes into the first 4r output
+      blocks, after which each block survives in A independently with
+      probability at most 4^{-c₀};
+    + repeatedly: split A into regions of c₁·log n blocks, compact each
+      region in-cache to its first half (whp no region holds more —
+      Lemma 7), halving A, then thin again;
+    + once A is below the n/log²_m n threshold, compress what is left
+      with the deterministic oblivious sort (Lemma 2) and append those r
+      blocks as output blocks [4r, 5r).
+
+    Requires the paper's wide-block/tall-cache regime in the form
+    c₁·log₂ n <= m (a region must fit in cache). The input array is
+    consumed (its blocks are cleared as they move). Not order-
+    preserving. The trace is independent of the data and, for a fixed
+    RNG seed, identical across inputs of the same shape. *)
+
+open Odex_extmem
+
+type outcome = {
+  dest : Ext_array.t;  (** 5 · capacity blocks holding every occupied input block. *)
+  ok : bool;
+      (** False iff some region overflowed (the Theorem 8 failure event,
+          probability <= (N/B)^{-d}); blocks may have been dropped. *)
+}
+
+val run :
+  ?c0:int ->
+  ?c1:int ->
+  ?sorter:Odex_sortnet.Ext_sort.t ->
+  m:int ->
+  rng:Odex_crypto.Rng.t ->
+  capacity:int ->
+  Ext_array.t ->
+  outcome
+(** Defaults: c₀ = 4 thinning rounds per iteration, c₁ = 3, sorter =
+    {!Odex_sortnet.Ext_sort.auto}. *)

@@ -1,0 +1,49 @@
+open Odex_extmem
+
+type subject = {
+  name : string;
+  run : Odex_crypto.Rng.t -> Storage.t -> Ext_array.t -> unit;
+}
+
+type observation = { input : string; length : int; digest : int64 }
+
+type report = { subject : string; observations : observation list; oblivious : bool }
+
+let input_classes ~rng ~n =
+  let item ~tag ~key = Cell.item ~tag ~key ~value:(key * 3) () in
+  [
+    ("ascending", Array.init n (fun i -> item ~tag:i ~key:i));
+    ("descending", Array.init n (fun i -> item ~tag:i ~key:(n - i)));
+    ("all-equal", Array.init n (fun i -> item ~tag:i ~key:7));
+    ("random", Array.init n (fun i -> item ~tag:i ~key:(Odex_crypto.Rng.int rng (4 * n))));
+    ( "sparse",
+      Array.init n (fun i -> if i mod 3 = 0 then Cell.empty else item ~tag:i ~key:(i * 5 mod n))
+    );
+  ]
+
+let audit ?(seed = 0x0b5e) ~b ~inputs subject =
+  let observations =
+    List.map
+      (fun (label, cells) ->
+        let s = Storage.create ~trace_mode:Trace.Digest ~block_size:b () in
+        let a = Ext_array.of_cells s ~block_size:b cells in
+        let rng = Odex_crypto.Rng.create ~seed in
+        subject.run rng s a;
+        { input = label; length = Trace.length (Storage.trace s); digest = Trace.digest (Storage.trace s) })
+      inputs
+  in
+  let oblivious =
+    match observations with
+    | [] -> true
+    | o :: rest -> List.for_all (fun o' -> o'.length = o.length && o'.digest = o.digest) rest
+  in
+  { subject = subject.name; observations; oblivious }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s: %s@," r.subject
+    (if r.oblivious then "OBLIVIOUS (all traces identical)" else "TRACES DIFFER");
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %-12s %8d I/Os  digest %016Lx@," o.input o.length o.digest)
+    r.observations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** The adversary's experiment: trace-equality auditing.
+
+    The paper's §1 definition makes an algorithm data-oblivious when the
+    trace distribution is the same for every memory configuration of the
+    same size. For our algorithms the randomness is a seeded stream, so
+    the definition has a sharp testable form: {e fixing the coins and
+    varying only the data must produce byte-identical traces}. This
+    module runs that experiment — it is what experiment E11 and the
+    audit example print, and what the per-algorithm trace tests assert. *)
+
+open Odex_extmem
+
+type subject = {
+  name : string;
+  run : Odex_crypto.Rng.t -> Storage.t -> Ext_array.t -> unit;
+      (** The algorithm under audit, applied to an array living on the
+          given storage. *)
+}
+
+type observation = {
+  input : string;  (** Label of the input class. *)
+  length : int;  (** Number of I/Os Bob observed. *)
+  digest : int64;  (** Order-sensitive hash of the address sequence. *)
+}
+
+type report = {
+  subject : string;
+  observations : observation list;
+  oblivious : bool;  (** All observations identical. *)
+}
+
+val input_classes : rng:Odex_crypto.Rng.t -> n:int -> (string * Cell.t array) list
+(** Canonical contrasting inputs of [n] cells: ascending, descending,
+    all-equal, uniform random, and one-third-empty. All have the same
+    shape (n cells), which is what obliviousness is conditioned on. *)
+
+val audit :
+  ?seed:int -> b:int -> inputs:(string * Cell.t array) list -> subject -> report
+(** [audit ~b ~inputs s] runs [s] once per input on a fresh storage with
+    identical coins and compares the traces. *)
+
+val pp_report : Format.formatter -> report -> unit

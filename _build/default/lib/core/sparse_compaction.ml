@@ -1,0 +1,51 @@
+open Odex_extmem
+
+type outcome = { dest : Ext_array.t; recovered : int; complete : bool }
+
+let run ?(k = 3) ?(multiplier = 3) ~m ~key ~capacity a =
+  if capacity < 0 then invalid_arg "Sparse_compaction.run: negative capacity";
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  let storage = Ext_array.storage a in
+  let cells = max (k + 1) (multiplier * capacity) in
+  let table = Odex_iblt.Ext_iblt.create storage ~k ~cells key in
+  if Odex_iblt.Ext_iblt.table_blocks table > m then
+    invalid_arg
+      (Printf.sprintf
+         "Sparse_compaction.run: IBLT table (%d blocks) exceeds cache (m = %d); use the \
+          ORAM-backed decode"
+         (Odex_iblt.Ext_iblt.table_blocks table)
+         m);
+  (* Insertion phase: one read of A'[i] plus k cell read-modify-writes
+     per index, occupied or not — the Theorem 4 oblivious trace. *)
+  let occupied = ref 0 in
+  for i = 0 to n - 1 do
+    let blk = Ext_array.read_block a i in
+    if Block.is_empty blk then Odex_iblt.Ext_iblt.touch table ~index:i
+    else begin
+      incr occupied;
+      Odex_iblt.Ext_iblt.insert table ~index:i blk
+    end
+  done;
+  (* Over-capacity inputs violate the problem statement ("at most R
+     distinguished"); we must not branch on it (the trace would leak),
+     so it degrades into an incomplete outcome below. *)
+  (* Decode privately (table fits in cache), restore original order with
+     a private sort on the block indices, and write out exactly
+     [capacity] blocks. *)
+  let pairs, complete = Odex_iblt.Ext_iblt.decode_in_cache table ~m in
+  let pairs = List.sort (fun (i, _) (j, _) -> compare i j) pairs in
+  let dest = Ext_array.create storage ~blocks:capacity in
+  let remaining = ref pairs in
+  for slot = 0 to capacity - 1 do
+    let blk =
+      match !remaining with
+      | (_, blk) :: rest ->
+          remaining := rest;
+          blk
+      | [] -> Block.make b
+    in
+    Ext_array.write_block dest slot blk
+  done;
+  let written = min capacity (List.length pairs) in
+  { dest; recovered = written; complete = complete && written = !occupied }

@@ -1,0 +1,48 @@
+(** Tight order-preserving compaction for sparse arrays — Theorem 4.
+
+    The input is a {e consolidated} array (Lemma 3) of n blocks, at most
+    [capacity] of them occupied. Every block index is mapped through an
+    invertible Bloom lookup table of [multiplier * capacity] cells (the
+    paper uses 3r): occupied blocks are inserted under their index as
+    key, unoccupied indices perform the bit-identical dummy pass, so the
+    insertion phase's trace depends only on n — not on which blocks are
+    occupied. The table is then decoded and the recovered blocks written
+    to a fresh array of exactly [capacity] blocks in their original
+    order.
+
+    Decode path: the paper simulates [listEntries] under the
+    Goodrich–Mitzenmacher ORAM. When the table fits in Alice's cache
+    (the common case for the sparse regime r = O(n/log² n) this theorem
+    targets) we read it in one scan and peel privately, which has a
+    strictly smaller — and still fixed — trace. For tables larger than
+    the cache the {!Compaction} facade routes to the Theorem 6 butterfly
+    engine instead (a dispatch on public parameters only; DESIGN.md §5
+    records the substitution — the ORAM substrate itself lives in
+    [Odex_oram] and is measured in E10). *)
+
+open Odex_extmem
+
+type outcome = {
+  dest : Ext_array.t;  (** [capacity] blocks; occupied prefix in original order. *)
+  recovered : int;  (** Number of occupied blocks recovered (Alice-private). *)
+  complete : bool;
+      (** Whether the IBLT decode recovered everything — the Theorem 4
+          success event, true with probability 1 − 1/r^c. The trace is
+          identical either way. *)
+}
+
+val run :
+  ?k:int ->
+  ?multiplier:int ->
+  m:int ->
+  key:Odex_crypto.Prf.key ->
+  capacity:int ->
+  Ext_array.t ->
+  outcome
+(** [run ~m ~key ~capacity a] compacts consolidated [a]. Requires the
+    table ([multiplier * capacity] cells, default multiplier 3, k = 3
+    hash functions) to fit in the [m]-block cache. If more than
+    [capacity] blocks turn out to be occupied (a violation of the
+    problem statement) the outcome is flagged incomplete rather than
+    raising — branching on the overflow would leak it to the
+    adversary. *)

@@ -1,0 +1,1 @@
+lib/crypto/hash_family.ml: Array Int64 Prf

@@ -1,0 +1,1 @@
+lib/crypto/permutation.ml: Array Rng

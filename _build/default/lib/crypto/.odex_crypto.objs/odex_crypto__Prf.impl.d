@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Int64 Rng

@@ -1,0 +1,1 @@
+lib/crypto/prp.ml: Array Int64 Prf

@@ -1,0 +1,1 @@
+lib/crypto/rng.ml: Float Int64

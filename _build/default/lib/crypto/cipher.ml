@@ -1,0 +1,21 @@
+type key = Prf.key
+
+let key_of_int = Prf.key_of_int
+let fresh_key = Prf.fresh_key
+
+(* Keystream block [i] for a given nonce is PRF(key, nonce, i): 8 bytes. *)
+let xor_stream k ~nonce src =
+  let len = Bytes.length src in
+  let dst = Bytes.create len in
+  let i = ref 0 in
+  let word = ref 0L in
+  while !i < len do
+    if !i land 7 = 0 then word := Prf.value_pair k nonce (!i lsr 3);
+    let ks_byte = Int64.to_int (Int64.shift_right_logical !word ((!i land 7) * 8)) land 0xff in
+    Bytes.unsafe_set dst !i (Char.chr (Char.code (Bytes.unsafe_get src !i) lxor ks_byte));
+    incr i
+  done;
+  dst
+
+let encrypt k ~nonce plain = xor_stream k ~nonce plain
+let decrypt k ~nonce cipher = xor_stream k ~nonce cipher

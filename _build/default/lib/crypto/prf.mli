@@ -1,0 +1,25 @@
+(** Keyed pseudo-random function on machine integers.
+
+    Stands in for the paper's random-oracle hash functions (see §2 of the
+    paper and §5 of DESIGN.md). Not cryptographically strong — it is a
+    splitmix64-style mixer — but it is a deterministic keyed function with
+    good avalanche behaviour, which is all the algorithms observe. *)
+
+type key
+(** An immutable PRF key. *)
+
+val key_of_int : int -> key
+(** Derive a key from an integer seed. *)
+
+val fresh_key : Rng.t -> key
+(** Draw a key from a generator. *)
+
+val value : key -> int -> int64
+(** [value k x] is the 64-bit PRF output on input [x]. *)
+
+val value_pair : key -> int -> int -> int64
+(** [value_pair k x y] hashes the pair [(x, y)] — used to derive per-level
+    or per-round functions from one master key. *)
+
+val to_range : key -> int -> bound:int -> int
+(** [to_range k x ~bound] maps input [x] uniformly into [\[0, bound)]. *)

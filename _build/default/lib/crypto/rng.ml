@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer: a bijective mixing of the 64-bit state. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = next_int64 t in
+  { state = mix64 s }
+
+(* Non-negative 62-bit integer, safe to use as an OCaml [int]. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the largest multiple of [bound] below 2^62. *)
+  let max_nonneg = (1 lsl 62) - 1 in
+  let limit = max_nonneg - (max_nonneg mod bound) in
+  let rec draw () =
+    let v = next_nonneg t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random mantissa bits. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  Float.of_int bits *. 0x1p-53
+
+let bernoulli t p =
+  if p <= 0. then false else if p >= 1. then true else float t < p
+
+let geometric t p =
+  if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p must be in (0,1]";
+  (* Inverse-CDF sampling: ceil(log(1-U) / log(1-p)). *)
+  if p = 1. then 1
+  else
+    let u = float t in
+    let k = Float.to_int (Float.ceil (Float.log1p (-.u) /. Float.log1p (-.p))) in
+    max 1 k

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in ODEX flows through this module so that
+    experiments are reproducible and, crucially, so that the obliviousness
+    audit can fix the coins while varying the data: with equal seeds, two
+    runs of a data-oblivious algorithm must produce byte-identical address
+    traces regardless of the stored values. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will replay exactly the
+    stream [t] would have produced from this point on. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator and
+    advances [t]. Use it to give sub-phases their own streams without
+    coupling their consumption rates. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Uses rejection sampling, so there is no modulo bias. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] samples the number of Bernoulli(p) trials up to and
+    including the first success (support {1, 2, ...}). Used by the
+    Chernoff-bound Monte-Carlo checks (Lemma 23). *)

@@ -1,0 +1,1 @@
+lib/extmem/block.ml: Array Bytes Cell Format List

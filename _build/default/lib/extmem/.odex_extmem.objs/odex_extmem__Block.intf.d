@@ -1,0 +1,1 @@
+lib/extmem/block.mli: Cell Format

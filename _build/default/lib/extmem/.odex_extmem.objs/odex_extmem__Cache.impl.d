@@ -1,0 +1,1 @@
+lib/extmem/cache.ml: Block Hashtbl List Printf Storage

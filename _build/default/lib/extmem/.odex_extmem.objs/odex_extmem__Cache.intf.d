@@ -1,0 +1,1 @@
+lib/extmem/cache.mli: Block Storage

@@ -1,0 +1,1 @@
+lib/extmem/cell.ml: Bytes Char Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/extmem/cell.mli: Format

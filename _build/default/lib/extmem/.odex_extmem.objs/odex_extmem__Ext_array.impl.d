@@ -1,0 +1,1 @@
+lib/extmem/ext_array.ml: Array Block Cell Printf Storage

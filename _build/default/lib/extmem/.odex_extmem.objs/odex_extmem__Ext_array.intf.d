@@ -1,0 +1,1 @@
+lib/extmem/ext_array.mli: Block Cell Storage

@@ -1,0 +1,1 @@
+lib/extmem/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/extmem/storage.ml: Array Block Odex_crypto Option Printf Stats Trace

@@ -1,0 +1,1 @@
+lib/extmem/storage.mli: Block Odex_crypto Stats Trace

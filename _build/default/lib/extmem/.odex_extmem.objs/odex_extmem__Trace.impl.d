@@ -1,0 +1,1 @@
+lib/extmem/trace.ml: Format Int64 List

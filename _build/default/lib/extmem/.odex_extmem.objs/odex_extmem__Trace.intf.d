@@ -1,0 +1,1 @@
+lib/extmem/trace.mli: Format

@@ -1,0 +1,30 @@
+(** A block of [B] cells — the unit of I/O in the external-memory model. *)
+
+type t = Cell.t array
+
+val make : int -> t
+(** [make b] is a block of [b] empty cells. *)
+
+val copy : t -> t
+val size : t -> int
+
+val count_items : t -> int
+(** Number of non-empty cells. *)
+
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val items : t -> Cell.item list
+(** Non-empty cells in block order. *)
+
+val of_items : int -> Cell.item list -> t
+(** [of_items b items] packs at most [b] items at the front, empties
+    behind. @raise Invalid_argument if more than [b] items given. *)
+
+val sort_in_place : (Cell.t -> Cell.t -> int) -> t -> unit
+
+val encoded_size : int -> int
+val encode : t -> bytes
+val decode : block_size:int -> bytes -> t
+
+val pp : Format.formatter -> t -> unit

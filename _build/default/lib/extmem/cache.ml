@@ -1,0 +1,63 @@
+exception Overflow of { capacity : int; requested : int }
+
+type t = {
+  storage : Storage.t;
+  capacity : int;
+  table : (int, Block.t) Hashtbl.t;
+  mutable peak : int;
+}
+
+let create storage ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { storage; capacity; table = Hashtbl.create 64; peak = 0 }
+
+let capacity t = t.capacity
+let resident t = Hashtbl.length t.table
+let peak t = t.peak
+
+let is_resident t addr = Hashtbl.mem t.table addr
+
+(* Capacity is checked before inserting, so a refused load leaves the
+   resident set untouched. *)
+let reserve t addr =
+  if not (Hashtbl.mem t.table addr) then begin
+    let r = resident t + 1 in
+    if r > t.capacity then raise (Overflow { capacity = t.capacity; requested = r });
+    if r > t.peak then t.peak <- r
+  end
+
+let load t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some blk -> blk
+  | None ->
+      reserve t addr;
+      let blk = Storage.read t.storage addr in
+      Hashtbl.replace t.table addr blk;
+      blk
+
+let get t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some blk -> blk
+  | None -> invalid_arg (Printf.sprintf "Cache.get: block %d not resident" addr)
+
+let put t addr blk =
+  reserve t addr;
+  Hashtbl.replace t.table addr blk
+
+let flush t addr =
+  let blk = get t addr in
+  Storage.write t.storage addr blk;
+  Hashtbl.remove t.table addr
+
+let write_through t addr =
+  let blk = get t addr in
+  Storage.write t.storage addr blk
+
+let drop t addr = Hashtbl.remove t.table addr
+
+let resident_addrs t =
+  let addrs = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.table [] in
+  List.sort compare addrs
+
+let flush_all t = List.iter (flush t) (resident_addrs t)
+let drop_all t = Hashtbl.reset t.table

@@ -1,0 +1,50 @@
+(** Alice's private cache, with a machine-checked residency bound.
+
+    The model gives Alice M private words — m = M/B blocks. Algorithms
+    route the blocks they hold through a [Cache.t] created with that
+    capacity; exceeding it raises {!Overflow}. Tests therefore verify the
+    cache-size side of every theorem ("assuming M >= 3B", "m >= log² n",
+    …) mechanically rather than by inspection. The cache contents are
+    invisible to Bob: resident-block access performs no counted I/O. *)
+
+exception Overflow of { capacity : int; requested : int }
+
+type t
+
+val create : Storage.t -> capacity:int -> t
+(** [capacity] is in blocks (m = M/B). *)
+
+val capacity : t -> int
+val resident : t -> int
+val peak : t -> int
+(** High-water mark of resident blocks over the cache's lifetime. *)
+
+val is_resident : t -> int -> bool
+
+val load : t -> int -> Block.t
+(** [load c addr] brings the block in (one read I/O) unless already
+    resident, and returns the private copy. Mutating the returned array
+    updates the resident copy (it is shared). *)
+
+val get : t -> int -> Block.t
+(** Access an already-resident block; no I/O.
+    @raise Invalid_argument if not resident. *)
+
+val put : t -> int -> Block.t -> unit
+(** Install a block under an address without any I/O (e.g., a block Alice
+    constructed privately). Counts against capacity. *)
+
+val flush : t -> int -> unit
+(** Write the resident copy back (one write I/O) and evict it. *)
+
+val write_through : t -> int -> unit
+(** Write the resident copy back (one write I/O) but keep it resident. *)
+
+val drop : t -> int -> unit
+(** Evict without writing. *)
+
+val flush_all : t -> unit
+(** Flush every resident block, in increasing address order (a
+    deterministic, data-independent order). *)
+
+val drop_all : t -> unit

@@ -1,0 +1,95 @@
+type item = { key : int; value : int; tag : int; aux : int }
+
+type t = Empty | Item of item
+
+let empty = Empty
+let item ?(tag = 0) ?(aux = 0) ~key ~value () = Item { key; value; tag; aux }
+
+let is_empty = function Empty -> true | Item _ -> false
+let is_item = function Empty -> false | Item _ -> true
+
+let get = function
+  | Empty -> invalid_arg "Cell.get: empty cell"
+  | Item it -> it
+
+let key_exn c = (get c).key
+let value_exn c = (get c).value
+let tag_exn c = (get c).tag
+let aux_exn c = (get c).aux
+
+let with_tag c tag =
+  match c with Empty -> Empty | Item it -> Item { it with tag }
+
+let with_aux c aux =
+  match c with Empty -> Empty | Item it -> Item { it with aux }
+
+let compare_keys a b =
+  match (a, b) with
+  | Empty, Empty -> 0
+  | Empty, Item _ -> 1
+  | Item _, Empty -> -1
+  | Item x, Item y ->
+      let c = compare x.key y.key in
+      if c <> 0 then c else compare x.tag y.tag
+
+let compare_by_tag a b =
+  match (a, b) with
+  | Empty, Empty -> 0
+  | Empty, Item _ -> 1
+  | Item _, Empty -> -1
+  | Item x, Item y ->
+      let c = compare x.tag y.tag in
+      if c <> 0 then c else compare x.key y.key
+
+let compare_by_aux a b =
+  match (a, b) with
+  | Empty, Empty -> 0
+  | Empty, Item _ -> 1
+  | Item _, Empty -> -1
+  | Item x, Item y ->
+      let c = compare x.aux y.aux in
+      if c <> 0 then c
+      else
+        let c = compare x.key y.key in
+        if c <> 0 then c else compare x.tag y.tag
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Item x, Item y -> x.key = y.key && x.value = y.value && x.tag = y.tag && x.aux = y.aux
+  | Empty, Item _ | Item _, Empty -> false
+
+let pp ppf = function
+  | Empty -> Format.fprintf ppf "_"
+  | Item { key; value; tag; aux } ->
+      if tag = 0 && aux = 0 then Format.fprintf ppf "%d:%d" key value
+      else Format.fprintf ppf "%d:%d@@%d.%d" key value tag aux
+
+let encoded_size = 33 (* 1 constructor byte + 4 × 8-byte words *)
+
+let encode buf off = function
+  | Empty ->
+      Bytes.set buf off '\000';
+      Bytes.set_int64_le buf (off + 1) 0L;
+      Bytes.set_int64_le buf (off + 9) 0L;
+      Bytes.set_int64_le buf (off + 17) 0L;
+      Bytes.set_int64_le buf (off + 25) 0L
+  | Item { key; value; tag; aux } ->
+      Bytes.set buf off '\001';
+      Bytes.set_int64_le buf (off + 1) (Int64.of_int key);
+      Bytes.set_int64_le buf (off + 9) (Int64.of_int value);
+      Bytes.set_int64_le buf (off + 17) (Int64.of_int tag);
+      Bytes.set_int64_le buf (off + 25) (Int64.of_int aux)
+
+let decode buf off =
+  match Bytes.get buf off with
+  | '\000' -> Empty
+  | '\001' ->
+      Item
+        {
+          key = Int64.to_int (Bytes.get_int64_le buf (off + 1));
+          value = Int64.to_int (Bytes.get_int64_le buf (off + 9));
+          tag = Int64.to_int (Bytes.get_int64_le buf (off + 17));
+          aux = Int64.to_int (Bytes.get_int64_le buf (off + 25));
+        }
+  | c -> invalid_arg (Printf.sprintf "Cell.decode: bad constructor byte %d" (Char.code c))

@@ -1,0 +1,60 @@
+(** The unit of storage: one memory word-group holding a key–value item.
+
+    The paper assumes "keys and values can be stored in memory words or
+    blocks of memory words, which support the operations of read, write,
+    copy, compare, add, and subtract" (§1). A cell is either empty — the
+    paper's null value, "different from any input value" — or an item
+    carrying a comparison key, a payload value, a [tag] word (original
+    position, used for order preservation and for the §1 distinctness
+    caveat) and an [aux] scratch word that algorithms use for private
+    bookkeeping (butterfly distance labels, quantile colors, thinning
+    success bits). User code should treat [aux] as volatile across
+    library calls. *)
+
+type item = { key : int; value : int; tag : int; aux : int }
+
+type t = Empty | Item of item
+
+val empty : t
+val item : ?tag:int -> ?aux:int -> key:int -> value:int -> unit -> t
+
+val is_empty : t -> bool
+val is_item : t -> bool
+
+val get : t -> item
+(** @raise Invalid_argument on [Empty]. *)
+
+val key_exn : t -> int
+val value_exn : t -> int
+val tag_exn : t -> int
+val aux_exn : t -> int
+
+val with_tag : t -> int -> t
+(** [with_tag c tag] replaces the tag; identity on [Empty]. *)
+
+val with_aux : t -> int -> t
+
+val compare_keys : t -> t -> int
+(** Total order: items by [(key, tag)] (tag breaks ties, giving the
+    distinctness the paper's §1 caveat requires when tags are original
+    positions), and [Empty] sorts after every item (the paper treats empty
+    cells as +∞ when sorting, §4). [aux] does not participate. *)
+
+val compare_by_tag : t -> t -> int
+(** Items ordered by [(tag, key)]; [Empty] last. Used to restore original
+    order after compaction. *)
+
+val compare_by_aux : t -> t -> int
+(** Items ordered by [(aux, key, tag)]; [Empty] last. Used when algorithms
+    sort on scratch labels (e.g. colors). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encoded_size : int
+(** Bytes needed by [encode]. *)
+
+val encode : bytes -> int -> t -> unit
+(** [encode buf off c] serializes [c] at offset [off]. *)
+
+val decode : bytes -> int -> t

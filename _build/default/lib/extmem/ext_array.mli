@@ -1,0 +1,51 @@
+(** A contiguous array of blocks on the server — the "array A in Bob's
+    external memory" that every algorithm in the paper manipulates.
+
+    An [Ext_array.t] is a window (base address + block count) onto a
+    {!Storage.t}. Indexing is in blocks relative to the window; [sub]
+    makes the sub-array views the recursive algorithms need (regions of
+    the loose-compaction halving, the C_i subarrays of the sort) without
+    copying. *)
+
+type t
+
+val create : Storage.t -> blocks:int -> t
+(** Allocate a fresh all-empty array of [blocks] blocks. *)
+
+val view : Storage.t -> base:int -> blocks:int -> t
+
+val storage : t -> Storage.t
+val base : t -> int
+val blocks : t -> int
+val block_size : t -> int
+
+val cells : t -> int
+(** Total cell capacity, [blocks * block_size]. *)
+
+val addr : t -> int -> int
+(** Absolute storage address of relative block [i]. *)
+
+val sub : t -> off:int -> len:int -> t
+(** Block-granularity sub-window. *)
+
+val read_block : t -> int -> Block.t
+(** Counted I/O. *)
+
+val write_block : t -> int -> Block.t -> unit
+(** Counted I/O. *)
+
+val concat_views : t -> t -> t option
+(** [concat_views a b] is the single window covering both iff they are
+    adjacent in storage ([a] directly before [b]). *)
+
+val of_cells : Storage.t -> block_size:int -> Cell.t array -> t
+(** Set-up helper: lay the cells out in fresh blocks {e without} counting
+    I/Os (the input is assumed to already reside on the server, as in the
+    paper's problem statements). Pads the final block with empties. *)
+
+val to_cells : t -> Cell.t array
+(** Inspection helper for tests and harnesses: reads every block {e
+    without} counting I/Os. Algorithms never call this. *)
+
+val items : t -> Cell.item list
+(** Non-empty cells in array order; uncounted, for tests. *)

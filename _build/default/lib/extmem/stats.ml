@@ -1,0 +1,26 @@
+type t = { mutable reads : int; mutable writes : int }
+
+let create () = { reads = 0; writes = 0 }
+
+let record_read t = t.reads <- t.reads + 1
+let record_write t = t.writes <- t.writes + 1
+
+let reads t = t.reads
+let writes t = t.writes
+let total t = t.reads + t.writes
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0
+
+type snapshot = { reads : int; writes : int }
+
+let snapshot (t : t) : snapshot = { reads = t.reads; writes = t.writes }
+
+let span t f =
+  let before = snapshot t in
+  let result = f () in
+  let after = snapshot t in
+  (result, { reads = after.reads - before.reads; writes = after.writes - before.writes })
+
+let pp ppf (t : t) = Format.fprintf ppf "reads=%d writes=%d total=%d" t.reads t.writes (total t)

@@ -1,0 +1,28 @@
+(** I/O accounting for the external-memory model.
+
+    Every theorem in the paper is an I/O bound, so the simulator counts
+    block reads and writes exactly. [span] lets the experiment harness
+    attribute I/Os to algorithm phases. *)
+
+type t
+
+val create : unit -> t
+
+val record_read : t -> unit
+val record_write : t -> unit
+
+val reads : t -> int
+val writes : t -> int
+val total : t -> int
+
+val reset : t -> unit
+
+type snapshot = { reads : int; writes : int }
+
+val snapshot : t -> snapshot
+
+val span : t -> (unit -> 'a) -> 'a * snapshot
+(** [span t f] runs [f] and returns its result together with the I/Os it
+    performed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type repr =
+  | Plain of Block.t
+  | Encrypted of { nonce : int; data : bytes }
+
+type cipher_state = { key : Odex_crypto.Cipher.key; mutable next_nonce : int }
+
+type t = {
+  block_size : int;
+  mutable blocks : repr array;
+  mutable used : int;
+  stats : Stats.t;
+  trace : Trace.t;
+  cipher : cipher_state option;
+}
+
+let create ?cipher ?(trace_mode = Trace.Digest) ~block_size () =
+  if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
+  {
+    block_size;
+    blocks = [||];
+    used = 0;
+    stats = Stats.create ();
+    trace = Trace.create trace_mode;
+    cipher = Option.map (fun key -> { key; next_nonce = 0 }) cipher;
+  }
+
+let block_size t = t.block_size
+let capacity t = t.used
+let stats t = t.stats
+let trace t = t.trace
+
+let seal t blk =
+  match t.cipher with
+  | None -> Plain (Block.copy blk)
+  | Some cs ->
+      let nonce = cs.next_nonce in
+      cs.next_nonce <- nonce + 1;
+      Encrypted { nonce; data = Odex_crypto.Cipher.encrypt cs.key ~nonce (Block.encode blk) }
+
+let unseal t = function
+  | Plain blk -> Block.copy blk
+  | Encrypted { nonce; data } -> (
+      match t.cipher with
+      | None -> invalid_arg "Storage: encrypted block but no cipher key"
+      | Some cs ->
+          Block.decode ~block_size:t.block_size
+            (Odex_crypto.Cipher.decrypt cs.key ~nonce data))
+
+let grow t needed =
+  let cap = Array.length t.blocks in
+  if needed > cap then begin
+    let new_cap = max needed (max 16 (cap * 2)) in
+    let fresh = Array.make new_cap (Plain (Block.make t.block_size)) in
+    Array.blit t.blocks 0 fresh 0 t.used;
+    t.blocks <- fresh
+  end
+
+let alloc t n =
+  if n < 0 then invalid_arg "Storage.alloc: negative size";
+  let base = t.used in
+  grow t (t.used + n);
+  for i = base to base + n - 1 do
+    t.blocks.(i) <- seal t (Block.make t.block_size)
+  done;
+  t.used <- t.used + n;
+  base
+
+let check_addr t addr =
+  if addr < 0 || addr >= t.used then
+    invalid_arg (Printf.sprintf "Storage: address %d out of bounds (capacity %d)" addr t.used)
+
+let read t addr =
+  check_addr t addr;
+  Stats.record_read t.stats;
+  Trace.record t.trace (Trace.Read addr);
+  unseal t t.blocks.(addr)
+
+let write t addr blk =
+  check_addr t addr;
+  if Array.length blk <> t.block_size then
+    invalid_arg "Storage.write: block has wrong size";
+  Stats.record_write t.stats;
+  Trace.record t.trace (Trace.Write addr);
+  t.blocks.(addr) <- seal t blk
+
+let unchecked_peek t addr =
+  check_addr t addr;
+  unseal t t.blocks.(addr)
+
+let unchecked_poke t addr blk =
+  check_addr t addr;
+  if Array.length blk <> t.block_size then
+    invalid_arg "Storage.unchecked_poke: block has wrong size";
+  t.blocks.(addr) <- seal t blk

@@ -1,0 +1,53 @@
+(** Bob's disk: a growable array of encrypted blocks with exact I/O
+    accounting and adversary-trace recording.
+
+    This is the outsourced storage server of the paper's model (§1): data
+    is "accessed and organized in contiguous blocks, with each block
+    holding B words". Reads and writes are the unit-cost I/Os that every
+    theorem counts; the trace records the adversary's view of them. When a
+    cipher key is supplied, blocks are genuinely serialized and encrypted
+    with a fresh nonce on every write, so rewriting identical content
+    produces a different ciphertext — the re-encryption property the paper
+    assumes. *)
+
+type t
+
+val create :
+  ?cipher:Odex_crypto.Cipher.key ->
+  ?trace_mode:Trace.mode ->
+  block_size:int ->
+  unit ->
+  t
+(** Fresh empty disk. [trace_mode] defaults to [Digest]. *)
+
+val block_size : t -> int
+val capacity : t -> int
+(** Number of allocated blocks. *)
+
+val alloc : t -> int -> int
+(** [alloc t n] reserves [n] fresh blocks initialized to all-[Empty] and
+    returns the address of the first. Allocation itself performs no
+    counted I/O (the server zero-initializes); any oblivious
+    initialization an algorithm needs is paid by explicit writes. The
+    allocator is a deterministic bump allocator, so allocation addresses
+    never depend on data. *)
+
+val read : t -> int -> Block.t
+(** [read t addr] performs one I/O and returns a private copy of the
+    block. *)
+
+val write : t -> int -> Block.t -> unit
+(** [write t addr blk] performs one I/O, re-encrypting under a fresh
+    nonce. The block is copied (or serialized), so the caller may keep
+    mutating its buffer. *)
+
+val stats : t -> Stats.t
+val trace : t -> Trace.t
+
+val unchecked_peek : t -> int -> Block.t
+(** Read a block {e without} counting an I/O or recording a trace entry.
+    For tests and experiment harnesses only — the equivalent of the
+    experimenter inspecting the disk out-of-band. *)
+
+val unchecked_poke : t -> int -> Block.t -> unit
+(** Write without accounting; test/harness setup only. *)

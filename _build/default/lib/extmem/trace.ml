@@ -1,0 +1,63 @@
+type op = Read of int | Write of int
+
+type mode = Off | Digest | Full
+
+type t = {
+  mode : mode;
+  mutable length : int;
+  mutable hash : int64;
+  mutable rev_ops : op list;
+}
+
+let create mode = { mode; length = 0; hash = 0L; rev_ops = [] }
+
+let mode t = t.mode
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let op_code = function
+  | Read addr -> Int64.of_int ((addr lsl 1) lor 0)
+  | Write addr -> Int64.of_int ((addr lsl 1) lor 1)
+
+let record t op =
+  match t.mode with
+  | Off -> ()
+  | Digest ->
+      t.length <- t.length + 1;
+      t.hash <- mix64 (Int64.add (Int64.mul t.hash 0x100000001B3L) (op_code op))
+  | Full ->
+      t.length <- t.length + 1;
+      t.hash <- mix64 (Int64.add (Int64.mul t.hash 0x100000001B3L) (op_code op));
+      t.rev_ops <- op :: t.rev_ops
+
+let length t = t.length
+let digest t = t.hash
+let ops t = List.rev t.rev_ops
+
+let equal a b =
+  a.length = b.length && a.hash = b.hash
+  &&
+  match (a.mode, b.mode) with
+  | Full, Full -> a.rev_ops = b.rev_ops
+  | _ -> true
+
+let reset t =
+  t.length <- 0;
+  t.hash <- 0L;
+  t.rev_ops <- []
+
+let pp_op ppf = function
+  | Read addr -> Format.fprintf ppf "R%d" addr
+  | Write addr -> Format.fprintf ppf "W%d" addr
+
+let pp ppf t =
+  match t.mode with
+  | Off -> Format.fprintf ppf "<trace off>"
+  | Digest -> Format.fprintf ppf "<%d ops, digest %Lx>" t.length t.hash
+  | Full ->
+      Format.fprintf ppf "@[<hov>%a@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp_op)
+        (ops t)

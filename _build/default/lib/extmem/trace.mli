@@ -1,0 +1,43 @@
+(** The adversary's view: the sequence of block addresses Alice touches.
+
+    Bob "can view the sequence and location of all of Alice's disk
+    accesses ... but he cannot see the content of what is read or written"
+    (paper §1). A trace records exactly that view. An algorithm is
+    data-oblivious when, for fixed problem, N, M, B (and here, fixed
+    coins), the trace is identical whatever the stored values are — the
+    property the {!Odex.Oblivious} audit checks.
+
+    Recording modes trade fidelity for memory: [Full] keeps every
+    operation (small experiments, pretty-printing the adversary's view);
+    [Digest] folds the operations into a rolling 64-bit hash plus a
+    length, which suffices for equality testing on multi-million-I/O
+    runs; [Off] records nothing. *)
+
+type op = Read of int | Write of int
+
+type mode = Off | Digest | Full
+
+type t
+
+val create : mode -> t
+
+val mode : t -> mode
+val record : t -> op -> unit
+
+val length : t -> int
+(** Number of operations recorded (maintained in all modes but [Off]). *)
+
+val digest : t -> int64
+(** Order-sensitive hash of the operation sequence. *)
+
+val ops : t -> op list
+(** The full sequence; [] unless mode is [Full]. *)
+
+val equal : t -> t -> bool
+(** Equality of the recorded views: digests and lengths agree (and full
+    sequences agree when both are [Full]). *)
+
+val reset : t -> unit
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

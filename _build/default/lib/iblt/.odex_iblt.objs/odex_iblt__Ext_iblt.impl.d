@@ -1,0 +1,1 @@
+lib/iblt/ext_iblt.ml: Array Block Cache Cell Emodel Ext_array List Odex_crypto Odex_extmem Queue Storage

@@ -1,0 +1,1 @@
+lib/iblt/ext_iblt.mli: Block Odex_crypto Odex_extmem Storage

@@ -1,0 +1,1 @@
+lib/iblt/iblt.ml: Array List Odex_crypto Queue

@@ -1,0 +1,1 @@
+lib/iblt/iblt.mli: Odex_crypto

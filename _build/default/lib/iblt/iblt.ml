@@ -1,0 +1,85 @@
+type t = {
+  fam : Odex_crypto.Hash_family.t;
+  count : int array;
+  key_sum : int array;
+  value_sum : int array;
+  mutable entries : int;
+}
+
+let create ?(k = 3) ~size key =
+  if size < k then invalid_arg "Iblt.create: size must be >= k";
+  {
+    fam = Odex_crypto.Hash_family.create ~k ~size key;
+    count = Array.make size 0;
+    key_sum = Array.make size 0;
+    value_sum = Array.make size 0;
+    entries = 0;
+  }
+
+let size t = Array.length t.count
+let k t = Odex_crypto.Hash_family.k t.fam
+let entries t = t.entries
+
+let copy t =
+  {
+    fam = t.fam;
+    count = Array.copy t.count;
+    key_sum = Array.copy t.key_sum;
+    value_sum = Array.copy t.value_sum;
+    entries = t.entries;
+  }
+
+let update t ~key ~value ~sign =
+  Array.iter
+    (fun cell ->
+      t.count.(cell) <- t.count.(cell) + sign;
+      t.key_sum.(cell) <- t.key_sum.(cell) + (sign * key);
+      t.value_sum.(cell) <- t.value_sum.(cell) + (sign * value))
+    (Odex_crypto.Hash_family.hashes t.fam key);
+  t.entries <- t.entries + sign
+
+let insert t ~key ~value = update t ~key ~value ~sign:1
+let delete t ~key ~value = update t ~key ~value ~sign:(-1)
+
+type lookup = Found of int | Absent | Unknown
+
+let get t key =
+  let cells = Odex_crypto.Hash_family.hashes t.fam key in
+  let rec scan i =
+    if i >= Array.length cells then Unknown
+    else
+      let c = cells.(i) in
+      if t.count.(c) = 0 then Absent
+      else if t.count.(c) = 1 then
+        if t.key_sum.(c) = key then Found t.value_sum.(c) else Absent
+      else scan (i + 1)
+  in
+  scan 0
+
+(* Peeling decode with a worklist of pure cells (count = 1 and the cell
+   really is one of its key's hash locations — the consistency check
+   guards against ghosts produced by deletions of absent pairs). *)
+let list_entries t0 =
+  let t = copy t0 in
+  let m = size t in
+  let queue = Queue.create () in
+  for c = 0 to m - 1 do
+    if t.count.(c) = 1 then Queue.add c queue
+  done;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    if t.count.(c) = 1 then begin
+      let key = t.key_sum.(c) and value = t.value_sum.(c) in
+      let cells = Odex_crypto.Hash_family.hashes t.fam key in
+      if Array.exists (fun c' -> c' = c) cells then begin
+        out := (key, value) :: !out;
+        delete t ~key ~value;
+        Array.iter (fun c' -> if t.count.(c') = 1 then Queue.add c' queue) cells
+      end
+    end
+  done;
+  let complete = Array.for_all (fun c -> c = 0) t.count in
+  (List.rev !out, complete)
+
+let cell_counts t = Array.copy t.count

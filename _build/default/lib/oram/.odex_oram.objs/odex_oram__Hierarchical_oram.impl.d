@@ -1,0 +1,1 @@
+lib/oram/hierarchical_oram.ml: Array Block Cell Emodel Ext_array List Odex Odex_crypto Odex_extmem Odex_sortnet Storage

@@ -1,0 +1,1 @@
+lib/oram/hierarchical_oram.mli: Odex_crypto Odex_extmem Odex_sortnet Storage

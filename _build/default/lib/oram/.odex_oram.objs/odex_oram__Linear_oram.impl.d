@@ -1,0 +1,1 @@
+lib/oram/linear_oram.ml: Array Block Cell Ext_array Odex_extmem Storage

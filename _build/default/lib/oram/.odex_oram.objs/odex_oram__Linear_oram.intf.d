@@ -1,0 +1,1 @@
+lib/oram/linear_oram.mli: Odex_extmem Storage

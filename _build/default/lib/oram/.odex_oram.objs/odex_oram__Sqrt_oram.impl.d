@@ -1,0 +1,1 @@
+lib/oram/sqrt_oram.ml: Array Block Cell Ext_array Odex_crypto Odex_extmem Odex_sortnet Storage

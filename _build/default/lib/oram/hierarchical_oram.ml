@@ -1,0 +1,303 @@
+open Odex_extmem
+
+type level = {
+  region : Ext_array.t; (* 2^l * z blocks, one word per block *)
+  mutable key : Odex_crypto.Prf.key; (* epoch hash key *)
+  mutable occupied : bool;
+}
+
+type t = {
+  storage : Storage.t;
+  sorter : Odex_sortnet.Ext_sort.t;
+  m : int;
+  rng : Odex_crypto.Rng.t;
+  n : int;
+  z : int; (* bucket size; also the stash period S *)
+  l : int; (* number of levels *)
+  stash : Ext_array.t; (* z blocks *)
+  levels : level array; (* index 0 = level 1 *)
+  mutable t_counter : int; (* accesses so far *)
+  mutable rebuild_count : int;
+  mutable healthy : bool;
+}
+
+let filler_key = max_int
+
+let full_block t cell = Array.make (Storage.block_size t.storage) cell
+
+let put_word t arr i cell = Ext_array.write_block arr i (full_block t cell)
+
+let buckets_of_level l = 1 lsl (l + 1)
+(* levels array is 0-indexed; level index l holds 2^(l+1) buckets. *)
+
+let bucket_of t level_idx addr =
+  Odex_crypto.Prf.to_range t.levels.(level_idx).key addr
+    ~bound:(buckets_of_level level_idx)
+
+let init ?(sorter = Odex_sortnet.Ext_sort.auto) ?bucket_size ~m ~rng storage ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Hierarchical_oram.init: empty";
+  let z =
+    match bucket_size with
+    | Some z -> max 2 z
+    | None -> max 4 (Emodel.ilog2_ceil (max 2 n) + 2)
+  in
+  (* Level indices 0..l-1; bottom level must hold all n words:
+     capacity of level idx is z * 2^idx words. *)
+  let l =
+    let rec go idx = if z * (1 lsl idx) >= 2 * n then idx + 1 else go (idx + 1) in
+    go 0
+  in
+  let stash = Ext_array.create storage ~blocks:z in
+  let levels =
+    Array.init l (fun idx ->
+        {
+          region = Ext_array.create storage ~blocks:(buckets_of_level idx * z);
+          key = Odex_crypto.Prf.fresh_key rng;
+          occupied = false;
+        })
+  in
+  let t =
+    {
+      storage;
+      sorter;
+      m;
+      rng;
+      n;
+      z;
+      l;
+      stash;
+      levels;
+      t_counter = 0;
+      rebuild_count = 0;
+      healthy = true;
+    }
+  in
+  (* Private initial placement into the bottom level, retrying the epoch
+     key until no bucket overflows (setup only). *)
+  let bottom = levels.(l - 1) in
+  let buckets = buckets_of_level (l - 1) in
+  let rec place attempts =
+    if attempts > 50 then invalid_arg "Hierarchical_oram.init: could not place (z too small)";
+    let counts = Array.make buckets 0 in
+    let ok = ref true in
+    Array.iteri
+      (fun addr _ ->
+        let b = Odex_crypto.Prf.to_range bottom.key addr ~bound:buckets in
+        counts.(b) <- counts.(b) + 1;
+        if counts.(b) > z then ok := false)
+      values;
+    if not !ok then begin
+      bottom.key <- Odex_crypto.Prf.fresh_key rng;
+      place (attempts + 1)
+    end
+  in
+  place 0;
+  let cursors = Array.make buckets 0 in
+  Array.iteri
+    (fun addr value ->
+      let b = Odex_crypto.Prf.to_range bottom.key addr ~bound:buckets in
+      let slot = (b * z) + cursors.(b) in
+      cursors.(b) <- cursors.(b) + 1;
+      Storage.unchecked_poke storage
+        (Ext_array.addr bottom.region slot)
+        (Array.make (Storage.block_size storage) (Cell.item ~tag:0 ~key:addr ~value ())))
+    values;
+  bottom.occupied <- true;
+  t
+
+let size t = t.n
+let levels t = t.l
+let bucket_size t = t.z
+let accesses t = t.t_counter
+let rebuilds t = t.rebuild_count
+let healthy t = t.healthy
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild: merge the stash and levels 0..upto-1 (inclusive of the
+   target when it is occupied, which happens at the bottom) into level
+   [upto]. *)
+
+let clear_array t arr =
+  let b = Storage.block_size t.storage in
+  for i = 0 to Ext_array.blocks arr - 1 do
+    Ext_array.write_block arr i (Block.make b)
+  done
+
+let rebuild t upto =
+  t.rebuild_count <- t.rebuild_count + 1;
+  let target = t.levels.(upto) in
+  let buckets = buckets_of_level upto in
+  let sources =
+    t.stash
+    :: List.filter_map
+         (fun idx ->
+           let lv = t.levels.(idx) in
+           if lv.occupied && (idx < upto || idx = upto) then Some lv.region else None)
+         (List.init (upto + 1) (fun i -> i))
+  in
+  let candidate_blocks = List.fold_left (fun acc a -> acc + Ext_array.blocks a) 0 sources in
+  let scratch =
+    Ext_array.create t.storage ~blocks:(candidate_blocks + (buckets * t.z))
+  in
+  (* 1. Gather all candidate words, stamping each with its source's age
+     so the dedup keeps the newest copy: stash words carry positive
+     access-counter timestamps, level-idx words get -(idx+1) (shallower
+     = newer). *)
+  let cursor = ref 0 in
+  List.iteri
+    (fun src_pos src ->
+      for i = 0 to Ext_array.blocks src - 1 do
+        let blk = Ext_array.read_block src i in
+        let cell =
+          if src_pos = 0 then blk.(0) (* stash: keep its timestamp *)
+          else Cell.with_tag blk.(0) (-src_pos)
+        in
+        put_word t scratch !cursor cell;
+        incr cursor
+      done)
+    sources;
+  (* Pre-placed fillers: z per bucket, sorting after the reals of their
+     bucket (same aux, larger key). *)
+  let fresh_key = Odex_crypto.Prf.fresh_key t.rng in
+  for b = 0 to buckets - 1 do
+    for j = 0 to t.z - 1 do
+      put_word t scratch
+        (candidate_blocks + (b * t.z) + j)
+        (Cell.item ~aux:b ~key:filler_key ~value:0 ())
+    done
+  done;
+  (* 2. Deduplicate: sort by (address, newest first); timestamps ride in
+     [tag]. Fillers (key = max_int) sort to the end and survive. *)
+  let cmp_dedup c1 c2 =
+    match (c1, c2) with
+    | Cell.Empty, Cell.Empty -> 0
+    | Cell.Empty, Cell.Item _ -> 1
+    | Cell.Item _, Cell.Empty -> -1
+    | Cell.Item x, Cell.Item y ->
+        let c = compare x.key y.key in
+        if c <> 0 then c else compare y.tag x.tag
+  in
+  Odex_sortnet.Ext_sort.run t.sorter ~cmp:cmp_dedup ~m:t.m scratch;
+  let prev = ref min_int in
+  for i = 0 to Ext_array.blocks scratch - 1 do
+    let blk = Ext_array.read_block scratch i in
+    let out =
+      match blk.(0) with
+      | Cell.Empty -> blk
+      | Cell.Item it when it.key = filler_key -> blk
+      | Cell.Item it ->
+          if it.key = !prev then full_block t Cell.Empty
+          else begin
+            prev := it.key;
+            (* Assign the epoch bucket while we hold the block. *)
+            let b = Odex_crypto.Prf.to_range fresh_key it.key ~bound:buckets in
+            full_block t (Cell.Item { it with tag = 0; aux = b })
+          end
+    in
+    Ext_array.write_block scratch i out
+  done;
+  (* 3. Group by bucket (reals before fillers via the key tiebreak),
+     keep the first z entries of every bucket, and compact: each bucket
+     ends up exactly z aligned blocks. *)
+  Odex_sortnet.Ext_sort.run t.sorter ~cmp:Cell.compare_by_aux ~m:t.m scratch;
+  let cur_bucket = ref (-1) in
+  let in_bucket = ref 0 in
+  for i = 0 to Ext_array.blocks scratch - 1 do
+    let blk = Ext_array.read_block scratch i in
+    let out =
+      match blk.(0) with
+      | Cell.Empty -> blk
+      | Cell.Item it ->
+          if it.aux <> !cur_bucket then begin
+            cur_bucket := it.aux;
+            in_bucket := 0
+          end;
+          incr in_bucket;
+          if !in_bucket <= t.z then blk
+          else begin
+            (* Overflowing a bucket can only drop fillers unless the
+               bucket held more than z real words — the failure event. *)
+            if it.key <> filler_key then t.healthy <- false;
+            full_block t Cell.Empty
+          end
+    in
+    Ext_array.write_block scratch i out
+  done;
+  let occupied = Odex.Butterfly.compact ~m:t.m scratch in
+  if occupied <> buckets * t.z then t.healthy <- false;
+  (* 4. Install: fillers become empty slots; clear the merged sources. *)
+  for i = 0 to (buckets * t.z) - 1 do
+    let blk = Ext_array.read_block scratch i in
+    let out =
+      match blk.(0) with
+      | Cell.Item it when it.key = filler_key -> Block.make (Storage.block_size t.storage)
+      | Cell.Item it -> full_block t (Cell.Item { it with aux = 0 })
+      | Cell.Empty -> Block.make (Storage.block_size t.storage)
+    in
+    Ext_array.write_block target.region i out
+  done;
+  target.key <- fresh_key;
+  target.occupied <- true;
+  clear_array t t.stash;
+  for idx = 0 to upto - 1 do
+    if t.levels.(idx).occupied then begin
+      clear_array t t.levels.(idx).region;
+      t.levels.(idx).occupied <- false
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let trailing_zeros v =
+  let rec go v acc = if v land 1 = 1 then acc else go (v lsr 1) (acc + 1) in
+  if v = 0 then 62 else go v 0
+
+let access t addr ~update =
+  if addr < 0 || addr >= t.n then invalid_arg "Hierarchical_oram: address out of range";
+  (* 1. Scan the stash (newest wins: later slots are newer). *)
+  let found = ref None in
+  for j = 0 to t.z - 1 do
+    let blk = Ext_array.read_block t.stash j in
+    match blk.(0) with
+    | Cell.Item it when it.key = addr -> found := Some it.value
+    | _ -> ()
+  done;
+  (* 2. Probe one bucket per occupied level: the real one until found,
+     uniform dummies after. *)
+  for idx = 0 to t.l - 1 do
+    if t.levels.(idx).occupied then begin
+      let buckets = buckets_of_level idx in
+      let b =
+        match !found with
+        | Some _ -> Odex_crypto.Rng.int t.rng buckets
+        | None -> bucket_of t idx addr
+      in
+      for j = 0 to t.z - 1 do
+        let blk = Ext_array.read_block t.levels.(idx).region ((b * t.z) + j) in
+        match blk.(0) with
+        | Cell.Item it when it.key = addr && !found = None -> found := Some it.value
+        | _ -> ()
+      done
+    end
+  done;
+  let current =
+    match !found with
+    | Some v -> v
+    | None -> invalid_arg "Hierarchical_oram: word not found (corrupted state)"
+  in
+  let stored = match update with None -> current | Some v -> v in
+  (* 3. Append to the stash with the access counter as its version. *)
+  let slot = t.t_counter mod t.z in
+  put_word t t.stash slot (Cell.item ~tag:(t.t_counter + 1) ~key:addr ~value:stored ());
+  t.t_counter <- t.t_counter + 1;
+  (* 4. Binary-counter rebuild schedule. *)
+  if t.t_counter mod t.z = 0 then begin
+    let v = t.t_counter / t.z in
+    let upto = min (t.l - 1) (trailing_zeros v) in
+    rebuild t upto
+  end;
+  current
+
+let read t addr = access t addr ~update:None
+let write t addr v = ignore (access t addr ~update:(Some v))

@@ -1,0 +1,56 @@
+(** Hierarchical oblivious RAM (Goldreich–Ostrovsky [22]), rebuilt with
+    the library's data-oblivious sorts — the construction whose "inner
+    loop" the paper's sorting result accelerates.
+
+    Geometry: a stash of S blocks scanned on every access, above levels
+    ℓ = 1..L where level ℓ is a hash table of 2^ℓ buckets × Z blocks.
+    An access scans the stash, then probes one bucket per non-empty
+    level — the real bucket h_ℓ(addr) until the word is found, uniform
+    dummy buckets after — and appends the (re-encrypted, possibly
+    updated) word to the stash. Every S accesses the stash and levels
+    1..ℓ−1 are merged into level ℓ (ℓ chosen by the usual
+    binary-counter schedule), with the whole merge done obliviously:
+
+    + one oblivious sort by (address, newest-timestamp-first) and a
+      streaming deduplication scan;
+    + bucket assignment under a fresh per-epoch PRF key, one oblivious
+      sort by (bucket, reals-before-fillers) over the candidates plus
+      Z fillers per bucket, a streaming keep-first-Z scan, and one
+      butterfly tight compaction (Theorem 6) that leaves every bucket
+      exactly Z blocks, aligned.
+
+    The rebuild is two sorts plus linear passes, so its cost — and
+    therefore the ORAM's amortized overhead — scales directly with the
+    oblivious sort used, which is what experiment E10 measures.
+
+    Failure: a bucket receiving more than Z = Θ(log n) words overflows
+    (probability poly(1/n)); the loss is recorded and surfaced through
+    {!healthy}, never through the trace. *)
+
+open Odex_extmem
+
+type t
+
+val init :
+  ?sorter:Odex_sortnet.Ext_sort.t ->
+  ?bucket_size:int ->
+  m:int ->
+  rng:Odex_crypto.Rng.t ->
+  Storage.t ->
+  values:int array ->
+  t
+(** [bucket_size] defaults to max(4, ⌈log₂ n⌉ + 2); the stash period S
+    equals the bucket size. *)
+
+val size : t -> int
+val levels : t -> int
+val bucket_size : t -> int
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+
+val accesses : t -> int
+val rebuilds : t -> int
+
+val healthy : t -> bool
+(** False iff some rebuild overflowed a bucket (and dropped words). *)

@@ -1,0 +1,1 @@
+lib/sortnet/batcher.ml: List Network

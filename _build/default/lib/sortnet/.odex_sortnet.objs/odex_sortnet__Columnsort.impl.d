@@ -1,0 +1,1 @@
+lib/sortnet/columnsort.ml: Array Block Cache Cell Emodel Ext_array Odex_extmem Printf

@@ -1,0 +1,1 @@
+lib/sortnet/columnsort.mli: Cell Ext_array Odex_extmem

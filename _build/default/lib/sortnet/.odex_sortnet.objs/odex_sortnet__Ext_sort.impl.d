@@ -1,0 +1,1 @@
+lib/sortnet/ext_sort.ml: Array Block Cache Cell Columnsort Emodel Ext_array Odex_extmem

@@ -1,0 +1,1 @@
+lib/sortnet/ext_sort.mli: Block Cell Ext_array Odex_extmem

@@ -1,0 +1,1 @@
+lib/sortnet/network.mli:

@@ -1,0 +1,74 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Knuth's iterative formulation of Batcher's odd-even merge sort, defined
+   on the next power of two; comparators whose upper end lies in the +∞
+   padding are no-ops and are dropped, which is sound because every
+   comparator is ascending. *)
+let odd_even_merge_sort n =
+  if n < 0 then invalid_arg "Batcher.odd_even_merge_sort: negative width";
+  if n <= 1 then Network.create ~width:n []
+  else begin
+    let n2 = next_power_of_two n in
+    let levels = ref [] in
+    let p = ref 1 in
+    while !p < n2 do
+      let k = ref !p in
+      while !k >= 1 do
+        let level = ref [] in
+        let j = ref (!k mod !p) in
+        while !j <= n2 - 1 - !k do
+          let i_max = min (!k - 1) (n2 - !j - !k - 1) in
+          for i = 0 to i_max do
+            if (i + !j) / (2 * !p) = (i + !j + !k) / (2 * !p) then begin
+              let lo = i + !j and hi = i + !j + !k in
+              if hi < n then level := (lo, hi) :: !level
+            end
+          done;
+          j := !j + (2 * !k)
+        done;
+        if !level <> [] then levels := List.rev !level :: !levels;
+        k := !k / 2
+      done;
+      p := !p * 2
+    done;
+    Network.create ~width:n (List.rev !levels)
+  end
+
+(* Normalized bitonic sorter: each stage of segment size 2^s begins with a
+   "flip" level pairing mirrored positions within the segment, followed by
+   plain butterfly levels of strides 2^{s-2} .. 1. All comparators are
+   ascending. *)
+let bitonic n =
+  if not (is_power_of_two n) && n <> 0 then
+    invalid_arg "Batcher.bitonic: width must be a power of two";
+  if n <= 1 then Network.create ~width:n []
+  else begin
+    let levels = ref [] in
+    let size = ref 2 in
+    while !size <= n do
+      (* Flip level. *)
+      let flip = ref [] in
+      for i = 0 to n - 1 do
+        let l = i lxor (!size - 1) in
+        if l > i then flip := (i, l) :: !flip
+      done;
+      levels := List.rev !flip :: !levels;
+      (* Butterfly clean levels. *)
+      let stride = ref (!size / 4) in
+      while !stride >= 1 do
+        let level = ref [] in
+        for i = 0 to n - 1 do
+          let l = i lxor !stride in
+          if l > i then level := (i, l) :: !level
+        done;
+        levels := List.rev !level :: !levels;
+        stride := !stride / 2
+      done;
+      size := !size * 2
+    done;
+    Network.create ~width:n (List.rev !levels)
+  end

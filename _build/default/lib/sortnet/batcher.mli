@@ -1,0 +1,16 @@
+(** Batcher's sorting networks.
+
+    These are the "practical sorting networks" line of prior work the
+    paper cites ([29], [39]): O(n log² n) comparators, depth O(log² n).
+    [odd_even_merge_sort] accepts arbitrary widths (comparators into the
+    +∞ padding region are provably no-ops and are dropped);
+    [bitonic] is the normalized all-ascending flip/butterfly variant for
+    power-of-two widths. *)
+
+val odd_even_merge_sort : int -> Network.t
+(** Batcher odd–even merge sort for any width [n >= 0]. *)
+
+val bitonic : int -> Network.t
+(** Normalized bitonic sorter; [n] must be a power of two. *)
+
+val is_power_of_two : int -> bool

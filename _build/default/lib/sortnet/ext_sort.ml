@@ -1,0 +1,144 @@
+open Odex_extmem
+
+type t = {
+  name : string;
+  exec : real:bool -> cmp:(Cell.t -> Cell.t -> int) -> m:int -> Ext_array.t -> unit;
+}
+
+let name t = t.name
+
+let run t ?(cmp = Cell.compare_keys) ~m a = t.exec ~real:true ~cmp ~m a
+
+let run_selective t ?(cmp = Cell.compare_keys) ~real ~m a = t.exec ~real ~cmp ~m a
+
+let merge_split ~cmp ~ascending u v =
+  let b = Array.length u in
+  if Array.length v <> b then invalid_arg "Ext_sort.merge_split: block size mismatch";
+  let combined = Array.append u v in
+  Array.sort cmp combined;
+  let lo_dst, hi_dst = if ascending then (u, v) else (v, u) in
+  Array.blit combined 0 lo_dst 0 b;
+  Array.blit combined b hi_dst 0 b
+
+(* ------------------------------------------------------------------ *)
+(* Cache sort: the base case used whenever a (sub)problem fits in
+   Alice's memory. One read pass, private sort, one write pass. *)
+
+let cache_sort_exec ~real ~cmp ~m a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  let storage = Ext_array.storage a in
+  let cache = Cache.create storage ~capacity:m in
+  let cells = Array.make (n * b) Cell.empty in
+  for i = 0 to n - 1 do
+    let blk = Cache.load cache (Ext_array.addr a i) in
+    Array.blit blk 0 cells (i * b) b
+  done;
+  if real then begin
+    Array.sort cmp cells;
+    for i = 0 to n - 1 do
+      let blk = Cache.get cache (Ext_array.addr a i) in
+      Array.blit cells (i * b) blk 0 b
+    done
+  end;
+  Cache.flush_all cache
+
+let cache_sort = { name = "cache"; exec = cache_sort_exec }
+
+(* ------------------------------------------------------------------ *)
+(* Block-level bitonic sort.
+
+   The network is the classic direction-flagged bitonic circuit: stages
+   of size k = 2, 4, …, n2; within a stage, butterfly levels of strides
+   j = k/2 … 1 compare positions (i, i xor j) ascending iff (i land k) =
+   0. A chunk of [lpp] consecutive levels (strides 2^hi … 2^lo) only
+   couples index bits lo..hi, so fixing the other bits splits the array
+   into independent 2^(hi-lo+1)-block groups; each group is gathered
+   into the cache, run through all chunk levels privately, and written
+   back — one scan of the array per chunk instead of per level. *)
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let process_chunk work cache ~real ~cmp ~stage ~hi ~lo =
+  let g_bits = hi - lo + 1 in
+  let g = 1 lsl g_bits in
+  let n2 = Ext_array.blocks work in
+  let groups = n2 / g in
+  for v = 0 to groups - 1 do
+    let base = ((v lsr lo) lsl (hi + 1)) lor (v land ((1 lsl lo) - 1)) in
+    let pos t = base lor (t lsl lo) in
+    for t = 0 to g - 1 do
+      ignore (Cache.load cache (Ext_array.addr work (pos t)))
+    done;
+    for bit = hi downto lo do
+      let j = 1 lsl bit in
+      for t = 0 to g - 1 do
+        let p = pos t in
+        let q = p lxor j in
+        if q > p && real then begin
+          let ascending = p land stage = 0 in
+          let u = Cache.get cache (Ext_array.addr work p) in
+          let v' = Cache.get cache (Ext_array.addr work q) in
+          merge_split ~cmp ~ascending u v'
+        end
+      done
+    done;
+    Cache.flush_all cache
+  done
+
+let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
+  if m < 2 then invalid_arg "Ext_sort.bitonic: need m >= 2";
+  let n = Ext_array.blocks a in
+  let storage = Ext_array.storage a in
+  if n = 0 then ()
+  else begin
+    let n2 = next_power_of_two n in
+    let work = if n2 = n then a else Ext_array.create storage ~blocks:n2 in
+    (* Pre-sort each block internally (and copy into the padded work
+       array when needed); padding blocks are already all-empty = +∞. *)
+    for i = 0 to n - 1 do
+      let blk = Ext_array.read_block a i in
+      if real then Block.sort_in_place cmp blk;
+      Ext_array.write_block work i blk
+    done;
+    let lpp = max 1 (min (levels_per_pass m) (Emodel.ilog2_floor m)) in
+    let cache = Cache.create storage ~capacity:m in
+    let stage = ref 2 in
+    while !stage <= n2 do
+      let top = Emodel.ilog2_floor !stage - 1 in
+      let hi = ref top in
+      while !hi >= 0 do
+        let lo = max 0 (!hi - lpp + 1) in
+        process_chunk work cache ~real ~cmp ~stage:!stage ~hi:!hi ~lo;
+        hi := lo - 1
+      done;
+      stage := !stage * 2
+    done;
+    if work != a then
+      for i = 0 to n - 1 do
+        Ext_array.write_block a i (Ext_array.read_block work i)
+      done
+  end
+
+let bitonic = { name = "bitonic"; exec = bitonic_exec ~levels_per_pass:(fun _ -> 1) }
+
+let bitonic_windowed =
+  {
+    name = "bitonic-windowed";
+    exec = bitonic_exec ~levels_per_pass:(fun m -> Emodel.ilog2_floor m);
+  }
+
+let auto =
+  {
+    name = "auto";
+    exec =
+      (fun ~real ~cmp ~m a ->
+        if Ext_array.blocks a <= m then cache_sort_exec ~real ~cmp ~m a
+        else bitonic_exec ~levels_per_pass:(fun m -> Emodel.ilog2_floor m) ~real ~cmp ~m a);
+  }
+
+let columnsort = { name = "columnsort"; exec = Columnsort.exec }
+
+let all = [ cache_sort; bitonic; bitonic_windowed; columnsort ]

@@ -1,0 +1,75 @@
+(** Deterministic data-oblivious external-memory sorting.
+
+    This is our realization of the paper's Lemma 2 (the Goodrich–
+    Mitzenmacher deterministic oblivious sort), the inner-loop substrate
+    for everything else. Blocks are kept internally sorted and element
+    comparators are simulated by {e merge-split} operations on block
+    pairs (the replacement principle used by the Chaudhry–Cormen line of
+    work the paper cites), so any sorting network on N/B block positions
+    sorts the whole array.
+
+    Three algorithms, one interface:
+    - [cache_sort] — the base case: the whole array fits in Alice's m
+      blocks; one read pass, private sort, one write pass.
+    - [bitonic] — block-level bitonic network, one network level per
+      pass: Θ((N/B)·log²(N/B)) I/Os.
+    - [bitonic_windowed] — the same network, but ⌊log₂ m⌋ consecutive
+      butterfly levels are applied per pass by gathering each
+      2^⌊log₂ m⌋-block butterfly group into the cache — the same trick
+      Theorem 6 uses to divide the I/O count by log m.
+
+    Every algorithm's address trace depends only on (N/B, m, B): the
+    networks are fixed circuits, so the sorts are data-oblivious by
+    construction. *)
+
+open Odex_extmem
+
+type t
+(** A named oblivious sorting algorithm. *)
+
+val name : t -> string
+
+val run : t -> ?cmp:(Cell.t -> Cell.t -> int) -> m:int -> Ext_array.t -> unit
+(** [run s ~cmp ~m a] sorts the cells of [a] in place into non-decreasing
+    [cmp] order, empties last. [cmp] defaults to {!Cell.compare_keys} and
+    must order [Cell.Empty] after every item. [m] is Alice's cache
+    capacity in blocks; the residency bound is enforced by
+    {!Odex_extmem.Cache} and violating it raises
+    {!Odex_extmem.Cache.Overflow}. *)
+
+val run_selective :
+  t -> ?cmp:(Cell.t -> Cell.t -> int) -> real:bool -> m:int -> Ext_array.t -> unit
+(** [run_selective s ~real ~m a] performs exactly the same I/Os as
+    [run s ~m a], but when [real] is false every write puts back the
+    content that was read: a {e dummy} pass. Bob sees identical traces
+    either way (contents are re-encrypted), which is what the
+    failure-sweeping step of Theorem 21 needs: re-sort the failed
+    subarrays without revealing which ones failed. *)
+
+val cache_sort : t
+(** Requires [blocks a <= m]. *)
+
+val bitonic : t
+(** Requires [m >= 2]. Pads to a power of two internally. *)
+
+val bitonic_windowed : t
+(** Requires [m >= 2]. *)
+
+val columnsort : t
+(** Leighton's columnsort (the Chaudhry–Cormen lineage the paper cites):
+    seven linear passes, O(N/B) I/Os — but only for N up to one
+    columnsort level's capacity (roughly (m/2)·(m·B) cells, the familiar
+    M^{3/2} bound); raises [Invalid_argument] beyond it. See
+    {!Columnsort.plan}. *)
+
+val auto : t
+(** [cache_sort] when the array fits in cache, else [bitonic_windowed]. *)
+
+val all : t list
+(** The concrete algorithms (not [auto]), for benches and audits. *)
+
+val merge_split :
+  cmp:(Cell.t -> Cell.t -> int) -> ascending:bool -> Block.t -> Block.t -> unit
+(** The block comparator: jointly sort the 2B cells of two blocks and
+    split them low-half/high-half (or the reverse when [ascending] is
+    false). Exposed for tests and for the butterfly network. *)

@@ -1,0 +1,64 @@
+type comparator = int * int
+
+type t = { width : int; levels : comparator list list; size : int }
+
+let validate_level width level =
+  let touched = Array.make width false in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || j >= width || i >= j then
+        invalid_arg (Printf.sprintf "Network.create: bad comparator (%d, %d)" i j);
+      if touched.(i) || touched.(j) then
+        invalid_arg (Printf.sprintf "Network.create: comparator (%d, %d) overlaps its level" i j);
+      touched.(i) <- true;
+      touched.(j) <- true)
+    level
+
+let create ~width levels =
+  if width < 0 then invalid_arg "Network.create: negative width";
+  List.iter (validate_level width) levels;
+  let size = List.fold_left (fun acc l -> acc + List.length l) 0 levels in
+  { width; levels; size }
+
+let width t = t.width
+let depth t = List.length t.levels
+let size t = t.size
+let levels t = t.levels
+
+let apply t cmp a =
+  if Array.length a <> t.width then invalid_arg "Network.apply: array width mismatch";
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (i, j) ->
+          if cmp a.(i) a.(j) > 0 then begin
+            let tmp = a.(i) in
+            a.(i) <- a.(j);
+            a.(j) <- tmp
+          end)
+        level)
+    t.levels
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then ok := false
+  done;
+  !ok
+
+let sorts_all_zero_one t =
+  if t.width > 24 then invalid_arg "Network.sorts_all_zero_one: width too large";
+  let n = t.width in
+  let ok = ref true in
+  let input = Array.make n 0 in
+  let total = 1 lsl n in
+  let v = ref 0 in
+  while !ok && !v < total do
+    for i = 0 to n - 1 do
+      input.(i) <- (!v lsr i) land 1
+    done;
+    apply t compare input;
+    if not (is_sorted input) then ok := false;
+    incr v
+  done;
+  !ok

@@ -1,0 +1,33 @@
+(** Comparator networks.
+
+    A sorting network is the canonical deterministic data-oblivious
+    algorithm (paper §1: "Simulating a circuit, C, with its inputs taken
+    in order from A ... could be ... an AKS sorting network"). A network
+    here is a sequence of levels; each level is a set of disjoint
+    ascending comparators [(i, j)] with [i < j] that place the minimum at
+    [i] and the maximum at [j]. *)
+
+type comparator = int * int
+
+type t
+
+val create : width:int -> comparator list list -> t
+(** [create ~width levels] validates that every comparator is ascending,
+    in range, and disjoint from the others of its level. *)
+
+val width : t -> int
+val depth : t -> int
+(** Number of levels. *)
+
+val size : t -> int
+(** Total number of comparators. *)
+
+val levels : t -> comparator list list
+
+val apply : t -> ('a -> 'a -> int) -> 'a array -> unit
+(** Run the network in place with the given order. *)
+
+val sorts_all_zero_one : t -> bool
+(** Exhaustively checks the 0–1 principle over all 2^width binary inputs;
+    by Knuth's theorem this certifies the network sorts everything. Only
+    feasible for small widths (tests use width <= 16). *)

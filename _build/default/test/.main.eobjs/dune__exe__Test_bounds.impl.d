@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Bounds Float List Odex Odex_crypto

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Cipher Float Hash_family List Odex_crypto Permutation Prf QCheck2 Rng Util

@@ -1,0 +1,1 @@
+test/test_extmem.ml: Alcotest Array Block Bytes Cache Cell Emodel Ext_array List Odex_crypto Odex_extmem QCheck2 Stats Storage Trace Util

@@ -1,0 +1,1 @@
+test/test_iblt.ml: Alcotest Array Block Cell Ext_iblt Iblt List Odex_crypto Odex_extmem Odex_iblt QCheck2 Stats Storage Trace Util

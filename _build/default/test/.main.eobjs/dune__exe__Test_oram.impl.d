@@ -1,0 +1,1 @@
+test/test_oram.ml: Alcotest Array Float Hierarchical_oram Linear_oram List Odex_crypto Odex_extmem Odex_oram Odex_sortnet Sqrt_oram Stats Storage Trace Util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Block Butterfly Cell Consolidation Ext_array List Logstar_compaction Multiway Odex Odex_crypto Odex_extmem QCheck2 Quantiles Selection Shuffle_deal Sort Storage Util

@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Array Cell Ext_array Float List Odex Odex_crypto Odex_extmem Printf QCheck2 Selection Storage Trace Util

@@ -1,0 +1,1 @@
+test/test_sort.ml: Alcotest Array Cell Ext_array Failure_sweep List Multiway Odex Odex_crypto Odex_extmem Odex_sortnet Printf QCheck2 Quantiles Shuffle_deal Sort Storage Trace Util

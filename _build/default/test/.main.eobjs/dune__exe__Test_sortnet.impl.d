@@ -1,0 +1,1 @@
+test/test_sortnet.ml: Alcotest Array Batcher Block Cache Cell Columnsort Ext_array Ext_sort Float List Network Odex_crypto Odex_extmem Odex_sortnet QCheck2 Stats Storage Util

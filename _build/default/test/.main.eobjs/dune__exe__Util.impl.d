@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Cell Ext_array List Odex_crypto Odex_extmem QCheck2 QCheck_alcotest Storage Trace

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "odex"
+    [
+      ("crypto", Test_crypto.suite);
+      ("extmem", Test_extmem.suite);
+      ("sortnet", Test_sortnet.suite);
+      ("iblt", Test_iblt.suite);
+      ("compaction", Test_compaction.suite);
+      ("selection", Test_selection.suite);
+      ("sort", Test_sort.suite);
+      ("logstar", Test_logstar.suite);
+      ("oram", Test_oram.suite);
+      ("bounds", Test_bounds.suite);
+      ("properties", Test_properties.suite);
+      ("edge", Test_edge.suite);
+    ]

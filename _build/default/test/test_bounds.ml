@@ -1,0 +1,92 @@
+open Odex
+
+let test_lemma22_monotone () =
+  (* The bound decreases in gamma and in mu. *)
+  let b g mu = Bounds.binomial_tail_lemma22 ~gamma:g ~mu in
+  Alcotest.(check bool) "decreasing in gamma" true (b 8. 2. < b 6. 2.);
+  Alcotest.(check bool) "decreasing in mu" true (b 8. 4. < b 8. 2.);
+  Alcotest.(check (float 0.0001)) "gamma below 2e is vacuous" 1. (b 5. 10.);
+  Alcotest.(check bool) "valid probability" true (b 100. 10. >= 0. && b 100. 10. <= 1.)
+
+let test_lemma22_dominates_monte_carlo () =
+  let rng = Odex_crypto.Rng.create ~seed:1 in
+  let n = 400 and p = 0.02 and gamma = 7. in
+  let mu = Float.of_int n *. p in
+  let trials = 5000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let x = ref 0 in
+    for _ = 1 to n do
+      if Odex_crypto.Rng.bernoulli rng p then incr x
+    done;
+    if Float.of_int !x > gamma *. mu then incr hits
+  done;
+  let emp = Float.of_int !hits /. Float.of_int trials in
+  let bound = Bounds.binomial_tail_lemma22 ~gamma ~mu in
+  if bound < emp then Alcotest.failf "bound %.5f below empirical %.5f" bound emp
+
+let test_lemma23_cases () =
+  (* Exercise every branch of the case analysis. *)
+  let b t = Bounds.negative_binomial_tail_lemma23 ~n:100 ~p:0.25 ~t in
+  let alpha = 4. in
+  List.iter
+    (fun t ->
+      let v = b t in
+      if v < 0. || v > 1. then Alcotest.failf "invalid probability at t=%.2f" t)
+    [ alpha /. 4.; alpha /. 2.; alpha; 2. *. alpha; 3. *. alpha; 10. *. alpha ];
+  Alcotest.(check bool) "decreasing in t" true (b (4. *. alpha) < b (alpha /. 4.));
+  Alcotest.check_raises "invalid p"
+    (Invalid_argument "Bounds.negative_binomial_tail_lemma23") (fun () ->
+      ignore (Bounds.negative_binomial_tail_lemma23 ~n:10 ~p:1.5 ~t:1.))
+
+let test_lemma23_dominates_monte_carlo () =
+  let rng = Odex_crypto.Rng.create ~seed:2 in
+  let n = 80 and p = 0.3 in
+  let alpha = 1. /. p in
+  let t = 2.5 *. alpha in
+  let trials = 5000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let x = ref 0 in
+    for _ = 1 to n do
+      x := !x + Odex_crypto.Rng.geometric rng p
+    done;
+    if Float.of_int !x > (alpha +. t) *. Float.of_int n then incr hits
+  done;
+  let emp = Float.of_int !hits /. Float.of_int trials in
+  let bound = Bounds.negative_binomial_tail_lemma23 ~n ~p ~t in
+  if bound < emp then Alcotest.failf "bound %.5f below empirical %.5f" bound emp
+
+let test_loose_compaction_failure_small () =
+  (* The derived failure bound should be tiny for sane parameters and
+     shrink with more thinning rounds. *)
+  let f c0 = Bounds.loose_compaction_failure ~n_blocks:4096 ~c0 ~c1:3 in
+  Alcotest.(check bool) "small at c0=4" true (f 4 < 0.01);
+  Alcotest.(check bool) "decreasing in c0" true (f 6 < f 4);
+  Alcotest.(check (float 0.)) "trivial array" 0.
+    (Bounds.loose_compaction_failure ~n_blocks:1 ~c0:4 ~c1:3)
+
+let test_selection_failure_shrinks () =
+  (* Lemma 11's additive bound only bites once n^{1/8} >> 9 — i.e. for
+     the astronomically large N the paper's constants target. *)
+  let huge = Bounds.selection_failure ~n:(Float.to_int 1e16) in
+  Alcotest.(check bool) "meaningful at n = 1e16" true (huge < 1e-3);
+  Alcotest.(check bool) "decreasing in n" true
+    (huge < Bounds.selection_failure ~n:(Float.to_int 1e12));
+  Alcotest.(check (float 0.)) "vacuous for feasible n" 1.
+    (Bounds.selection_failure ~n:1_000_000)
+
+let test_shuffle_deal_overflow_small () =
+  let p = Bounds.shuffle_deal_overflow ~m_blocks:256 ~d:2 in
+  Alcotest.(check bool) "tiny overflow probability" true (p < 1e-6)
+
+let suite =
+  [
+    ("Lemma 22 shape", `Quick, test_lemma22_monotone);
+    ("Lemma 22 vs Monte-Carlo", `Quick, test_lemma22_dominates_monte_carlo);
+    ("Lemma 23 cases", `Quick, test_lemma23_cases);
+    ("Lemma 23 vs Monte-Carlo", `Quick, test_lemma23_dominates_monte_carlo);
+    ("Lemma 7 instantiation", `Quick, test_loose_compaction_failure_small);
+    ("Lemma 11 instantiation", `Quick, test_selection_failure_shrinks);
+    ("Lemma 18 instantiation", `Quick, test_shuffle_deal_overflow_small);
+  ]

@@ -1,0 +1,223 @@
+open Odex_crypto
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.create ~seed:43 in
+  Alcotest.(check bool) "different seed differs" true
+    (Rng.next_int64 (Rng.create ~seed:42) <> Rng.next_int64 c)
+
+let test_rng_copy_and_split () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.next_int64 a) (Rng.next_int64 b);
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "split independent of parent continuation" true
+    (Rng.next_int64 child <> Rng.next_int64 parent)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_uniformity () =
+  let rng = Rng.create ~seed:2 in
+  let buckets = Array.make 8 0 in
+  let draws = 80_000 in
+  for _ = 1 to draws do
+    let v = Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = draws / 8 in
+  Array.iteri
+    (fun i c ->
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+let test_rng_int_in_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range rng ~lo:5 ~hi:9 in
+    if v < 5 || v > 9 then Alcotest.fail "int_in_range out of bounds"
+  done;
+  Alcotest.(check int) "degenerate range" 4 (Rng.int_in_range rng ~lo:4 ~hi:4)
+
+let test_rng_bernoulli () =
+  let rng = Rng.create ~seed:4 in
+  let hits = ref 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    if Rng.bernoulli rng 0.25 then incr hits
+  done;
+  let frac = Float.of_int !hits /. Float.of_int draws in
+  if frac < 0.23 || frac > 0.27 then Alcotest.failf "bernoulli(0.25) rate %.3f" frac;
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.)
+
+let test_rng_geometric () =
+  let rng = Rng.create ~seed:5 in
+  let p = 0.2 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.geometric rng p in
+    if v < 1 then Alcotest.fail "geometric < 1";
+    sum := !sum + v
+  done;
+  let mean = Float.of_int !sum /. Float.of_int n in
+  if Float.abs (mean -. (1. /. p)) > 0.2 then
+    Alcotest.failf "geometric mean %.3f, expected %.3f" mean (1. /. p);
+  Alcotest.(check int) "p=1 is constant 1" 1 (Rng.geometric rng 1.)
+
+let test_prf () =
+  let k = Prf.key_of_int 11 in
+  Alcotest.(check int64) "deterministic" (Prf.value k 99) (Prf.value k 99);
+  Alcotest.(check bool) "inputs differ" true (Prf.value k 1 <> Prf.value k 2);
+  let k2 = Prf.key_of_int 12 in
+  Alcotest.(check bool) "keys differ" true (Prf.value k 1 <> Prf.value k2 1);
+  Alcotest.(check bool) "pair input matters" true
+    (Prf.value_pair k 1 2 <> Prf.value_pair k 2 1);
+  for x = 0 to 999 do
+    let v = Prf.to_range k x ~bound:13 in
+    if v < 0 || v >= 13 then Alcotest.fail "to_range out of bounds"
+  done
+
+let test_hash_family_distinct () =
+  let fam = Hash_family.create ~k:4 ~size:101 (Prf.key_of_int 21) in
+  for x = 0 to 499 do
+    let hs = Hash_family.hashes fam x in
+    Alcotest.(check int) "k hashes" 4 (Array.length hs);
+    let sorted = Array.copy hs in
+    Array.sort compare sorted;
+    for i = 0 to 2 do
+      if sorted.(i) = sorted.(i + 1) then Alcotest.fail "hashes collide"
+    done;
+    Array.iteri
+      (fun i h ->
+        let lo, hi = Hash_family.subrange fam i in
+        if h < lo || h >= hi then Alcotest.failf "h_%d(%d)=%d outside [%d,%d)" i x h lo hi)
+      hs
+  done
+
+let test_hash_family_subranges_cover () =
+  let fam = Hash_family.create ~k:3 ~size:10 (Prf.key_of_int 22) in
+  let lo0, hi0 = Hash_family.subrange fam 0 in
+  let lo1, hi1 = Hash_family.subrange fam 1 in
+  let lo2, hi2 = Hash_family.subrange fam 2 in
+  Alcotest.(check (list (pair int int)))
+    "partition covers [0,10)"
+    [ (0, 3); (3, 6); (6, 10) ]
+    [ (lo0, hi0); (lo1, hi1); (lo2, hi2) ]
+
+let test_permutation_roundtrip () =
+  let rng = Rng.create ~seed:31 in
+  let p = Permutation.random rng 50 in
+  Alcotest.(check bool) "valid" true (Permutation.is_valid p);
+  let inv = Permutation.inverse p in
+  for i = 0 to 49 do
+    Alcotest.(check int) "inverse" i (Permutation.apply inv (Permutation.apply p i));
+    Alcotest.(check int) "preimage" i (Permutation.preimage p (Permutation.apply p i))
+  done
+
+let test_permutation_swaps_consistent () =
+  let rng = Rng.create ~seed:32 in
+  let swaps = Permutation.swap_sequence (Rng.copy rng) 20 in
+  let p1 = Permutation.of_swaps 20 swaps in
+  let p2 = Permutation.random rng 20 in
+  for i = 0 to 19 do
+    Alcotest.(check int) "same permutation" (Permutation.apply p1 i) (Permutation.apply p2 i)
+  done;
+  Array.iter
+    (fun (i, j) -> if j < i then Alcotest.fail "swap goes backwards")
+    swaps
+
+let test_permutation_permute_array () =
+  let rng = Rng.create ~seed:33 in
+  let p = Permutation.random rng 10 in
+  let a = Array.init 10 (fun i -> i * 100) in
+  let out = Permutation.permute_array p a in
+  Array.iteri (fun i x -> Alcotest.(check int) "moved" x out.(Permutation.apply p i)) a;
+  Alcotest.(check bool) "multiset" true
+    (List.sort compare (Array.to_list out) = List.sort compare (Array.to_list a))
+
+let test_permutation_identity () =
+  let p = Permutation.identity 5 in
+  for i = 0 to 4 do
+    Alcotest.(check int) "id" i (Permutation.apply p i)
+  done
+
+let test_cipher_roundtrip () =
+  let k = Cipher.key_of_int 77 in
+  let plain = Bytes.of_string "the quick brown fox jumps over the lazy dog" in
+  let ct = Cipher.encrypt k ~nonce:5 plain in
+  Alcotest.(check bool) "ciphertext differs" true (not (Bytes.equal ct plain));
+  Alcotest.(check bytes) "roundtrip" plain (Cipher.decrypt k ~nonce:5 ct)
+
+let test_cipher_nonce_freshness () =
+  let k = Cipher.key_of_int 78 in
+  let plain = Bytes.of_string "same plaintext either way" in
+  let c1 = Cipher.encrypt k ~nonce:1 plain in
+  let c2 = Cipher.encrypt k ~nonce:2 plain in
+  Alcotest.(check bool) "re-encryption looks fresh" true (not (Bytes.equal c1 c2))
+
+let test_cipher_key_separation () =
+  let plain = Bytes.of_string "hello" in
+  let c1 = Cipher.encrypt (Cipher.key_of_int 1) ~nonce:0 plain in
+  let c2 = Cipher.encrypt (Cipher.key_of_int 2) ~nonce:0 plain in
+  Alcotest.(check bool) "keys separate" true (not (Bytes.equal c1 c2))
+
+let prop_permutation_valid =
+  Util.qcheck_case ~name:"random permutation is a bijection"
+    QCheck2.Gen.(pair (int_range 0 200) int)
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      Permutation.is_valid (Permutation.random rng n))
+
+let prop_cipher_roundtrip =
+  Util.qcheck_case ~name:"cipher roundtrips arbitrary bytes"
+    QCheck2.Gen.(triple string int int)
+    (fun (s, keyseed, nonce) ->
+      let k = Cipher.key_of_int keyseed in
+      let plain = Bytes.of_string s in
+      Bytes.equal plain (Cipher.decrypt k ~nonce (Cipher.encrypt k ~nonce plain)))
+
+let prop_rng_int_bounds =
+  Util.qcheck_case ~name:"Rng.int stays in bounds"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) int)
+    (fun (bound, seed) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng copy/split", `Quick, test_rng_copy_and_split);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng uniformity", `Quick, test_rng_uniformity);
+    ("rng int_in_range", `Quick, test_rng_int_in_range);
+    ("rng bernoulli", `Quick, test_rng_bernoulli);
+    ("rng geometric", `Quick, test_rng_geometric);
+    ("prf basics", `Quick, test_prf);
+    ("hash family distinctness", `Quick, test_hash_family_distinct);
+    ("hash family partition", `Quick, test_hash_family_subranges_cover);
+    ("permutation roundtrip", `Quick, test_permutation_roundtrip);
+    ("permutation swap transcript", `Quick, test_permutation_swaps_consistent);
+    ("permutation permute_array", `Quick, test_permutation_permute_array);
+    ("permutation identity", `Quick, test_permutation_identity);
+    ("cipher roundtrip", `Quick, test_cipher_roundtrip);
+    ("cipher nonce freshness", `Quick, test_cipher_nonce_freshness);
+    ("cipher key separation", `Quick, test_cipher_key_separation);
+    prop_permutation_valid;
+    prop_cipher_roundtrip;
+    prop_rng_int_bounds;
+  ]

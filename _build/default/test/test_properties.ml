@@ -1,0 +1,204 @@
+(* Cross-cutting property tests (qcheck) for the core algorithms. *)
+
+open Odex_extmem
+open Odex
+
+let keys_gen = QCheck2.Gen.(list_size (int_range 1 400) (int_range (-1000) 1000))
+
+let prop_consolidation =
+  Util.qcheck_case ~name:"consolidation: postcondition + order + multiset" ~count:60
+    QCheck2.Gen.(triple keys_gen (int_range 1 6) (int_range 0 99))
+    (fun (keys, b, thresh) ->
+      let keys = Array.of_list keys in
+      let cells = Util.cells_of_keys keys in
+      let s = Util.storage ~b () in
+      let a = Ext_array.of_cells s ~block_size:b cells in
+      let pred (it : Cell.item) = it.key mod 100 <= thresh - 50 || it.key mod 100 >= thresh in
+      let d = Consolidation.run ~distinguished:pred ~into:None a in
+      let expected =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Cell.Empty -> None
+            | Cell.Item it -> if pred it then Some it.key else None)
+          (Array.to_list cells)
+      in
+      Consolidation.occupied_prefix_property d
+      && Util.keys_of_items (Ext_array.items d) = expected)
+
+let prop_butterfly_roundtrip =
+  Util.qcheck_case ~name:"butterfly: compact then expand restores positions" ~count:50
+    QCheck2.Gen.(pair (list_size (int_range 1 80) bool) (int_range 3 12))
+    (fun (occupancy, m) ->
+      let n = List.length occupancy in
+      let s = Util.storage ~b:2 () in
+      let a = Ext_array.create s ~blocks:n in
+      let original =
+        List.filteri (fun i _ -> List.nth occupancy i) (List.init n (fun i -> i))
+      in
+      List.iteri
+        (fun rank pos ->
+          Storage.unchecked_poke s (Ext_array.addr a pos)
+            [| Cell.item ~key:rank ~value:rank (); Cell.item ~key:rank ~value:1 () |])
+        original;
+      let r = Butterfly.compact ~m a in
+      if r <> List.length original then false
+      else begin
+        let orig = Array.of_list original in
+        if r > 0 then Butterfly.expand ~m a (fun i -> orig.(i) - i);
+        let occupied_now =
+          List.filter
+            (fun i -> not (Block.is_empty (Storage.unchecked_peek s (Ext_array.addr a i))))
+            (List.init n (fun i -> i))
+        in
+        occupied_now = original
+      end)
+
+let prop_quantiles_match_reference =
+  Util.qcheck_case ~name:"quantiles match the sorted reference" ~count:30
+    QCheck2.Gen.(triple keys_gen (int_range 1 6) int)
+    (fun (keys, q, seed) ->
+      let keys = Array.of_list keys in
+      let cells = Util.cells_of_keys keys in
+      let s = Util.storage ~b:4 () in
+      let a = Ext_array.of_cells s ~block_size:4 cells in
+      let rng = Odex_crypto.Rng.create ~seed in
+      let r = Quantiles.run ~m:8 ~rng ~q a in
+      if not r.Quantiles.ok then true (* flagged failures are allowed, silently wrong is not *)
+      else begin
+        let sorted = List.sort compare (Array.to_list keys) in
+        let arr = Array.of_list sorted in
+        let total = Array.length arr in
+        let reference =
+          Array.init q (fun i -> arr.(Quantiles.rank_of_quantile ~total ~q (i + 1) - 1))
+        in
+        Array.for_all2
+          (fun (it : Cell.item) want -> it.key = want)
+          r.Quantiles.quantiles reference
+      end)
+
+let prop_multiway_monochromatic =
+  Util.qcheck_case ~name:"multiway consolidation: monochromatic + order per color" ~count:40
+    QCheck2.Gen.(triple keys_gen (int_range 1 7) (int_range 1 5))
+    (fun (keys, colors, b) ->
+      let keys = Array.of_list keys in
+      let cells = Util.cells_of_keys keys in
+      let s = Util.storage ~b () in
+      let a = Ext_array.of_cells s ~block_size:b cells in
+      let color_of (it : Cell.item) = (it.key mod colors + colors) mod colors in
+      let d = Multiway.consolidate ~colors ~color_of a in
+      Multiway.monochromatic ~color_of d
+      && Util.sorted_multiset_equal
+           (Util.keys_of_items (Ext_array.items d))
+           (Array.to_list keys))
+
+let prop_shuffle_deal_conserves =
+  Util.qcheck_case ~name:"shuffle+deal conserves every item" ~count:30
+    QCheck2.Gen.(pair keys_gen int)
+    (fun (keys, seed) ->
+      let keys = Array.of_list keys in
+      let colors = 3 in
+      let cells = Util.cells_of_keys keys in
+      let s = Util.storage ~b:4 () in
+      let a = Ext_array.of_cells s ~block_size:4 cells in
+      let color_of (it : Cell.item) = (it.key mod colors + colors) mod colors in
+      let mono = Multiway.consolidate ~colors ~color_of a in
+      let rng = Odex_crypto.Rng.create ~seed in
+      Shuffle_deal.shuffle ~rng mono;
+      let { Shuffle_deal.outputs; ok } =
+        Shuffle_deal.deal ~colors ~color_of ~window:8 ~quota:8 ~carry_budget:64 mono
+      in
+      let dealt =
+        List.concat_map (fun o -> Util.keys_of_items (Ext_array.items o)) (Array.to_list outputs)
+      in
+      ok
+      && Util.sorted_multiset_equal dealt (Array.to_list keys)
+      && Array.for_all
+           (fun (o : Ext_array.t) ->
+             List.for_all
+               (fun (it : Cell.item) ->
+                 (* each output is monochromatic overall *)
+                 color_of it = color_of (List.hd (Ext_array.items o)))
+               (Ext_array.items o)
+             || Ext_array.items o = [])
+           outputs)
+
+let prop_logstar_conserves =
+  Util.qcheck_case ~name:"logstar compaction conserves occupied blocks" ~count:20
+    QCheck2.Gen.(pair (list_size (int_range 8 40) bool) int)
+    (fun (occupancy, seed) ->
+      let n = 8 * List.length occupancy in
+      let s = Util.storage ~b:2 () in
+      let a = Ext_array.create s ~blocks:n in
+      let occupied =
+        List.filter_map
+          (fun (i, occ) -> if occ then Some (i * 8) else None)
+          (List.mapi (fun i occ -> (i, occ)) occupancy)
+      in
+      (* keep load <= n/4 by spacing occupied blocks 8 apart *)
+      List.iteri
+        (fun j pos ->
+          Storage.unchecked_poke s (Ext_array.addr a pos)
+            [| Cell.item ~key:j ~value:j (); Cell.item ~key:j ~value:1 () |])
+        occupied;
+      let rng = Odex_crypto.Rng.create ~seed in
+      let out = Logstar_compaction.run ~m:16 ~rng ~capacity:(max 1 (n / 4)) a in
+      (not out.Logstar_compaction.ok)
+      || List.length (Ext_array.items out.Logstar_compaction.dest) = 2 * List.length occupied)
+
+let prop_selection_exponent_quarter =
+  Util.qcheck_case ~name:"selection with e=1/4 matches reference" ~count:20
+    QCheck2.Gen.(pair (list_size (int_range 50 400) (int_range 0 100)) int)
+    (fun (keys, seed) ->
+      let keys = Array.of_list keys in
+      let n = Array.length keys in
+      let k = 1 + (abs seed mod n) in
+      let cells = Util.cells_of_keys keys in
+      let s = Util.storage ~b:4 () in
+      let a = Ext_array.of_cells s ~block_size:4 cells in
+      let rng = Odex_crypto.Rng.create ~seed in
+      let r = Selection.select ~exponent:0.25 ~m:8 ~rng ~k a in
+      (* A flagged randomized failure is acceptable; a silent wrong
+         answer is not. *)
+      (not r.Selection.ok)
+      ||
+      match r.Selection.item with
+      | None -> false
+      | Some it -> it.key = List.nth (List.sort compare (Array.to_list keys)) (k - 1))
+
+let prop_sort_engines_agree =
+  Util.qcheck_case ~name:"sort bucket engines all produce the same multiset, sorted" ~count:10
+    QCheck2.Gen.(pair (list_size (int_range 100 500) (int_range (-50) 50)) int)
+    (fun (keys, seed) ->
+      let keys = Array.of_list keys in
+      List.for_all
+        (fun engine ->
+          let cells = Util.cells_of_keys keys in
+          let s = Util.storage ~b:4 () in
+          let a = Ext_array.of_cells s ~block_size:4 cells in
+          let rng = Odex_crypto.Rng.create ~seed in
+          let o = Sort.run ~bucket_engine:engine ~m:16 ~rng a in
+          (not o.Sort.ok)
+          || Util.keys_of_items (Ext_array.items a) = List.sort compare (Array.to_list keys))
+        [ `Auto; `Skip; `Butterfly; `Loose ])
+
+let prop_prp_roundtrip =
+  Util.qcheck_case ~name:"PRP apply/inverse roundtrip on random domains" ~count:60
+    QCheck2.Gen.(triple (int_range 1 5000) int (int_range 0 10_000))
+    (fun (domain, key, x) ->
+      let x = x mod domain in
+      let prp = Odex_crypto.Prp.create ~domain (Odex_crypto.Prf.key_of_int key) in
+      Odex_crypto.Prp.inverse prp (Odex_crypto.Prp.apply prp x) = x)
+
+let suite =
+  [
+    prop_consolidation;
+    prop_butterfly_roundtrip;
+    prop_quantiles_match_reference;
+    prop_multiway_monochromatic;
+    prop_shuffle_deal_conserves;
+    prop_logstar_conserves;
+    prop_selection_exponent_quarter;
+    prop_sort_engines_agree;
+    prop_prp_roundtrip;
+  ]

@@ -1,0 +1,304 @@
+open Odex_extmem
+open Odex_sortnet
+
+let test_network_validation () =
+  Alcotest.(check bool) "descending comparator rejected" true
+    (try
+       ignore (Network.create ~width:4 [ [ (2, 1) ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "overlap rejected" true
+    (try
+       ignore (Network.create ~width:4 [ [ (0, 1); (1, 2) ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Network.create ~width:4 [ [ (0, 4) ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_network_apply () =
+  let net = Network.create ~width:2 [ [ (0, 1) ] ] in
+  let a = [| 9; 3 |] in
+  Network.apply net compare a;
+  Alcotest.(check (list int)) "swapped" [ 3; 9 ] (Array.to_list a)
+
+let test_odd_even_sorts_zero_one () =
+  for n = 0 to 13 do
+    let net = Batcher.odd_even_merge_sort n in
+    Alcotest.(check int) "width" n (Network.width net);
+    if not (Network.sorts_all_zero_one net) then
+      Alcotest.failf "odd-even merge sort fails 0-1 check at n=%d" n
+  done
+
+let test_bitonic_sorts_zero_one () =
+  List.iter
+    (fun n ->
+      let net = Batcher.bitonic n in
+      if not (Network.sorts_all_zero_one net) then
+        Alcotest.failf "bitonic fails 0-1 check at n=%d" n)
+    [ 1; 2; 4; 8; 16 ]
+
+let test_oems_known_size () =
+  (* Batcher's odd-even merge sort on 8 inputs has exactly 19 comparators
+     and depth 6 (Knuth, Fig. 5.3.4-49). *)
+  let net = Batcher.odd_even_merge_sort 8 in
+  Alcotest.(check int) "size" 19 (Network.size net);
+  Alcotest.(check int) "depth" 6 (Network.depth net)
+
+let test_network_sorts_random_ints () =
+  let rng = Odex_crypto.Rng.create ~seed:1 in
+  List.iter
+    (fun n ->
+      let net = Batcher.odd_even_merge_sort n in
+      for _ = 1 to 20 do
+        let a = Array.init n (fun _ -> Odex_crypto.Rng.int rng 50) in
+        let expected = Array.copy a in
+        Array.sort compare expected;
+        Network.apply net compare a;
+        Alcotest.(check (list int)) "sorted" (Array.to_list expected) (Array.to_list a)
+      done)
+    [ 5; 9; 17; 33 ]
+
+let test_merge_split () =
+  let mk keys = Array.map (fun k -> if k < 0 then Cell.empty else Cell.item ~key:k ~value:k ()) keys in
+  let u = mk [| 1; 5; 9 |] and v = mk [| 2; 3; -1 |] in
+  Ext_sort.merge_split ~cmp:Cell.compare_keys ~ascending:true u v;
+  Alcotest.(check (list int)) "low half" [ 1; 2; 3 ]
+    (List.map (fun (it : Cell.item) -> it.key) (Block.items u));
+  Alcotest.(check (list int)) "high half" [ 5; 9 ]
+    (List.map (fun (it : Cell.item) -> it.key) (Block.items v));
+  let u = mk [| 1; 5; 9 |] and v = mk [| 2; 3; -1 |] in
+  Ext_sort.merge_split ~cmp:Cell.compare_keys ~ascending:false u v;
+  Alcotest.(check (list int)) "descending: high half first" [ 5; 9 ]
+    (List.map (fun (it : Cell.item) -> it.key) (Block.items u))
+
+let run_sort_case sorter ~b ~m keys =
+  let cells = Util.cells_of_keys keys in
+  let (), a =
+    Util.with_array ~b cells (fun _s a ->
+        Ext_sort.run sorter ~m a)
+  in
+  Util.check_sorted_by_key (Ext_sort.name sorter) a;
+  Util.check_multiset (Ext_sort.name sorter) keys a
+
+let test_sorters_correct () =
+  let rng = Odex_crypto.Rng.create ~seed:5 in
+  List.iter
+    (fun sorter ->
+      (* duplicates, negatives, various shapes *)
+      run_sort_case sorter ~b:4 ~m:4 [| 5; 5; 5; 5 |];
+      run_sort_case sorter ~b:4 ~m:4 [| 9; 8; 7; 6; 5; 4; 3; 2; 1 |];
+      run_sort_case sorter ~b:3 ~m:4 (Util.random_keys rng 50 ~bound:20);
+      run_sort_case sorter ~b:1 ~m:4 (Util.random_keys rng 17 ~bound:1000);
+      run_sort_case sorter ~b:8 ~m:4 [||])
+    [ Ext_sort.bitonic; Ext_sort.bitonic_windowed; Ext_sort.auto ]
+
+let test_cache_sort_correct () =
+  let rng = Odex_crypto.Rng.create ~seed:6 in
+  run_sort_case Ext_sort.cache_sort ~b:4 ~m:32 (Util.random_keys rng 100 ~bound:30);
+  run_sort_case Ext_sort.cache_sort ~b:4 ~m:1 [| 3; 1; 2 |]
+
+let test_cache_sort_overflow () =
+  let cells = Util.cells_of_keys [| 4; 3; 2; 1 |] in
+  Alcotest.(check bool) "overflow raised" true
+    (try
+       ignore
+         (Util.with_array ~b:1 cells (fun _s a -> Ext_sort.run Ext_sort.cache_sort ~m:2 a));
+       false
+     with Cache.Overflow _ -> true)
+
+let test_sort_preserves_payload () =
+  let keys = [| 4; 2; 7; 2; 0; 9; 4 |] in
+  let cells = Util.cells_of_keys keys in
+  let (), a = Util.with_array ~b:2 cells (fun _s a -> Ext_sort.run Ext_sort.bitonic ~m:2 a) in
+  List.iter
+    (fun (it : Cell.item) ->
+      Alcotest.(check int) "value rides along" (it.key * 10) it.value)
+    (Ext_array.items a)
+
+let test_sort_custom_cmp () =
+  (* Sort by tag: used by the order-restoring step of compaction. *)
+  let cells =
+    Array.init 10 (fun i -> Cell.item ~tag:(9 - i) ~key:i ~value:0 ())
+  in
+  let (), a =
+    Util.with_array ~b:2 cells (fun _s a ->
+        Ext_sort.run Ext_sort.bitonic_windowed ~cmp:Cell.compare_by_tag ~m:4 a)
+  in
+  let tags = List.map (fun (it : Cell.item) -> it.tag) (Ext_array.items a) in
+  Alcotest.(check (list int)) "tags ascending" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] tags
+
+let test_sort_empties_interleaved () =
+  (* Empty cells scattered through the input must all sort to the end. *)
+  let cells =
+    [|
+      Cell.item ~key:3 ~value:0 (); Cell.empty; Cell.item ~key:1 ~value:0 ();
+      Cell.empty; Cell.item ~key:2 ~value:0 (); Cell.empty;
+    |]
+  in
+  let (), a = Util.with_array ~b:2 cells (fun _s a -> Ext_sort.run Ext_sort.bitonic ~m:2 a) in
+  let out = Ext_array.to_cells a in
+  Alcotest.(check (list int)) "items first, sorted" [ 1; 2; 3 ]
+    (Util.keys_of_items (Ext_array.items a));
+  Alcotest.(check bool) "tail all empty" true
+    (Array.for_all Cell.is_empty (Array.sub out 3 3))
+
+let sorter_trace sorter ~b ~m keys =
+  Util.trace_digest ~b ~seed:0 (Util.cells_of_keys keys) (fun _rng _s a ->
+      Ext_sort.run sorter ~m a)
+
+let test_sorters_oblivious () =
+  (* Same shape (N, B, m), wildly different data: identical traces. *)
+  (* m = 16 so that cache_sort also fits every shape. *)
+  let shapes = [ (31, 4, 16); (64, 8, 16); (10, 1, 16) ] in
+  List.iter
+    (fun sorter ->
+      List.iter
+        (fun (n, b, m) ->
+          let t1 = sorter_trace sorter ~b ~m (Array.init n (fun i -> i)) in
+          let t2 = sorter_trace sorter ~b ~m (Array.init n (fun i -> n - i)) in
+          let t3 = sorter_trace sorter ~b ~m (Array.make n 7) in
+          if not (t1 = t2 && t2 = t3) then
+            Alcotest.failf "%s trace depends on data at n=%d" (Ext_sort.name sorter) n)
+        shapes)
+    Ext_sort.all
+
+let test_windowed_fewer_ios () =
+  let keys = Array.init 512 (fun i -> 1000 - i) in
+  let io_of sorter =
+    let cells = Util.cells_of_keys keys in
+    let s = Util.storage ~b:4 () in
+    let a = Ext_array.of_cells s ~block_size:4 cells in
+    Ext_sort.run sorter ~m:16 a;
+    Stats.total (Storage.stats s)
+  in
+  let naive = io_of Ext_sort.bitonic in
+  let windowed = io_of Ext_sort.bitonic_windowed in
+  if windowed * 2 > naive then
+    Alcotest.failf "windowed (%d IOs) should be well under naive (%d IOs)" windowed naive
+
+(* ---------------- columnsort ---------------- *)
+
+let test_columnsort_plan () =
+  (match Columnsort.plan ~n_cells:8192 ~b:8 ~m:256 with
+  | Some (r, s) ->
+      Alcotest.(check bool) "r multiple of b*s" true (r mod (8 * s) = 0);
+      Alcotest.(check bool) "Leighton condition" true (r >= 2 * (s - 1) * (s - 1));
+      Alcotest.(check bool) "covers n" true (r * s >= 8192)
+  | None -> Alcotest.fail "plan should exist");
+  Alcotest.(check bool) "oversized input refused" true
+    (Columnsort.plan ~n_cells:10_000_000 ~b:8 ~m:64 = None)
+
+let test_columnsort_correct () =
+  let rng = Odex_crypto.Rng.create ~seed:21 in
+  List.iter
+    (fun (n, b, m) ->
+      run_sort_case Ext_sort.columnsort ~b ~m (Util.random_keys rng n ~bound:(4 * n)))
+    [ (50, 3, 16); (500, 4, 32); (3000, 8, 64); (200, 4, 32) ];
+  run_sort_case Ext_sort.columnsort ~b:4 ~m:16 [| 5; 5; 5; 5; 5; 5; 5; 5; 5 |];
+  run_sort_case Ext_sort.columnsort ~b:4 ~m:16 (Array.init 100 (fun i -> 100 - i))
+
+let test_columnsort_oblivious () =
+  let n = 400 in
+  let t keys = sorter_trace Ext_sort.columnsort ~b:4 ~m:32 keys in
+  let t1 = t (Array.init n (fun i -> i)) in
+  let t2 = t (Array.init n (fun i -> n - i)) in
+  let t3 = t (Array.make n 7) in
+  Alcotest.(check bool) "columnsort trace is data-independent" true (t1 = t2 && t2 = t3)
+
+let test_columnsort_dummy_pass () =
+  let keys = Array.init 300 (fun i -> 300 - i) in
+  let cells = Util.cells_of_keys keys in
+  let s = Util.storage ~b:4 () in
+  let a = Odex_extmem.Ext_array.of_cells s ~block_size:4 cells in
+  Ext_sort.run_selective Ext_sort.columnsort ~real:false ~m:32 a;
+  (* Data untouched... *)
+  Alcotest.(check (list int)) "dummy pass preserves data" (Array.to_list keys)
+    (Util.keys_of_items (Odex_extmem.Ext_array.items a));
+  (* ...and the trace equals the real pass's. *)
+  let digest real =
+    let s = Util.storage ~b:4 () in
+    let a = Odex_extmem.Ext_array.of_cells s ~block_size:4 (Util.cells_of_keys keys) in
+    Ext_sort.run_selective Ext_sort.columnsort ~real ~m:32 a;
+    ( Odex_extmem.Trace.digest (Odex_extmem.Storage.trace s),
+      Odex_extmem.Trace.length (Odex_extmem.Storage.trace s) )
+  in
+  Alcotest.(check bool) "dummy trace = real trace" true (digest true = digest false)
+
+let test_columnsort_linear_ios () =
+  (* Columnsort is O(n) passes: I/Os per block must stay ~flat. *)
+  let per_block n =
+    let keys = Array.init n (fun i -> (i * 7919) mod n) in
+    let cells = Util.cells_of_keys keys in
+    let s = Util.storage ~b:8 () in
+    let a = Odex_extmem.Ext_array.of_cells s ~block_size:8 cells in
+    Ext_sort.run Ext_sort.columnsort ~m:256 a;
+    Float.of_int (Odex_extmem.Stats.total (Odex_extmem.Storage.stats s))
+    /. Float.of_int (n / 8)
+  in
+  let small = per_block 4096 and big = per_block 32768 in
+  if big > small *. 1.6 then
+    Alcotest.failf "columnsort not linear: %.1f -> %.1f I/Os per block" small big
+
+let test_columnsort_capacity_raises () =
+  let cells = Util.cells_of_keys (Array.init 4000 (fun i -> i)) in
+  let s = Util.storage ~b:2 () in
+  let a = Odex_extmem.Ext_array.of_cells s ~block_size:2 cells in
+  Alcotest.(check bool) "beyond capacity raises" true
+    (try
+       Ext_sort.run Ext_sort.columnsort ~m:8 a;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_columnsort_sorts =
+  Util.qcheck_case ~name:"columnsort sorts arbitrary keys" ~count:40
+    QCheck2.Gen.(pair (list_size (int_range 0 600) (int_range (-100) 100)) (int_range 4 8))
+    (fun (keys, b) ->
+      let keys = Array.of_list keys in
+      let cells = Util.cells_of_keys keys in
+      let (), a =
+        Util.with_array ~b cells (fun _s a -> Ext_sort.run Ext_sort.columnsort ~m:64 a)
+      in
+      let got = Util.keys_of_items (Odex_extmem.Ext_array.items a) in
+      got = List.sort compare (Array.to_list keys))
+
+let prop_bitonic_sorts =
+  Util.qcheck_case ~name:"bitonic-windowed sorts arbitrary keys" ~count:60
+    QCheck2.Gen.(pair (list_size (int_range 0 120) (int_range (-50) 50)) (int_range 1 4))
+    (fun (keys, b) ->
+      let keys = Array.of_list keys in
+      let cells = Util.cells_of_keys keys in
+      let (), a =
+        Util.with_array ~b cells (fun _s a -> Ext_sort.run Ext_sort.bitonic_windowed ~m:4 a)
+      in
+      let got = Util.keys_of_items (Ext_array.items a) in
+      got = List.sort compare (Array.to_list keys))
+
+let suite =
+  [
+    ("network validation", `Quick, test_network_validation);
+    ("network apply", `Quick, test_network_apply);
+    ("odd-even merge 0-1 principle", `Slow, test_odd_even_sorts_zero_one);
+    ("bitonic 0-1 principle", `Slow, test_bitonic_sorts_zero_one);
+    ("odd-even merge known size", `Quick, test_oems_known_size);
+    ("network sorts random ints", `Quick, test_network_sorts_random_ints);
+    ("merge-split halves", `Quick, test_merge_split);
+    ("external sorters correct", `Quick, test_sorters_correct);
+    ("cache sort correct", `Quick, test_cache_sort_correct);
+    ("cache sort overflow", `Quick, test_cache_sort_overflow);
+    ("sort preserves payload", `Quick, test_sort_preserves_payload);
+    ("sort by custom comparator", `Quick, test_sort_custom_cmp);
+    ("interleaved empties", `Quick, test_sort_empties_interleaved);
+    ("sorters are data-oblivious", `Quick, test_sorters_oblivious);
+    ("windowing reduces I/Os", `Quick, test_windowed_fewer_ios);
+    ("columnsort plan", `Quick, test_columnsort_plan);
+    ("columnsort correct", `Quick, test_columnsort_correct);
+    ("columnsort oblivious", `Quick, test_columnsort_oblivious);
+    ("columnsort dummy pass", `Quick, test_columnsort_dummy_pass);
+    ("columnsort linear I/Os", `Quick, test_columnsort_linear_ios);
+    ("columnsort capacity", `Quick, test_columnsort_capacity_raises);
+    prop_columnsort_sorts;
+    prop_bitonic_sorts;
+  ]

@@ -1,0 +1,46 @@
+(* Shared helpers for the test suites. *)
+
+open Odex_extmem
+
+let storage ?cipher ?(trace = Trace.Digest) ~b () =
+  Storage.create ?cipher ~trace_mode:trace ~block_size:b ()
+
+let cells_of_keys keys =
+  Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:(k * 10) ()) keys
+
+let random_keys rng n ~bound = Array.init n (fun _ -> Odex_crypto.Rng.int rng bound)
+
+let keys_of_items items = List.map (fun (it : Cell.item) -> it.key) items
+
+let is_sorted_list keys = List.sort compare keys = keys
+
+let sorted_multiset_equal a b = List.sort compare a = List.sort compare b
+
+(* Run [f] on a fresh storage seeded with [cells]; return (result, array). *)
+let with_array ?cipher ?trace ~b cells f =
+  let s = storage ?cipher ?trace ~b () in
+  let a = Ext_array.of_cells s ~block_size:b cells in
+  let r = f s a in
+  (r, a)
+
+let check_sorted_by_key msg a =
+  let keys = keys_of_items (Ext_array.items a) in
+  Alcotest.(check bool) (msg ^ ": keys sorted") true (is_sorted_list keys)
+
+let check_multiset msg expected_keys a =
+  let keys = keys_of_items (Ext_array.items a) in
+  Alcotest.(check bool)
+    (msg ^ ": multiset preserved")
+    true
+    (sorted_multiset_equal keys (Array.to_list expected_keys))
+
+(* Trace digest of running [f] on data [cells] with a fixed-seed rng. *)
+let trace_digest ~b ~seed cells f =
+  let s = storage ~trace:Trace.Digest ~b () in
+  let a = Ext_array.of_cells s ~block_size:b cells in
+  let rng = Odex_crypto.Rng.create ~seed in
+  f rng s a;
+  (Trace.digest (Storage.trace s), Trace.length (Storage.trace s))
+
+let qcheck_case ?(count = 100) ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
