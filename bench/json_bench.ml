@@ -1,0 +1,190 @@
+(* Machine-readable counterpart of the E-series tables: each entry
+   re-runs a core workload with trace digests on and appends one JSON
+   record per run to BENCH_core.json (overwritten each invocation).
+
+   Usage: main.exe --json          — every entry
+          main.exe --json E2 E9    — selected experiments only *)
+
+open Odex_extmem
+
+type record = {
+  experiment : string;
+  name : string;
+  n_cells : int;
+  b : int;
+  m : int;
+  reads : int;
+  writes : int;
+  total_ios : int;
+  trace_length : int;
+  spans : int;
+  wall_ms : float;
+  ok : bool;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e3)
+
+(* Run [f] (returning its success flag) against [s] and harvest the
+   storage counters afterwards. *)
+let collect ~experiment ~name ~n_cells ~b ~m s f =
+  let ok, wall_ms = timed f in
+  let tr = Storage.trace s in
+  {
+    experiment;
+    name;
+    n_cells;
+    b;
+    m;
+    reads = Stats.reads (Storage.stats s);
+    writes = Stats.writes (Storage.stats s);
+    total_ios = Stats.total (Storage.stats s);
+    trace_length = Trace.length tr;
+    spans = List.length (Trace.spans tr);
+    wall_ms;
+    ok;
+  }
+
+let uniform ~seed ~b ~n =
+  let rng = Odex_crypto.Rng.create ~seed in
+  let s, a = Workloads.array ~trace:Trace.Digest ~rng ~b ~n Workloads.Uniform in
+  (s, a, rng)
+
+(* One entry per measurable E-series experiment; ids match the tables
+   printed by [Experiments.all] so `--json E5` instruments the same
+   algorithm E5's table describes. *)
+
+let e2 () =
+  List.map
+    (fun n ->
+      let s, a, _ = uniform ~seed:2 ~b:8 ~n in
+      collect ~experiment:"E2" ~name:"consolidation" ~n_cells:n ~b:8 ~m:2 s (fun () ->
+          ignore (Odex.Consolidation.run ~into:None a);
+          true))
+    [ 4096; 16384 ]
+
+let e4 () =
+  let b = 8 and n = 1024 and m = 64 in
+  let s, a = Workloads.consolidated_blocks ~trace:Trace.Digest ~b ~n ~occupied:300 () in
+  [
+    collect ~experiment:"E4" ~name:"butterfly-compact" ~n_cells:(n * b) ~b ~m s (fun () ->
+        ignore (Odex.Butterfly.compact ~m a);
+        true);
+  ]
+
+let e5 () =
+  let b = 8 and n = 2048 and m = 64 in
+  let s, a = Workloads.consolidated_blocks ~trace:Trace.Digest ~b ~n ~occupied:256 () in
+  let rng = Odex_crypto.Rng.create ~seed:5 in
+  [
+    collect ~experiment:"E5" ~name:"loose-compaction" ~n_cells:(n * b) ~b ~m s (fun () ->
+        (Odex.Loose_compaction.run ~m ~rng ~capacity:512 a).Odex.Loose_compaction.ok);
+  ]
+
+let e6 () =
+  let b = 8 and n = 1024 and m = 64 in
+  let s, a = Workloads.consolidated_blocks ~trace:Trace.Digest ~b ~n ~occupied:128 () in
+  let rng = Odex_crypto.Rng.create ~seed:6 in
+  [
+    collect ~experiment:"E6" ~name:"logstar-compaction" ~n_cells:(n * b) ~b ~m s (fun () ->
+        (Odex.Logstar_compaction.run ~m ~rng ~capacity:128 a).Odex.Logstar_compaction.ok);
+  ]
+
+let e7 () =
+  let b = 8 and n = 8192 and m = 64 in
+  let s, a, rng = uniform ~seed:7 ~b ~n in
+  [
+    collect ~experiment:"E7" ~name:"selection" ~n_cells:n ~b ~m s (fun () ->
+        (Odex.Selection.select ~m ~rng ~k:(n / 2) a).Odex.Selection.ok);
+  ]
+
+let e8 () =
+  let b = 8 and n = 8192 and m = 64 in
+  let s, a, rng = uniform ~seed:8 ~b ~n in
+  [
+    collect ~experiment:"E8" ~name:"quantiles-q4" ~n_cells:n ~b ~m s (fun () ->
+        (Odex.Quantiles.run ~m ~rng ~q:4 a).Odex.Quantiles.ok);
+  ]
+
+let e9 () =
+  let b = 8 and n = 8192 and m = 64 in
+  let s, a, rng = uniform ~seed:9 ~b ~n in
+  [
+    collect ~experiment:"E9" ~name:"sort-thm21" ~n_cells:n ~b ~m s (fun () ->
+        (Odex.Sort.run ~sweep:false ~m ~rng a).Odex.Sort.ok);
+  ]
+
+let e10 () =
+  let words = 1024 and m = 64 in
+  let s = Storage.create ~trace_mode:Trace.Digest ~block_size:4 () in
+  let rng = Odex_crypto.Rng.create ~seed:10 in
+  [
+    collect ~experiment:"E10" ~name:"hier-oram-64-accesses" ~n_cells:words ~b:4 ~m s (fun () ->
+        let t = Odex_oram.Hierarchical_oram.init ~m ~rng s ~values:(Array.make words 0) in
+        for i = 1 to 64 do
+          ignore (Odex_oram.Hierarchical_oram.read t (i mod words))
+        done;
+        true);
+  ]
+
+(* E11's table is the obliviousness audit; the JSON form re-runs the
+   obcheck pair tests and reports run A's counters plus the verdict. *)
+let e11 () =
+  List.map
+    (fun (e : Odex_obcheck.Registry.entry) ->
+      let (o : Odex_obcheck.Pairtest.outcome), wall_ms =
+        timed (fun () ->
+            Odex_obcheck.Pairtest.check e.subject ~n_cells:e.n_cells ~b:e.b ~m:e.m)
+      in
+      let a = o.run_a in
+      {
+        experiment = "E11";
+        name = "pair-" ^ e.subject.Odex_obcheck.Pairtest.name;
+        n_cells = e.n_cells;
+        b = e.b;
+        m = e.m;
+        reads = a.Odex_obcheck.Pairtest.reads;
+        writes = a.Odex_obcheck.Pairtest.writes;
+        total_ios = a.Odex_obcheck.Pairtest.reads + a.Odex_obcheck.Pairtest.writes;
+        trace_length = a.Odex_obcheck.Pairtest.trace_length;
+        spans = a.Odex_obcheck.Pairtest.span_count;
+        wall_ms;
+        ok = o.oblivious;
+      })
+    Odex_obcheck.Registry.all
+
+let entries =
+  [
+    ("E2", e2); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
+    ("E9", e9); ("E10", e10); ("E11", e11);
+  ]
+
+let json_of_record r =
+  Printf.sprintf
+    "{\"experiment\":%S,\"name\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"ok\":%b}"
+    r.experiment r.name r.n_cells r.b r.m r.reads r.writes r.total_ios r.trace_length r.spans
+    r.wall_ms r.ok
+
+let run ids =
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id entries) then
+        Printf.eprintf "warning: no JSON entry for %s (available: %s)\n" id
+          (String.concat " " (List.map fst entries)))
+    ids;
+  let want id = ids = [] || List.mem id ids in
+  let records = List.concat_map (fun (id, f) -> if want id then f () else []) entries in
+  let oc = open_out "BENCH_core.json" in
+  output_string oc "{\n  \"schema\": \"odex-bench/1\",\n  \"records\": [\n";
+  List.iteri
+    (fun i r ->
+      output_string oc "    ";
+      output_string oc (json_of_record r);
+      if i < List.length records - 1 then output_string oc ",";
+      output_string oc "\n")
+    records;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_core.json (%d records)\n" (List.length records)

@@ -4,7 +4,9 @@
 
    Usage: main.exe            — run everything
           main.exe E9 E10     — run selected experiments
-          main.exe time       — wall-clock benches only *)
+          main.exe time       — wall-clock benches only
+          main.exe --json     — machine-readable metrics -> BENCH_core.json
+          main.exe --json E2  — ditto, selected experiments only *)
 
 open Bechamel
 open Toolkit
@@ -90,7 +92,9 @@ let run_wallclock () =
     rows
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let want id = args = [] || List.mem id args in
-  List.iter (fun (id, f) -> if want id then f ()) Experiments.all;
-  if args = [] || List.mem "time" args then run_wallclock ()
+  match List.tl (Array.to_list Sys.argv) with
+  | "--json" :: ids -> Json_bench.run ids
+  | args ->
+      let want id = args = [] || List.mem id args in
+      List.iter (fun (id, f) -> if want id then f ()) Experiments.all;
+      if args = [] || List.mem "time" args then run_wallclock ()

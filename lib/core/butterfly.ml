@@ -72,7 +72,8 @@ let route_class a cache ~level ~pos ~len ~w ~step =
 let route_all a ~m ~direction =
   let n = Ext_array.blocks a in
   if m < 3 then invalid_arg "Butterfly: need m >= 3 (the paper's M >= 3B)";
-  if n > 1 then begin
+  if n > 1 then Ext_array.with_span a "butterfly.route" @@ fun () ->
+  begin
     (* 2w - 1 cached blocks per window; g = log2 w levels per phase. *)
     let w = 1 lsl Emodel.ilog2_floor ((m + 1) / 2) in
     let g = Emodel.ilog2_floor w in
@@ -119,14 +120,15 @@ let compact ~m a =
   let n = Ext_array.blocks a in
   (* Pass 1: label occupied blocks with their leftward distance. *)
   let rank = ref 0 in
-  for j = 0 to n - 1 do
-    let blk = Ext_array.read_block a j in
-    if not (Block.is_empty blk) then begin
-      set_label blk (j - !rank);
-      incr rank
-    end;
-    Ext_array.write_block a j blk
-  done;
+  Ext_array.with_span a "butterfly.label" (fun () ->
+      for j = 0 to n - 1 do
+        let blk = Ext_array.read_block a j in
+        if not (Block.is_empty blk) then begin
+          set_label blk (j - !rank);
+          incr rank
+        end;
+        Ext_array.write_block a j blk
+      done);
   route_all a ~m ~direction:`Compact;
   !rank
 
@@ -136,19 +138,20 @@ let expand ~m a factor =
      [rank + factor rank] must be strictly increasing and in bounds. *)
   let rank = ref 0 in
   let last_dest = ref (-1) in
-  for j = 0 to n - 1 do
-    let blk = Ext_array.read_block a j in
-    if not (Block.is_empty blk) then begin
-      let f = factor !rank in
-      if f < 0 || j + f >= n then invalid_arg "Butterfly.expand: factor out of range";
-      if j + f <= !last_dest then
-        invalid_arg "Butterfly.expand: destinations must be strictly increasing";
-      last_dest := j + f;
-      set_label blk f;
-      incr rank
-    end;
-    Ext_array.write_block a j blk
-  done;
+  Ext_array.with_span a "butterfly.label" (fun () ->
+      for j = 0 to n - 1 do
+        let blk = Ext_array.read_block a j in
+        if not (Block.is_empty blk) then begin
+          let f = factor !rank in
+          if f < 0 || j + f >= n then invalid_arg "Butterfly.expand: factor out of range";
+          if j + f <= !last_dest then
+            invalid_arg "Butterfly.expand: destinations must be strictly increasing";
+          last_dest := j + f;
+          set_label blk f;
+          incr rank
+        end;
+        Ext_array.write_block a j blk
+      done);
   route_all a ~m ~direction:`Expand
 
 let naive_levels a =

@@ -10,7 +10,8 @@ let run ?(distinguished = fun (_ : Cell.item) -> true) ~into a =
         d
     | None -> Ext_array.create (Ext_array.storage a) ~blocks:n
   in
-  if n > 0 then begin
+  if n > 0 then
+    Ext_array.with_span a "consolidation" (fun () ->
     (* Alice's pending queue never holds 2B or more items: each step adds
        at most B and drains B whenever it reaches B. *)
     let pending = Queue.create () in
@@ -39,8 +40,7 @@ let run ?(distinguished = fun (_ : Cell.item) -> true) ~into a =
     (* After every scan step at most one block's worth is pending, and
        the final emit drains it entirely. *)
     assert (Queue.length pending <= b);
-    Ext_array.write_block dst (n - 1) (emit_block ())
-  end;
+    Ext_array.write_block dst (n - 1) (emit_block ()));
   dst
 
 let occupied_prefix_property a =

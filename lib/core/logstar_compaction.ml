@@ -37,8 +37,8 @@ let compact_regions cache ~rho ~prefix a =
       let blk = Cache.load cache (Ext_array.addr a i) in
       if not (Block.is_empty blk) then begin
         incr count;
-        if !count <= prefix then occupied := (Block.copy blk, i) :: !occupied
-        else overflow := (Block.copy blk, i) :: !overflow
+        if !count <= prefix then occupied := (blk, i) :: !occupied
+        else overflow := (blk, i) :: !overflow
       end;
       Cache.drop cache (Ext_array.addr a i)
     done;
@@ -73,9 +73,10 @@ let run ?(c0 = 8) ?key ?sparse_threshold ~m ~rng ~capacity a =
     let n0 = Ext_array.blocks a in
     let cache = Cache.create storage ~capacity:(max 2 m) in
     (* Initial c0 A-to-main thinning passes. *)
-    for _ = 1 to c0 do
-      Thinning.pass ~rng ~src:a ~dst:main
-    done;
+    Ext_array.with_span a "logstar.thin0" (fun () ->
+        for _ = 1 to c0 do
+          Thinning.pass ~rng ~src:a ~dst:main
+        done);
     (* Tower phases. *)
     let sparse_threshold =
       match sparse_threshold with
@@ -92,7 +93,8 @@ let run ?(c0 = 8) ?key ?sparse_threshold ~m ~rng ~capacity a =
       let t_i = Emodel.tower_of_twos !i in
       let budget = if t_i >= 64 then 0 else r / (t_i * t_i * t_i * t_i) in
       if budget <= sparse_threshold || t_i >= 64 || budget = 0 then continue := false
-      else begin
+      else Ext_array.with_span a "logstar.phase" @@ fun () ->
+      begin
         incr phases;
         (* Thinning-out: two A-to-C passes, t_i C-to-main passes, then A
            grows by C. *)
@@ -138,6 +140,7 @@ let run ?(c0 = 8) ?key ?sparse_threshold ~m ~rng ~capacity a =
       end
     done;
     (* Final sparse compaction of whatever remains into the reserve. *)
+    Ext_array.with_span a "logstar.final" @@ fun () ->
     let key = match key with Some k -> k | None -> Odex_crypto.Prf.key_of_int 0x106 in
     let ok = ref true in
     let final_capacity = reserve in

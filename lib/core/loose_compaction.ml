@@ -19,9 +19,11 @@ let halve_regions cache ~rho src dst =
     let out_len = min half (Ext_array.blocks dst - out_lo) in
     (* Gather the region. *)
     let occupied = ref [] in
+    (* [Cache.load] returns a caller-owned copy, so the gathered blocks
+       stay valid after the drop. *)
     for i = lo + len - 1 downto lo do
       let blk = Cache.load cache (Ext_array.addr src i) in
-      if not (Block.is_empty blk) then occupied := Block.copy blk :: !occupied;
+      if not (Block.is_empty blk) then occupied := blk :: !occupied;
       Cache.drop cache (Ext_array.addr src i)
     done;
     if List.length !occupied > out_len then ok := false;
@@ -67,25 +69,27 @@ let run ?(c0 = 4) ?(c1 = 3) ?(sorter = Odex_sortnet.Ext_sort.auto) ~m ~rng ~capa
     in
     let ok = ref true in
     let cur = ref a in
-    while Ext_array.blocks !cur > threshold do
-      for _ = 1 to c0 do
-        Thinning.pass ~rng ~src:!cur ~dst:c_region
-      done;
-      let next =
-        Ext_array.create storage
-          ~blocks:(Emodel.ceil_div (Ext_array.blocks !cur) rho * ((rho + 1) / 2))
-      in
-      if not (halve_regions cache ~rho !cur next) then ok := false;
-      cur := next
-    done;
+    Ext_array.with_span a "loose.halving" (fun () ->
+        while Ext_array.blocks !cur > threshold do
+          for _ = 1 to c0 do
+            Thinning.pass ~rng ~src:!cur ~dst:c_region
+          done;
+          let next =
+            Ext_array.create storage
+              ~blocks:(Emodel.ceil_div (Ext_array.blocks !cur) rho * ((rho + 1) / 2))
+          in
+          if not (halve_regions cache ~rho !cur next) then ok := false;
+          cur := next
+        done);
     (* Final deterministic compression of the residue: occupied cells
        first, then copy the first [capacity] blocks to the output tail. *)
-    Odex_sortnet.Ext_sort.run sorter ~m !cur;
-    for i = 0 to capacity - 1 do
-      let blk =
-        if i < Ext_array.blocks !cur then Ext_array.read_block !cur i else Block.make b
-      in
-      Ext_array.write_block dest ((4 * capacity) + i) blk
-    done;
+    Ext_array.with_span a "loose.final-sort" (fun () ->
+        Odex_sortnet.Ext_sort.run sorter ~m !cur;
+        for i = 0 to capacity - 1 do
+          let blk =
+            if i < Ext_array.blocks !cur then Ext_array.read_block !cur i else Block.make b
+          in
+          Ext_array.write_block dest ((4 * capacity) + i) blk
+        done);
     { dest; ok = !ok }
   end

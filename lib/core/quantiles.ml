@@ -2,8 +2,9 @@ open Odex_extmem
 
 type result = { quantiles : Cell.item array; ok : bool }
 
-let cmp_items (x : Cell.item) (y : Cell.item) =
-  Cell.compare_keys (Cell.Item x) (Cell.Item y)
+(* As in Selection: one caller-supplied cell ordering drives every
+   comparison — private sorts, oblivious sorts and interval tests. *)
+let cmp_items cmp (x : Cell.item) (y : Cell.item) = cmp (Cell.Item x) (Cell.Item y)
 
 let rank_of_quantile ~total ~q i =
   if i < 1 || i > q then invalid_arg "Quantiles.rank_of_quantile: bad index";
@@ -27,8 +28,8 @@ let grab_many a ranks out =
       (Ext_array.read_block a i)
   done
 
-let private_quantiles ~q items =
-  let sorted = List.sort cmp_items items in
+let private_quantiles ~cmp ~q items =
+  let sorted = List.sort (cmp_items cmp) items in
   let arr = Array.of_list sorted in
   let total = Array.length arr in
   if total = 0 then { quantiles = Array.make q dummy_item; ok = false }
@@ -39,7 +40,7 @@ let private_quantiles ~q items =
     }
 
 (* Base case: array fits in cache. *)
-let in_cache ~m ~q a =
+let in_cache ~cmp ~m ~q a =
   let n = Ext_array.blocks a in
   let cache = Cache.create (Ext_array.storage a) ~capacity:m in
   let items = ref [] in
@@ -48,10 +49,10 @@ let in_cache ~m ~q a =
     Array.iter (fun c -> match c with Cell.Empty -> () | Cell.Item it -> items := it :: !items) blk;
     Cache.drop cache (Ext_array.addr a i)
   done;
-  private_quantiles ~q !items
+  private_quantiles ~cmp ~q !items
 
 (* Easy case (M/B)^4 >= N/B: sort a copy deterministically, scan. *)
-let by_sorting ~m ~q a =
+let by_sorting ~cmp ~m ~q a =
   let n = Ext_array.blocks a in
   let storage = Ext_array.storage a in
   let copy = Ext_array.create storage ~blocks:n in
@@ -61,7 +62,7 @@ let by_sorting ~m ~q a =
     total := !total + Block.count_items blk;
     Ext_array.write_block copy i blk
   done;
-  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~m copy;
+  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~cmp ~m copy;
   if !total = 0 then { quantiles = Array.make q dummy_item; ok = false }
   else begin
     let ranks = Array.init q (fun i -> rank_of_quantile ~total:!total ~q (i + 1)) in
@@ -74,16 +75,16 @@ let by_sorting ~m ~q a =
     }
   end
 
-let run ?key ?delta ~m ~rng ~q a =
+let run ?key ?(cmp = Cell.compare_keys) ?delta ~m ~rng ~q a =
   if q < 1 then invalid_arg "Quantiles.run: q must be >= 1";
   if q > m then invalid_arg "Quantiles.run: q must be <= m (Alice's counters)";
   let n_blocks = Ext_array.blocks a in
   let b = Ext_array.block_size a in
-  if n_blocks <= m then in_cache ~m ~q a
+  if n_blocks <= m then in_cache ~cmp ~m ~q a
   else if
     (* (M/B)^4 >= N/B, guarding against overflow for big m. *)
     m >= 256 || m * m * m * m >= n_blocks
-  then by_sorting ~m ~q a
+  then by_sorting ~cmp ~m ~q a
   else begin
     let ok = ref true in
     (* Count items; one scan. *)
@@ -97,7 +98,10 @@ let run ?key ?delta ~m ~rng ~q a =
       let nf = Float.of_int total in
       let p = Float.pow nf (-0.25) in
       (* 1. Sample and consolidate (per-cell coins). *)
-      let sample, sampled = Selection.consolidate_sample ~rng ~p a in
+      let sample, sampled =
+        Ext_array.with_span a "quantiles.sample" (fun () ->
+            Selection.consolidate_sample ~rng ~p a)
+      in
       let expect = Float.pow nf 0.75 in
       let cap_sample_cells = min total (Float.to_int (expect +. Float.sqrt nf) + 1) in
       if
@@ -105,10 +109,14 @@ let run ?key ?delta ~m ~rng ~q a =
         || Float.of_int sampled < Float.max 1. (expect -. Float.sqrt nf)
       then ok := false;
       let cap_sample_blocks = Emodel.ceil_div cap_sample_cells b + 1 in
-      let c_out = Compaction.tight ?key ~m ~capacity_blocks:cap_sample_blocks sample in
+      let c_out =
+        Ext_array.with_span a "quantiles.compact-sample" (fun () ->
+            Compaction.tight ?key ~m ~capacity_blocks:cap_sample_blocks sample)
+      in
       if not c_out.ok then ok := false;
       let c_arr = c_out.dest in
-      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~m c_arr;
+      Ext_array.with_span a "quantiles.sort-sample" (fun () ->
+          Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~cmp ~m c_arr);
       let s = sampled in
       let sf = Float.of_int (max 1 s) in
       let d = match delta with Some f -> f sf | None -> 3. *. Float.sqrt sf in
@@ -123,24 +131,26 @@ let run ?key ?delta ~m ~rng ~q a =
         hi_rank.(i) <- (if h >= 1 && h <= s then h else -1)
       done;
       let lo_grab = Array.make q None and hi_grab = Array.make q None in
-      grab_many c_arr lo_rank lo_grab;
-      grab_many c_arr hi_rank hi_grab;
+      Ext_array.with_span a "quantiles.grab-brackets" (fun () ->
+          grab_many c_arr lo_rank lo_grab;
+          grab_many c_arr hi_rank hi_grab);
       (* Global extremes for unbounded interval ends. *)
       let gmin = ref None and gmax = ref None in
-      for i = 0 to n_blocks - 1 do
-        Array.iter
-          (fun c ->
-            match c with
-            | Cell.Empty -> ()
-            | Cell.Item it ->
-                gmin := Some (match !gmin with None -> it | Some v -> if cmp_items it v < 0 then it else v);
-                gmax := Some (match !gmax with None -> it | Some v -> if cmp_items it v > 0 then it else v))
-          (Ext_array.read_block a i)
-      done;
+      Ext_array.with_span a "quantiles.extremes" (fun () ->
+          for i = 0 to n_blocks - 1 do
+            Array.iter
+              (fun c ->
+                match c with
+                | Cell.Empty -> ()
+                | Cell.Item it ->
+                    gmin := Some (match !gmin with None -> it | Some v -> if cmp_items cmp it v < 0 then it else v);
+                    gmax := Some (match !gmax with None -> it | Some v -> if cmp_items cmp it v > 0 then it else v))
+              (Ext_array.read_block a i)
+          done);
       let gmin = Option.get !gmin and gmax = Option.get !gmax in
       let x = Array.init q (fun i -> Option.value lo_grab.(i) ~default:gmin) in
       let y = Array.init q (fun i -> Option.value hi_grab.(i) ~default:gmax) in
-      let in_interval i it = cmp_items x.(i) it <= 0 && cmp_items it y.(i) <= 0 in
+      let in_interval i it = cmp_items cmp x.(i) it <= 0 && cmp_items cmp it y.(i) <= 0 in
       let in_union it =
         let rec any i = i < q && (in_interval i it || any (i + 1)) in
         any 0
@@ -149,23 +159,24 @@ let run ?key ?delta ~m ~rng ~q a =
          that are in the union, and items inside [x_i, y_i]. *)
       let c_lt = Array.make q 0 and u_lt = Array.make q 0 and c_in = Array.make q 0 in
       let u_total = ref 0 in
-      for blk_i = 0 to n_blocks - 1 do
-        Array.iter
-          (fun c ->
-            match c with
-            | Cell.Empty -> ()
-            | Cell.Item it ->
-                let u = in_union it in
-                if u then incr u_total;
-                for i = 0 to q - 1 do
-                  if cmp_items it x.(i) < 0 then begin
-                    c_lt.(i) <- c_lt.(i) + 1;
-                    if u then u_lt.(i) <- u_lt.(i) + 1
-                  end;
-                  if in_interval i it then c_in.(i) <- c_in.(i) + 1
-                done)
-          (Ext_array.read_block a blk_i)
-      done;
+      Ext_array.with_span a "quantiles.count" (fun () ->
+          for blk_i = 0 to n_blocks - 1 do
+            Array.iter
+              (fun c ->
+                match c with
+                | Cell.Empty -> ()
+                | Cell.Item it ->
+                    let u = in_union it in
+                    if u then incr u_total;
+                    for i = 0 to q - 1 do
+                      if cmp_items cmp it x.(i) < 0 then begin
+                        c_lt.(i) <- c_lt.(i) + 1;
+                        if u then u_lt.(i) <- u_lt.(i) + 1
+                      end;
+                      if in_interval i it then c_in.(i) <- c_in.(i) + 1
+                    done)
+              (Ext_array.read_block a blk_i)
+          done);
       (* Capacity for the union of intervals. *)
       let per_interval = Float.to_int (((4. *. d) +. 4.) *. nf /. sf) + 1 in
       let cap_u_cells = min total (q * per_interval) in
@@ -176,17 +187,24 @@ let run ?key ?delta ~m ~rng ~q a =
         if not (ranks.(i) > c_lt.(i) && ranks.(i) <= c_lt.(i) + c_in.(i)) then ok := false
       done;
       (* 5. Consolidate the union, compact it loosely, sort it. *)
-      let t_arr = Consolidation.run ~distinguished:in_union ~into:None a in
+      let t_arr =
+        Ext_array.with_span a "quantiles.consolidate-union" (fun () ->
+            Consolidation.run ~distinguished:in_union ~into:None a)
+      in
       let cap_u_blocks = Emodel.ceil_div cap_u_cells b + 1 in
-      let d_out = Compaction.loose ~m ~rng ~capacity_blocks:cap_u_blocks t_arr in
+      let d_out =
+        Ext_array.with_span a "quantiles.compact-union" (fun () ->
+            Compaction.loose ~m ~rng ~capacity_blocks:cap_u_blocks t_arr)
+      in
       if not d_out.ok then ok := false;
       let d_arr = d_out.dest in
-      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~m d_arr;
+      Ext_array.with_span a "quantiles.sort-union" (fun () ->
+          Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~cmp ~m d_arr);
       (* 6. One scan of the sorted union: quantile i is the item of rank
          ranks_i - (c_lt_i - u_lt_i) within the union. *)
       let local = Array.init q (fun i -> ranks.(i) - (c_lt.(i) - u_lt.(i))) in
       let out = Array.make q None in
-      grab_many d_arr local out;
+      Ext_array.with_span a "quantiles.grab-final" (fun () -> grab_many d_arr local out);
       let got = Array.map (function Some it -> it | None -> dummy_item) out in
       if not (Array.for_all Option.is_some out) then ok := false;
       (* Verified bracket membership. *)

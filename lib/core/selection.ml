@@ -2,11 +2,13 @@ open Odex_extmem
 
 type result = { item : Cell.item option; ok : bool }
 
-let cmp_items (x : Cell.item) (y : Cell.item) =
-  Cell.compare_keys (Cell.Item x) (Cell.Item y)
-
-let min_item a b = if cmp_items a b <= 0 then a else b
-let max_item a b = if cmp_items a b >= 0 then a else b
+(* Every comparison below goes through the caller's [cmp] (a cell
+   ordering, as in Ext_sort): mixing orders between the private sorts,
+   the oblivious sorts and the bracketing scans would silently select
+   the wrong rank. *)
+let cmp_items cmp (x : Cell.item) (y : Cell.item) = cmp (Cell.Item x) (Cell.Item y)
+let min_item cmp a b = if cmp_items cmp a b <= 0 then a else b
+let max_item cmp a b = if cmp_items cmp a b >= 0 then a else b
 
 (* Count of items in [a]; one scan. *)
 let count_items a =
@@ -77,7 +79,7 @@ let grab_ranks a r1 r2 =
   (!g1, !g2)
 
 (* Base case: the whole array fits in cache; trace is one scan. *)
-let select_in_cache ~m ~k a =
+let select_in_cache ~cmp ~m ~k a =
   let n = Ext_array.blocks a in
   let cache = Cache.create (Ext_array.storage a) ~capacity:m in
   let items = ref [] in
@@ -86,21 +88,21 @@ let select_in_cache ~m ~k a =
     Array.iter (fun c -> match c with Cell.Empty -> () | Cell.Item it -> items := it :: !items) blk;
     Cache.drop cache (Ext_array.addr a i)
   done;
-  let sorted = List.sort cmp_items !items in
+  let sorted = List.sort (cmp_items cmp) !items in
   match List.nth_opt sorted (k - 1) with
   | Some it -> { item = Some it; ok = true }
   | None -> { item = None; ok = false }
 
 (* Degenerate regime (the in-range capacity is not smaller than the
    array): sort everything obliviously and scan for the rank. *)
-let select_by_sorting ~m ~k a =
-  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~m a;
+let select_by_sorting ~cmp ~m ~k a =
+  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~cmp ~m a;
   let got, _ = grab_ranks a k (-1) in
   { item = got; ok = got <> None }
 
-let rec go ?key ~m ~rng ~exponent ~delta ~k a =
+let rec go ?key ~cmp ~m ~rng ~exponent ~delta ~k a =
   let n_blocks = Ext_array.blocks a in
-  if n_blocks <= m then select_in_cache ~m ~k a
+  if n_blocks <= m then select_in_cache ~cmp ~m ~k a
   else begin
     let b = Ext_array.block_size a in
     let total = count_items a in
@@ -116,20 +118,26 @@ let rec go ?key ~m ~rng ~exponent ~delta ~k a =
     let d = match delta with Some f -> f s0 | None -> Float.pow s0 0.75 in
     let d = Float.max 1. d in
     let cap_in_cells = min total (Float.to_int (4. *. d /. p) + 1) in
-    if cap_in_cells >= total then select_by_sorting ~m ~k a
+    if cap_in_cells >= total then select_by_sorting ~cmp ~m ~k a
     else begin
       let ok = ref true in
       (* 1. Sample w.p. N^{-e} and consolidate. *)
-      let sample, sampled = consolidate_sample ~rng ~p a in
+      let sample, sampled =
+        Ext_array.with_span a "selection.sample" (fun () -> consolidate_sample ~rng ~p a)
+      in
       let cap_sample_cells = min total (Float.to_int (s0 +. d) + 1) in
       let cap_sample_blocks = Emodel.ceil_div cap_sample_cells b + 1 in
       if Float.of_int sampled > s0 +. d || Float.of_int sampled < Float.max 1. (s0 -. d) then
         ok := false;
       (* 2. Tight-compact the sample (Theorem 4 regime) and sort it. *)
-      let c_out = Compaction.tight ?key ~m ~capacity_blocks:cap_sample_blocks sample in
+      let c_out =
+        Ext_array.with_span a "selection.compact-sample" (fun () ->
+            Compaction.tight ?key ~m ~capacity_blocks:cap_sample_blocks sample)
+      in
       if not c_out.ok then ok := false;
       let c_arr = c_out.dest in
-      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~m c_arr;
+      Ext_array.with_span a "selection.sort-sample" (fun () ->
+          Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~cmp ~m c_arr);
       (* 3. Bracket ranks (Lemma 11). *)
       let s = sampled in
       let ix = Float.to_int (Float.ceil ((Float.of_int k *. p) -. d)) in
@@ -137,58 +145,72 @@ let rec go ?key ~m ~rng ~exponent ~delta ~k a =
         s - Float.to_int (Float.ceil ((Float.of_int (total - k) *. p) -. (2. *. d)))
       in
       let want r = if r >= 1 && r <= s then r else -1 in
-      let x_opt, y_opt = grab_ranks c_arr (want ix) (want iy) in
+      let x_opt, y_opt =
+        Ext_array.with_span a "selection.grab-brackets" (fun () ->
+            grab_ranks c_arr (want ix) (want iy))
+      in
       (* 4. Global min and max; combine. *)
       let lo = ref None and hi = ref None in
-      for i = 0 to n_blocks - 1 do
-        Array.iter
-          (fun c ->
-            match c with
-            | Cell.Empty -> ()
-            | Cell.Item it ->
-                lo := Some (match !lo with None -> it | Some v -> min_item v it);
-                hi := Some (match !hi with None -> it | Some v -> max_item v it))
-          (Ext_array.read_block a i)
-      done;
+      Ext_array.with_span a "selection.extremes" (fun () ->
+          for i = 0 to n_blocks - 1 do
+            Array.iter
+              (fun c ->
+                match c with
+                | Cell.Empty -> ()
+                | Cell.Item it ->
+                    lo := Some (match !lo with None -> it | Some v -> min_item cmp v it);
+                    hi := Some (match !hi with None -> it | Some v -> max_item cmp v it))
+              (Ext_array.read_block a i)
+          done);
       let x =
         match (x_opt, !lo) with
-        | Some x', Some x'' -> max_item x' x''
+        | Some x', Some x'' -> max_item cmp x' x''
         | None, Some x'' -> x''
         | _, None -> assert false
       in
       let y =
         match (y_opt, !hi) with
-        | Some y', Some y'' -> min_item y' y''
+        | Some y', Some y'' -> min_item cmp y' y''
         | None, Some y'' -> y''
         | _, None -> assert false
       in
-      let in_range it = cmp_items x it <= 0 && cmp_items it y <= 0 in
+      let in_range it = cmp_items cmp x it <= 0 && cmp_items cmp it y <= 0 in
       (* 5. Count below x and in range; one scan. *)
       let c_lt = ref 0 and c_in = ref 0 in
-      for i = 0 to n_blocks - 1 do
-        Array.iter
-          (fun c ->
-            match c with
-            | Cell.Empty -> ()
-            | Cell.Item it ->
-                if cmp_items it x < 0 then incr c_lt;
-                if in_range it then incr c_in)
-          (Ext_array.read_block a i)
-      done;
+      Ext_array.with_span a "selection.count" (fun () ->
+          for i = 0 to n_blocks - 1 do
+            Array.iter
+              (fun c ->
+                match c with
+                | Cell.Empty -> ()
+                | Cell.Item it ->
+                    if cmp_items cmp it x < 0 then incr c_lt;
+                    if in_range it then incr c_in)
+              (Ext_array.read_block a i)
+          done);
       let cap_in_blocks = Emodel.ceil_div cap_in_cells b + 1 in
       if !c_in > cap_in_cells || k <= !c_lt || k > !c_lt + !c_in then ok := false;
       (* 6. Consolidate the in-range items and tightly compact them (the
          facade picks the cheaper of Theorem 4 and Theorem 6 from public
          parameters). *)
-      let t_arr = Consolidation.run ~distinguished:in_range ~into:None a in
-      let d_out = Compaction.tight ?key ~m ~capacity_blocks:cap_in_blocks t_arr in
+      let t_arr =
+        Ext_array.with_span a "selection.consolidate-range" (fun () ->
+            Consolidation.run ~distinguished:in_range ~into:None a)
+      in
+      let d_out =
+        Ext_array.with_span a "selection.compact-range" (fun () ->
+            Compaction.tight ?key ~m ~capacity_blocks:cap_in_blocks t_arr)
+      in
       if not d_out.ok then ok := false;
       let d_arr = d_out.dest in
       (* 7. Recurse on the bracketed residue (it fits in cache after
          O(1) levels; the paper sorts it instead — same result, and the
          recursion keeps the total I/O linear at practical sizes). *)
       if !ok then begin
-        let sub = go ?key ~m ~rng ~exponent ~delta ~k:(k - !c_lt) d_arr in
+        let sub =
+          Ext_array.with_span a "selection.recurse" (fun () ->
+              go ?key ~cmp ~m ~rng ~exponent ~delta ~k:(k - !c_lt) d_arr)
+        in
         { item = sub.item; ok = sub.ok }
       end
       else begin
@@ -198,13 +220,17 @@ let rec go ?key ~m ~rng ~exponent ~delta ~k a =
         if residue_items = 0 then { item = None; ok = false }
         else
           let k' = max 1 (min residue_items (k - !c_lt)) in
-          let sub = go ?key ~m ~rng ~exponent ~delta ~k:k' d_arr in
+          let sub =
+            Ext_array.with_span a "selection.recurse" (fun () ->
+                go ?key ~cmp ~m ~rng ~exponent ~delta ~k:k' d_arr)
+          in
           { item = sub.item; ok = false }
       end
     end
   end
 
-let select ?key ?(exponent = 0.5) ~m ~rng ~k a = go ?key ~m ~rng ~exponent ~delta:None ~k a
+let select ?key ?(cmp = Cell.compare_keys) ?(exponent = 0.5) ~m ~rng ~k a =
+  go ?key ~cmp ~m ~rng ~exponent ~delta:None ~k a
 
-let select_with_delta ?key ?(exponent = 0.5) ~m ~rng ~delta ~k a =
-  go ?key ~m ~rng ~exponent ~delta:(Some delta) ~k a
+let select_with_delta ?key ?(cmp = Cell.compare_keys) ?(exponent = 0.5) ~m ~rng ~delta ~k a =
+  go ?key ~cmp ~m ~rng ~exponent ~delta:(Some delta) ~k a

@@ -39,6 +39,7 @@ val consolidate_sample :
 
 val select :
   ?key:Odex_crypto.Prf.key ->
+  ?cmp:(Cell.t -> Cell.t -> int) ->
   ?exponent:float ->
   m:int ->
   rng:Odex_crypto.Rng.t ->
@@ -46,6 +47,12 @@ val select :
   Ext_array.t ->
   result
 (** [select ~m ~rng ~k a]: the input array may interleave empty cells;
+    [key] is the PRF key handed to the Theorem 4 IBLT compaction engine
+    (it seeds the sparse-compaction hashing, {e not} the ordering);
+    [cmp] is the ordering that defines rank — it must order [Cell.Empty]
+    after every item, defaults to {!Cell.compare_keys}, and is used
+    consistently by every private sort, oblivious sort and bracketing
+    scan.
     [k] ranges over the items. Arrays that fit in cache are handled by a
     direct private sort (trace: one scan). The input array is preserved.
     Instead of sorting the bracketed residue outright, the algorithm
@@ -56,6 +63,7 @@ val select :
 
 val select_with_delta :
   ?key:Odex_crypto.Prf.key ->
+  ?cmp:(Cell.t -> Cell.t -> int) ->
   ?exponent:float ->
   m:int ->
   rng:Odex_crypto.Rng.t ->

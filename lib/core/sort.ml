@@ -68,7 +68,7 @@ let sample_pivots ~m ~rng ~q a =
    the deal carry, loose-compaction region overflow — which failure
    sweeping must NOT be allowed to mask: sweeping restores sortedness,
    not lost items. The per-node boolean tracks repairable unsortedness. *)
-let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~depth ~path a =
+let rec sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~depth ~path a =
   let n = Ext_array.blocks a in
   let b_sz = Ext_array.block_size a in
   (* Regime selection is public (n, m, B only). *)
@@ -96,12 +96,15 @@ let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~dama
     let ok = ref (not (inject_failure path)) in
     (* 1. Bucket pivots from a one-scan private sample. *)
     let q = colors - 1 in
-    let pivots = sample_pivots ~m ~rng ~q a in
+    let pivots = Ext_array.with_span a "sort.pivots" (fun () -> sample_pivots ~m ~rng ~q a) in
     let color_of = color_of_pivots pivots in
     (* 2. Monochromatic consolidation. *)
-    let consolidated = Multiway.consolidate ~colors ~color_of a in
+    let consolidated =
+      Ext_array.with_span a "sort.consolidate" (fun () ->
+          Multiway.consolidate ~colors ~color_of a)
+    in
     (* 3. Shuffle and deal. *)
-    Shuffle_deal.shuffle ~rng consolidated;
+    Ext_array.with_span a "sort.shuffle" (fun () -> Shuffle_deal.shuffle ~rng consolidated);
     let window = max (2 * colors) (m / 2) in
     let per_color = Emodel.ceil_div window colors in
     (* Quota just above the mean rate; bursts ride in the carry buffer
@@ -110,7 +113,9 @@ let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~dama
       per_color + max 2 (Float.to_int (Float.ceil (Float.sqrt (Float.of_int per_color))))
     in
     let { Shuffle_deal.outputs; ok = deal_ok } =
-      Shuffle_deal.deal ~colors ~color_of ~window ~quota ~carry_budget:(m / 2) consolidated
+      Ext_array.with_span a "sort.deal" (fun () ->
+          Shuffle_deal.deal ~colors ~color_of ~window ~quota ~carry_budget:(m / 2)
+            consolidated)
     in
     if not deal_ok then begin ok := false; damage := true end;
     (* 4. Compact each bucket — or don't. The deal output is only ~2x
@@ -143,12 +148,13 @@ let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~dama
           else { Compaction.dest = Ext_array.sub c_arr ~off:0 ~len; occupied; ok = true }
     in
     let buckets =
-      Array.map
-        (fun c_arr ->
-          let out = compact_bucket c_arr in
-          if not out.Compaction.ok then begin ok := false; damage := true end;
-          out.Compaction.dest)
-        outputs
+      Ext_array.with_span a "sort.compact-buckets" (fun () ->
+          Array.map
+            (fun c_arr ->
+              let out = compact_bucket c_arr in
+              if not out.Compaction.ok then begin ok := false; damage := true end;
+              out.Compaction.dest)
+            outputs)
     in
     (* Progress guard: if compaction failed to shrink, finish this level
        deterministically instead of recursing forever. *)
@@ -161,7 +167,7 @@ let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~dama
       let sorted =
         Array.mapi
           (fun i d ->
-            sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage
+            sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage
               ~depth:(depth + 1)
               ~path:((path * 64) + i + 1)
               d)
@@ -174,7 +180,9 @@ let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~dama
          revealing which ones failed. As in the paper, it runs once, at
          the level where the recursive calls return to the top. *)
       if depth = 0 && sweep then begin
-        let swept_ok = Failure_sweep.sweep ~m sorted sub_ok in
+        let swept_ok =
+          Ext_array.with_span a "sort.sweep" (fun () -> Failure_sweep.sweep ~m sorted sub_ok)
+        in
         if not swept_ok then ok := false
       end
       else if Array.exists not sub_ok then ok := false;
@@ -194,24 +202,24 @@ let rec sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~dama
     end
   end
 
-let sort_padded ?key ?(sweep = true) ?(bucket_engine = `Auto) ~m ~rng a =
+let sort_padded ?(sweep = true) ?(bucket_engine = `Auto) ~m ~rng a =
   let damage = ref false in
   let arr, ok =
-    sort_padded_rec ?key ~m ~rng ~inject_failure:(fun _ -> false) ~sweep ~bucket_engine
+    sort_padded_rec ~m ~rng ~inject_failure:(fun _ -> false) ~sweep ~bucket_engine
       ~damage ~depth:0 ~path:0 a
   in
   (arr, ok && not !damage)
 
-let sort_padded_with_injection ?key ?(sweep = true) ?(bucket_engine = `Auto) ~m ~rng
+let sort_padded_with_injection ?(sweep = true) ?(bucket_engine = `Auto) ~m ~rng
     ~inject_failure a =
   let damage = ref false in
   let arr, ok =
-    sort_padded_rec ?key ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~depth:0
+    sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~depth:0
       ~path:0 a
   in
   (arr, ok && not !damage)
 
-let run ?key ?sweep ?bucket_engine ~m ~rng a =
+let run ?sweep ?bucket_engine ~m ~rng a =
   let n = Ext_array.blocks a in
   let storage = Ext_array.storage a in
   (* Work on a copy so [a]'s final state is exactly the dense sorted
@@ -220,10 +228,11 @@ let run ?key ?sweep ?bucket_engine ~m ~rng a =
   for i = 0 to n - 1 do
     Ext_array.write_block work i (Ext_array.read_block a i)
   done;
-  let padded, ok = sort_padded ?key ?sweep ?bucket_engine ~m ~rng work in
+  let padded, ok = sort_padded ?sweep ?bucket_engine ~m ~rng work in
   (* Final pass (paper: "we perform a tight order-preserving compaction
      for all of A using Theorem 6"): consolidate cells into full blocks
      in sorted order, compact the blocks to the front, copy back. *)
+  Ext_array.with_span a "sort.finalize" @@ fun () ->
   let consolidated = Consolidation.run ~into:None padded in
   let occupied = Butterfly.compact ~m consolidated in
   let ok = ok && occupied <= n in

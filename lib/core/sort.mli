@@ -39,7 +39,6 @@ type outcome = {
 }
 
 val run :
-  ?key:Odex_crypto.Prf.key ->
   ?sweep:bool ->
   ?bucket_engine:[ `Auto | `Skip | `Loose | `Butterfly ] ->
   m:int ->
@@ -51,7 +50,6 @@ val run :
     Requires [m >= 3]. *)
 
 val sort_padded :
-  ?key:Odex_crypto.Prf.key ->
   ?sweep:bool ->
   ?bucket_engine:[ `Auto | `Skip | `Loose | `Butterfly ] ->
   m:int ->
@@ -63,7 +61,6 @@ val sort_padded :
     the paper's padded sorting. Exposed for tests and benches. *)
 
 val sort_padded_with_injection :
-  ?key:Odex_crypto.Prf.key ->
   ?sweep:bool ->
   ?bucket_engine:[ `Auto | `Skip | `Loose | `Butterfly ] ->
   m:int ->

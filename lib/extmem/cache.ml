@@ -26,31 +26,40 @@ let reserve t addr =
     if r > t.peak then t.peak <- r
   end
 
-let load t addr =
+let find_resident t addr =
   match Hashtbl.find_opt t.table addr with
   | Some blk -> blk
+  | None -> invalid_arg (Printf.sprintf "Cache: block %d not resident" addr)
+
+(* Blocks cross the API boundary by value: [load]/[get] return copies
+   and [put] stores a copy, so a caller mutating its buffer can never
+   silently corrupt the resident copy. In-place mutation of the
+   resident block goes through [borrow] explicitly. *)
+
+let load t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some blk -> Block.copy blk
   | None ->
       reserve t addr;
       let blk = Storage.read t.storage addr in
       Hashtbl.replace t.table addr blk;
-      blk
+      Block.copy blk
 
-let get t addr =
-  match Hashtbl.find_opt t.table addr with
-  | Some blk -> blk
-  | None -> invalid_arg (Printf.sprintf "Cache.get: block %d not resident" addr)
+let get t addr = Block.copy (find_resident t addr)
+
+let borrow t addr = find_resident t addr
 
 let put t addr blk =
   reserve t addr;
-  Hashtbl.replace t.table addr blk
+  Hashtbl.replace t.table addr (Block.copy blk)
 
 let flush t addr =
-  let blk = get t addr in
+  let blk = find_resident t addr in
   Storage.write t.storage addr blk;
   Hashtbl.remove t.table addr
 
 let write_through t addr =
-  let blk = get t addr in
+  let blk = find_resident t addr in
   Storage.write t.storage addr blk
 
 let drop t addr = Hashtbl.remove t.table addr

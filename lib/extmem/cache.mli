@@ -23,16 +23,23 @@ val is_resident : t -> int -> bool
 
 val load : t -> int -> Block.t
 (** [load c addr] brings the block in (one read I/O) unless already
-    resident, and returns the private copy. Mutating the returned array
-    updates the resident copy (it is shared). *)
+    resident, and returns a {e copy}. Mutating the returned array never
+    affects the resident copy; use {!borrow} for in-place mutation. *)
 
 val get : t -> int -> Block.t
-(** Access an already-resident block; no I/O.
+(** A copy of an already-resident block; no I/O.
+    @raise Invalid_argument if not resident. *)
+
+val borrow : t -> int -> Block.t
+(** The resident block itself (shared, no copy); no I/O. Mutations are
+    seen by subsequent [flush]/[write_through]. The reference is only
+    valid until the block is evicted.
     @raise Invalid_argument if not resident. *)
 
 val put : t -> int -> Block.t -> unit
-(** Install a block under an address without any I/O (e.g., a block Alice
-    constructed privately). Counts against capacity. *)
+(** Install a copy of a block under an address without any I/O (e.g., a
+    block Alice constructed privately). Counts against capacity; the
+    caller keeps ownership of its buffer. *)
 
 val flush : t -> int -> unit
 (** Write the resident copy back (one write I/O) and evict it. *)

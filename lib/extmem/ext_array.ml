@@ -28,6 +28,8 @@ let sub t ~off ~len =
 let read_block t i = Storage.read t.storage (addr t i)
 let write_block t i blk = Storage.write t.storage (addr t i) blk
 
+let with_span t label f = Trace.with_span (Storage.trace t.storage) label f
+
 let concat_views a b =
   if a.storage == b.storage && a.base + a.blocks = b.base then
     Some { a with blocks = a.blocks + b.blocks }

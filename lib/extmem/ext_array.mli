@@ -34,6 +34,12 @@ val read_block : t -> int -> Block.t
 val write_block : t -> int -> Block.t -> unit
 (** Counted I/O. *)
 
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span a label f] runs [f ()] inside a labelled span of the
+    underlying storage's trace (see {!Trace.with_span}): if two runs'
+    traces diverge, the span boundaries pinpoint the phase. Labels must
+    depend only on public parameters, never on data. *)
+
 val concat_views : t -> t -> t option
 (** [concat_views a b] is the single window covering both iff they are
     adjacent in storage ([a] directly before [b]). *)

@@ -1,26 +1,36 @@
-type t = { mutable reads : int; mutable writes : int }
-
-let create () = { reads = 0; writes = 0 }
-
-let record_read t = t.reads <- t.reads + 1
-let record_write t = t.writes <- t.writes + 1
-
-let reads t = t.reads
-let writes t = t.writes
-let total t = t.reads + t.writes
-
-let reset t =
-  t.reads <- 0;
-  t.writes <- 0
-
 type snapshot = { reads : int; writes : int }
 
-let snapshot (t : t) : snapshot = { reads = t.reads; writes = t.writes }
+type t = {
+  mutable r : int;
+  mutable w : int;
+  mutable last_span : snapshot option;
+}
 
+let create () = { r = 0; w = 0; last_span = None }
+
+let record_read t = t.r <- t.r + 1
+let record_write t = t.w <- t.w + 1
+
+let reads t = t.r
+let writes t = t.w
+let total t = t.r + t.w
+
+let reset t =
+  t.r <- 0;
+  t.w <- 0;
+  t.last_span <- None
+
+let snapshot (t : t) : snapshot = { reads = t.r; writes = t.w }
+
+(* Exception-safe: the delta is recorded in [last_span] even when [f]
+   raises (e.g. a Cache.Overflow mid-measurement), so an enclosing
+   harness can still attribute the I/Os of the aborted phase. *)
 let span t f =
   let before = snapshot t in
-  let result = f () in
-  let after = snapshot t in
-  (result, { reads = after.reads - before.reads; writes = after.writes - before.writes })
+  let delta () = { reads = t.r - before.reads; writes = t.w - before.writes } in
+  let result = Fun.protect ~finally:(fun () -> t.last_span <- Some (delta ())) f in
+  (result, delta ())
 
-let pp ppf (t : t) = Format.fprintf ppf "reads=%d writes=%d total=%d" t.reads t.writes (total t)
+let last_span t = t.last_span
+
+let pp ppf (t : t) = Format.fprintf ppf "reads=%d writes=%d total=%d" t.r t.w (total t)

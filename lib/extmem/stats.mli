@@ -23,6 +23,11 @@ val snapshot : t -> snapshot
 
 val span : t -> (unit -> 'a) -> 'a * snapshot
 (** [span t f] runs [f] and returns its result together with the I/Os it
-    performed. *)
+    performed. Exception-safe: if [f] raises (e.g. {!Cache.Overflow}
+    mid-span), the measured delta is still recorded and retrievable via
+    {!last_span} before the exception propagates. *)
+
+val last_span : t -> snapshot option
+(** The I/O delta of the most recently completed (or aborted) [span]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -2,14 +2,26 @@ type op = Read of int | Write of int
 
 type mode = Off | Digest | Full
 
+type span = {
+  label : string;
+  depth : int;
+  start_length : int;
+  start_hash : int64;
+  end_length : int;
+  end_hash : int64;
+}
+
 type t = {
   mode : mode;
   mutable length : int;
   mutable hash : int64;
   mutable rev_ops : op list;
+  mutable depth : int;
+  mutable rev_spans : span list;
 }
 
-let create mode = { mode; length = 0; hash = 0L; rev_ops = [] }
+let create mode =
+  { mode; length = 0; hash = 0L; rev_ops = []; depth = 0; rev_spans = [] }
 
 let mode t = t.mode
 
@@ -37,6 +49,34 @@ let length t = t.length
 let digest t = t.hash
 let ops t = List.rev t.rev_ops
 
+(* Span labels are part of the algorithm's public phase structure, never
+   of the data, so they are kept out of the op digest: [equal] still
+   compares exactly what Bob sees. Closing is exception-safe so that a
+   mid-phase Cache.Overflow still leaves a usable span record. *)
+let with_span t label f =
+  match t.mode with
+  | Off -> f ()
+  | Digest | Full ->
+      let start_length = t.length and start_hash = t.hash in
+      let depth = t.depth in
+      t.depth <- depth + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          t.depth <- depth;
+          t.rev_spans <-
+            {
+              label;
+              depth;
+              start_length;
+              start_hash;
+              end_length = t.length;
+              end_hash = t.hash;
+            }
+            :: t.rev_spans)
+        f
+
+let spans t = List.rev t.rev_spans
+
 let equal a b =
   a.length = b.length && a.hash = b.hash
   &&
@@ -44,14 +84,55 @@ let equal a b =
   | Full, Full -> a.rev_ops = b.rev_ops
   | _ -> true
 
+(* Pinpoint the first labelled span at which two traces part ways.
+   Spans are compared in completion order; the structure (labels,
+   nesting) is public, so a structural mismatch is itself reported. *)
+type divergence =
+  | Identical
+  | In_span of span * span
+  | Structural of string
+  | Outside_spans
+
+let first_divergence a b =
+  if equal a b then Identical
+  else
+    let rec walk sa sb =
+      match (sa, sb) with
+      | [], [] -> Outside_spans
+      | [], s :: _ | s :: _, [] ->
+          Structural (Printf.sprintf "span %S present in only one trace" s.label)
+      | x :: xa, y :: yb ->
+          if x.label <> y.label || x.depth <> y.depth then
+            Structural (Printf.sprintf "span order differs: %S vs %S" x.label y.label)
+          else if x.start_length = y.start_length && x.start_hash = y.start_hash
+                  && (x.end_length <> y.end_length || x.end_hash <> y.end_hash)
+          then In_span (x, y)
+          else walk xa yb
+    in
+    walk (spans a) (spans b)
+
+let diverging_label a b =
+  match first_divergence a b with
+  | Identical -> None
+  | In_span (s, _) -> Some s.label
+  | Structural msg -> Some msg
+  | Outside_spans -> Some "<outside spans>"
+
 let reset t =
   t.length <- 0;
   t.hash <- 0L;
-  t.rev_ops <- []
+  t.rev_ops <- [];
+  t.depth <- 0;
+  t.rev_spans <- []
 
 let pp_op ppf = function
   | Read addr -> Format.fprintf ppf "R%d" addr
   | Write addr -> Format.fprintf ppf "W%d" addr
+
+let pp_span ppf (s : span) =
+  Format.fprintf ppf "%s%s [%d..%d] %Lx"
+    (String.make (2 * s.depth) ' ')
+    s.label s.start_length s.end_length s.end_hash
 
 let pp ppf t =
   match t.mode with

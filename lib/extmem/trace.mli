@@ -11,11 +11,28 @@
     operation (small experiments, pretty-printing the adversary's view);
     [Digest] folds the operations into a rolling 64-bit hash plus a
     length, which suffices for equality testing on multi-million-I/O
-    runs; [Off] records nothing. *)
+    runs; [Off] records nothing.
+
+    Algorithms additionally mark their phases with {!with_span}; spans
+    carry the cumulative digest at entry and exit, so when two traces
+    disagree, {!first_divergence} names the first offending phase
+    instead of just "the run differed somewhere". Labels describe the
+    public phase structure — they never depend on data — and are kept
+    out of the op digest, so {!equal} still compares exactly the
+    address sequence Bob observes. *)
 
 type op = Read of int | Write of int
 
 type mode = Off | Digest | Full
+
+type span = {
+  label : string;
+  depth : int;  (** Nesting depth at which the span was opened. *)
+  start_length : int;
+  start_hash : int64;
+  end_length : int;
+  end_hash : int64;
+}
 
 type t
 
@@ -35,9 +52,38 @@ val ops : t -> op list
 
 val equal : t -> t -> bool
 (** Equality of the recorded views: digests and lengths agree (and full
-    sequences agree when both are [Full]). *)
+    sequences agree when both are [Full]). Span metadata does not
+    participate. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t label f] runs [f], recording a completed span that
+    brackets the I/Os it performed. Exception-safe: the span is closed
+    (and recorded) even if [f] raises. No-op in [Off] mode. Spans may
+    nest; [label] must depend only on public parameters. *)
+
+val spans : t -> span list
+(** Completed spans in completion order. *)
+
+type divergence =
+  | Identical
+  | In_span of span * span
+      (** First span (ours, theirs) whose entry states agree but whose
+          exit digests differ: the offending phase. *)
+  | Structural of string
+      (** The span structures themselves differ — already a leak, since
+          phase structure is public. *)
+  | Outside_spans
+      (** Digests differ but every span pair agrees (the divergence lies
+          in unlabelled I/O). *)
+
+val first_divergence : t -> t -> divergence
+
+val diverging_label : t -> t -> string option
+(** [None] when traces are equal; otherwise a human-readable label of
+    the first point of divergence. *)
 
 val reset : t -> unit
 
 val pp_op : Format.formatter -> op -> unit
+val pp_span : Format.formatter -> span -> unit
 val pp : Format.formatter -> t -> unit

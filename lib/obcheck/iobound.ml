@@ -1,0 +1,70 @@
+open Odex_extmem
+
+type verdict = {
+  name : string;
+  formula : string;
+  actual : int;
+  bound : float;
+  exact : bool;
+  within : bool;
+}
+
+let exact ~name ~formula ~actual expected =
+  { name; formula; actual; bound = Float.of_int expected; exact = true;
+    within = actual = expected }
+
+let upper ~name ~formula ~actual bound =
+  { name; formula; actual; bound; exact = false; within = Float.of_int actual <= bound }
+
+(* Theorem/lemma bounds with constants fitted to this implementation
+   (measured on the E-series workloads; see EXPERIMENTS.md). The shapes
+   are the paper's; the constants are ours and deliberately carry slack
+   so genuine regressions — an extra pass, a quadratic blow-up — trip
+   them while noise does not. *)
+
+let consolidation ~n_blocks ~actual =
+  (* Lemma 3 is exact: one read and one write per block. *)
+  exact ~name:"consolidation" ~formula:"2*(N/B)" ~actual (2 * n_blocks)
+
+let butterfly_compaction ~n_blocks ~m_blocks ~actual =
+  (* Theorem 6: label pass + ceil(log2 n / g) routing phases, each
+     reading and writing every block once (g = log2 of the cache
+     window). *)
+  let n = max 2 n_blocks in
+  let w = 1 lsl Emodel.ilog2_floor (max 2 ((m_blocks + 1) / 2)) in
+  let g = max 1 (Emodel.ilog2_floor w) in
+  let phases = Emodel.ceil_div (Emodel.ilog2_ceil n) g in
+  upper ~name:"butterfly" ~formula:"2*(N/B)*(1 + ceil(log N/B / g))"
+    ~actual
+    (Float.of_int (2 * n_blocks * (1 + phases)))
+
+let selection ~n_blocks ~actual =
+  (* Theorem 12/13: O(N/B); the recursion residues decay geometrically
+     so the total stays a small multiple of the input scan. *)
+  upper ~name:"selection" ~formula:"60*(N/B)" ~actual (60. *. Float.of_int n_blocks)
+
+let quantiles ~n_blocks ~q ~actual =
+  (* Theorem 17: O(N/B) for q <= m; the per-quantile work is Alice-side
+     counters, not I/O, but the compaction of the interval union grows
+     mildly with q. *)
+  upper ~name:"quantiles" ~formula:"(60 + 2q)*(N/B)" ~actual
+    ((60. +. (2. *. Float.of_int q)) *. Float.of_int n_blocks)
+
+let loose_compaction ~n_blocks ~actual =
+  (* Theorem 8: geometric halving, O(N/B). *)
+  upper ~name:"loose-compaction" ~formula:"80*(N/B)" ~actual (80. *. Float.of_int n_blocks)
+
+let sort ~n_blocks ~m_blocks ~actual =
+  (* Theorem 21 targets the Aggarwal–Vitter bound. At feasible sizes the
+     deterministic bitonic fallback's log² factor and the per-level
+     shuffle/deal/compaction passes dominate, so the fitted constant is
+     large (measured ratio ~1350 at N/B ≈ 200-1500, m = 16); the check
+     still trips on an extra asymptotic factor. *)
+  upper ~name:"sort" ~formula:"2000*(N/B)*log_{M/B}(N/B)" ~actual
+    (2000. *. Emodel.sort_io_bound ~n_blocks ~m_blocks:(max 2 m_blocks))
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s: %d I/Os %s %s %.0f (%s)" v.name v.actual
+    (if v.within then "within" else "EXCEEDS")
+    (if v.exact then "=" else "<=")
+    v.bound v.formula

@@ -1,0 +1,88 @@
+open Odex_extmem
+
+type subject = {
+  name : string;
+  run : rng:Odex_crypto.Rng.t -> m:int -> Storage.t -> Ext_array.t -> unit;
+}
+
+type run_info = {
+  trace_length : int;
+  digest : int64;
+  reads : int;
+  writes : int;
+  span_count : int;
+}
+
+type outcome = {
+  subject : string;
+  n_cells : int;
+  b : int;
+  m : int;
+  oblivious : bool;
+  diverging_span : string option;
+  run_a : run_info;
+  run_b : run_info;
+}
+
+(* A value-disjoint input pair: identical length and occupancy pattern
+   (the public shape), but run A's keys and values live in [base, base +
+   keyspan) with base = 0 and run B's with base = keyspan, drawn from
+   independent streams — the two inputs share no key, no value, and no
+   relative order. Anything Bob's trace reveals beyond the shape is a
+   leak the digest comparison will catch. *)
+let pair_inputs ~seed ~n =
+  let shape_rng = Odex_crypto.Rng.create ~seed:(seed lxor 0x5117) in
+  let occupied = Array.init n (fun _ -> Odex_crypto.Rng.int shape_rng 4 <> 0) in
+  let keyspan = 4 * max 1 n in
+  let fill ~rng ~base =
+    Array.map
+      (fun occ ->
+        if occ then
+          Cell.item
+            ~key:(base + Odex_crypto.Rng.int rng keyspan)
+            ~value:(base + Odex_crypto.Rng.int rng keyspan)
+            ()
+        else Cell.empty)
+      occupied
+  in
+  let a = fill ~rng:(Odex_crypto.Rng.create ~seed:(seed lxor 0xA11CE)) ~base:0 in
+  let b = fill ~rng:(Odex_crypto.Rng.create ~seed:(seed lxor 0xB0B00)) ~base:keyspan in
+  (a, b)
+
+(* One monitored run: fresh storage, the input laid out uncounted, the
+   algorithm's coins fixed by [seed]. Returns the live trace (for span
+   divergence) alongside the summary numbers. *)
+let execute subject ~b ~m ~seed cells =
+  let s = Storage.create ~trace_mode:Trace.Digest ~block_size:b () in
+  let arr = Ext_array.of_cells s ~block_size:b cells in
+  let rng = Odex_crypto.Rng.create ~seed in
+  subject.run ~rng ~m s arr;
+  let tr = Storage.trace s and st = Storage.stats s in
+  let info =
+    {
+      trace_length = Trace.length tr;
+      digest = Trace.digest tr;
+      reads = Stats.reads st;
+      writes = Stats.writes st;
+      span_count = List.length (Trace.spans tr);
+    }
+  in
+  (tr, info)
+
+let check ?(seed = 0x0b5e55) subject ~n_cells ~b ~m =
+  let cells_a, cells_b = pair_inputs ~seed ~n:n_cells in
+  let tr_a, run_a = execute subject ~b ~m ~seed cells_a in
+  let tr_b, run_b = execute subject ~b ~m ~seed cells_b in
+  let oblivious = Trace.equal tr_a tr_b in
+  let diverging_span = if oblivious then None else Trace.diverging_label tr_a tr_b in
+  { subject = subject.name; n_cells; b; m; oblivious; diverging_span; run_a; run_b }
+
+let pp_outcome ppf o =
+  if o.oblivious then
+    Format.fprintf ppf "%s: OBLIVIOUS (%d ops, digest %016Lx, %d spans)" o.subject
+      o.run_a.trace_length o.run_a.digest o.run_a.span_count
+  else
+    Format.fprintf ppf "%s: TRACES DIVERGE in %s (A: %d ops %016Lx, B: %d ops %016Lx)"
+      o.subject
+      (Option.value o.diverging_span ~default:"<unknown>")
+      o.run_a.trace_length o.run_a.digest o.run_b.trace_length o.run_b.digest

@@ -1,0 +1,51 @@
+(** Pair-testing harness for obliviousness.
+
+    The model's definition of data-obliviousness (paper §1) is
+    operational: fix the coins, vary the data, and Bob — who sees only
+    the sequence of block addresses and read/write directions — must see
+    exactly the same thing. This harness runs a subject twice on {e
+    value-disjoint} inputs of identical shape with the same seed and the
+    same public parameters (N, B, m), and compares the two address-trace
+    digests. On a mismatch, the labelled spans recorded by
+    {!Odex_extmem.Trace.with_span} pinpoint the first phase whose ops
+    diverge. *)
+
+open Odex_extmem
+
+type subject = {
+  name : string;
+  run : rng:Odex_crypto.Rng.t -> m:int -> Storage.t -> Ext_array.t -> unit;
+      (** Runs the algorithm under test on an input array living in the
+          given storage. All randomness must come from [rng]; [m] is
+          Alice's cache budget in blocks. *)
+}
+
+type run_info = {
+  trace_length : int;
+  digest : int64;
+  reads : int;
+  writes : int;
+  span_count : int;
+}
+
+type outcome = {
+  subject : string;
+  n_cells : int;
+  b : int;
+  m : int;
+  oblivious : bool;  (** The two traces are identical. *)
+  diverging_span : string option;
+      (** On failure: label of the first span whose entry state agrees
+          but whose exit digest differs (or a structural description). *)
+  run_a : run_info;
+  run_b : run_info;
+}
+
+val pair_inputs : seed:int -> n:int -> Cell.t array * Cell.t array
+(** Two inputs of [n] cells with the same occupancy pattern but disjoint
+    key and value ranges, drawn from independent streams. *)
+
+val check : ?seed:int -> subject -> n_cells:int -> b:int -> m:int -> outcome
+(** Run the subject on both inputs of a pair and compare traces. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,100 @@
+open Odex_extmem
+open Odex
+
+type entry = { subject : Pairtest.subject; n_cells : int; b : int; m : int }
+
+let sub name run = { Pairtest.name; run }
+
+(* Core algorithms. Capacity and rank parameters are derived only from
+   the public shape (cell count, block count, item count — the pair
+   generator gives both runs identical shapes), never from key values. *)
+
+let consolidation =
+  sub "consolidation" (fun ~rng:_ ~m:_ _s a -> ignore (Consolidation.run ~into:None a))
+
+let butterfly = sub "butterfly" (fun ~rng:_ ~m _s a -> ignore (Butterfly.compact ~m a))
+
+let tight_compaction =
+  sub "compaction-tight" (fun ~rng:_ ~m _s a ->
+      ignore (Compaction.tight ~m ~capacity_blocks:(Ext_array.blocks a) a))
+
+let loose_compaction =
+  sub "loose-compaction" (fun ~rng ~m _s a ->
+      ignore (Loose_compaction.run ~m ~rng ~capacity:(max 1 (Ext_array.blocks a / 8)) a))
+
+let logstar_compaction =
+  sub "logstar-compaction" (fun ~rng ~m _s a ->
+      ignore (Logstar_compaction.run ~m ~rng ~capacity:(max 1 (Ext_array.blocks a / 8)) a))
+
+let item_count a =
+  let n = ref 0 in
+  Array.iter (fun c -> if Cell.is_item c then incr n) (Ext_array.to_cells a);
+  !n
+
+let selection =
+  sub "selection" (fun ~rng ~m _s a ->
+      let total = item_count a in
+      if total > 0 then ignore (Selection.select ~m ~rng ~k:(max 1 (total / 2)) a))
+
+let quantiles =
+  sub "quantiles" (fun ~rng ~m _s a ->
+      if item_count a > 0 then ignore (Quantiles.run ~m ~rng ~q:3 a))
+
+let sort = sub "sort" (fun ~rng ~m _s a -> ignore (Sort.run ~m ~rng a))
+
+(* ORAM subjects: the input array only supplies the value payloads (its
+   item count is shape, hence equal across a pair); the access sequence
+   is a fixed function of the store's size. *)
+
+let oram_values a =
+  match Array.of_list (List.map (fun (it : Cell.item) -> it.value) (Ext_array.items a)) with
+  | [||] -> [| 1 |]
+  | vals -> vals
+
+let access_pattern size = List.init (2 * size) (fun i -> ((i * 7) + 3) mod size)
+
+let drive ~read ~write o size =
+  List.iter
+    (fun addr -> if addr mod 3 = 0 then write o addr (addr * 5) else ignore (read o addr))
+    (access_pattern size)
+
+let linear_oram =
+  sub "linear-oram" (fun ~rng:_ ~m:_ s a ->
+      let values = oram_values a in
+      let o = Odex_oram.Linear_oram.init s ~values in
+      drive ~read:Odex_oram.Linear_oram.read ~write:Odex_oram.Linear_oram.write o
+        (Array.length values))
+
+let sqrt_oram =
+  sub "sqrt-oram" (fun ~rng ~m s a ->
+      let values = oram_values a in
+      let o = Odex_oram.Sqrt_oram.init ~m ~rng s ~values in
+      drive ~read:Odex_oram.Sqrt_oram.read ~write:Odex_oram.Sqrt_oram.write o
+        (Array.length values))
+
+let hierarchical_oram =
+  sub "hier-oram" (fun ~rng ~m s a ->
+      let values = oram_values a in
+      let o = Odex_oram.Hierarchical_oram.init ~m ~rng s ~values in
+      drive ~read:Odex_oram.Hierarchical_oram.read ~write:Odex_oram.Hierarchical_oram.write o
+        (Array.length values))
+
+(* Default shapes: big enough that every subject leaves its in-cache
+   base case (selection/quantiles need N/B > m), small enough for a
+   test-suite smoke run. *)
+let all =
+  [
+    { subject = consolidation; n_cells = 512; b = 4; m = 8 };
+    { subject = butterfly; n_cells = 512; b = 4; m = 8 };
+    { subject = tight_compaction; n_cells = 512; b = 4; m = 8 };
+    { subject = loose_compaction; n_cells = 1024; b = 4; m = 32 };
+    { subject = logstar_compaction; n_cells = 512; b = 4; m = 16 };
+    { subject = selection; n_cells = 1024; b = 4; m = 16 };
+    { subject = quantiles; n_cells = 1024; b = 4; m = 16 };
+    { subject = sort; n_cells = 768; b = 4; m = 16 };
+    { subject = linear_oram; n_cells = 96; b = 4; m = 8 };
+    { subject = sqrt_oram; n_cells = 96; b = 4; m = 16 };
+    { subject = hierarchical_oram; n_cells = 96; b = 4; m = 16 };
+  ]
+
+let find name = List.find_opt (fun e -> e.subject.Pairtest.name = name) all

@@ -1,0 +1,27 @@
+(** The catalogue of pair-testable subjects: every top-level algorithm
+    of the paper (consolidation, butterfly and tight compaction, loose
+    and log*-round compaction, selection, quantiles, sorting) plus the
+    three ORAM constructions, each with a default shape (N, B, m) big
+    enough to leave its in-cache base case. *)
+
+type entry = {
+  subject : Pairtest.subject;
+  n_cells : int;
+  b : int;
+  m : int;
+}
+
+val consolidation : Pairtest.subject
+val butterfly : Pairtest.subject
+val tight_compaction : Pairtest.subject
+val loose_compaction : Pairtest.subject
+val logstar_compaction : Pairtest.subject
+val selection : Pairtest.subject
+val quantiles : Pairtest.subject
+val sort : Pairtest.subject
+val linear_oram : Pairtest.subject
+val sqrt_oram : Pairtest.subject
+val hierarchical_oram : Pairtest.subject
+
+val all : entry list
+val find : string -> entry option

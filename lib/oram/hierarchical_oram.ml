@@ -125,6 +125,7 @@ let clear_array t arr =
   done
 
 let rebuild t upto =
+  Ext_array.with_span t.stash "hier-oram.rebuild" @@ fun () ->
   t.rebuild_count <- t.rebuild_count + 1;
   let target = t.levels.(upto) in
   let buckets = buckets_of_level upto in
@@ -257,30 +258,32 @@ let access t addr ~update =
   if addr < 0 || addr >= t.n then invalid_arg "Hierarchical_oram: address out of range";
   (* 1. Scan the stash (newest wins: later slots are newer). *)
   let found = ref None in
-  for j = 0 to t.z - 1 do
-    let blk = Ext_array.read_block t.stash j in
-    match blk.(0) with
-    | Cell.Item it when it.key = addr -> found := Some it.value
-    | _ -> ()
-  done;
+  Ext_array.with_span t.stash "hier-oram.stash-scan" (fun () ->
+      for j = 0 to t.z - 1 do
+        let blk = Ext_array.read_block t.stash j in
+        match blk.(0) with
+        | Cell.Item it when it.key = addr -> found := Some it.value
+        | _ -> ()
+      done);
   (* 2. Probe one bucket per occupied level: the real one until found,
      uniform dummies after. *)
-  for idx = 0 to t.l - 1 do
-    if t.levels.(idx).occupied then begin
-      let buckets = buckets_of_level idx in
-      let b =
-        match !found with
-        | Some _ -> Odex_crypto.Rng.int t.rng buckets
-        | None -> bucket_of t idx addr
-      in
-      for j = 0 to t.z - 1 do
-        let blk = Ext_array.read_block t.levels.(idx).region ((b * t.z) + j) in
-        match blk.(0) with
-        | Cell.Item it when it.key = addr && !found = None -> found := Some it.value
-        | _ -> ()
-      done
-    end
-  done;
+  Ext_array.with_span t.stash "hier-oram.probe" (fun () ->
+      for idx = 0 to t.l - 1 do
+        if t.levels.(idx).occupied then begin
+          let buckets = buckets_of_level idx in
+          let b =
+            match !found with
+            | Some _ -> Odex_crypto.Rng.int t.rng buckets
+            | None -> bucket_of t idx addr
+          in
+          for j = 0 to t.z - 1 do
+            let blk = Ext_array.read_block t.levels.(idx).region ((b * t.z) + j) in
+            match blk.(0) with
+            | Cell.Item it when it.key = addr && !found = None -> found := Some it.value
+            | _ -> ()
+          done
+        end
+      done);
   let current =
     match !found with
     | Some v -> v

@@ -24,16 +24,17 @@ let access t addr ~update =
   if addr < 0 || addr >= t.n then invalid_arg "Linear_oram: address out of range";
   t.accesses <- t.accesses + 1;
   let result = ref 0 in
-  for i = 0 to t.n - 1 do
-    let blk = Ext_array.read_block t.main i in
-    (match blk.(0) with
-    | Cell.Item it when it.key = addr ->
-        result := it.value;
-        let v = match update with None -> it.value | Some v -> v in
-        blk.(0) <- Cell.Item { it with value = v }
-    | _ -> ());
-    Ext_array.write_block t.main i blk
-  done;
+  Ext_array.with_span t.main "linear-oram.scan" (fun () ->
+      for i = 0 to t.n - 1 do
+        let blk = Ext_array.read_block t.main i in
+        (match blk.(0) with
+        | Cell.Item it when it.key = addr ->
+            result := it.value;
+            let v = match update with None -> it.value | Some v -> v in
+            blk.(0) <- Cell.Item { it with value = v }
+        | _ -> ());
+        Ext_array.write_block t.main i blk
+      done);
   !result
 
 let read t addr = access t addr ~update:None

@@ -73,6 +73,7 @@ let size t = t.n
    sort (address, newest-first), deduplicate with one rewriting scan,
    re-permute under a fresh π, copy back, clear the shelter. *)
 let reshuffle t =
+  Ext_array.with_span t.main "sqrt-oram.reshuffle" @@ fun () ->
   t.epochs <- t.epochs + 1;
   let total = t.n + (2 * t.sqrt_n) in
   for p = 0 to t.n + t.sqrt_n - 1 do
@@ -129,12 +130,13 @@ let access t addr ~update =
   t.accesses <- t.accesses + 1;
   (* 1. Scan the shelter (newest wins). *)
   let sheltered = ref None in
-  for j = 0 to t.sqrt_n - 1 do
-    let blk = Ext_array.read_block t.shelter j in
-    match blk.(0) with
-    | Cell.Item it when it.key = addr -> sheltered := Some it.value
-    | _ -> ()
-  done;
+  Ext_array.with_span t.shelter "sqrt-oram.shelter-scan" (fun () ->
+      for j = 0 to t.sqrt_n - 1 do
+        let blk = Ext_array.read_block t.shelter j in
+        match blk.(0) with
+        | Cell.Item it when it.key = addr -> sheltered := Some it.value
+        | _ -> ()
+      done);
   (* 2. Probe main: the real position, or a fresh dummy if sheltered. *)
   let probe_addr =
     match !sheltered with
@@ -145,11 +147,15 @@ let access t addr ~update =
     | None -> addr
   in
   let pos = Odex_crypto.Prp.apply t.prp probe_addr in
-  let blk = Ext_array.read_block t.main pos in
   let from_main =
-    match blk.(0) with Cell.Item it when it.key = addr -> Some it.value | _ -> None
+    Ext_array.with_span t.main "sqrt-oram.probe" (fun () ->
+        let blk = Ext_array.read_block t.main pos in
+        let found =
+          match blk.(0) with Cell.Item it when it.key = addr -> Some it.value | _ -> None
+        in
+        Ext_array.write_block t.main pos blk;
+        found)
   in
-  Ext_array.write_block t.main pos blk;
   let current =
     match (!sheltered, from_main) with
     | Some v, _ -> v

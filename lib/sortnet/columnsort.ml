@@ -66,7 +66,7 @@ let sort_range ~real ~cmp ~m work lo len =
     Array.sort cmp section;
     Array.blit section 0 cells off len;
     for i = blk_lo to blk_hi do
-      let blk = Cache.get cache (Ext_array.addr work i) in
+      let blk = Cache.borrow cache (Ext_array.addr work i) in
       Array.blit cells ((i - blk_lo) * b) blk 0 b
     done
   end;

@@ -37,7 +37,7 @@ let cache_sort_exec ~real ~cmp ~m a =
   if real then begin
     Array.sort cmp cells;
     for i = 0 to n - 1 do
-      let blk = Cache.get cache (Ext_array.addr a i) in
+      let blk = Cache.borrow cache (Ext_array.addr a i) in
       Array.blit cells (i * b) blk 0 b
     done
   end;
@@ -79,8 +79,8 @@ let process_chunk work cache ~real ~cmp ~stage ~hi ~lo =
         let q = p lxor j in
         if q > p && real then begin
           let ascending = p land stage = 0 in
-          let u = Cache.get cache (Ext_array.addr work p) in
-          let v' = Cache.get cache (Ext_array.addr work q) in
+          let u = Cache.borrow cache (Ext_array.addr work p) in
+          let v' = Cache.borrow cache (Ext_array.addr work q) in
           merge_split ~cmp ~ascending u v'
         end
       done

@@ -12,5 +12,6 @@ let () =
       ("oram", Test_oram.suite);
       ("bounds", Test_bounds.suite);
       ("properties", Test_properties.suite);
+      ("obliviousness", Test_obliviousness.suite);
       ("edge", Test_edge.suite);
     ]

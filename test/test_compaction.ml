@@ -297,6 +297,26 @@ let test_loose_compaction_io_linear () =
 
 (* ---------------- facade ---------------- *)
 
+let test_loose_compaction_overflow () =
+  (* Every block occupied with capacity 2: the Theorem 8 failure event
+     is certain. The run must flag it ([ok] = false) and truncate the
+     scatter rather than raise or silently claim success. *)
+  let n = 64 in
+  let occupied = List.init n (fun i -> (i, i + 1)) in
+  let _, a = consolidated_array ~b:4 ~n occupied in
+  let before = List.length (Ext_array.items a) in
+  let rng = Odex_crypto.Rng.create ~seed:9 in
+  let out = Loose_compaction.run ~m:32 ~rng ~capacity:2 a in
+  Alcotest.(check bool) "overflow flagged" false out.Loose_compaction.ok;
+  let survivors = Ext_array.items out.Loose_compaction.dest in
+  Alcotest.(check bool) "scatter truncated: items dropped" true
+    (List.length survivors < before);
+  List.iter
+    (fun (it : Cell.item) ->
+      if it.value < 1 || it.value > n then
+        Alcotest.failf "survivor value %d not from the input" it.value)
+    survivors
+
 let test_facade_tight_dispatch () =
   let occupied = [ (5, 1); (9, 2) ] in
   (* Big cache: IBLT engine. *)
@@ -336,5 +356,6 @@ let suite =
     ("loose compaction", `Quick, test_loose_compaction);
     ("loose compaction oblivious", `Quick, test_loose_compaction_oblivious);
     ("loose compaction linear I/O", `Quick, test_loose_compaction_io_linear);
+    ("loose compaction overflow flagged", `Quick, test_loose_compaction_overflow);
     ("facade dispatch", `Quick, test_facade_tight_dispatch);
   ]

@@ -166,13 +166,47 @@ let test_cache_accounting () =
   ignore (Cache.load c base);
   Alcotest.(check int) "resident" 2 (Cache.resident c);
   Alcotest.(check int) "only two read IOs" 2 (Stats.reads (Storage.stats s));
-  let blk = Cache.get c base in
+  let blk = Cache.borrow c base in
   blk.(0) <- Cell.item ~key:1 ~value:1 ();
   Cache.flush c base;
   Alcotest.(check int) "flush writes" 1 (Stats.writes (Storage.stats s));
   Alcotest.(check bool) "evicted" false (Cache.is_resident c base);
   let got = Storage.read s base in
   Alcotest.check cell_t "mutation persisted" (Cell.item ~key:1 ~value:1 ()) got.(0)
+
+let test_cache_copy_boundary () =
+  let s = Util.storage ~b:2 () in
+  let base = Storage.alloc s 1 in
+  let c = Cache.create s ~capacity:2 in
+  (* [load] hands out a caller-owned copy: mutating it must not reach
+     the resident block, so the flush writes the originals back. *)
+  let copy = Cache.load c base in
+  copy.(0) <- Cell.item ~key:9 ~value:9 ();
+  Cache.flush c base;
+  Alcotest.(check bool) "mutated load copy not flushed" true
+    (Block.is_empty (Storage.read s base));
+  (* [get] on a resident block is a copy too. *)
+  ignore (Cache.load c base);
+  let got = Cache.get c base in
+  got.(0) <- Cell.item ~key:8 ~value:8 ();
+  Cache.flush c base;
+  Alcotest.(check bool) "mutated get copy not flushed" true
+    (Block.is_empty (Storage.read s base));
+  (* [put] stores a copy of the caller's buffer. *)
+  let mine = Block.make 2 in
+  mine.(0) <- Cell.item ~key:1 ~value:1 ();
+  Cache.put c base mine;
+  mine.(0) <- Cell.item ~key:2 ~value:2 ();
+  Cache.flush c base;
+  Alcotest.check cell_t "put copied the buffer" (Cell.item ~key:1 ~value:1 ())
+    (Storage.read s base).(0);
+  (* [borrow] is the one sharing entry point: in-place mutation sticks. *)
+  ignore (Cache.load c base);
+  let shared = Cache.borrow c base in
+  shared.(0) <- Cell.item ~key:3 ~value:3 ();
+  Cache.flush c base;
+  Alcotest.check cell_t "borrow shares the resident block" (Cell.item ~key:3 ~value:3 ())
+    (Storage.read s base).(0)
 
 let test_cache_overflow () =
   let s = Util.storage ~b:2 () in
@@ -263,6 +297,7 @@ let suite =
     ("ext_array", `Quick, test_ext_array);
     ("ext_array concat", `Quick, test_ext_array_concat);
     ("cache accounting", `Quick, test_cache_accounting);
+    ("cache copy-at-boundary", `Quick, test_cache_copy_boundary);
     ("cache overflow", `Quick, test_cache_overflow);
     ("cache flush_all", `Quick, test_cache_flush_all_order);
     ("emodel arithmetic", `Quick, test_emodel);

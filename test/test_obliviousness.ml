@@ -1,0 +1,166 @@
+(* Pair-testing obliviousness checks (the operational definition: fixed
+   coins + value-disjoint same-shape inputs => identical traces), span
+   divergence pinpointing, and I/O counts against the paper's bounds. *)
+
+open Odex_extmem
+open Odex_obcheck
+
+(* --- pair tests: every registered subject ------------------------- *)
+
+let registry_cases =
+  List.map
+    (fun (e : Registry.entry) ->
+      Alcotest.test_case ("pair " ^ e.subject.Pairtest.name) `Quick (fun () ->
+          let o = Pairtest.check e.subject ~n_cells:e.n_cells ~b:e.b ~m:e.m in
+          Alcotest.(check bool) (Format.asprintf "%a" Pairtest.pp_outcome o) true o.oblivious))
+    Registry.all
+
+(* --- the checker catches a planted leak --------------------------- *)
+
+(* A scan that issues an extra read whenever the first cell's key is
+   even: exactly the class of defect the harness exists to catch. The
+   leak is wrapped in a labelled span so the divergence report must
+   name it. *)
+let leaky_subject =
+  {
+    Pairtest.name = "leaky-scan";
+    run =
+      (fun ~rng:_ ~m:_ _s a ->
+        Ext_array.with_span a "leak.prelude" (fun () ->
+            for i = 0 to Ext_array.blocks a - 1 do
+              ignore (Ext_array.read_block a i)
+            done);
+        Ext_array.with_span a "leak.scan" (fun () ->
+            for i = 0 to Ext_array.blocks a - 1 do
+              let blk = Ext_array.read_block a i in
+              match blk.(0) with
+              | Cell.Item it when it.key land 1 = 0 -> ignore (Ext_array.read_block a i)
+              | _ -> ()
+            done));
+  }
+
+let test_detects_leak () =
+  let o = Pairtest.check leaky_subject ~n_cells:256 ~b:4 ~m:8 in
+  Alcotest.(check bool) "leak detected" false o.oblivious;
+  Alcotest.(check (option string)) "offending span named" (Some "leak.scan") o.diverging_span
+
+(* --- span machinery ----------------------------------------------- *)
+
+let test_span_nesting () =
+  let tr = Trace.create Trace.Digest in
+  Trace.with_span tr "outer" (fun () ->
+      Trace.record tr (Trace.Read 0);
+      Trace.with_span tr "inner" (fun () -> Trace.record tr (Trace.Write 1)));
+  match Trace.spans tr with
+  | [ inner; outer ] ->
+      (* Completion order: inner closes first. *)
+      Alcotest.(check string) "inner label" "inner" inner.Trace.label;
+      Alcotest.(check int) "inner depth" 1 inner.Trace.depth;
+      Alcotest.(check int) "inner window" 1 (inner.Trace.end_length - inner.Trace.start_length);
+      Alcotest.(check string) "outer label" "outer" outer.Trace.label;
+      Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+      Alcotest.(check int) "outer window" 2 (outer.Trace.end_length - outer.Trace.start_length)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_safe () =
+  let tr = Trace.create Trace.Digest in
+  (try
+     Trace.with_span tr "doomed" (fun () ->
+         Trace.record tr (Trace.Read 7);
+         failwith "boom")
+   with Failure _ -> ());
+  match Trace.spans tr with
+  | [ s ] ->
+      Alcotest.(check string) "span closed on raise" "doomed" s.Trace.label;
+      Alcotest.(check int) "ops recorded" 1 s.Trace.end_length
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_stats_span_exception_safe () =
+  let st = Stats.create () in
+  (try
+     ignore
+       (Stats.span st (fun () ->
+            Stats.record_read st;
+            Stats.record_read st;
+            Stats.record_write st;
+            raise Exit))
+   with Exit -> ());
+  match Stats.last_span st with
+  | Some snap ->
+      Alcotest.(check int) "reads survive the raise" 2 snap.Stats.reads;
+      Alcotest.(check int) "writes survive the raise" 1 snap.Stats.writes
+  | None -> Alcotest.fail "no span recorded after exception"
+
+(* --- I/O bounds ---------------------------------------------------- *)
+
+let measure ~n_cells ~b ~seed f =
+  let s = Util.storage ~b () in
+  let cells, _ = Pairtest.pair_inputs ~seed ~n:n_cells in
+  let a = Ext_array.of_cells s ~block_size:b cells in
+  let rng = Odex_crypto.Rng.create ~seed in
+  f rng a;
+  (Stats.total (Storage.stats s), Ext_array.blocks a)
+
+let check_verdict v =
+  Alcotest.(check bool) (Format.asprintf "%a" Iobound.pp_verdict v) true v.Iobound.within
+
+let test_bound_consolidation () =
+  let actual, n_blocks =
+    measure ~n_cells:512 ~b:4 ~seed:11 (fun _rng a ->
+        ignore (Odex.Consolidation.run ~into:None a))
+  in
+  check_verdict (Iobound.consolidation ~n_blocks ~actual)
+
+let test_bound_butterfly () =
+  let m = 8 in
+  let actual, n_blocks =
+    measure ~n_cells:512 ~b:4 ~seed:12 (fun _rng a -> ignore (Odex.Butterfly.compact ~m a))
+  in
+  check_verdict (Iobound.butterfly_compaction ~n_blocks ~m_blocks:m ~actual)
+
+let test_bound_selection () =
+  let m = 16 in
+  let actual, n_blocks =
+    measure ~n_cells:2048 ~b:4 ~seed:13 (fun rng a ->
+        let total = List.length (Ext_array.items a) in
+        ignore (Odex.Selection.select ~m ~rng ~k:(max 1 (total / 2)) a))
+  in
+  check_verdict (Iobound.selection ~n_blocks ~actual)
+
+let test_bound_quantiles () =
+  let m = 16 and q = 3 in
+  let actual, n_blocks =
+    measure ~n_cells:2048 ~b:4 ~seed:14 (fun rng a ->
+        ignore (Odex.Quantiles.run ~m ~rng ~q a))
+  in
+  check_verdict (Iobound.quantiles ~n_blocks ~q ~actual)
+
+let test_bound_loose_compaction () =
+  let m = 32 in
+  let actual, n_blocks =
+    measure ~n_cells:1024 ~b:4 ~seed:15 (fun rng a ->
+        ignore (Odex.Loose_compaction.run ~m ~rng ~capacity:(Ext_array.blocks a / 8) a))
+  in
+  check_verdict (Iobound.loose_compaction ~n_blocks ~actual)
+
+let test_bound_sort () =
+  let m = 16 in
+  let actual, n_blocks =
+    measure ~n_cells:768 ~b:4 ~seed:16 (fun rng a -> ignore (Odex.Sort.run ~m ~rng a))
+  in
+  check_verdict (Iobound.sort ~n_blocks ~m_blocks:m ~actual)
+
+let suite =
+  registry_cases
+  @ [
+      Alcotest.test_case "checker detects planted leak" `Quick test_detects_leak;
+      Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
+      Alcotest.test_case "stats span exception safety" `Quick test_stats_span_exception_safe;
+      Alcotest.test_case "bound: consolidation exact" `Quick test_bound_consolidation;
+      Alcotest.test_case "bound: butterfly" `Quick test_bound_butterfly;
+      Alcotest.test_case "bound: selection" `Quick test_bound_selection;
+      Alcotest.test_case "bound: quantiles" `Quick test_bound_quantiles;
+      Alcotest.test_case "bound: loose compaction" `Quick test_bound_loose_compaction;
+      Alcotest.test_case "bound: sort" `Quick test_bound_sort;
+    ]

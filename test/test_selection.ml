@@ -80,6 +80,15 @@ let test_select_custom_delta () =
       | Some it -> Alcotest.(check int) (Printf.sprintf "k=%d" k) (reference_select keys k) it.key)
     [ 1; 1000; 2000 ]
 
+let test_select_zero_slack_flagged () =
+  (* With zero rank slack the Lemma 11 bracket almost surely misses the
+     k-th item; the clamped recursion must still terminate and the
+     failure must surface as [ok] = false, never as an exception or a
+     silently wrong confident answer. *)
+  let keys = Array.init 2_000 (fun i -> i * 37 mod 4096) in
+  let r = run_select ~delta:(fun _ -> 0.) ~b:4 ~m:8 ~seed:21 ~k:1_000 keys in
+  Alcotest.(check bool) "zero-slack failure flagged" false r.Selection.ok
+
 let test_select_k_out_of_range () =
   let keys = Array.init 100 (fun i -> i) in
   Alcotest.(check bool) "k=0 rejected" true
@@ -129,6 +138,7 @@ let suite =
     ("sorted and reverse inputs", `Quick, test_select_sorted_and_reverse);
     ("empties interleaved", `Quick, test_select_with_empties);
     ("custom rank slack", `Quick, test_select_custom_delta);
+    ("zero slack failure flagged", `Quick, test_select_zero_slack_flagged);
     ("k out of range", `Quick, test_select_k_out_of_range);
     ("selection is oblivious", `Quick, test_select_oblivious);
     prop_select_matches_reference;
