@@ -2,25 +2,36 @@
    re-runs a core workload with trace digests on and appends one JSON
    record per run to BENCH_core.json (overwritten each invocation).
 
-   Usage: main.exe --json          — every entry
-          main.exe --json E2 E9    — selected experiments only *)
+   Usage: main.exe --json                    — every entry
+          main.exe --json E2 E9              — selected experiments only
+          main.exe --json E2 --backend faulty — run on another backend
+                                               (mem | file | faulty) *)
 
 open Odex_extmem
 
 type record = {
   experiment : string;
   name : string;
+  backend : string;
   n_cells : int;
   b : int;
   m : int;
   reads : int;
   writes : int;
   total_ios : int;
+  retries : int;
   trace_length : int;
   spans : int;
   wall_ms : float;
   ok : bool;
 }
+
+(* Backend selection for the whole JSON run (`--backend mem|file|faulty`);
+   storages made through Workloads pick it up via [default_backend], and
+   the entries that build their own storage consult it directly. *)
+let current_backend = ref "mem"
+
+let fresh_spec () = Odex_obcheck.Registry.backend_spec !current_backend
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -28,24 +39,30 @@ let timed f =
   (r, (Unix.gettimeofday () -. t0) *. 1e3)
 
 (* Run [f] (returning its success flag) against [s] and harvest the
-   storage counters afterwards. *)
+   storage counters afterwards, then release the backend. *)
 let collect ~experiment ~name ~n_cells ~b ~m s f =
   let ok, wall_ms = timed f in
   let tr = Storage.trace s in
-  {
-    experiment;
-    name;
-    n_cells;
-    b;
-    m;
-    reads = Stats.reads (Storage.stats s);
-    writes = Stats.writes (Storage.stats s);
-    total_ios = Stats.total (Storage.stats s);
-    trace_length = Trace.length tr;
-    spans = List.length (Trace.spans tr);
-    wall_ms;
-    ok;
-  }
+  let r =
+    {
+      experiment;
+      name;
+      backend = Storage.backend_kind s;
+      n_cells;
+      b;
+      m;
+      reads = Stats.reads (Storage.stats s);
+      writes = Stats.writes (Storage.stats s);
+      total_ios = Stats.total (Storage.stats s);
+      retries = Stats.retries (Storage.stats s);
+      trace_length = Trace.length tr;
+      spans = List.length (Trace.spans tr);
+      wall_ms;
+      ok;
+    }
+  in
+  Storage.close s;
+  r
 
 let uniform ~seed ~b ~n =
   let rng = Odex_crypto.Rng.create ~seed in
@@ -118,7 +135,7 @@ let e9 () =
 
 let e10 () =
   let words = 1024 and m = 64 in
-  let s = Storage.create ~trace_mode:Trace.Digest ~block_size:4 () in
+  let s = Storage.create ~trace_mode:Trace.Digest ~backend:(fresh_spec ()) ~block_size:4 () in
   let rng = Odex_crypto.Rng.create ~seed:10 in
   [
     collect ~experiment:"E10" ~name:"hier-oram-64-accesses" ~n_cells:words ~b:4 ~m s (fun () ->
@@ -134,20 +151,25 @@ let e10 () =
 let e11 () =
   List.map
     (fun (e : Odex_obcheck.Registry.entry) ->
+      let spec = fresh_spec () in
       let (o : Odex_obcheck.Pairtest.outcome), wall_ms =
         timed (fun () ->
-            Odex_obcheck.Pairtest.check e.subject ~n_cells:e.n_cells ~b:e.b ~m:e.m)
+            Odex_obcheck.Pairtest.check ~backend:spec e.subject ~n_cells:e.n_cells ~b:e.b
+              ~m:e.m)
       in
+      Storage.remove_spec_files spec;
       let a = o.run_a in
       {
         experiment = "E11";
         name = "pair-" ^ e.subject.Odex_obcheck.Pairtest.name;
+        backend = o.Odex_obcheck.Pairtest.backend;
         n_cells = e.n_cells;
         b = e.b;
         m = e.m;
         reads = a.Odex_obcheck.Pairtest.reads;
         writes = a.Odex_obcheck.Pairtest.writes;
         total_ios = a.Odex_obcheck.Pairtest.reads + a.Odex_obcheck.Pairtest.writes;
+        retries = a.Odex_obcheck.Pairtest.retries;
         trace_length = a.Odex_obcheck.Pairtest.trace_length;
         spans = a.Odex_obcheck.Pairtest.span_count;
         wall_ms;
@@ -163,11 +185,18 @@ let entries =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"ok\":%b}"
-    r.experiment r.name r.n_cells r.b r.m r.reads r.writes r.total_ios r.trace_length r.spans
-    r.wall_ms r.ok
+    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"ok\":%b}"
+    r.experiment r.name r.backend r.n_cells r.b r.m r.reads r.writes r.total_ios r.retries
+    r.trace_length r.spans r.wall_ms r.ok
 
-let run ids =
+let run ?(backend = "mem") ids =
+  if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
+    Printf.eprintf "unknown backend %S (available: %s)\n" backend
+      (String.concat " " Odex_obcheck.Registry.backend_names);
+    exit 2
+  end;
+  current_backend := backend;
+  Workloads.default_backend := fresh_spec;
   List.iter
     (fun id ->
       if not (List.mem_assoc id entries) then
@@ -176,8 +205,9 @@ let run ids =
     ids;
   let want id = ids = [] || List.mem id ids in
   let records = List.concat_map (fun (id, f) -> if want id then f () else []) entries in
+  Workloads.cleanup ();
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/1\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/2\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

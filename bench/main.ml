@@ -6,7 +6,13 @@
           main.exe E9 E10     — run selected experiments
           main.exe time       — wall-clock benches only
           main.exe --json     — machine-readable metrics -> BENCH_core.json
-          main.exe --json E2  — ditto, selected experiments only *)
+          main.exe --json E2  — ditto, selected experiments only
+
+   `--backend mem|file|faulty` (anywhere on the line) picks the storage
+   backend for every workload-created store: `file` spills blocks to
+   per-store temp files, `faulty` injects deterministic transient
+   faults (fixed seed) whose retries show up in the trace lengths and
+   the JSON `retries` field. *)
 
 open Bechamel
 open Toolkit
@@ -91,10 +97,28 @@ let run_wallclock () =
       else Printf.printf "  %-34s %10.2f us/run\n" name (ns /. 1e3))
     rows
 
+(* Pull `--backend NAME` out of the argument list, wherever it appears. *)
+let rec extract_backend = function
+  | [] -> (None, [])
+  | "--backend" :: name :: rest ->
+      let _, cleaned = extract_backend rest in
+      (Some name, cleaned)
+  | [ "--backend" ] -> failwith "--backend needs an argument (mem | file | faulty)"
+  | arg :: rest ->
+      let backend, cleaned = extract_backend rest in
+      (backend, arg :: cleaned)
+
 let () =
-  match List.tl (Array.to_list Sys.argv) with
-  | "--json" :: ids -> Json_bench.run ids
+  let backend, args = extract_backend (List.tl (Array.to_list Sys.argv)) in
+  match args with
+  | "--json" :: ids -> Json_bench.run ?backend ids
   | args ->
-      let want id = args = [] || List.mem id args in
-      List.iter (fun (id, f) -> if want id then f ()) Experiments.all;
-      if args = [] || List.mem "time" args then run_wallclock ()
+      Option.iter
+        (fun name ->
+          Workloads.default_backend :=
+            fun () -> Odex_obcheck.Registry.backend_spec name)
+        backend;
+      Fun.protect ~finally:Workloads.cleanup (fun () ->
+          let want id = args = [] || List.mem id args in
+          List.iter (fun (id, f) -> if want id then f ()) Experiments.all;
+          if args = [] || List.mem "time" args then run_wallclock ())

@@ -2,6 +2,23 @@
 
 open Odex_extmem
 
+(* Which physical store freshly created workloads land on. `--backend`
+   swaps this factory; each storage gets a fresh spec so file-backed
+   stores never share a path. [cleanup] removes any files the factory
+   produced. *)
+let default_backend : (unit -> Storage.backend_spec) ref = ref (fun () -> Storage.Mem)
+
+let created_specs : Storage.backend_spec list ref = ref []
+
+let fresh_storage ?cipher ~trace ~b () =
+  let spec = !default_backend () in
+  created_specs := spec :: !created_specs;
+  Storage.create ?cipher ~trace_mode:trace ~backend:spec ~block_size:b ()
+
+let cleanup () =
+  List.iter Storage.remove_spec_files !created_specs;
+  created_specs := []
+
 let cells_of_keys keys =
   Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:(k * 3) ()) keys
 
@@ -23,14 +40,14 @@ let keys ~rng ~n = function
 
 (* Fresh storage + array holding [n] cells of the given shape. *)
 let array ?(trace = Trace.Off) ~rng ~b ~n shape =
-  let s = Storage.create ~trace_mode:trace ~block_size:b () in
+  let s = fresh_storage ~trace ~b () in
   let a = Ext_array.of_cells s ~block_size:b (cells_of_keys (keys ~rng ~n shape)) in
   (s, a)
 
 (* A consolidated-style array: [occupied] of the [n] blocks hold full
    payloads, spread evenly. *)
 let consolidated_blocks ?(trace = Trace.Off) ~b ~n ~occupied () =
-  let s = Storage.create ~trace_mode:trace ~block_size:b () in
+  let s = fresh_storage ~trace ~b () in
   let a = Ext_array.create s ~blocks:n in
   let stride = max 1 (n / max 1 occupied) in
   let placed = ref 0 in

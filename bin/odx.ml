@@ -26,17 +26,35 @@ let read_keys path =
   if path <> "-" then close_in ic;
   Array.of_list (List.rev !keys)
 
-let setup ~block_size ~seed keys =
-  let server = Storage.create ~trace_mode:Trace.Digest ~block_size () in
+(* The fault plan of `--backend faulty` is fixed (seed and all), so a
+   faulty run is exactly as reproducible as a mem run. *)
+let backend_of ~store = function
+  | "mem" -> Storage.Mem
+  | "file" ->
+      Storage.File
+        { path = (match store with Some p -> p | None -> Filename.temp_file "odx" ".store") }
+  | "faulty" ->
+      Storage.Faulty { inner = Storage.Mem; seed = 0xFA17; failure_rate = 0.05; max_burst = 2 }
+  | other ->
+      prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
+      exit 2
+
+let setup ~block_size ~backend ~store ~seed keys =
+  let server =
+    Storage.create ~trace_mode:Trace.Digest ~backend:(backend_of ~store backend) ~block_size ()
+  in
   let cells = Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:i ()) keys in
   let a = Ext_array.of_cells server ~block_size cells in
   let rng = Odex_crypto.Rng.create ~seed in
   (server, a, rng)
 
 let report_trace server =
-  Printf.printf "; provider view: %d I/Os, trace digest %016Lx\n"
+  let retries = Stats.retries (Storage.stats server) in
+  Printf.printf "; provider view (%s backend): %d I/Os, trace digest %016Lx%s\n"
+    (Storage.backend_kind server)
     (Trace.length (Storage.trace server))
     (Trace.digest (Storage.trace server))
+    (if retries > 0 then Printf.sprintf ", %d transient faults retried" retries else "")
 
 (* ---- common options ---- *)
 
@@ -56,14 +74,26 @@ let seed_arg =
   let doc = "Random seed (fix it to reproduce a trace exactly)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let backend_arg =
+  let doc =
+    "Storage backend: $(b,mem) (in-process), $(b,file) (file-backed block store), or \
+     $(b,faulty) (deterministic transient faults over mem; retries are part of the \
+     provider's view)."
+  in
+  Arg.(value & opt string "mem" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let store_arg =
+  let doc = "Path of the block store for --backend file (default: a fresh temp file)." in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH" ~doc)
+
 (* ---- sort ---- *)
 
 let sort_cmd =
-  let run block_size m seed file =
+  let run block_size m seed backend store file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
-      let server, a, rng = setup ~block_size ~seed keys in
+      let server, a, rng = setup ~block_size ~backend ~store ~seed keys in
       let outcome = Odex.Sort.run ~m ~rng a in
       List.iter
         (fun (it : Cell.item) -> print_endline (string_of_int it.key))
@@ -74,7 +104,7 @@ let sort_cmd =
   in
   let doc = "Data-oblivious external-memory sort (Theorem 21)." in
   Cmd.v (Cmd.info "sort" ~doc)
-    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ file_arg)
+    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ file_arg)
 
 (* ---- select ---- *)
 
@@ -83,9 +113,9 @@ let select_cmd =
     let doc = "Rank to select (1-indexed)." in
     Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
   in
-  let run block_size m seed k file =
+  let run block_size m seed backend store k file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~seed keys in
+    let server, a, rng = setup ~block_size ~backend ~store ~seed keys in
     let r = Odex.Selection.select ~m ~rng ~k a in
     (match r.Odex.Selection.item with
     | Some it -> Printf.printf "%d\n; rank %d of %d, ok = %b\n" it.key k (Array.length keys) r.ok
@@ -94,7 +124,9 @@ let select_cmd =
   in
   let doc = "Data-oblivious selection of the k-th smallest (Theorem 13)." in
   Cmd.v (Cmd.info "select" ~doc)
-    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ k_arg $ file_arg)
+    Term.(
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ k_arg
+      $ file_arg)
 
 (* ---- quantiles ---- *)
 
@@ -103,9 +135,9 @@ let quantiles_cmd =
     let doc = "Number of quantiles." in
     Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
   in
-  let run block_size m seed q file =
+  let run block_size m seed backend store q file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~seed keys in
+    let server, a, rng = setup ~block_size ~backend ~store ~seed keys in
     let r = Odex.Quantiles.run ~m ~rng ~q a in
     Array.iteri
       (fun i (it : Cell.item) -> Printf.printf "p%d = %d\n" ((i + 1) * 100 / (q + 1)) it.key)
@@ -115,7 +147,9 @@ let quantiles_cmd =
   in
   let doc = "Data-oblivious quantiles (Theorem 17)." in
   Cmd.v (Cmd.info "quantiles" ~doc)
-    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ q_arg $ file_arg)
+    Term.(
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ q_arg
+      $ file_arg)
 
 (* ---- compact ---- *)
 
@@ -124,9 +158,9 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed keep_even file =
+  let run block_size m seed backend store keep_even file =
     let keys = read_keys file in
-    let server, a, _rng = setup ~block_size ~seed keys in
+    let server, a, _rng = setup ~block_size ~backend ~store ~seed keys in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
     let occupied = Odex.Butterfly.compact ~m d in
@@ -136,7 +170,9 @@ let compact_cmd =
   in
   let doc = "Consolidate + tight order-preserving compaction (Lemma 3 + Theorem 6)." in
   Cmd.v (Cmd.info "compact" ~doc)
-    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ keep_even $ file_arg)
+    Term.(
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ keep_even
+      $ file_arg)
 
 (* ---- audit ---- *)
 

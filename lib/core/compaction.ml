@@ -4,8 +4,12 @@ type outcome = { dest : Ext_array.t; occupied : int; ok : bool }
 
 let blocks_per_iblt_cell b = Emodel.ceil_div (2 + (5 * b)) (4 * b)
 
+(* Mirrors [Sparse_compaction.run]'s defaults (k = 3, multiplier = 3):
+   the table never has fewer than k + 1 cells, so tiny capacities still
+   cost a 4-cell table — forgetting that floor dispatched capacity-1
+   jobs to an engine that then rejected them. *)
 let sparse_table_fits ~m ~capacity_blocks ~block_size =
-  3 * capacity_blocks * blocks_per_iblt_cell block_size <= m
+  max 4 (3 * capacity_blocks) * blocks_per_iblt_cell block_size <= m
 
 (* Estimated I/O counts of the two tight engines, in block I/Os, used to
    dispatch on public parameters only. *)

@@ -48,6 +48,12 @@ val loose :
     (butterfly fallback — check [Ext_array.blocks]). The input is
     consumed. *)
 
+val sparse_table_fits : m:int -> capacity_blocks:int -> block_size:int -> bool
+(** Whether the Theorem 4 engine's IBLT table (at its default k and
+    multiplier, including the k+1-cell floor) fits Alice's cache — the
+    precondition for dispatching to {!Odex.Sparse_compaction}. Public
+    parameters only. *)
+
 val butterfly_cost : n:int -> m:int -> int
 (** Estimated I/O count of Theorem 6 compaction on an n-block array
     (public parameters only). *)

@@ -146,7 +146,8 @@ let run ?(c0 = 8) ?key ?sparse_threshold ~m ~rng ~capacity a =
     let final_capacity = reserve in
     (* Engine choice depends only on public parameters. *)
     let fits_sparse =
-      final_capacity > 0 && 3 * final_capacity * Emodel.ceil_div (2 + (5 * b)) (4 * b) <= m
+      final_capacity > 0
+      && Compaction.sparse_table_fits ~m ~capacity_blocks:final_capacity ~block_size:b
     in
     let compacted =
       if fits_sparse then begin

@@ -1,0 +1,210 @@
+exception Transient of { addr : int; access : int }
+
+module type S = sig
+  type t
+
+  val kind : string
+  val ensure : t -> int -> unit
+  val read : t -> int -> bytes
+  val write : t -> int -> bytes -> unit
+  val sync : t -> unit
+  val close : t -> unit
+
+  val faults : t -> int
+  (** Transient failures injected so far (0 for real devices). *)
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+let kind (Packed ((module B), _)) = B.kind
+let ensure (Packed ((module B), b)) n = B.ensure b n
+let read (Packed ((module B), b)) addr = B.read b addr
+let write (Packed ((module B), b)) addr payload = B.write b addr payload
+let sync (Packed ((module B), b)) = B.sync b
+let close (Packed ((module B), b)) = B.close b
+
+(* ---------------- in-memory ---------------- *)
+
+module Mem = struct
+  type t = { mutable slots : bytes array; mutable len : int }
+
+  let kind = "mem"
+
+  let ensure t n =
+    if n > Array.length t.slots then begin
+      let cap = max n (max 16 (2 * Array.length t.slots)) in
+      let fresh = Array.make cap Bytes.empty in
+      Array.blit t.slots 0 fresh 0 t.len;
+      t.slots <- fresh
+    end;
+    if n > t.len then t.len <- n
+
+  let check t addr =
+    if addr < 0 || addr >= t.len then
+      invalid_arg (Printf.sprintf "Backend.Mem: address %d out of bounds (%d)" addr t.len)
+
+  let read t addr =
+    check t addr;
+    Bytes.copy t.slots.(addr)
+
+  let write t addr payload =
+    check t addr;
+    t.slots.(addr) <- Bytes.copy payload
+
+  let sync _ = ()
+  let close _ = ()
+  let faults _ = 0
+end
+
+let mem () = Packed ((module Mem), { Mem.slots = [||]; len = 0 })
+
+(* ---------------- file-backed ---------------- *)
+
+module File = struct
+  type t = {
+    fd : Unix.file_descr;
+    payload_size : int;
+    mutable blocks : int;
+    mutable closed : bool;
+  }
+
+  let kind = "file"
+
+  let create ~path ~payload_size =
+    if payload_size < 1 then invalid_arg "Backend.file: payload_size must be >= 1";
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o600 in
+    let existing = (Unix.fstat fd).Unix.st_size / payload_size in
+    { fd; payload_size; blocks = existing; closed = false }
+
+  let ensure t n =
+    if n > t.blocks then begin
+      Unix.ftruncate t.fd (n * t.payload_size);
+      t.blocks <- n
+    end
+
+  let check t addr =
+    if t.closed then invalid_arg "Backend.File: store is closed";
+    if addr < 0 || addr >= t.blocks then
+      invalid_arg (Printf.sprintf "Backend.File: address %d out of bounds (%d)" addr t.blocks)
+
+  let seek t addr = ignore (Unix.lseek t.fd (addr * t.payload_size) Unix.SEEK_SET)
+
+  let read t addr =
+    check t addr;
+    seek t addr;
+    let buf = Bytes.create t.payload_size in
+    let off = ref 0 in
+    while !off < t.payload_size do
+      let k = Unix.read t.fd buf !off (t.payload_size - !off) in
+      if k = 0 then failwith "Backend.File: short read";
+      off := !off + k
+    done;
+    buf
+
+  let write t addr payload =
+    check t addr;
+    if Bytes.length payload <> t.payload_size then
+      invalid_arg "Backend.File: payload has wrong size";
+    seek t addr;
+    let off = ref 0 in
+    while !off < t.payload_size do
+      off := !off + Unix.write t.fd payload !off (t.payload_size - !off)
+    done
+
+  let sync t = if not t.closed then Unix.fsync t.fd
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      Unix.close t.fd
+    end
+
+  let faults _ = 0
+end
+
+let file ~path ~payload_size = Packed ((module File), File.create ~path ~payload_size)
+
+(* ---------------- deterministic fault injection ---------------- *)
+
+type fault_plan = { seed : int; failure_rate : float; max_burst : int }
+
+module Faulty = struct
+  type nonrec t = {
+    inner : t;
+    plan : fault_plan;
+    mutable access : int;  (** Global access counter — the only schedule input. *)
+    mutable burst_left : int;
+    mutable recovering : bool;
+        (** The access right after a burst always succeeds: transient
+            bursts end with a recovery, so a logical I/O needs at most
+            [max_burst] retries and a [max_burst < max_retries] budget
+            can never be spuriously exhausted. *)
+    mutable injected : int;
+  }
+
+  let kind = "faulty"
+
+  (* splitmix64-style finalizer: an avalanching hash of (seed, access
+     index). The schedule never looks at the address or the payload, so
+     it is data-oblivious by construction. *)
+  let mix64 z =
+    let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+    let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+    Int64.(logxor z (shift_right_logical z 31))
+
+  let roll t =
+    let h =
+      mix64 (Int64.add (Int64.of_int t.plan.seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (t.access + 1))))
+    in
+    let u =
+      Int64.to_float (Int64.shift_right_logical h 11) /. Float.pow 2. 53. (* in [0,1) *)
+    in
+    if u < t.plan.failure_rate then
+      (* The low bits, independent of the rate comparison for any sane
+         rate, pick the burst length in [1, max_burst]. *)
+      Some (1 + (Int64.to_int (Int64.logand h 0x3FL) mod max 1 t.plan.max_burst))
+    else None
+
+  let gate t addr =
+    let access = t.access in
+    t.access <- access + 1;
+    if t.burst_left > 0 then begin
+      t.burst_left <- t.burst_left - 1;
+      if t.burst_left = 0 then t.recovering <- true;
+      t.injected <- t.injected + 1;
+      raise (Transient { addr; access })
+    end
+    else if t.recovering then t.recovering <- false
+    else
+      match roll t with
+      | Some burst ->
+          t.burst_left <- burst - 1;
+          if t.burst_left = 0 then t.recovering <- true;
+          t.injected <- t.injected + 1;
+          raise (Transient { addr; access })
+      | None -> ()
+
+  let ensure t n = ensure t.inner n
+
+  let read t addr =
+    gate t addr;
+    read t.inner addr
+
+  let write t addr payload =
+    gate t addr;
+    write t.inner addr payload
+
+  let sync t = sync t.inner
+  let close t = close t.inner
+  let faults t = t.injected
+end
+
+let faulty plan inner =
+  if plan.failure_rate < 0. || plan.failure_rate > 1. then
+    invalid_arg "Backend.faulty: failure_rate must be in [0, 1]";
+  if plan.max_burst < 1 then invalid_arg "Backend.faulty: max_burst must be >= 1";
+  Packed
+    ( (module Faulty),
+      { Faulty.inner; plan; access = 0; burst_left = 0; recovering = false; injected = 0 } )
+
+let faults_injected (Packed ((module B), b)) = B.faults b

@@ -1,0 +1,93 @@
+(** Physical block stores underneath {!Storage}.
+
+    {!Storage} is the paper-facing layer: it owns the I/O accounting,
+    the adversary trace, encryption and the bump allocator. A backend is
+    only the dumb device those sealed payloads land on — a fixed-size
+    byte string per block address. Three implementations ship:
+
+    - {!mem}: a growable in-process array (the original behaviour);
+    - {!file}: a plain file addressed at [addr * payload_size], so
+      datasets can exceed RAM and the block image persists across runs;
+    - {!faulty}: a decorator injecting deterministic transient failures,
+      for exercising the retry path of {!Storage} under the
+      obliviousness harness.
+
+    Backends never see plaintext (when a cipher key is set the payload
+    is ciphertext), never count I/Os and never touch the trace — that is
+    Storage's job, which is what keeps the accounting identical across
+    backends. *)
+
+exception Transient of { addr : int; access : int }
+(** A retryable fault: access [access] (the backend's global access
+    counter) to block [addr] failed. Raised only by the faulty
+    decorator; {!Storage} retries with capped exponential backoff. *)
+
+module type S = sig
+  type t
+
+  val kind : string
+  (** Short name ("mem", "file", "faulty"), for reports. *)
+
+  val ensure : t -> int -> unit
+  (** [ensure t n] guarantees addresses [0 .. n-1] are backed. *)
+
+  val read : t -> int -> bytes
+  (** Payload at [addr]; a fresh buffer the caller may keep. *)
+
+  val write : t -> int -> bytes -> unit
+  (** Store a copy of the payload at [addr]. *)
+
+  val sync : t -> unit
+  (** Flush to durable media where that means something (file). *)
+
+  val close : t -> unit
+
+  val faults : t -> int
+  (** Transient failures injected so far (0 for real devices). *)
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+(** An instantiated backend. *)
+
+val kind : t -> string
+val ensure : t -> int -> unit
+val read : t -> int -> bytes
+val write : t -> int -> bytes -> unit
+val sync : t -> unit
+val close : t -> unit
+
+val mem : unit -> t
+(** In-process array of payloads. *)
+
+val file : path:string -> payload_size:int -> t
+(** File-backed store: block [addr] lives at byte offset
+    [addr * payload_size]. The file is created if missing and {e not}
+    truncated, so a previous run's block image is readable by a new
+    backend on the same path. *)
+
+type fault_plan = {
+  seed : int;  (** Fixes the whole fault schedule. *)
+  failure_rate : float;  (** Probability a fresh access starts a fault burst. *)
+  max_burst : int;  (** Maximum consecutive failing accesses per burst (>= 1). *)
+}
+(** A deterministic fault schedule. Whether access number [i] fails is a
+    pure function of [(seed, i)] — never of the address and never of the
+    data — so two runs that make the same number of accesses in the same
+    order see byte-identical fault/retry sequences. That is what lets the
+    pair-testing harness demand identical traces even with failures
+    enabled: retries are part of Bob's view, but a value-independent
+    part.
+
+    Bursts end with a guaranteed recovery: the access immediately after
+    a burst's last failure always succeeds, so a logical I/O retried in
+    place needs at most [max_burst] retries. Keep [max_burst] below
+    {!Storage.create}'s [max_retries] and the retry budget can never be
+    exhausted; invert that (or lower [max_retries]) to exercise the
+    permanent-failure path. *)
+
+val faulty : fault_plan -> t -> t
+(** [faulty plan inner] fails accesses according to [plan] (raising
+    {!Transient}) and forwards the rest to [inner]. *)
+
+val faults_injected : t -> int
+(** Total {!Transient} raises so far ([0] for non-faulty backends). *)

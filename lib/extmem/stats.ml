@@ -3,21 +3,29 @@ type snapshot = { reads : int; writes : int }
 type t = {
   mutable r : int;
   mutable w : int;
+  mutable retry : int;
   mutable last_span : snapshot option;
 }
 
-let create () = { r = 0; w = 0; last_span = None }
+let create () = { r = 0; w = 0; retry = 0; last_span = None }
 
 let record_read t = t.r <- t.r + 1
 let record_write t = t.w <- t.w + 1
+let record_retry t = t.retry <- t.retry + 1
 
 let reads t = t.r
 let writes t = t.w
 let total t = t.r + t.w
 
+let retries t = t.retry
+(* Retries are repeated attempts, not extra logical I/Os: they stay out
+   of [total] so I/O-bound assertions hold on every backend, but Bob
+   still sees them (the trace records each one). *)
+
 let reset t =
   t.r <- 0;
   t.w <- 0;
+  t.retry <- 0;
   t.last_span <- None
 
 let snapshot (t : t) : snapshot = { reads = t.r; writes = t.w }
@@ -33,4 +41,6 @@ let span t f =
 
 let last_span t = t.last_span
 
-let pp ppf (t : t) = Format.fprintf ppf "reads=%d writes=%d total=%d" t.r t.w (total t)
+let pp ppf (t : t) =
+  Format.fprintf ppf "reads=%d writes=%d total=%d" t.r t.w (total t);
+  if t.retry > 0 then Format.fprintf ppf " retries=%d" t.retry

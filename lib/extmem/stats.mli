@@ -10,10 +10,18 @@ val create : unit -> t
 
 val record_read : t -> unit
 val record_write : t -> unit
+val record_retry : t -> unit
 
 val reads : t -> int
 val writes : t -> int
 val total : t -> int
+
+val retries : t -> int
+(** Failed-and-repeated attempts on counted I/Os (see
+    {!Storage.create}'s retry handling). Deliberately excluded from
+    {!total}: a retry is a repeat of the same logical I/O, so the
+    paper's I/O bounds are asserted against [total] on every backend,
+    while the retries remain visible to the adversary in the trace. *)
 
 val reset : t -> unit
 

@@ -1,68 +1,154 @@
-type repr =
-  | Plain of Block.t
-  | Encrypted of { nonce : int; data : bytes }
+type backend_spec =
+  | Mem
+  | File of { path : string }
+  | Faulty of { inner : backend_spec; seed : int; failure_rate : float; max_burst : int }
+
+exception Io_failure of { addr : int; attempts : int }
+
+let () =
+  Printexc.register_printer (function
+    | Io_failure { addr; attempts } ->
+        Some
+          (Printf.sprintf "Storage.Io_failure(addr=%d after %d attempts)" addr attempts)
+    | _ -> None)
 
 type cipher_state = { key : Odex_crypto.Cipher.key; mutable next_nonce : int }
 
 type t = {
   block_size : int;
-  mutable blocks : repr array;
+  payload_size : int;
+  backend : Backend.t;
   mutable used : int;
   stats : Stats.t;
   trace : Trace.t;
   cipher : cipher_state option;
+  max_retries : int;
+  backoff_base : float;
+  backoff_cap : float;
 }
 
-let create ?cipher ?(trace_mode = Trace.Digest) ~block_size () =
+let rec instantiate ~payload_size = function
+  | Mem -> Backend.mem ()
+  | File { path } -> Backend.file ~path ~payload_size
+  | Faulty { inner; seed; failure_rate; max_burst } ->
+      Backend.faulty { Backend.seed; failure_rate; max_burst }
+        (instantiate ~payload_size inner)
+
+let rec remove_spec_files = function
+  | Mem -> ()
+  | File { path } -> if Sys.file_exists path then Sys.remove path
+  | Faulty { inner; _ } -> remove_spec_files inner
+
+let create ?cipher ?(trace_mode = Trace.Digest) ?(backend = Mem) ?(max_retries = 10)
+    ?(backoff = (1e-6, 1e-4)) ~block_size () =
   if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
+  if max_retries < 1 then invalid_arg "Storage.create: max_retries must be >= 1";
+  let backoff_base, backoff_cap = backoff in
+  if backoff_base < 0. || backoff_cap < backoff_base then
+    invalid_arg "Storage.create: backoff must satisfy 0 <= base <= cap";
+  let payload_size = 8 + Block.encoded_size block_size in
   {
     block_size;
-    blocks = [||];
+    payload_size;
+    backend = instantiate ~payload_size backend;
     used = 0;
     stats = Stats.create ();
     trace = Trace.create trace_mode;
     cipher = Option.map (fun key -> { key; next_nonce = 0 }) cipher;
+    max_retries;
+    backoff_base;
+    backoff_cap;
   }
 
 let block_size t = t.block_size
 let capacity t = t.used
 let stats t = t.stats
 let trace t = t.trace
+let backend_kind t = Backend.kind t.backend
+let faults_injected t = Backend.faults_injected t.backend
+let sync t = Backend.sync t.backend
+let close t = Backend.close t.backend
+
+(* ---- sealed payload: an 8-byte nonce header (-1 = plaintext) followed
+   by the encoded (and possibly encrypted) block image. A fixed layout
+   keeps every backend address-computable and lets a file store reopen a
+   previous run's blocks given the same key. ---- *)
+
+let plain_nonce = -1L
 
 let seal t blk =
-  match t.cipher with
-  | None -> Plain (Block.copy blk)
+  let body = Block.encode blk in
+  let buf = Bytes.create t.payload_size in
+  (match t.cipher with
+  | None ->
+      Bytes.set_int64_le buf 0 plain_nonce;
+      Bytes.blit body 0 buf 8 (Bytes.length body)
   | Some cs ->
       let nonce = cs.next_nonce in
       cs.next_nonce <- nonce + 1;
-      Encrypted { nonce; data = Odex_crypto.Cipher.encrypt cs.key ~nonce (Block.encode blk) }
+      Bytes.set_int64_le buf 0 (Int64.of_int nonce);
+      let ct = Odex_crypto.Cipher.encrypt cs.key ~nonce body in
+      Bytes.blit ct 0 buf 8 (Bytes.length ct));
+  buf
 
-let unseal t = function
-  | Plain blk -> Block.copy blk
-  | Encrypted { nonce; data } -> (
-      match t.cipher with
-      | None -> invalid_arg "Storage: encrypted block but no cipher key"
-      | Some cs ->
-          Block.decode ~block_size:t.block_size
-            (Odex_crypto.Cipher.decrypt cs.key ~nonce data))
+let unseal t payload =
+  let header = Bytes.get_int64_le payload 0 in
+  let body = Bytes.sub payload 8 (t.payload_size - 8) in
+  if header = plain_nonce then Block.decode ~block_size:t.block_size body
+  else
+    match t.cipher with
+    | None -> invalid_arg "Storage: encrypted block but no cipher key"
+    | Some cs ->
+        Block.decode ~block_size:t.block_size
+          (Odex_crypto.Cipher.decrypt cs.key ~nonce:(Int64.to_int header) body)
 
-let grow t needed =
-  let cap = Array.length t.blocks in
-  if needed > cap then begin
-    let new_cap = max needed (max 16 (cap * 2)) in
-    let fresh = Array.make new_cap (Plain (Block.make t.block_size)) in
-    Array.blit t.blocks 0 fresh 0 t.used;
-    t.blocks <- fresh
-  end
+(* ---- retry with capped exponential backoff. Failed attempts on
+   counted operations are themselves disk accesses Bob observes, so each
+   one is recorded in the trace (and tallied in [Stats.retries]); the
+   fault schedule of a faulty backend depends only on its access index,
+   never on data, so oblivious algorithms keep identical traces with
+   failures enabled. Uncounted (out-of-band) operations retry silently:
+   they model the experimenter's view, not Alice's protocol. ---- *)
+
+let backoff t attempt =
+  let delay = Float.min t.backoff_cap (t.backoff_base *. Float.pow 2. (Float.of_int (attempt - 1))) in
+  if delay > 0. then Unix.sleepf delay
+
+let with_retries t ~counted ~retry_op ~addr f =
+  let rec go attempt =
+    match f () with
+    | result -> result
+    | exception Backend.Transient _ ->
+        if attempt >= t.max_retries then raise (Io_failure { addr; attempts = attempt });
+        if counted then begin
+          Stats.record_retry t.stats;
+          Trace.record t.trace (retry_op addr)
+        end;
+        backoff t attempt;
+        go (attempt + 1)
+  in
+  go 1
+
+let backend_read t ~counted addr =
+  with_retries t ~counted ~retry_op:(fun a -> Trace.Retry_read a) ~addr (fun () ->
+      Backend.read t.backend addr)
+
+let backend_write t ~counted addr payload =
+  with_retries t ~counted ~retry_op:(fun a -> Trace.Retry_write a) ~addr (fun () ->
+      Backend.write t.backend addr payload)
 
 let alloc t n =
   if n < 0 then invalid_arg "Storage.alloc: negative size";
   let base = t.used in
-  grow t (t.used + n);
-  for i = base to base + n - 1 do
-    t.blocks.(i) <- seal t (Block.make t.block_size)
-  done;
-  t.used <- t.used + n;
+  if n > 0 then begin
+    Backend.ensure t.backend (t.used + n);
+    t.used <- t.used + n;
+    (* Zero-initialization is the server's job and costs no counted I/O;
+       retries here stay out of the trace for the same reason. *)
+    for addr = base to base + n - 1 do
+      backend_write t ~counted:false addr (seal t (Block.make t.block_size))
+    done
+  end;
   base
 
 let check_addr t addr =
@@ -71,24 +157,26 @@ let check_addr t addr =
 
 let read t addr =
   check_addr t addr;
+  let payload = backend_read t ~counted:true addr in
   Stats.record_read t.stats;
   Trace.record t.trace (Trace.Read addr);
-  unseal t t.blocks.(addr)
+  unseal t payload
 
 let write t addr blk =
   check_addr t addr;
   if Array.length blk <> t.block_size then
     invalid_arg "Storage.write: block has wrong size";
+  let payload = seal t blk in
+  backend_write t ~counted:true addr payload;
   Stats.record_write t.stats;
-  Trace.record t.trace (Trace.Write addr);
-  t.blocks.(addr) <- seal t blk
+  Trace.record t.trace (Trace.Write addr)
 
 let unchecked_peek t addr =
   check_addr t addr;
-  unseal t t.blocks.(addr)
+  unseal t (backend_read t ~counted:false addr)
 
 let unchecked_poke t addr blk =
   check_addr t addr;
   if Array.length blk <> t.block_size then
     invalid_arg "Storage.unchecked_poke: block has wrong size";
-  t.blocks.(addr) <- seal t blk
+  backend_write t ~counted:false addr (seal t blk)

@@ -1,4 +1,4 @@
-(** Bob's disk: a growable array of encrypted blocks with exact I/O
+(** Bob's disk: a growable store of encrypted blocks with exact I/O
     accounting and adversary-trace recording.
 
     This is the outsourced storage server of the paper's model (§1): data
@@ -8,29 +8,83 @@
     cipher key is supplied, blocks are genuinely serialized and encrypted
     with a fresh nonce on every write, so rewriting identical content
     produces a different ciphertext — the re-encryption property the paper
-    assumes. *)
+    assumes.
+
+    The bytes themselves live in a pluggable {!Backend}: in-memory (the
+    default), file-backed (datasets larger than RAM; block images persist
+    on the path), or a deterministic fault injector layered over either.
+    The accounting layer is backend-independent — the same algorithm run
+    performs the same counted I/Os on every backend — and transient
+    backend failures are absorbed here by retrying with capped
+    exponential backoff. Each failed attempt on a counted operation is
+    itself visible to Bob, so it is recorded in the trace (as
+    [Retry_read]/[Retry_write]) and tallied in {!Stats.retries}; because
+    a fault schedule depends only on its seed and the access index, the
+    retries of an oblivious algorithm are as value-independent as its
+    I/Os, and pair-tested traces must still be identical. *)
+
+type backend_spec =
+  | Mem  (** In-process array; contents die with the process. *)
+  | File of { path : string }
+      (** File-backed block store (created if missing, not truncated):
+          block [addr] lives at a fixed offset, so data can exceed RAM
+          and the block image survives the process. *)
+  | Faulty of { inner : backend_spec; seed : int; failure_rate : float; max_burst : int }
+      (** Decorator injecting deterministic transient faults into
+          [inner]; see {!Backend.fault_plan}. [max_burst] must stay
+          below [max_retries] or accesses inside a burst exhaust their
+          retry budget. *)
+
+exception Io_failure of { addr : int; attempts : int }
+(** A counted or uncounted operation kept failing after [attempts]
+    tries: the fault outlasted the retry budget. *)
 
 type t
 
 val create :
   ?cipher:Odex_crypto.Cipher.key ->
   ?trace_mode:Trace.mode ->
+  ?backend:backend_spec ->
+  ?max_retries:int ->
+  ?backoff:float * float ->
   block_size:int ->
   unit ->
   t
-(** Fresh empty disk. [trace_mode] defaults to [Digest]. *)
+(** Fresh empty disk. [trace_mode] defaults to [Digest]; [backend] to
+    [Mem]. A transient backend failure is retried up to [max_retries]
+    times (default 10), sleeping [min cap (base *. 2. ** attempts)]
+    seconds between attempts where [backoff = (base, cap)] (default
+    [1e-6, 1e-4] — real but negligible delays). *)
 
 val block_size : t -> int
 val capacity : t -> int
 (** Number of allocated blocks. *)
 
+val backend_kind : t -> string
+(** "mem", "file" or "faulty" — for reports. *)
+
+val faults_injected : t -> int
+(** Transient failures the backend has raised so far (0 unless the
+    backend is [Faulty]). Counts faults on {e all} operations, counted
+    or not; {!Stats.retries} counts only the retries Bob observes. *)
+
+val sync : t -> unit
+(** Flush the backend (fsync for [File]; no-op otherwise). Uncounted:
+    durability is the server's concern, not an I/O of the model. *)
+
+val close : t -> unit
+(** Release backend resources (file descriptors). The store must not be
+    used afterwards. *)
+
 val alloc : t -> int -> int
 (** [alloc t n] reserves [n] fresh blocks initialized to all-[Empty] and
-    returns the address of the first. Allocation itself performs no
-    counted I/O (the server zero-initializes); any oblivious
-    initialization an algorithm needs is paid by explicit writes. The
-    allocator is a deterministic bump allocator, so allocation addresses
-    never depend on data. *)
+    returns the address of the first. [alloc t 0] is a defined no-op: it
+    returns the current allocation frontier and changes nothing (useful
+    for zero-length views); negative [n] raises [Invalid_argument].
+    Allocation itself performs no counted I/O (the server
+    zero-initializes); any oblivious initialization an algorithm needs is
+    paid by explicit writes. The allocator is a deterministic bump
+    allocator, so allocation addresses never depend on data. *)
 
 val read : t -> int -> Block.t
 (** [read t addr] performs one I/O and returns a private copy of the
@@ -47,7 +101,12 @@ val trace : t -> Trace.t
 val unchecked_peek : t -> int -> Block.t
 (** Read a block {e without} counting an I/O or recording a trace entry.
     For tests and experiment harnesses only — the equivalent of the
-    experimenter inspecting the disk out-of-band. *)
+    experimenter inspecting the disk out-of-band. Transient faults are
+    retried silently (no trace, no stats). *)
 
 val unchecked_poke : t -> int -> Block.t -> unit
 (** Write without accounting; test/harness setup only. *)
+
+val remove_spec_files : backend_spec -> unit
+(** Delete the file behind a [File] spec (recursing through [Faulty]),
+    if any. Harness cleanup helper. *)

@@ -1,4 +1,4 @@
-type op = Read of int | Write of int
+type op = Read of int | Write of int | Retry_read of int | Retry_write of int
 
 type mode = Off | Digest | Full
 
@@ -31,8 +31,10 @@ let mix64 z =
   Int64.(logxor z (shift_right_logical z 31))
 
 let op_code = function
-  | Read addr -> Int64.of_int ((addr lsl 1) lor 0)
-  | Write addr -> Int64.of_int ((addr lsl 1) lor 1)
+  | Read addr -> Int64.of_int ((addr lsl 2) lor 0)
+  | Write addr -> Int64.of_int ((addr lsl 2) lor 1)
+  | Retry_read addr -> Int64.of_int ((addr lsl 2) lor 2)
+  | Retry_write addr -> Int64.of_int ((addr lsl 2) lor 3)
 
 let record t op =
   match t.mode with
@@ -128,6 +130,8 @@ let reset t =
 let pp_op ppf = function
   | Read addr -> Format.fprintf ppf "R%d" addr
   | Write addr -> Format.fprintf ppf "W%d" addr
+  | Retry_read addr -> Format.fprintf ppf "rR%d" addr
+  | Retry_write addr -> Format.fprintf ppf "rW%d" addr
 
 let pp_span ppf (s : span) =
   Format.fprintf ppf "%s%s [%d..%d] %Lx"

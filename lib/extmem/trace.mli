@@ -21,7 +21,11 @@
     out of the op digest, so {!equal} still compares exactly the
     address sequence Bob observes. *)
 
-type op = Read of int | Write of int
+type op =
+  | Read of int
+  | Write of int
+  | Retry_read of int  (** A failed read attempt Alice repeated — Bob sees it too. *)
+  | Retry_write of int  (** A failed write attempt Alice repeated. *)
 
 type mode = Off | Digest | Full
 

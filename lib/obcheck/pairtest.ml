@@ -10,6 +10,7 @@ type run_info = {
   digest : int64;
   reads : int;
   writes : int;
+  retries : int;
   span_count : int;
 }
 
@@ -18,6 +19,7 @@ type outcome = {
   n_cells : int;
   b : int;
   m : int;
+  backend : string;
   oblivious : bool;
   diverging_span : string option;
   run_a : run_info;
@@ -49,40 +51,63 @@ let pair_inputs ~seed ~n =
   let b = fill ~rng:(Odex_crypto.Rng.create ~seed:(seed lxor 0xB0B00)) ~base:keyspan in
   (a, b)
 
-(* One monitored run: fresh storage, the input laid out uncounted, the
-   algorithm's coins fixed by [seed]. Returns the live trace (for span
-   divergence) alongside the summary numbers. *)
-let execute subject ~b ~m ~seed cells =
-  let s = Storage.create ~trace_mode:Trace.Digest ~block_size:b () in
-  let arr = Ext_array.of_cells s ~block_size:b cells in
-  let rng = Odex_crypto.Rng.create ~seed in
-  subject.run ~rng ~m s arr;
-  let tr = Storage.trace s and st = Storage.stats s in
-  let info =
-    {
-      trace_length = Trace.length tr;
-      digest = Trace.digest tr;
-      reads = Stats.reads st;
-      writes = Stats.writes st;
-      span_count = List.length (Trace.spans tr);
-    }
+(* One monitored run: fresh storage on the requested backend, the input
+   laid out uncounted, the algorithm's coins fixed by [seed]. Returns the
+   live trace (for span divergence) alongside the summary numbers. The
+   storage is closed before returning so a file-backed pair can reuse one
+   path for both runs. *)
+let execute subject ~backend ~b ~m ~seed cells =
+  (* Zero backoff: the harness compares traces, not wall-clock, and a
+     fuzzed faulty backend injects thousands of retries per run —
+     sleeping through real (if tiny) delays would dominate the suite. *)
+  let s =
+    Storage.create ~trace_mode:Trace.Digest ~backend ~backoff:(0., 0.) ~block_size:b ()
   in
-  (tr, info)
+  let kind = Storage.backend_kind s in
+  Fun.protect
+    ~finally:(fun () -> Storage.close s)
+    (fun () ->
+      let arr = Ext_array.of_cells s ~block_size:b cells in
+      let rng = Odex_crypto.Rng.create ~seed in
+      subject.run ~rng ~m s arr;
+      let tr = Storage.trace s and st = Storage.stats s in
+      let info =
+        {
+          trace_length = Trace.length tr;
+          digest = Trace.digest tr;
+          reads = Stats.reads st;
+          writes = Stats.writes st;
+          retries = Stats.retries st;
+          span_count = List.length (Trace.spans tr);
+        }
+      in
+      (tr, info, kind))
 
-let check ?(seed = 0x0b5e55) subject ~n_cells ~b ~m =
+let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) subject ~n_cells ~b ~m =
   let cells_a, cells_b = pair_inputs ~seed ~n:n_cells in
-  let tr_a, run_a = execute subject ~b ~m ~seed cells_a in
-  let tr_b, run_b = execute subject ~b ~m ~seed cells_b in
+  let tr_a, run_a, kind = execute subject ~backend ~b ~m ~seed cells_a in
+  let tr_b, run_b, _ = execute subject ~backend ~b ~m ~seed cells_b in
   let oblivious = Trace.equal tr_a tr_b in
   let diverging_span = if oblivious then None else Trace.diverging_label tr_a tr_b in
-  { subject = subject.name; n_cells; b; m; oblivious; diverging_span; run_a; run_b }
+  {
+    subject = subject.name;
+    n_cells;
+    b;
+    m;
+    backend = kind;
+    oblivious;
+    diverging_span;
+    run_a;
+    run_b;
+  }
 
 let pp_outcome ppf o =
   if o.oblivious then
-    Format.fprintf ppf "%s: OBLIVIOUS (%d ops, digest %016Lx, %d spans)" o.subject
-      o.run_a.trace_length o.run_a.digest o.run_a.span_count
+    Format.fprintf ppf "%s[%s]: OBLIVIOUS (%d ops, digest %016Lx, %d spans%s)" o.subject
+      o.backend o.run_a.trace_length o.run_a.digest o.run_a.span_count
+      (if o.run_a.retries > 0 then Printf.sprintf ", %d retries" o.run_a.retries else "")
   else
-    Format.fprintf ppf "%s: TRACES DIVERGE in %s (A: %d ops %016Lx, B: %d ops %016Lx)"
-      o.subject
+    Format.fprintf ppf "%s[%s]: TRACES DIVERGE in %s (A: %d ops %016Lx, B: %d ops %016Lx)"
+      o.subject o.backend
       (Option.value o.diverging_span ~default:"<unknown>")
       o.run_a.trace_length o.run_a.digest o.run_b.trace_length o.run_b.digest

@@ -25,6 +25,10 @@ type run_info = {
   digest : int64;
   reads : int;
   writes : int;
+  retries : int;
+      (** Failed-and-repeated attempts (nonzero only on a faulty
+          backend); they appear in the trace, so obliviousness covers
+          them too. *)
   span_count : int;
 }
 
@@ -33,6 +37,7 @@ type outcome = {
   n_cells : int;
   b : int;
   m : int;
+  backend : string;  (** Backend kind both runs executed on. *)
   oblivious : bool;  (** The two traces are identical. *)
   diverging_span : string option;
       (** On failure: label of the first span whose entry state agrees
@@ -45,7 +50,12 @@ val pair_inputs : seed:int -> n:int -> Cell.t array * Cell.t array
 (** Two inputs of [n] cells with the same occupancy pattern but disjoint
     key and value ranges, drawn from independent streams. *)
 
-val check : ?seed:int -> subject -> n_cells:int -> b:int -> m:int -> outcome
-(** Run the subject on both inputs of a pair and compare traces. *)
+val check :
+  ?seed:int -> ?backend:Storage.backend_spec -> subject -> n_cells:int -> b:int -> m:int -> outcome
+(** Run the subject on both inputs of a pair (both on [backend],
+    default [Mem]; a [File] spec's path is shared safely — the runs are
+    sequential and each storage is closed when its run ends) and compare
+    traces. With a [Faulty] backend the fault schedule restarts at the
+    same point for both runs, so retries must line up exactly. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -98,3 +98,18 @@ let all =
   ]
 
 let find name = List.find_opt (fun e -> e.subject.Pairtest.name = name) all
+
+(* Backends the obliviousness suite runs against. Each call returns a
+   fresh spec: a file store gets its own temp path (remove it with
+   [Storage.remove_spec_files] when done), and the faulty decorator gets
+   a fixed seed and a genuinely nonzero failure rate so retries really
+   appear in the traces under test. [max_burst] stays below
+   [Storage.create]'s default retry budget, so a fault can never turn
+   permanent. *)
+let backend_names = [ "mem"; "file"; "faulty" ]
+
+let backend_spec ?(seed = 0xFA17) ?(failure_rate = 0.05) = function
+  | "mem" -> Storage.Mem
+  | "file" -> Storage.File { path = Filename.temp_file "odex_obcheck" ".store" }
+  | "faulty" -> Storage.Faulty { inner = Storage.Mem; seed; failure_rate; max_burst = 2 }
+  | other -> invalid_arg (Printf.sprintf "Registry.backend_spec: unknown backend %S" other)

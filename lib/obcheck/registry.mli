@@ -25,3 +25,14 @@ val hierarchical_oram : Pairtest.subject
 
 val all : entry list
 val find : string -> entry option
+
+val backend_names : string list
+(** ["mem"; "file"; "faulty"] — every storage backend the obliviousness
+    suite must pass on. *)
+
+val backend_spec :
+  ?seed:int -> ?failure_rate:float -> string -> Odex_extmem.Storage.backend_spec
+(** A fresh spec for a named backend: "file" gets its own temp path
+    (clean up with {!Odex_extmem.Storage.remove_spec_files}); "faulty"
+    injects deterministic transient faults over a [Mem] inner store at
+    [failure_rate] (default 0.05, seed [0xFA17]). *)

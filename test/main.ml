@@ -3,6 +3,7 @@ let () =
     [
       ("crypto", Test_crypto.suite);
       ("extmem", Test_extmem.suite);
+      ("backend", Test_backend.suite);
       ("sortnet", Test_sortnet.suite);
       ("iblt", Test_iblt.suite);
       ("compaction", Test_compaction.suite);

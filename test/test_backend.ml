@@ -1,0 +1,197 @@
+(* The pluggable storage backends: file persistence, backend-independent
+   I/O accounting, and oblivious fault handling. *)
+
+open Odex_extmem
+
+let with_temp_store f =
+  let path = Filename.temp_file "odex_test" ".store" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+(* ---------------- backend layer ---------------- *)
+
+let test_backend_kinds () =
+  Alcotest.(check string) "mem" "mem" (Backend.kind (Backend.mem ()));
+  with_temp_store (fun path ->
+      let b = Backend.file ~path ~payload_size:16 in
+      Alcotest.(check string) "file" "file" (Backend.kind b);
+      Backend.close b;
+      let f =
+        Backend.faulty
+          { Backend.seed = 1; failure_rate = 0.5; max_burst = 2 }
+          (Backend.mem ())
+      in
+      Alcotest.(check string) "faulty" "faulty" (Backend.kind f))
+
+let test_backend_bounds () =
+  let b = Backend.mem () in
+  Backend.ensure b 4;
+  Alcotest.check_raises "mem read past end" (Invalid_argument "Backend.Mem: address 4 out of bounds (4)")
+    (fun () -> ignore (Backend.read b 4));
+  with_temp_store (fun path ->
+      let f = Backend.file ~path ~payload_size:8 in
+      Backend.ensure f 2;
+      Alcotest.check_raises "file payload size enforced"
+        (Invalid_argument "Backend.File: payload has wrong size") (fun () ->
+          Backend.write f 0 (Bytes.create 7));
+      Backend.close f)
+
+let test_faulty_plan_validation () =
+  let inner () = Backend.mem () in
+  Alcotest.check_raises "rate > 1"
+    (Invalid_argument "Backend.faulty: failure_rate must be in [0, 1]") (fun () ->
+      ignore (Backend.faulty { Backend.seed = 0; failure_rate = 1.5; max_burst = 1 } (inner ())));
+  Alcotest.check_raises "burst < 1"
+    (Invalid_argument "Backend.faulty: max_burst must be >= 1") (fun () ->
+      ignore (Backend.faulty { Backend.seed = 0; failure_rate = 0.1; max_burst = 0 } (inner ())))
+
+(* A file-backed block image survives its backend: new backend on the
+   same path, same payloads. This is the property that lets a dataset
+   outlive the process (Storage.alloc zero-fills fresh blocks, so the
+   reopen contract lives at the backend layer). *)
+let test_file_persistence () =
+  with_temp_store (fun path ->
+      let payload i = Bytes.init 16 (fun j -> Char.chr ((i + (3 * j)) land 0xFF)) in
+      let b = Backend.file ~path ~payload_size:16 in
+      Backend.ensure b 8;
+      for i = 0 to 7 do
+        Backend.write b i (payload i)
+      done;
+      Backend.sync b;
+      Backend.close b;
+      let b' = Backend.file ~path ~payload_size:16 in
+      for i = 7 downto 0 do
+        Alcotest.(check bytes) (Printf.sprintf "block %d" i) (payload i) (Backend.read b' i)
+      done;
+      Backend.close b')
+
+(* ---------------- accounting is backend-independent ---------------- *)
+
+(* The acceptance bar: a sort whose footprint exceeds the cache many
+   times over must cost the same counted I/Os — and the same adversary
+   trace — on the file store as in memory. *)
+let test_file_mem_io_parity () =
+  with_temp_store (fun path ->
+      let n = 2048 and b = 4 and m = 16 in
+      let keys = Util.random_keys (Odex_crypto.Rng.create ~seed:42) n ~bound:10_000 in
+      let run backend =
+        let s = Storage.create ~trace_mode:Trace.Digest ~backend ~block_size:b () in
+        Fun.protect
+          ~finally:(fun () -> Storage.close s)
+          (fun () ->
+            let a = Ext_array.of_cells s ~block_size:b (Util.cells_of_keys keys) in
+            Alcotest.(check bool) "footprint exceeds cache" true (Ext_array.blocks a > 8 * m);
+            let rng = Odex_crypto.Rng.create ~seed:7 in
+            let o = Odex.Sort.run ~m ~rng a in
+            Alcotest.(check bool) "sort ok" true o.Odex.Sort.ok;
+            Util.check_sorted_by_key (Storage.backend_kind s) a;
+            let st = Storage.stats s and tr = Storage.trace s in
+            (Stats.reads st, Stats.writes st, Stats.retries st, Trace.length tr, Trace.digest tr))
+      in
+      let r_mem, w_mem, q_mem, len_mem, dig_mem = run Storage.Mem in
+      let r_file, w_file, q_file, len_file, dig_file = run (Storage.File { path }) in
+      Alcotest.(check int) "same reads" r_mem r_file;
+      Alcotest.(check int) "same writes" w_mem w_file;
+      Alcotest.(check int) "no retries on either" 0 (q_mem + q_file);
+      Alcotest.(check int) "same trace length" len_mem len_file;
+      Alcotest.(check int64) "same trace digest" dig_mem dig_file)
+
+(* ---------------- fault handling ---------------- *)
+
+(* rate 1.0 with max_burst 1 makes the schedule exactly periodic: every
+   access fails once and succeeds on the retry, so the counts are exact,
+   not statistical. *)
+let always_faulty = Storage.Faulty { inner = Storage.Mem; seed = 3; failure_rate = 1.0; max_burst = 1 }
+
+let test_faulty_retries_visible () =
+  let s = Storage.create ~trace_mode:Trace.Full ~backend:always_faulty ~block_size:2 () in
+  let base = Storage.alloc s 4 in
+  let blk = Block.make 2 in
+  blk.(0) <- Cell.item ~key:9 ~value:9 ();
+  Storage.write s base blk;
+  for _ = 1 to 5 do
+    ignore (Storage.read s base)
+  done;
+  let st = Storage.stats s and tr = Storage.trace s in
+  Alcotest.(check int) "reads" 5 (Stats.reads st);
+  Alcotest.(check int) "writes" 1 (Stats.writes st);
+  Alcotest.(check int) "one retry per counted I/O" 6 (Stats.retries st);
+  Alcotest.(check int) "retries are trace entries" (6 + 6) (Trace.length tr);
+  let retry_ops =
+    List.filter
+      (function Trace.Retry_read _ | Trace.Retry_write _ -> true | _ -> false)
+      (Trace.ops tr)
+  in
+  Alcotest.(check int) "retry ops recorded in full mode" 6 (List.length retry_ops);
+  (* The backend also faulted once per uncounted zero-init write. *)
+  Alcotest.(check bool) "faults_injected counts uncounted ops too" true
+    (Storage.faults_injected s > Stats.retries st);
+  Alcotest.(check int) "round-trip value" 9 (Cell.key_exn (Storage.read s base).(0))
+
+let test_faulty_deterministic () =
+  let run () =
+    let s = Storage.create ~trace_mode:Trace.Full ~backend:always_faulty ~block_size:2 () in
+    let base = Storage.alloc s 8 in
+    for i = 0 to 7 do
+      ignore (Storage.read s (base + i))
+    done;
+    (Storage.trace s, Stats.retries (Storage.stats s), Storage.faults_injected s)
+  in
+  let tr_a, retries_a, faults_a = run () in
+  let tr_b, retries_b, faults_b = run () in
+  Alcotest.(check bool) "same trace" true (Trace.equal tr_a tr_b);
+  Alcotest.(check int) "same retries" retries_a retries_b;
+  Alcotest.(check int) "same injected faults" faults_a faults_b
+
+let test_retry_budget_exhausted () =
+  let s =
+    Storage.create ~backend:always_faulty ~max_retries:1 ~backoff:(0., 0.) ~block_size:2 ()
+  in
+  (* With a single attempt allowed, the very first gated operation (the
+     zero-init write of the first allocated block) outlasts the budget. *)
+  Alcotest.check_raises "fault outlasts the budget"
+    (Storage.Io_failure { addr = 0; attempts = 1 })
+    (fun () -> ignore (Storage.alloc s 1))
+
+let test_unchecked_ops_retry_silently () =
+  let s = Storage.create ~trace_mode:Trace.Full ~backend:always_faulty ~block_size:2 () in
+  let base = Storage.alloc s 2 in
+  let faults_before = Storage.faults_injected s in
+  let blk = Block.make 2 in
+  blk.(1) <- Cell.item ~key:3 ~value:4 ();
+  Storage.unchecked_poke s base blk;
+  let got = Storage.unchecked_peek s base in
+  Alcotest.(check int) "poke/peek round-trip" 3 (Cell.key_exn got.(1));
+  Alcotest.(check int) "no counted reads" 0 (Stats.reads (Storage.stats s));
+  Alcotest.(check int) "no counted writes" 0 (Stats.writes (Storage.stats s));
+  Alcotest.(check int) "no visible retries" 0 (Stats.retries (Storage.stats s));
+  Alcotest.(check int) "no trace entries" 0 (Trace.length (Storage.trace s));
+  Alcotest.(check bool) "yet the backend did fault" true
+    (Storage.faults_injected s > faults_before)
+
+(* ---------------- spec plumbing ---------------- *)
+
+let test_remove_spec_files () =
+  let path = Filename.temp_file "odex_test" ".store" in
+  let spec = Storage.Faulty { inner = Storage.File { path }; seed = 1; failure_rate = 0.0; max_burst = 1 } in
+  let s = Storage.create ~backend:spec ~block_size:2 () in
+  Alcotest.(check string) "decorated kind" "faulty" (Storage.backend_kind s);
+  ignore (Storage.alloc s 4);
+  Storage.sync s;
+  Storage.close s;
+  Alcotest.(check bool) "file exists before" true (Sys.file_exists path);
+  Storage.remove_spec_files spec;
+  Alcotest.(check bool) "file removed through the decorator" false (Sys.file_exists path)
+
+let suite =
+  [
+    ("backend kinds", `Quick, test_backend_kinds);
+    ("backend bounds", `Quick, test_backend_bounds);
+    ("faulty plan validation", `Quick, test_faulty_plan_validation);
+    ("file persistence", `Quick, test_file_persistence);
+    ("file/mem I/O parity on an out-of-cache sort", `Quick, test_file_mem_io_parity);
+    ("faulty retries visible in stats and trace", `Quick, test_faulty_retries_visible);
+    ("faulty schedule deterministic", `Quick, test_faulty_deterministic);
+    ("retry budget exhaustion", `Quick, test_retry_budget_exhausted);
+    ("unchecked ops retry silently", `Quick, test_unchecked_ops_retry_silently);
+    ("remove_spec_files", `Quick, test_remove_spec_files);
+  ]

@@ -30,6 +30,87 @@ let test_ext_array_views () =
   let subsub = Ext_array.sub sub ~off:1 ~len:2 in
   Alcotest.(check int) "nested views" (Ext_array.addr a 3) (Ext_array.addr subsub 0)
 
+let test_ext_array_window_edges () =
+  let s = Util.storage ~b:2 () in
+  let a = Ext_array.create s ~blocks:10 in
+  (* Zero-length windows are legal anywhere in [0, blocks], including
+     the far boundary. *)
+  List.iter
+    (fun off ->
+      let z = Ext_array.sub a ~off ~len:0 in
+      Alcotest.(check int) (Printf.sprintf "empty window at %d" off) 0 (Ext_array.blocks z))
+    [ 0; 5; 10 ];
+  (* off + len landing exactly on the boundary is in; one past is out. *)
+  let tail = Ext_array.sub a ~off:7 ~len:3 in
+  Alcotest.(check int) "boundary window kept" (Ext_array.addr a 7) (Ext_array.addr tail 0);
+  List.iter
+    (fun (off, len) ->
+      Alcotest.(check bool) (Printf.sprintf "sub ~off:%d ~len:%d rejected" off len) true
+        (try
+           ignore (Ext_array.sub a ~off ~len);
+           false
+         with Invalid_argument _ -> true))
+    [ (7, 4); (11, 0); (-1, 2); (2, -1) ]
+
+let test_concat_views () =
+  let s = Util.storage ~b:2 () in
+  let a = Ext_array.create s ~blocks:12 in
+  let left = Ext_array.sub a ~off:0 ~len:4 in
+  let mid = Ext_array.sub a ~off:4 ~len:5 in
+  let tail = Ext_array.sub a ~off:10 ~len:2 in
+  (match Ext_array.concat_views left mid with
+  | Some j ->
+      Alcotest.(check int) "joined base" (Ext_array.addr a 0) (Ext_array.addr j 0);
+      Alcotest.(check int) "joined size" 9 (Ext_array.blocks j)
+  | None -> Alcotest.fail "adjacent views must concatenate");
+  Alcotest.(check bool) "gap refused" true (Ext_array.concat_views mid tail = None);
+  Alcotest.(check bool) "wrong order refused" true (Ext_array.concat_views mid left = None);
+  (* A zero-length view is adjacent to the window starting at its base. *)
+  let empty_at_4 = Ext_array.sub a ~off:4 ~len:0 in
+  (match Ext_array.concat_views empty_at_4 mid with
+  | Some j -> Alcotest.(check int) "empty + window = window" 5 (Ext_array.blocks j)
+  | None -> Alcotest.fail "empty view must concatenate with its successor");
+  (* Views of different storages never concatenate, even with aligned
+     addresses. *)
+  let s2 = Util.storage ~b:2 () in
+  let a2 = Ext_array.create s2 ~blocks:12 in
+  Alcotest.(check bool) "foreign storage refused" true
+    (Ext_array.concat_views (Ext_array.sub a2 ~off:0 ~len:4) mid = None)
+
+(* Regression: the out-of-band accessors must never disturb the
+   adversary's view or the I/O accounting — tests and harnesses rely on
+   peeking mid-run without perturbing the trace under test. *)
+let test_unchecked_ops_leave_accounting_alone () =
+  let s = Util.storage ~b:2 () in
+  let a = Ext_array.of_cells s ~block_size:2 (Util.cells_of_keys [| 4; 7; 1; 9 |]) in
+  ignore (Ext_array.read_block a 0);
+  Ext_array.write_block a 1 (Ext_array.read_block a 1);
+  let st = Storage.stats s and tr = Storage.trace s in
+  let reads0 = Stats.reads st and writes0 = Stats.writes st in
+  let len0 = Trace.length tr and dig0 = Trace.digest tr in
+  let blk = Storage.unchecked_peek s (Ext_array.addr a 0) in
+  Storage.unchecked_poke s (Ext_array.addr a 1) blk;
+  ignore (Ext_array.to_cells a);
+  ignore (Ext_array.items a);
+  Alcotest.(check int) "reads unchanged" reads0 (Stats.reads st);
+  Alcotest.(check int) "writes unchanged" writes0 (Stats.writes st);
+  Alcotest.(check int) "retries unchanged" 0 (Stats.retries st);
+  Alcotest.(check int) "trace length unchanged" len0 (Trace.length tr);
+  Alcotest.(check int64) "trace digest unchanged" dig0 (Trace.digest tr)
+
+let test_alloc_zero_and_negative () =
+  let s = Util.storage ~b:2 () in
+  (* alloc 0 is a defined no-op: returns the frontier, allocates
+     nothing — including on a completely fresh store. *)
+  Alcotest.(check int) "frontier of empty store" 0 (Storage.alloc s 0);
+  Alcotest.(check int) "still empty" 0 (Storage.capacity s);
+  let base = Storage.alloc s 5 in
+  Alcotest.(check int) "frontier after real alloc" (base + 5) (Storage.alloc s 0);
+  Alcotest.(check int) "capacity untouched" 5 (Storage.capacity s);
+  Alcotest.(check int) "no I/O accounted" 0 (Stats.total (Storage.stats s));
+  Alcotest.check_raises "negative alloc rejected"
+    (Invalid_argument "Storage.alloc: negative size") (fun () -> ignore (Storage.alloc s (-1)))
+
 let test_empty_and_single_arrays () =
   let s = Util.storage ~b:4 () in
   (* Zero-item inputs through each algorithm. *)
@@ -167,6 +248,10 @@ let suite =
   [
     ("storage growth", `Quick, test_storage_growth);
     ("ext_array views", `Quick, test_ext_array_views);
+    ("ext_array window edges", `Quick, test_ext_array_window_edges);
+    ("concat_views adjacency", `Quick, test_concat_views);
+    ("unchecked ops leave accounting alone", `Quick, test_unchecked_ops_leave_accounting_alone);
+    ("alloc zero and negative", `Quick, test_alloc_zero_and_negative);
     ("empty and singleton inputs", `Quick, test_empty_and_single_arrays);
     ("quantiles q > m", `Quick, test_quantiles_q_exceeds_m);
     ("selection extreme ranks", `Quick, test_selection_extreme_ranks);

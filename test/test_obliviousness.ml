@@ -5,15 +5,95 @@
 open Odex_extmem
 open Odex_obcheck
 
-(* --- pair tests: every registered subject ------------------------- *)
+(* --- pair tests: every registered subject on every backend -------- *)
 
+(* The obliviousness claim is about Bob's view, and Bob serves every
+   backend: the mem, file and faulty stores must all produce identical
+   pair traces. On the faulty backend the (seeded, data-independent)
+   fault schedule makes retries part of the view, so the pair test also
+   proves the retry pattern leaks nothing — and the nonzero failure
+   rate must actually produce retries, or the leg tests nothing. *)
 let registry_cases =
-  List.map
-    (fun (e : Registry.entry) ->
-      Alcotest.test_case ("pair " ^ e.subject.Pairtest.name) `Quick (fun () ->
-          let o = Pairtest.check e.subject ~n_cells:e.n_cells ~b:e.b ~m:e.m in
-          Alcotest.(check bool) (Format.asprintf "%a" Pairtest.pp_outcome o) true o.oblivious))
-    Registry.all
+  List.concat_map
+    (fun backend_name ->
+      List.map
+        (fun (e : Registry.entry) ->
+          Alcotest.test_case
+            (Printf.sprintf "pair %s [%s]" e.subject.Pairtest.name backend_name)
+            `Quick
+            (fun () ->
+              let spec = Registry.backend_spec backend_name in
+              Fun.protect
+                ~finally:(fun () -> Storage.remove_spec_files spec)
+                (fun () ->
+                  let o =
+                    Pairtest.check ~backend:spec e.subject ~n_cells:e.n_cells ~b:e.b ~m:e.m
+                  in
+                  Alcotest.(check bool)
+                    (Format.asprintf "%a" Pairtest.pp_outcome o)
+                    true o.oblivious;
+                  if backend_name = "faulty" then
+                    Alcotest.(check bool) "faults actually injected" true
+                      (o.run_a.Pairtest.retries > 0)
+                  else
+                    Alcotest.(check int) "no retries on a healthy backend" 0
+                      o.run_a.Pairtest.retries)))
+        Registry.all)
+    Registry.backend_names
+
+(* --- fuzzed shapes: obliviousness beyond the hand-picked sizes ---- *)
+
+(* Random (N, B, M, seed) configurations per registered subject, half of
+   them on a fault-injecting backend whose plan is derived from the
+   config seed. [m] is clamped to each subject's documented floor
+   (butterfly needs m >= 3; a direct Loose_compaction.run rejects
+   region size 3*ceil(log2 n_blocks) > m); everything else about the
+   shape is adversarially random. *)
+let fuzz_m_floor name ~n_blocks =
+  match name with
+  | "loose-compaction" -> (3 * Emodel.ilog2_ceil (max 2 n_blocks)) + 1
+  | _ -> 4
+
+(* Size ceiling per subject: ORAM subjects pay 2·N accesses (quadratic
+   for the linear scan, rebuild-heavy for the hierarchical one) and the
+   recursive algorithms pay sort-scale work per config; 100 configs per
+   subject must still finish in seconds. *)
+let fuzz_max_cells name =
+  match name with
+  | "linear-oram" | "sqrt-oram" | "hier-oram" -> 40
+  | "sort" | "logstar-compaction" | "loose-compaction" | "selection" | "quantiles" -> 96
+  | _ -> 160
+
+let fuzz_config_gen ~max_cells =
+  QCheck2.Gen.(
+    quad (int_range 4 max_cells) (int_range 1 8) (int_range 0 36)
+      (pair (int_range 0 0xFF_FFFF) bool))
+
+let fuzz_case (e : Registry.entry) =
+  let name = e.subject.Pairtest.name in
+  Util.qcheck_case ~count:100
+    ~name:(Printf.sprintf "fuzz pair %s" name)
+    (fuzz_config_gen ~max_cells:(fuzz_max_cells name))
+    (fun (n_cells, b, m_extra, (seed, faulty)) ->
+      let n_blocks = Emodel.ceil_div n_cells b in
+      let m = fuzz_m_floor name ~n_blocks + m_extra in
+      let backend =
+        if faulty then
+          Storage.Faulty
+            {
+              inner = Storage.Mem;
+              seed;
+              failure_rate = 0.02 +. (Float.of_int (seed land 0xF) /. 200.);
+              max_burst = 1 + (seed land 3);
+            }
+        else Storage.Mem
+      in
+      let o = Pairtest.check ~seed ~backend e.subject ~n_cells ~b ~m in
+      if not o.Pairtest.oblivious then
+        QCheck2.Test.fail_reportf "%a" Pairtest.pp_outcome o;
+      true)
+
+let fuzz_cases = List.map fuzz_case Registry.all
 
 (* --- the checker catches a planted leak --------------------------- *)
 
@@ -151,7 +231,7 @@ let test_bound_sort () =
   check_verdict (Iobound.sort ~n_blocks ~m_blocks:m ~actual)
 
 let suite =
-  registry_cases
+  registry_cases @ fuzz_cases
   @ [
       Alcotest.test_case "checker detects planted leak" `Quick test_detects_leak;
       Alcotest.test_case "span nesting" `Quick test_span_nesting;

@@ -190,6 +190,79 @@ let prop_prp_roundtrip =
       let prp = Odex_crypto.Prp.create ~domain (Odex_crypto.Prf.key_of_int key) in
       Odex_crypto.Prp.inverse prp (Odex_crypto.Prp.apply prp x) = x)
 
+let prop_prp_bijection =
+  Util.qcheck_case ~name:"PRP is a bijection on its whole domain" ~count:60
+    QCheck2.Gen.(pair (int_range 1 600) int)
+    (fun (domain, key) ->
+      let prp = Odex_crypto.Prp.create ~domain (Odex_crypto.Prf.key_of_int key) in
+      let image = Array.init domain (fun x -> Odex_crypto.Prp.apply prp x) in
+      (* In range, no collisions (= surjective on a finite domain), and
+         inverted exactly. *)
+      Array.for_all (fun y -> y >= 0 && y < domain) image
+      && List.sort_uniq compare (Array.to_list image) = List.init domain (fun i -> i)
+      && Array.for_all (fun x -> Odex_crypto.Prp.inverse prp image.(x) = x)
+           (Array.init domain (fun i -> i)))
+
+(* --- Emodel arithmetic: the quantities every bound is stated in ----- *)
+
+let prop_ceil_div =
+  Util.qcheck_case ~name:"ceil_div is the least sufficient quotient" ~count:200
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 10_000))
+    (fun (a, b) ->
+      let q = Emodel.ceil_div a b in
+      (* q blocks of size b cover a... *)
+      q * b >= a
+      (* ...and q is the least such count (0 only covers a = 0). *)
+      && ((q = 0 && a = 0) || (q - 1) * b < a)
+      (* Exactness on multiples, and adding a full divisor adds one. *)
+      && Emodel.ceil_div (q * b) b = q
+      && Emodel.ceil_div (a + b) b = q + 1)
+
+let prop_ilog2 =
+  Util.qcheck_case ~name:"ilog2 floor/ceil bracket n between powers of two" ~count:200
+    QCheck2.Gen.(int_range 1 (1 lsl 50))
+    (fun n ->
+      let f = Emodel.ilog2_floor n and c = Emodel.ilog2_ceil n in
+      let power_of_two = n land (n - 1) = 0 in
+      (1 lsl f) <= n
+      && n < 1 lsl (f + 1)
+      && n <= 1 lsl c
+      && (c = 0 || 1 lsl (c - 1) < n)
+      && c - f = (if power_of_two then 0 else 1))
+
+let prop_log_star =
+  Util.qcheck_case ~name:"log* recurrence, monotonicity and anchors" ~count:100
+    QCheck2.Gen.(pair (int_range 1 61) (int_range 1 1_000_000))
+    (fun (k, n) ->
+      (* The defining recurrence, exact on powers of two (log2 is exact
+         on them in floating point): log*(2^k) = 1 + log*(k). *)
+      Emodel.log_star (1 lsl k) = 1 + Emodel.log_star k
+      (* Monotone in n... *)
+      && Emodel.log_star n <= Emodel.log_star (n + 1)
+      (* ...and minuscule even at the top of the int range. *)
+      && Emodel.log_star max_int <= 5
+      && Emodel.log_star 1 = 0
+      && Emodel.log_star 2 = 1
+      && Emodel.log_star 16 = 3
+      && Emodel.log_star 65536 = 4)
+
+let prop_tower_of_twos =
+  Util.qcheck_case ~name:"tower of twos: recurrence then saturation at max_int" ~count:50
+    QCheck2.Gen.(int_range 1 1_000)
+    (fun i ->
+      let t = Emodel.tower_of_twos i in
+      (* Appendix B: t1 = 4, t_{i+1} = 2^{t_i}, clamped at max_int once
+         2^{t_i} no longer fits in an int. *)
+      Emodel.tower_of_twos 1 = 4
+      && Emodel.tower_of_twos 2 = 16
+      && Emodel.tower_of_twos 3 = 65536
+      && (i < 4 || t = max_int)
+      (* The recurrence is only evaluable while 2^{t_i} fits an int
+         (shifts past 62 are meaningless): t2 and t3 check it, t4 on is
+         the saturation branch above. *)
+      && (i > 2 || Emodel.tower_of_twos (i + 1) = 1 lsl t)
+      && t <= Emodel.tower_of_twos (i + 1))
+
 let suite =
   [
     prop_consolidation;
@@ -201,4 +274,9 @@ let suite =
     prop_selection_exponent_quarter;
     prop_sort_engines_agree;
     prop_prp_roundtrip;
+    prop_prp_bijection;
+    prop_ceil_div;
+    prop_ilog2;
+    prop_log_star;
+    prop_tower_of_twos;
   ]
