@@ -23,8 +23,18 @@ type record = {
   trace_length : int;
   spans : int;
   wall_ms : float;
+  bytes_moved : int;
+  batched_ios : int;
+  mb_per_s : float;
   ok : bool;
 }
+
+(* Throughput over the sealed payloads actually transferred by counted
+   I/Os: MB (10^6 bytes) per wall-clock second. 0 when nothing moved or
+   the clock read 0. *)
+let throughput ~bytes_moved ~wall_ms =
+  if bytes_moved = 0 || wall_ms <= 0. then 0.
+  else Float.of_int bytes_moved /. 1e6 /. (wall_ms /. 1e3)
 
 (* Backend selection for the whole JSON run (`--backend mem|file|faulty`);
    storages made through Workloads pick it up via [default_backend], and
@@ -58,6 +68,9 @@ let collect ~experiment ~name ~n_cells ~b ~m s f =
       trace_length = Trace.length tr;
       spans = List.length (Trace.spans tr);
       wall_ms;
+      bytes_moved = Stats.bytes_moved (Storage.stats s);
+      batched_ios = Stats.batched_ios (Storage.stats s);
+      mb_per_s = throughput ~bytes_moved:(Stats.bytes_moved (Storage.stats s)) ~wall_ms;
       ok;
     }
   in
@@ -173,6 +186,9 @@ let e11 () =
         trace_length = a.Odex_obcheck.Pairtest.trace_length;
         spans = a.Odex_obcheck.Pairtest.span_count;
         wall_ms;
+        bytes_moved = a.Odex_obcheck.Pairtest.bytes_moved;
+        batched_ios = a.Odex_obcheck.Pairtest.batched_ios;
+        mb_per_s = throughput ~bytes_moved:a.Odex_obcheck.Pairtest.bytes_moved ~wall_ms;
         ok = o.oblivious;
       })
     Odex_obcheck.Registry.all
@@ -185,9 +201,9 @@ let entries =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"ok\":%b}"
+    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b}"
     r.experiment r.name r.backend r.n_cells r.b r.m r.reads r.writes r.total_ios r.retries
-    r.trace_length r.spans r.wall_ms r.ok
+    r.trace_length r.spans r.wall_ms r.bytes_moved r.batched_ios r.mb_per_s r.ok
 
 let run ?(backend = "mem") ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
@@ -207,7 +223,7 @@ let run ?(backend = "mem") ids =
   let records = List.concat_map (fun (id, f) -> if want id then f () else []) entries in
   Workloads.cleanup ();
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/2\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/3\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

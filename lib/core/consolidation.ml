@@ -1,5 +1,11 @@
 open Odex_extmem
 
+(* Blocks per batched transfer in the scans below. A pure transport
+   granularity: the trace and I/O counts are those of the per-block
+   scan (one op per block, address order), only the number of backend
+   round-trips changes. *)
+let scan_chunk = 64
+
 let run ?(distinguished = fun (_ : Cell.item) -> true) ~into a =
   let n = Ext_array.blocks a in
   let b = Ext_array.block_size a in
@@ -31,16 +37,34 @@ let run ?(distinguished = fun (_ : Cell.item) -> true) ~into a =
       done;
       blk
     in
-    take_in (Ext_array.read_block a 0);
-    for i = 1 to n - 1 do
-      take_in (Ext_array.read_block a i);
-      let out = if Queue.length pending >= b then emit_block () else Block.make b in
-      Ext_array.write_block dst (i - 1) out
-    done;
+    (* Both scans move in batched runs: reads via [iter_runs], writes
+       accumulated into [scan_chunk]-block output runs. *)
+    let out_buf = ref [] and out_len = ref 0 and out_base = ref 0 in
+    let flush_out () =
+      if !out_len > 0 then begin
+        Ext_array.write_blocks dst !out_base (Array.of_list (List.rev !out_buf));
+        out_base := !out_base + !out_len;
+        out_buf := [];
+        out_len := 0
+      end
+    in
+    let push_out blk =
+      out_buf := blk :: !out_buf;
+      incr out_len;
+      if !out_len >= scan_chunk then flush_out ()
+    in
+    Ext_array.iter_runs a ~chunk:scan_chunk (fun base blks ->
+        Array.iteri
+          (fun j blk ->
+            take_in blk;
+            if base + j > 0 then
+              push_out (if Queue.length pending >= b then emit_block () else Block.make b))
+          blks);
     (* After every scan step at most one block's worth is pending, and
        the final emit drains it entirely. *)
     assert (Queue.length pending <= b);
-    Ext_array.write_block dst (n - 1) (emit_block ()));
+    push_out (emit_block ());
+    flush_out ());
   dst
 
 let occupied_prefix_property a =

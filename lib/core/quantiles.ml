@@ -12,21 +12,23 @@ let rank_of_quantile ~total ~q i =
 
 let dummy_item = { Cell.key = 0; value = 0; tag = 0; aux = 0 }
 
+(* Blocks per batched transfer in the scans below; transport granularity
+   only, see Consolidation. *)
+let scan_chunk = 32
+
 (* Scan [a]; grab the item of 1-indexed rank [ranks.(i)] (among items, in
    scan order) for every i. Ranks need not be sorted or distinct. *)
 let grab_many a ranks out =
-  let n = Ext_array.blocks a in
   let seen = ref 0 in
-  for i = 0 to n - 1 do
-    Array.iter
-      (fun c ->
-        match c with
-        | Cell.Empty -> ()
-        | Cell.Item it ->
-            incr seen;
-            Array.iteri (fun j r -> if r = !seen then out.(j) <- Some it) ranks)
-      (Ext_array.read_block a i)
-  done
+  Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+      Array.iter
+        (Array.iter (fun c ->
+             match c with
+             | Cell.Empty -> ()
+             | Cell.Item it ->
+                 incr seen;
+                 Array.iteri (fun j r -> if r = !seen then out.(j) <- Some it) ranks))
+        blks)
 
 let private_quantiles ~cmp ~q items =
   let sorted = List.sort (cmp_items cmp) items in
@@ -39,13 +41,15 @@ let private_quantiles ~cmp ~q items =
       ok = true;
     }
 
-(* Base case: array fits in cache. *)
+(* Base case: array fits in cache (n <= m, re-verified by [load_run]'s
+   capacity check); one batched scan. *)
 let in_cache ~cmp ~m ~q a =
   let n = Ext_array.blocks a in
   let cache = Cache.create (Ext_array.storage a) ~capacity:m in
+  Cache.load_run cache (Ext_array.base a) ~count:n;
   let items = ref [] in
   for i = 0 to n - 1 do
-    let blk = Cache.load cache (Ext_array.addr a i) in
+    let blk = Cache.borrow cache (Ext_array.addr a i) in
     Array.iter (fun c -> match c with Cell.Empty -> () | Cell.Item it -> items := it :: !items) blk;
     Cache.drop cache (Ext_array.addr a i)
   done;
@@ -57,11 +61,9 @@ let by_sorting ~cmp ~m ~q a =
   let storage = Ext_array.storage a in
   let copy = Ext_array.create storage ~blocks:n in
   let total = ref 0 in
-  for i = 0 to n - 1 do
-    let blk = Ext_array.read_block a i in
-    total := !total + Block.count_items blk;
-    Ext_array.write_block copy i blk
-  done;
+  Ext_array.iter_runs a ~chunk:scan_chunk (fun base blks ->
+      Array.iter (fun blk -> total := !total + Block.count_items blk) blks;
+      Ext_array.write_blocks copy base blks);
   Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.auto ~cmp ~m copy;
   if !total = 0 then { quantiles = Array.make q dummy_item; ok = false }
   else begin
@@ -87,11 +89,10 @@ let run ?key ?(cmp = Cell.compare_keys) ?delta ~m ~rng ~q a =
   then by_sorting ~cmp ~m ~q a
   else begin
     let ok = ref true in
-    (* Count items; one scan. *)
+    (* Count items; one batched scan. *)
     let total = ref 0 in
-    for i = 0 to n_blocks - 1 do
-      total := !total + Block.count_items (Ext_array.read_block a i)
-    done;
+    Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+        Array.iter (fun blk -> total := !total + Block.count_items blk) blks);
     let total = !total in
     if total = 0 then { quantiles = Array.make q dummy_item; ok = false }
     else begin
@@ -137,16 +138,15 @@ let run ?key ?(cmp = Cell.compare_keys) ?delta ~m ~rng ~q a =
       (* Global extremes for unbounded interval ends. *)
       let gmin = ref None and gmax = ref None in
       Ext_array.with_span a "quantiles.extremes" (fun () ->
-          for i = 0 to n_blocks - 1 do
-            Array.iter
-              (fun c ->
-                match c with
-                | Cell.Empty -> ()
-                | Cell.Item it ->
-                    gmin := Some (match !gmin with None -> it | Some v -> if cmp_items cmp it v < 0 then it else v);
-                    gmax := Some (match !gmax with None -> it | Some v -> if cmp_items cmp it v > 0 then it else v))
-              (Ext_array.read_block a i)
-          done);
+          Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+              Array.iter
+                (Array.iter (fun c ->
+                     match c with
+                     | Cell.Empty -> ()
+                     | Cell.Item it ->
+                         gmin := Some (match !gmin with None -> it | Some v -> if cmp_items cmp it v < 0 then it else v);
+                         gmax := Some (match !gmax with None -> it | Some v -> if cmp_items cmp it v > 0 then it else v)))
+                blks));
       let gmin = Option.get !gmin and gmax = Option.get !gmax in
       let x = Array.init q (fun i -> Option.value lo_grab.(i) ~default:gmin) in
       let y = Array.init q (fun i -> Option.value hi_grab.(i) ~default:gmax) in
@@ -160,23 +160,22 @@ let run ?key ?(cmp = Cell.compare_keys) ?delta ~m ~rng ~q a =
       let c_lt = Array.make q 0 and u_lt = Array.make q 0 and c_in = Array.make q 0 in
       let u_total = ref 0 in
       Ext_array.with_span a "quantiles.count" (fun () ->
-          for blk_i = 0 to n_blocks - 1 do
-            Array.iter
-              (fun c ->
-                match c with
-                | Cell.Empty -> ()
-                | Cell.Item it ->
-                    let u = in_union it in
-                    if u then incr u_total;
-                    for i = 0 to q - 1 do
-                      if cmp_items cmp it x.(i) < 0 then begin
-                        c_lt.(i) <- c_lt.(i) + 1;
-                        if u then u_lt.(i) <- u_lt.(i) + 1
-                      end;
-                      if in_interval i it then c_in.(i) <- c_in.(i) + 1
-                    done)
-              (Ext_array.read_block a blk_i)
-          done);
+          Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+              Array.iter
+                (Array.iter (fun c ->
+                     match c with
+                     | Cell.Empty -> ()
+                     | Cell.Item it ->
+                         let u = in_union it in
+                         if u then incr u_total;
+                         for i = 0 to q - 1 do
+                           if cmp_items cmp it x.(i) < 0 then begin
+                             c_lt.(i) <- c_lt.(i) + 1;
+                             if u then u_lt.(i) <- u_lt.(i) + 1
+                           end;
+                           if in_interval i it then c_in.(i) <- c_in.(i) + 1
+                         done))
+                blks));
       (* Capacity for the union of intervals. *)
       let per_interval = Float.to_int (((4. *. d) +. 4.) *. nf /. sf) + 1 in
       let cap_u_cells = min total (q * per_interval) in

@@ -10,13 +10,15 @@ let cmp_items cmp (x : Cell.item) (y : Cell.item) = cmp (Cell.Item x) (Cell.Item
 let min_item cmp a b = if cmp_items cmp a b <= 0 then a else b
 let max_item cmp a b = if cmp_items cmp a b >= 0 then a else b
 
+(* Blocks per batched transfer in the scans below; transport granularity
+   only, see Consolidation. *)
+let scan_chunk = 32
+
 (* Count of items in [a]; one scan. *)
 let count_items a =
-  let n = Ext_array.blocks a in
   let total = ref 0 in
-  for i = 0 to n - 1 do
-    total := !total + Block.count_items (Ext_array.read_block a i)
-  done;
+  Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+      Array.iter (fun blk -> total := !total + Block.count_items blk) blks);
   !total
 
 (* Consolidating sample pass: Lemma 3's scan, with a Bernoulli coin drawn
@@ -49,42 +51,62 @@ let consolidate_sample ~rng ~p a =
     blk
   in
   if n > 0 then begin
-    take_in (Ext_array.read_block a 0);
-    for i = 1 to n - 1 do
-      take_in (Ext_array.read_block a i);
-      let out = if Queue.length pending >= b then emit () else Block.make b in
-      Ext_array.write_block dst (i - 1) out
-    done;
-    Ext_array.write_block dst (n - 1) (emit ())
+    (* Batched like Consolidation.run; the coins are drawn per cell in
+       scan order inside [take_in], so the coin stream is exactly the
+       per-block scan's. *)
+    let out_buf = ref [] and out_len = ref 0 and out_base = ref 0 in
+    let flush_out () =
+      if !out_len > 0 then begin
+        Ext_array.write_blocks dst !out_base (Array.of_list (List.rev !out_buf));
+        out_base := !out_base + !out_len;
+        out_buf := [];
+        out_len := 0
+      end
+    in
+    let push_out blk =
+      out_buf := blk :: !out_buf;
+      incr out_len;
+      if !out_len >= scan_chunk then flush_out ()
+    in
+    Ext_array.iter_runs a ~chunk:scan_chunk (fun base blks ->
+        Array.iteri
+          (fun j blk ->
+            take_in blk;
+            if base + j > 0 then
+              push_out (if Queue.length pending >= b then emit () else Block.make b))
+          blks);
+    push_out (emit ());
+    flush_out ()
   end;
   (dst, !sampled)
 
 (* Scan a sorted compacted array and privately grab the items at the two
    given 1-indexed ranks (among items). *)
 let grab_ranks a r1 r2 =
-  let n = Ext_array.blocks a in
   let seen = ref 0 in
   let g1 = ref None and g2 = ref None in
-  for i = 0 to n - 1 do
-    Array.iter
-      (fun c ->
-        match c with
-        | Cell.Empty -> ()
-        | Cell.Item it ->
-            incr seen;
-            if !seen = r1 then g1 := Some it;
-            if !seen = r2 then g2 := Some it)
-      (Ext_array.read_block a i)
-  done;
+  Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+      Array.iter
+        (Array.iter (fun c ->
+             match c with
+             | Cell.Empty -> ()
+             | Cell.Item it ->
+                 incr seen;
+                 if !seen = r1 then g1 := Some it;
+                 if !seen = r2 then g2 := Some it))
+        blks);
   (!g1, !g2)
 
-(* Base case: the whole array fits in cache; trace is one scan. *)
+(* Base case: the whole array fits in cache (the caller guarantees
+   n <= m, which [load_run]'s capacity check re-verifies); trace is one
+   batched scan. *)
 let select_in_cache ~cmp ~m ~k a =
   let n = Ext_array.blocks a in
   let cache = Cache.create (Ext_array.storage a) ~capacity:m in
+  Cache.load_run cache (Ext_array.base a) ~count:n;
   let items = ref [] in
   for i = 0 to n - 1 do
-    let blk = Cache.load cache (Ext_array.addr a i) in
+    let blk = Cache.borrow cache (Ext_array.addr a i) in
     Array.iter (fun c -> match c with Cell.Empty -> () | Cell.Item it -> items := it :: !items) blk;
     Cache.drop cache (Ext_array.addr a i)
   done;
@@ -152,16 +174,15 @@ let rec go ?key ~cmp ~m ~rng ~exponent ~delta ~k a =
       (* 4. Global min and max; combine. *)
       let lo = ref None and hi = ref None in
       Ext_array.with_span a "selection.extremes" (fun () ->
-          for i = 0 to n_blocks - 1 do
-            Array.iter
-              (fun c ->
-                match c with
-                | Cell.Empty -> ()
-                | Cell.Item it ->
-                    lo := Some (match !lo with None -> it | Some v -> min_item cmp v it);
-                    hi := Some (match !hi with None -> it | Some v -> max_item cmp v it))
-              (Ext_array.read_block a i)
-          done);
+          Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+              Array.iter
+                (Array.iter (fun c ->
+                     match c with
+                     | Cell.Empty -> ()
+                     | Cell.Item it ->
+                         lo := Some (match !lo with None -> it | Some v -> min_item cmp v it);
+                         hi := Some (match !hi with None -> it | Some v -> max_item cmp v it)))
+                blks));
       let x =
         match (x_opt, !lo) with
         | Some x', Some x'' -> max_item cmp x' x''
@@ -178,16 +199,15 @@ let rec go ?key ~cmp ~m ~rng ~exponent ~delta ~k a =
       (* 5. Count below x and in range; one scan. *)
       let c_lt = ref 0 and c_in = ref 0 in
       Ext_array.with_span a "selection.count" (fun () ->
-          for i = 0 to n_blocks - 1 do
-            Array.iter
-              (fun c ->
-                match c with
-                | Cell.Empty -> ()
-                | Cell.Item it ->
-                    if cmp_items cmp it x < 0 then incr c_lt;
-                    if in_range it then incr c_in)
-              (Ext_array.read_block a i)
-          done);
+          Ext_array.iter_runs a ~chunk:scan_chunk (fun _ blks ->
+              Array.iter
+                (Array.iter (fun c ->
+                     match c with
+                     | Cell.Empty -> ()
+                     | Cell.Item it ->
+                         if cmp_items cmp it x < 0 then incr c_lt;
+                         if in_range it then incr c_in))
+                blks));
       let cap_in_blocks = Emodel.ceil_div cap_in_cells b + 1 in
       if !c_in > cap_in_cells || k <= !c_lt || k > !c_lt + !c_in then ok := false;
       (* 6. Consolidate the in-range items and tightly compact them (the

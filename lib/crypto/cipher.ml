@@ -3,18 +3,34 @@ type key = Prf.key
 let key_of_int = Prf.key_of_int
 let fresh_key = Prf.fresh_key
 
-(* Keystream block [i] for a given nonce is PRF(key, nonce, i): 8 bytes. *)
-let xor_stream k ~nonce src =
-  let len = Bytes.length src in
-  let dst = Bytes.create len in
-  let i = ref 0 in
-  let word = ref 0L in
-  while !i < len do
-    if !i land 7 = 0 then word := Prf.value_pair k nonce (!i lsr 3);
-    let ks_byte = Int64.to_int (Int64.shift_right_logical !word ((!i land 7) * 8)) land 0xff in
-    Bytes.unsafe_set dst !i (Char.chr (Char.code (Bytes.unsafe_get src !i) lxor ks_byte));
-    incr i
+(* Keystream word [j] for a given nonce is PRF(key, nonce, j): 8 bytes
+   covering message bytes [8j, 8j+8). The XOR runs a whole word at a
+   time — [Bytes.get_int64_le]/[set_int64_le] are byte-addressed, so no
+   alignment constraint — with a byte tail for lengths that are not a
+   multiple of 8. Keystream indices are relative to the start of the
+   region, so an in-place XOR at offset [off] of a larger buffer matches
+   an allocating XOR of the extracted slice. *)
+let xor_into k ~nonce buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Cipher.xor_into: region out of bounds";
+  let words = len lsr 3 in
+  for j = 0 to words - 1 do
+    let p = off + (j lsl 3) in
+    Bytes.set_int64_le buf p (Int64.logxor (Bytes.get_int64_le buf p) (Prf.value_pair k nonce j))
   done;
+  let tail = len land 7 in
+  if tail > 0 then begin
+    let word = Prf.value_pair k nonce words in
+    for i = len - tail to len - 1 do
+      let ks = Int64.to_int (Int64.shift_right_logical word ((i land 7) * 8)) land 0xff in
+      Bytes.unsafe_set buf (off + i)
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get buf (off + i)) lxor ks))
+    done
+  end
+
+let xor_stream k ~nonce src =
+  let dst = Bytes.copy src in
+  xor_into k ~nonce dst ~off:0 ~len:(Bytes.length dst);
   dst
 
 let encrypt k ~nonce plain = xor_stream k ~nonce plain

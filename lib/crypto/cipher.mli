@@ -22,3 +22,17 @@ val encrypt : key -> nonce:int -> bytes -> bytes
 
 val decrypt : key -> nonce:int -> bytes -> bytes
 (** Inverse of [encrypt] for the same key and nonce. *)
+
+val xor_stream : key -> nonce:int -> bytes -> bytes
+(** [xor_stream k ~nonce src] is a fresh buffer holding [src] XORed with
+    the [(k, nonce)] keystream — the involution both {!encrypt} and
+    {!decrypt} are aliases of. *)
+
+val xor_into : key -> nonce:int -> bytes -> off:int -> len:int -> unit
+(** [xor_into k ~nonce buf ~off ~len] XORs the keystream into
+    [buf[off .. off+len)] in place — the zero-allocation fast path behind
+    {!encrypt}/{!decrypt} (XOR is its own inverse, so the same call both
+    seals and opens). Keystream indices are relative to [off], so
+    [xor_into] on a slice of a larger buffer produces exactly
+    [encrypt]/[decrypt] of the extracted slice. The XOR proceeds a whole
+    64-bit word at a time with a byte-granular tail. *)

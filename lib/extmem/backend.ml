@@ -5,8 +5,13 @@ module type S = sig
 
   val kind : string
   val ensure : t -> int -> unit
+  val size : t -> int
   val read : t -> int -> bytes
   val write : t -> int -> bytes -> unit
+
+  val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+  val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+
   val sync : t -> unit
   val close : t -> unit
 
@@ -18,10 +23,31 @@ type t = Packed : (module S with type t = 'a) * 'a -> t
 
 let kind (Packed ((module B), _)) = B.kind
 let ensure (Packed ((module B), b)) n = B.ensure b n
+let size (Packed ((module B), b)) = B.size b
 let read (Packed ((module B), b)) addr = B.read b addr
 let write (Packed ((module B), b)) addr payload = B.write b addr payload
+
+let read_run (Packed ((module B), b)) ~addr ~count ~payload ~buf ~off =
+  B.read_run b ~addr ~count ~payload ~buf ~off
+
+let write_run (Packed ((module B), b)) ~addr ~count ~payload ~buf ~off =
+  B.write_run b ~addr ~count ~payload ~buf ~off
+
 let sync (Packed ((module B), b)) = B.sync b
 let close (Packed ((module B), b)) = B.close b
+
+(* Shared run-argument validation: the whole window must be legal before
+   any byte moves, so an out-of-bounds run raises without a partial
+   transfer on every backend. *)
+let check_run ~who ~blocks ~addr ~count ~payload ~buf ~off =
+  if count < 0 then invalid_arg (who ^ ": negative run length");
+  if payload < 1 then invalid_arg (who ^ ": payload must be >= 1");
+  if addr < 0 || addr + count > blocks then
+    invalid_arg
+      (Printf.sprintf "%s: run [%d, %d) out of bounds (%d blocks)" who addr (addr + count)
+         blocks);
+  if off < 0 || off + (count * payload) > Bytes.length buf then
+    invalid_arg (who ^ ": buffer region out of bounds")
 
 (* ---------------- in-memory ---------------- *)
 
@@ -39,6 +65,8 @@ module Mem = struct
     end;
     if n > t.len then t.len <- n
 
+  let size t = t.len
+
   let check t addr =
     if addr < 0 || addr >= t.len then
       invalid_arg (Printf.sprintf "Backend.Mem: address %d out of bounds (%d)" addr t.len)
@@ -50,6 +78,28 @@ module Mem = struct
   let write t addr payload =
     check t addr;
     t.slots.(addr) <- Bytes.copy payload
+
+  (* Runs are plain blits: no allocation on read (the caller's buffer is
+     filled in place) and, once a slot has been written at its final
+     payload size, none on write either (the slot buffer is reused). *)
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    check_run ~who:"Backend.Mem.read_run" ~blocks:t.len ~addr ~count ~payload ~buf ~off;
+    for i = 0 to count - 1 do
+      let slot = t.slots.(addr + i) in
+      if Bytes.length slot <> payload then
+        invalid_arg "Backend.Mem.read_run: slot has a different payload size";
+      Bytes.blit slot 0 buf (off + (i * payload)) payload
+    done
+
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    check_run ~who:"Backend.Mem.write_run" ~blocks:t.len ~addr ~count ~payload ~buf ~off;
+    for i = 0 to count - 1 do
+      let src = off + (i * payload) in
+      let slot = t.slots.(addr + i) in
+      if Bytes.length slot = payload then Bytes.blit buf src slot 0 payload
+      else t.slots.(addr + i) <- Bytes.sub buf src payload
+    done
 
   let sync _ = ()
   let close _ = ()
@@ -82,6 +132,8 @@ module File = struct
       t.blocks <- n
     end
 
+  let size t = t.blocks
+
   let check t addr =
     if t.closed then invalid_arg "Backend.File: store is closed";
     if addr < 0 || addr >= t.blocks then
@@ -89,27 +141,51 @@ module File = struct
 
   let seek t addr = ignore (Unix.lseek t.fd (addr * t.payload_size) Unix.SEEK_SET)
 
+  (* One positioned transfer for the whole run: a single syscall in the
+     common case, looping only if the kernel transfers short. *)
+
+  let read_into t ~addr ~bytes ~buf ~off =
+    seek t addr;
+    let done_ = ref 0 in
+    while !done_ < bytes do
+      let k = Unix.read t.fd buf (off + !done_) (bytes - !done_) in
+      if k = 0 then failwith "Backend.File: short read";
+      done_ := !done_ + k
+    done
+
+  let write_from t ~addr ~bytes ~buf ~off =
+    seek t addr;
+    let done_ = ref 0 in
+    while !done_ < bytes do
+      done_ := !done_ + Unix.write t.fd buf (off + !done_) (bytes - !done_)
+    done
+
   let read t addr =
     check t addr;
-    seek t addr;
     let buf = Bytes.create t.payload_size in
-    let off = ref 0 in
-    while !off < t.payload_size do
-      let k = Unix.read t.fd buf !off (t.payload_size - !off) in
-      if k = 0 then failwith "Backend.File: short read";
-      off := !off + k
-    done;
+    read_into t ~addr ~bytes:t.payload_size ~buf ~off:0;
     buf
 
   let write t addr payload =
     check t addr;
     if Bytes.length payload <> t.payload_size then
       invalid_arg "Backend.File: payload has wrong size";
-    seek t addr;
-    let off = ref 0 in
-    while !off < t.payload_size do
-      off := !off + Unix.write t.fd payload !off (t.payload_size - !off)
-    done
+    write_from t ~addr ~bytes:t.payload_size ~buf:payload ~off:0
+
+  let check_run_payload t payload =
+    if t.closed then invalid_arg "Backend.File: store is closed";
+    if payload <> t.payload_size then
+      invalid_arg "Backend.File: run payload size differs from the store's"
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    check_run_payload t payload;
+    check_run ~who:"Backend.File.read_run" ~blocks:t.blocks ~addr ~count ~payload ~buf ~off;
+    if count > 0 then read_into t ~addr ~bytes:(count * payload) ~buf ~off
+
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    check_run_payload t payload;
+    check_run ~who:"Backend.File.write_run" ~blocks:t.blocks ~addr ~count ~payload ~buf ~off;
+    if count > 0 then write_from t ~addr ~bytes:(count * payload) ~buf ~off
 
   let sync t = if not t.closed then Unix.fsync t.fd
 
@@ -185,6 +261,7 @@ module Faulty = struct
       | None -> ()
 
   let ensure t n = ensure t.inner n
+  let size t = size t.inner
 
   let read t addr =
     gate t addr;
@@ -193,6 +270,32 @@ module Faulty = struct
   let write t addr payload =
     gate t addr;
     write t.inner addr payload
+
+  (* Runs iterate block by block, gating each address exactly as the
+     per-block API would: the access counter — the schedule's only input
+     — advances once per block per attempt, so a batched run and a
+     per-block run replay byte-identical fault sequences. A Transient at
+     block [addr + i] leaves blocks [addr, addr + i) fully transferred,
+     which is the resume contract {!Storage}'s retry loop relies on.
+     Bounds are validated against the inner store before the first gate,
+     so an out-of-bounds run neither transfers nor consumes accesses. *)
+
+  let check_run_bounds who t ~addr ~count ~payload ~buf ~off =
+    check_run ~who ~blocks:(size t) ~addr ~count ~payload ~buf ~off
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    check_run_bounds "Backend.Faulty.read_run" t ~addr ~count ~payload ~buf ~off;
+    for i = 0 to count - 1 do
+      gate t (addr + i);
+      read_run t.inner ~addr:(addr + i) ~count:1 ~payload ~buf ~off:(off + (i * payload))
+    done
+
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    check_run_bounds "Backend.Faulty.write_run" t ~addr ~count ~payload ~buf ~off;
+    for i = 0 to count - 1 do
+      gate t (addr + i);
+      write_run t.inner ~addr:(addr + i) ~count:1 ~payload ~buf ~off:(off + (i * payload))
+    done
 
   let sync t = sync t.inner
   let close t = close t.inner

@@ -31,11 +31,31 @@ module type S = sig
   val ensure : t -> int -> unit
   (** [ensure t n] guarantees addresses [0 .. n-1] are backed. *)
 
+  val size : t -> int
+  (** Number of backed addresses (the [ensure] high-water mark). *)
+
   val read : t -> int -> bytes
   (** Payload at [addr]; a fresh buffer the caller may keep. *)
 
   val write : t -> int -> bytes -> unit
   (** Store a copy of the payload at [addr]. *)
+
+  val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+  (** [read_run t ~addr ~count ~payload ~buf ~off] fills
+      [buf[off .. off + count*payload)] with the payloads of the
+      contiguous block run [addr, addr + count) — a single positioned
+      transfer on {!file}, straight blits on {!mem}, and a per-block
+      fault-gated iteration on {!faulty}. The whole window (addresses and
+      buffer region) is validated before any byte moves, so out-of-bounds
+      runs raise without a partial transfer. On [Transient { addr = a }],
+      blocks before [a] have been transferred and blocks from [a] on have
+      not — the caller may resume the run at [a]. [count = 0] is a
+      validated no-op. *)
+
+  val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+  (** Mirror image of [read_run]: stores [count] payloads read from
+      [buf[off ..]] at [addr, addr + count), with the same validation,
+      fault and resume semantics. *)
 
   val sync : t -> unit
   (** Flush to durable media where that means something (file). *)
@@ -51,8 +71,11 @@ type t = Packed : (module S with type t = 'a) * 'a -> t
 
 val kind : t -> string
 val ensure : t -> int -> unit
+val size : t -> int
 val read : t -> int -> bytes
 val write : t -> int -> bytes -> unit
+val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
 val sync : t -> unit
 val close : t -> unit
 

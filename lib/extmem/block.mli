@@ -27,4 +27,12 @@ val encoded_size : int -> int
 val encode : t -> bytes
 val decode : block_size:int -> bytes -> t
 
+val encode_into : t -> bytes -> int -> unit
+(** [encode_into blk buf off] serializes into a caller-owned buffer —
+    the allocation-free path {!Storage}'s sealing scratch uses. *)
+
+val decode_from : block_size:int -> bytes -> int -> t
+(** [decode_from ~block_size buf off] decodes an image laid down by
+    {!encode_into} at [off], without extracting a sub-buffer. *)
+
 val pp : Format.formatter -> t -> unit

@@ -45,6 +45,34 @@ let load t addr =
       Hashtbl.replace t.table addr blk;
       Block.copy blk
 
+(* The capacity check covers the whole run before any block is read, so
+   a refused [load_run] performs no I/O and leaves the resident set
+   untouched — same all-or-nothing contract as [load]. Already-resident
+   blocks are kept (not re-read); the missing ones are fetched as
+   maximal contiguous batched runs, in address order, so the trace is
+   exactly the per-block loop's. *)
+let load_run t addr ~count =
+  if count < 0 then invalid_arg "Cache.load_run: negative count";
+  let missing = ref 0 in
+  for a = addr to addr + count - 1 do
+    if not (Hashtbl.mem t.table a) then incr missing
+  done;
+  let r = resident t + !missing in
+  if r > t.capacity then raise (Overflow { capacity = t.capacity; requested = r });
+  if r > t.peak then t.peak <- r;
+  let a = ref addr in
+  let fin = addr + count in
+  while !a < fin do
+    if Hashtbl.mem t.table !a then incr a
+    else begin
+      let g = ref !a in
+      while !g < fin && not (Hashtbl.mem t.table !g) do incr g done;
+      let blks = Storage.read_many t.storage !a (!g - !a) in
+      Array.iteri (fun i blk -> Hashtbl.replace t.table (!a + i) blk) blks;
+      a := !g
+    end
+  done
+
 let get t addr = Block.copy (find_resident t addr)
 
 let borrow t addr = find_resident t addr
@@ -68,5 +96,22 @@ let resident_addrs t =
   let addrs = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.table [] in
   List.sort compare addrs
 
-let flush_all t = List.iter (flush t) (resident_addrs t)
+(* Resident addresses are flushed in sorted order (deterministic, like
+   the per-block loop) with each maximal contiguous stretch written as
+   one batched run. *)
+let flush_all t =
+  let rec runs = function
+    | [] -> ()
+    | a :: _ as addrs ->
+        let rec split len = function
+          | b :: rest when b = a + len -> split (len + 1) rest
+          | rest -> (len, rest)
+        in
+        let len, rest = split 0 addrs in
+        let blks = Array.init len (fun i -> find_resident t (a + i)) in
+        Storage.write_many t.storage a blks;
+        for i = 0 to len - 1 do Hashtbl.remove t.table (a + i) done;
+        runs rest
+  in
+  runs (resident_addrs t)
 let drop_all t = Hashtbl.reset t.table

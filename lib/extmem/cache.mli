@@ -26,6 +26,15 @@ val load : t -> int -> Block.t
     resident, and returns a {e copy}. Mutating the returned array never
     affects the resident copy; use {!borrow} for in-place mutation. *)
 
+val load_run : t -> int -> count:int -> unit
+(** [load_run c addr ~count] makes the contiguous run
+    [addr, addr + count) resident, fetching the missing blocks as
+    batched {!Storage.read_many} runs in address order (one read I/O per
+    missing block, same trace as a per-block loop). The capacity check
+    covers the whole run {e before} any I/O, so a raised {!Overflow}
+    means nothing was read and the resident set is unchanged. Access the
+    blocks afterwards with {!get}/{!borrow}. *)
+
 val get : t -> int -> Block.t
 (** A copy of an already-resident block; no I/O.
     @raise Invalid_argument if not resident. *)
@@ -52,6 +61,8 @@ val drop : t -> int -> unit
 
 val flush_all : t -> unit
 (** Flush every resident block, in increasing address order (a
-    deterministic, data-independent order). *)
+    deterministic, data-independent order). Contiguous stretches travel
+    as batched {!Storage.write_many} runs; the trace is identical to the
+    per-block loop's. *)
 
 val drop_all : t -> unit

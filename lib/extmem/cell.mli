@@ -52,7 +52,8 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
 val encoded_size : int
-(** Bytes needed by [encode]. *)
+(** Bytes needed by [encode] — a word-aligned stride (5 × 8 bytes), so
+    encode/decode are straight 64-bit loads and stores. *)
 
 val encode : bytes -> int -> t -> unit
 (** [encode buf off c] serializes [c] at offset [off]. *)

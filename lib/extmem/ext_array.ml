@@ -28,6 +28,31 @@ let sub t ~off ~len =
 let read_block t i = Storage.read t.storage (addr t i)
 let write_block t i blk = Storage.write t.storage (addr t i) blk
 
+let read_blocks t i ~count =
+  if count < 0 then invalid_arg "Ext_array.read_blocks: negative count";
+  if i < 0 || i + count > t.blocks then
+    invalid_arg
+      (Printf.sprintf "Ext_array.read_blocks: run [%d, %d) out of bounds (%d blocks)" i
+         (i + count) t.blocks);
+  Storage.read_many t.storage (t.base + i) count
+
+let write_blocks t i blks =
+  let count = Array.length blks in
+  if i < 0 || i + count > t.blocks then
+    invalid_arg
+      (Printf.sprintf "Ext_array.write_blocks: run [%d, %d) out of bounds (%d blocks)" i
+         (i + count) t.blocks);
+  Storage.write_many t.storage (t.base + i) blks
+
+let iter_runs t ~chunk f =
+  if chunk < 1 then invalid_arg "Ext_array.iter_runs: chunk must be >= 1";
+  let i = ref 0 in
+  while !i < t.blocks do
+    let c = min chunk (t.blocks - !i) in
+    f !i (read_blocks t !i ~count:c);
+    i := !i + c
+  done
+
 let with_span t label f = Trace.with_span (Storage.trace t.storage) label f
 
 let concat_views a b =

@@ -34,6 +34,21 @@ val read_block : t -> int -> Block.t
 val write_block : t -> int -> Block.t -> unit
 (** Counted I/O. *)
 
+val read_blocks : t -> int -> count:int -> Block.t array
+(** [read_blocks a i ~count] reads relative blocks [i, i + count) as one
+    batched run (see {!Storage.read_many}): [count] counted I/Os, one
+    trace op per block in address order, a single backend transfer. *)
+
+val write_blocks : t -> int -> Block.t array -> unit
+(** Batched mirror of {!read_blocks}, via {!Storage.write_many}. *)
+
+val iter_runs : t -> chunk:int -> (int -> Block.t array -> unit) -> unit
+(** [iter_runs a ~chunk f] scans the whole array left to right in
+    batched runs of at most [chunk] blocks, calling [f base blks] for
+    each run ([base] is the relative index of [blks.(0)]). The workhorse
+    of the scan phases: the trace is identical to a per-block
+    [read_block] loop, the bytes travel [chunk] blocks at a time. *)
+
 val with_span : t -> string -> (unit -> 'a) -> 'a
 (** [with_span a label f] runs [f ()] inside a labelled span of the
     underlying storage's trace (see {!Trace.with_span}): if two runs'

@@ -4,14 +4,18 @@ type t = {
   mutable r : int;
   mutable w : int;
   mutable retry : int;
+  mutable bytes : int;
+  mutable batched : int;
   mutable last_span : snapshot option;
 }
 
-let create () = { r = 0; w = 0; retry = 0; last_span = None }
+let create () = { r = 0; w = 0; retry = 0; bytes = 0; batched = 0; last_span = None }
 
 let record_read t = t.r <- t.r + 1
 let record_write t = t.w <- t.w + 1
 let record_retry t = t.retry <- t.retry + 1
+let record_moved t n = t.bytes <- t.bytes + n
+let record_batched t n = t.batched <- t.batched + n
 
 let reads t = t.r
 let writes t = t.w
@@ -22,10 +26,15 @@ let retries t = t.retry
    of [total] so I/O-bound assertions hold on every backend, but Bob
    still sees them (the trace records each one). *)
 
+let bytes_moved t = t.bytes
+let batched_ios t = t.batched
+
 let reset t =
   t.r <- 0;
   t.w <- 0;
   t.retry <- 0;
+  t.bytes <- 0;
+  t.batched <- 0;
   t.last_span <- None
 
 let snapshot (t : t) : snapshot = { reads = t.r; writes = t.w }

@@ -12,6 +12,13 @@ val record_read : t -> unit
 val record_write : t -> unit
 val record_retry : t -> unit
 
+val record_moved : t -> int -> unit
+(** Add [n] payload bytes to the transfer tally. *)
+
+val record_batched : t -> int -> unit
+(** Add [n] logical I/Os that were served through a multi-block backend
+    run. *)
+
 val reads : t -> int
 val writes : t -> int
 val total : t -> int
@@ -22,6 +29,18 @@ val retries : t -> int
     {!total}: a retry is a repeat of the same logical I/O, so the
     paper's I/O bounds are asserted against [total] on every backend,
     while the retries remain visible to the adversary in the trace. *)
+
+val bytes_moved : t -> int
+(** Sealed-payload bytes transferred by successful counted I/Os —
+    [payload_size * total] by construction (failed attempts excluded,
+    like {!retries}). The numerator of the bench's [mb_per_s]. *)
+
+val batched_ios : t -> int
+(** Counted I/Os that travelled through a multi-block
+    {!Storage.read_many}/{!Storage.write_many} backend run rather than a
+    per-block call — 0 when batching is disabled. Always [<= total];
+    the batching win is visible as this ratio approaching 1 on
+    scan-heavy algorithms. *)
 
 val reset : t -> unit
 

@@ -25,6 +25,9 @@ type t = {
   max_retries : int;
   backoff_base : float;
   backoff_cap : float;
+  batching : bool;
+  seal_buf : bytes;  (** One payload: the single-block sealing scratch. *)
+  mutable run_buf : bytes;  (** Grows to the largest run requested; reused across calls. *)
 }
 
 let rec instantiate ~payload_size = function
@@ -40,7 +43,7 @@ let rec remove_spec_files = function
   | Faulty { inner; _ } -> remove_spec_files inner
 
 let create ?cipher ?(trace_mode = Trace.Digest) ?(backend = Mem) ?(max_retries = 10)
-    ?(backoff = (1e-6, 1e-4)) ~block_size () =
+    ?(backoff = (1e-6, 1e-4)) ?(batching = true) ~block_size () =
   if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
   if max_retries < 1 then invalid_arg "Storage.create: max_retries must be >= 1";
   let backoff_base, backoff_cap = backoff in
@@ -58,6 +61,9 @@ let create ?cipher ?(trace_mode = Trace.Digest) ?(backend = Mem) ?(max_retries =
     max_retries;
     backoff_base;
     backoff_cap;
+    batching;
+    seal_buf = Bytes.create payload_size;
+    run_buf = Bytes.empty;
   }
 
 let block_size t = t.block_size
@@ -65,77 +71,119 @@ let capacity t = t.used
 let stats t = t.stats
 let trace t = t.trace
 let backend_kind t = Backend.kind t.backend
+let batching t = t.batching
 let faults_injected t = Backend.faults_injected t.backend
 let sync t = Backend.sync t.backend
 let close t = Backend.close t.backend
 
+let ensure_run_buf t n =
+  let need = n * t.payload_size in
+  if Bytes.length t.run_buf < need then
+    t.run_buf <- Bytes.create (max need (2 * Bytes.length t.run_buf))
+
 (* ---- sealed payload: an 8-byte nonce header (-1 = plaintext) followed
    by the encoded (and possibly encrypted) block image. A fixed layout
    keeps every backend address-computable and lets a file store reopen a
-   previous run's blocks given the same key. ---- *)
+   previous run's blocks given the same key.
+
+   Sealing and unsealing run entirely inside caller-owned scratch
+   buffers ([seal_buf] for single blocks, [run_buf] for runs): the block
+   image is encoded in place, the cipher XORs the keystream in place,
+   and decoding reads straight from the scratch at an offset — no
+   [Bytes.sub], no per-operation allocation. ---- *)
 
 let plain_nonce = -1L
 
-let seal t blk =
-  let body = Block.encode blk in
-  let buf = Bytes.create t.payload_size in
-  (match t.cipher with
+let seal_into t blk buf off =
+  match t.cipher with
   | None ->
-      Bytes.set_int64_le buf 0 plain_nonce;
-      Bytes.blit body 0 buf 8 (Bytes.length body)
+      Bytes.set_int64_le buf off plain_nonce;
+      Block.encode_into blk buf (off + 8)
   | Some cs ->
       let nonce = cs.next_nonce in
       cs.next_nonce <- nonce + 1;
-      Bytes.set_int64_le buf 0 (Int64.of_int nonce);
-      let ct = Odex_crypto.Cipher.encrypt cs.key ~nonce body in
-      Bytes.blit ct 0 buf 8 (Bytes.length ct));
-  buf
+      Bytes.set_int64_le buf off (Int64.of_int nonce);
+      Block.encode_into blk buf (off + 8);
+      Odex_crypto.Cipher.xor_into cs.key ~nonce buf ~off:(off + 8)
+        ~len:(t.payload_size - 8)
 
-let unseal t payload =
-  let header = Bytes.get_int64_le payload 0 in
-  let body = Bytes.sub payload 8 (t.payload_size - 8) in
-  if header = plain_nonce then Block.decode ~block_size:t.block_size body
+let unseal_from t buf off =
+  let header = Bytes.get_int64_le buf off in
+  if header = plain_nonce then Block.decode_from ~block_size:t.block_size buf (off + 8)
   else
     match t.cipher with
     | None -> invalid_arg "Storage: encrypted block but no cipher key"
     | Some cs ->
-        Block.decode ~block_size:t.block_size
-          (Odex_crypto.Cipher.decrypt cs.key ~nonce:(Int64.to_int header) body)
+        Odex_crypto.Cipher.xor_into cs.key ~nonce:(Int64.to_int header) buf ~off:(off + 8)
+          ~len:(t.payload_size - 8);
+        Block.decode_from ~block_size:t.block_size buf (off + 8)
 
-(* ---- retry with capped exponential backoff. Failed attempts on
-   counted operations are themselves disk accesses Bob observes, so each
-   one is recorded in the trace (and tallied in [Stats.retries]); the
-   fault schedule of a faulty backend depends only on its access index,
-   never on data, so oblivious algorithms keep identical traces with
-   failures enabled. Uncounted (out-of-band) operations retry silently:
-   they model the experimenter's view, not Alice's protocol. ---- *)
+(* ---- the run engine: every transfer, single-block or batched, goes
+   through [run_transfer], which drives the backend's run API and
+   resumes after transient faults at the faulting block.
+
+   Failed attempts on counted operations are themselves disk accesses
+   Bob observes, so each one is recorded in the trace (and tallied in
+   [Stats.retries]); the fault schedule of a faulty backend depends only
+   on its access index, never on data, so oblivious algorithms keep
+   identical traces with failures enabled. Uncounted (out-of-band)
+   operations retry silently: they model the experimenter's view, not
+   Alice's protocol.
+
+   [record] fires once per block in address order, exactly where the
+   per-block API would have recorded it: blocks transferred before a
+   mid-run fault are recorded before the fault's retry op. A batched run
+   therefore emits a trace bit-identical to the per-block run it
+   replaces, which is what keeps obliviousness checkable by the
+   pair-tester with batching on. Per-block attempt counting matches the
+   per-block API too: a fresh faulting block restarts at attempt 1. ---- *)
 
 let backoff t attempt =
   let delay = Float.min t.backoff_cap (t.backoff_base *. Float.pow 2. (Float.of_int (attempt - 1))) in
   if delay > 0. then Unix.sleepf delay
 
-let with_retries t ~counted ~retry_op ~addr f =
-  let rec go attempt =
-    match f () with
-    | result -> result
-    | exception Backend.Transient _ ->
-        if attempt >= t.max_retries then raise (Io_failure { addr; attempts = attempt });
-        if counted then begin
-          Stats.record_retry t.stats;
-          Trace.record t.trace (retry_op addr)
-        end;
-        backoff t attempt;
-        go (attempt + 1)
+let run_transfer t ~counted ~retry_op ~record ~addr ~n ~do_run =
+  let fin = addr + n in
+  let rec go a attempt =
+    if a < fin then
+      match do_run ~addr:a ~count:(fin - a) ~off:((a - addr) * t.payload_size) with
+      | () -> for i = a to fin - 1 do record i done
+      | exception Backend.Transient { addr = fa; _ } ->
+          for i = a to fa - 1 do record i done;
+          let attempt = if fa > a then 1 else attempt in
+          if attempt >= t.max_retries then raise (Io_failure { addr = fa; attempts = attempt });
+          if counted then begin
+            Stats.record_retry t.stats;
+            Trace.record t.trace (retry_op fa)
+          end;
+          backoff t attempt;
+          go fa (attempt + 1)
   in
-  go 1
+  go addr 1
 
-let backend_read t ~counted addr =
-  with_retries t ~counted ~retry_op:(fun a -> Trace.Retry_read a) ~addr (fun () ->
-      Backend.read t.backend addr)
+let read_run_backend t ~buf ~addr ~count ~off =
+  Backend.read_run t.backend ~addr ~count ~payload:t.payload_size ~buf ~off
 
-let backend_write t ~counted addr payload =
-  with_retries t ~counted ~retry_op:(fun a -> Trace.Retry_write a) ~addr (fun () ->
-      Backend.write t.backend addr payload)
+let write_run_backend t ~buf ~addr ~count ~off =
+  Backend.write_run t.backend ~addr ~count ~payload:t.payload_size ~buf ~off
+
+let record_read t a =
+  Stats.record_read t.stats;
+  Stats.record_moved t.stats t.payload_size;
+  Trace.record t.trace (Trace.Read a)
+
+let record_write t a =
+  Stats.record_write t.stats;
+  Stats.record_moved t.stats t.payload_size;
+  Trace.record t.trace (Trace.Write a)
+
+let transfer_read t ~counted ~record ~addr ~n ~buf =
+  run_transfer t ~counted ~retry_op:(fun a -> Trace.Retry_read a) ~record ~addr ~n
+    ~do_run:(fun ~addr ~count ~off -> read_run_backend t ~buf ~addr ~count ~off)
+
+let transfer_write t ~counted ~record ~addr ~n ~buf =
+  run_transfer t ~counted ~retry_op:(fun a -> Trace.Retry_write a) ~record ~addr ~n
+    ~do_run:(fun ~addr ~count ~off -> write_run_backend t ~buf ~addr ~count ~off)
 
 let alloc t n =
   if n < 0 then invalid_arg "Storage.alloc: negative size";
@@ -144,9 +192,32 @@ let alloc t n =
     Backend.ensure t.backend (t.used + n);
     t.used <- t.used + n;
     (* Zero-initialization is the server's job and costs no counted I/O;
-       retries here stay out of the trace for the same reason. *)
-    for addr = base to base + n - 1 do
-      backend_write t ~counted:false addr (seal t (Block.make t.block_size))
+       retries here stay out of the trace for the same reason. Batched
+       runs change neither property: a faulty backend gates once per
+       block per attempt whether or not the blocks travel together. *)
+    let zero = Block.make t.block_size in
+    let chunk = 256 in
+    let c0 = min chunk n in
+    ensure_run_buf t c0;
+    (* Without a cipher every zero block seals to the same image, so one
+       seal + blits fill the run; with one, each slot needs a fresh
+       nonce. Either way the buffer stays valid across chunks. *)
+    (match t.cipher with
+    | None ->
+        seal_into t zero t.run_buf 0;
+        for i = 1 to c0 - 1 do
+          Bytes.blit t.run_buf 0 t.run_buf (i * t.payload_size) t.payload_size
+        done
+    | Some _ -> ());
+    let a = ref base in
+    while !a < base + n do
+      let c = min chunk (base + n - !a) in
+      if t.cipher <> None then
+        for i = 0 to c - 1 do
+          seal_into t zero t.run_buf (i * t.payload_size)
+        done;
+      transfer_write t ~counted:false ~record:(fun _ -> ()) ~addr:!a ~n:c ~buf:t.run_buf;
+      a := !a + c
     done
   end;
   base
@@ -155,28 +226,77 @@ let check_addr t addr =
   if addr < 0 || addr >= t.used then
     invalid_arg (Printf.sprintf "Storage: address %d out of bounds (capacity %d)" addr t.used)
 
+let check_block t ~who blk =
+  if Array.length blk <> t.block_size then invalid_arg (who ^ ": block has wrong size")
+
 let read t addr =
   check_addr t addr;
-  let payload = backend_read t ~counted:true addr in
-  Stats.record_read t.stats;
-  Trace.record t.trace (Trace.Read addr);
-  unseal t payload
+  transfer_read t ~counted:true ~record:(record_read t) ~addr ~n:1 ~buf:t.seal_buf;
+  unseal_from t t.seal_buf 0
 
 let write t addr blk =
   check_addr t addr;
-  if Array.length blk <> t.block_size then
-    invalid_arg "Storage.write: block has wrong size";
-  let payload = seal t blk in
-  backend_write t ~counted:true addr payload;
-  Stats.record_write t.stats;
-  Trace.record t.trace (Trace.Write addr)
+  check_block t ~who:"Storage.write" blk;
+  seal_into t blk t.seal_buf 0;
+  transfer_write t ~counted:true ~record:(record_write t) ~addr ~n:1 ~buf:t.seal_buf
+
+(* ---- batched logical I/O. One [Trace.Read]/[Write] op and one Stats
+   tick per logical block in address order — the same view Bob gets from
+   a per-block loop — while the backend sees one contiguous run. With
+   [~batching:false] the calls degrade to the per-block loop itself, so
+   the two modes are trace-equal by construction (asserted by the
+   batch-parity test suite). ---- *)
+
+let read_many t addr n =
+  if n < 0 then invalid_arg "Storage.read_many: negative count";
+  let out = Array.make n [||] in
+  if n > 0 then begin
+    check_addr t addr;
+    check_addr t (addr + n - 1);
+    if t.batching && n > 1 then begin
+      ensure_run_buf t n;
+      transfer_read t ~counted:true ~record:(record_read t) ~addr ~n ~buf:t.run_buf;
+      Stats.record_batched t.stats n;
+      for i = 0 to n - 1 do
+        out.(i) <- unseal_from t t.run_buf (i * t.payload_size)
+      done
+    end
+    else
+      for i = 0 to n - 1 do
+        out.(i) <- read t (addr + i)
+      done
+  end;
+  out
+
+let write_many t addr blks =
+  let n = Array.length blks in
+  if n > 0 then begin
+    check_addr t addr;
+    check_addr t (addr + n - 1);
+    Array.iter (check_block t ~who:"Storage.write_many") blks;
+    if t.batching && n > 1 then begin
+      ensure_run_buf t n;
+      (* Sealing in index order draws the same nonce sequence as the
+         per-block loop. *)
+      for i = 0 to n - 1 do
+        seal_into t blks.(i) t.run_buf (i * t.payload_size)
+      done;
+      transfer_write t ~counted:true ~record:(record_write t) ~addr ~n ~buf:t.run_buf;
+      Stats.record_batched t.stats n
+    end
+    else
+      for i = 0 to n - 1 do
+        write t (addr + i) blks.(i)
+      done
+  end
 
 let unchecked_peek t addr =
   check_addr t addr;
-  unseal t (backend_read t ~counted:false addr)
+  transfer_read t ~counted:false ~record:(fun _ -> ()) ~addr ~n:1 ~buf:t.seal_buf;
+  unseal_from t t.seal_buf 0
 
 let unchecked_poke t addr blk =
   check_addr t addr;
-  if Array.length blk <> t.block_size then
-    invalid_arg "Storage.unchecked_poke: block has wrong size";
-  backend_write t ~counted:false addr (seal t blk)
+  check_block t ~who:"Storage.unchecked_poke" blk;
+  seal_into t blk t.seal_buf 0;
+  transfer_write t ~counted:false ~record:(fun _ -> ()) ~addr ~n:1 ~buf:t.seal_buf

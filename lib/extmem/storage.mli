@@ -47,6 +47,7 @@ val create :
   ?backend:backend_spec ->
   ?max_retries:int ->
   ?backoff:float * float ->
+  ?batching:bool ->
   block_size:int ->
   unit ->
   t
@@ -54,7 +55,15 @@ val create :
     [Mem]. A transient backend failure is retried up to [max_retries]
     times (default 10), sleeping [min cap (base *. 2. ** attempts)]
     seconds between attempts where [backoff = (base, cap)] (default
-    [1e-6, 1e-4] — real but negligible delays). *)
+    [1e-6, 1e-4] — real but negligible delays).
+
+    [batching] (default [true]) controls whether {!read_many} and
+    {!write_many} are served by a single contiguous backend run or
+    degrade to per-block loops. It changes only how bytes travel, never
+    what Bob sees: traces, stats totals and retry sequences are
+    identical either way (the batch-parity tests assert this on every
+    backend). Disable it to measure the batching win or to bisect a
+    suspected batching bug. *)
 
 val block_size : t -> int
 val capacity : t -> int
@@ -62,6 +71,9 @@ val capacity : t -> int
 
 val backend_kind : t -> string
 (** "mem", "file" or "faulty" — for reports. *)
+
+val batching : t -> bool
+(** Whether {!read_many}/{!write_many} use multi-block backend runs. *)
 
 val faults_injected : t -> int
 (** Transient failures the backend has raised so far (0 unless the
@@ -94,6 +106,25 @@ val write : t -> int -> Block.t -> unit
 (** [write t addr blk] performs one I/O, re-encrypting under a fresh
     nonce. The block is copied (or serialized), so the caller may keep
     mutating its buffer. *)
+
+val read_many : t -> int -> int -> Block.t array
+(** [read_many t addr n] reads the contiguous run
+    [addr, addr + n) and returns the [n] blocks in address order.
+    Logically identical to [n] calls to {!read}: it records one
+    [Trace.Read] op and one Stats tick per block, in address order, and
+    a faulty backend gates each block on the same access index — so the
+    adversary's view is bit-identical whether or not batching is on.
+    Physically (with batching on and [n > 1]) the payloads travel as a
+    single backend run — one [pread] on a file store — and the [n]
+    blocks are tallied in {!Stats.batched_ios}. [n = 0] returns [[||]]
+    without touching anything. *)
+
+val write_many : t -> int -> Block.t array -> unit
+(** [write_many t addr blks] writes [blks] to the contiguous run
+    starting at [addr]. The mirror image of {!read_many}: per-block
+    trace ops, stats and fresh nonces exactly as [Array.length blks]
+    calls to {!write} (nonces drawn in index order), one backend run
+    when batching. *)
 
 val stats : t -> Stats.t
 val trace : t -> Trace.t

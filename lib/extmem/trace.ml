@@ -15,13 +15,29 @@ type t = {
   mode : mode;
   mutable length : int;
   mutable hash : int64;
-  mutable rev_ops : op list;
+  (* [Full] mode keeps the ops in a growable array (amortized O(1) push,
+     no per-op cons cell): [ops_buf[0 .. ops_len)] is the sequence in
+     recording order, so [ops] is a single pass instead of the O(n)
+     re-reverse a cons list would need, and multi-million-op traces stop
+     churning the GC. *)
+  mutable ops_buf : op array;
+  mutable ops_len : int;
   mutable depth : int;
   mutable rev_spans : span list;
 }
 
 let create mode =
-  { mode; length = 0; hash = 0L; rev_ops = []; depth = 0; rev_spans = [] }
+  { mode; length = 0; hash = 0L; ops_buf = [||]; ops_len = 0; depth = 0; rev_spans = [] }
+
+let push_op t op =
+  let cap = Array.length t.ops_buf in
+  if t.ops_len = cap then begin
+    let fresh = Array.make (max 64 (2 * cap)) op in
+    Array.blit t.ops_buf 0 fresh 0 t.ops_len;
+    t.ops_buf <- fresh
+  end;
+  t.ops_buf.(t.ops_len) <- op;
+  t.ops_len <- t.ops_len + 1
 
 let mode t = t.mode
 
@@ -45,11 +61,11 @@ let record t op =
   | Full ->
       t.length <- t.length + 1;
       t.hash <- mix64 (Int64.add (Int64.mul t.hash 0x100000001B3L) (op_code op));
-      t.rev_ops <- op :: t.rev_ops
+      push_op t op
 
 let length t = t.length
 let digest t = t.hash
-let ops t = List.rev t.rev_ops
+let ops t = Array.to_list (Array.sub t.ops_buf 0 t.ops_len)
 
 (* Span labels are part of the algorithm's public phase structure, never
    of the data, so they are kept out of the op digest: [equal] still
@@ -79,11 +95,17 @@ let with_span t label f =
 
 let spans t = List.rev t.rev_spans
 
+let same_ops a b =
+  a.ops_len = b.ops_len
+  &&
+  let rec eq i = i >= a.ops_len || (a.ops_buf.(i) = b.ops_buf.(i) && eq (i + 1)) in
+  eq 0
+
 let equal a b =
   a.length = b.length && a.hash = b.hash
   &&
   match (a.mode, b.mode) with
-  | Full, Full -> a.rev_ops = b.rev_ops
+  | Full, Full -> same_ops a b
   | _ -> true
 
 (* Pinpoint the first labelled span at which two traces part ways.
@@ -123,7 +145,9 @@ let diverging_label a b =
 let reset t =
   t.length <- 0;
   t.hash <- 0L;
-  t.rev_ops <- [];
+  (* Keep the op buffer's capacity: a reset trace is about to record a
+     comparable run. *)
+  t.ops_len <- 0;
   t.depth <- 0;
   t.rev_spans <- []
 

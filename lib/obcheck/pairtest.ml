@@ -12,6 +12,8 @@ type run_info = {
   writes : int;
   retries : int;
   span_count : int;
+  bytes_moved : int;
+  batched_ios : int;
 }
 
 type outcome = {
@@ -79,6 +81,8 @@ let execute subject ~backend ~b ~m ~seed cells =
           writes = Stats.writes st;
           retries = Stats.retries st;
           span_count = List.length (Trace.spans tr);
+          bytes_moved = Stats.bytes_moved st;
+          batched_ios = Stats.batched_ios st;
         }
       in
       (tr, info, kind))

@@ -30,6 +30,8 @@ type run_info = {
           backend); they appear in the trace, so obliviousness covers
           them too. *)
   span_count : int;
+  bytes_moved : int;  (** See {!Odex_extmem.Stats.bytes_moved}. *)
+  batched_ios : int;  (** See {!Odex_extmem.Stats.batched_ios}. *)
 }
 
 type outcome = {

@@ -29,16 +29,18 @@ let cache_sort_exec ~real ~cmp ~m a =
   let b = Ext_array.block_size a in
   let storage = Ext_array.storage a in
   let cache = Cache.create storage ~capacity:m in
-  let cells = Array.make (n * b) Cell.empty in
-  for i = 0 to n - 1 do
-    let blk = Cache.load cache (Ext_array.addr a i) in
-    Array.blit blk 0 cells (i * b) b
-  done;
+  (* One batched read run in, one batched write run out ([flush_all]
+     groups the contiguous residents); an oversized array overflows in
+     [load_run]'s capacity pre-check, before any I/O. *)
+  Cache.load_run cache (Ext_array.base a) ~count:n;
   if real then begin
+    let cells = Array.make (n * b) Cell.empty in
+    for i = 0 to n - 1 do
+      Array.blit (Cache.borrow cache (Ext_array.addr a i)) 0 cells (i * b) b
+    done;
     Array.sort cmp cells;
     for i = 0 to n - 1 do
-      let blk = Cache.borrow cache (Ext_array.addr a i) in
-      Array.blit cells (i * b) blk 0 b
+      Array.blit cells (i * b) (Cache.borrow cache (Ext_array.addr a i)) 0 b
     done
   end;
   Cache.flush_all cache
@@ -69,9 +71,14 @@ let process_chunk work cache ~real ~cmp ~stage ~hi ~lo =
   for v = 0 to groups - 1 do
     let base = ((v lsr lo) lsl (hi + 1)) lor (v land ((1 lsl lo) - 1)) in
     let pos t = base lor (t lsl lo) in
-    for t = 0 to g - 1 do
-      ignore (Cache.load cache (Ext_array.addr work (pos t)))
-    done;
+    (* [lo = 0] makes the group the contiguous run [base, base + g) (the
+       windowed sort's common case), which batches both the fill and the
+       [flush_all]. Strided groups load per block. *)
+    if lo = 0 then Cache.load_run cache (Ext_array.addr work base) ~count:g
+    else
+      for t = 0 to g - 1 do
+        ignore (Cache.load cache (Ext_array.addr work (pos t)))
+      done;
     for bit = hi downto lo do
       let j = 1 lsl bit in
       for t = 0 to g - 1 do
@@ -97,12 +104,11 @@ let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
     let n2 = next_power_of_two n in
     let work = if n2 = n then a else Ext_array.create storage ~blocks:n2 in
     (* Pre-sort each block internally (and copy into the padded work
-       array when needed); padding blocks are already all-empty = +∞. *)
-    for i = 0 to n - 1 do
-      let blk = Ext_array.read_block a i in
-      if real then Block.sort_in_place cmp blk;
-      Ext_array.write_block work i blk
-    done;
+       array when needed); padding blocks are already all-empty = +∞.
+       Read and rewritten in batched runs. *)
+    Ext_array.iter_runs a ~chunk:32 (fun base blks ->
+        if real then Array.iter (Block.sort_in_place cmp) blks;
+        Ext_array.write_blocks work base blks);
     let lpp = max 1 (min (levels_per_pass m) (Emodel.ilog2_floor m)) in
     let cache = Cache.create storage ~capacity:m in
     let stage = ref 2 in
@@ -116,10 +122,14 @@ let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
       done;
       stage := !stage * 2
     done;
-    if work != a then
-      for i = 0 to n - 1 do
-        Ext_array.write_block a i (Ext_array.read_block work i)
+    if work != a then begin
+      let i = ref 0 in
+      while !i < n do
+        let c = min 32 (n - !i) in
+        Ext_array.write_blocks a !i (Ext_array.read_blocks work !i ~count:c);
+        i := !i + c
       done
+    end
   end
 
 let bitonic = { name = "bitonic"; exec = bitonic_exec ~levels_per_pass:(fun _ -> 1) }

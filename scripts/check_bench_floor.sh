@@ -1,0 +1,33 @@
+#!/bin/sh
+# check_bench_floor.sh BENCH_core.json bench/mb_per_s.floor
+#
+# Guards the batching win: fails if the E2 file-backend throughput
+# (mb_per_s of the largest consolidation workload) regresses more than
+# 30% below the checked-in floor. The floor file holds one number,
+# refreshed by hand from a local `--json E2 --backend file` run when the
+# I/O path legitimately changes.
+set -eu
+
+json=${1:-BENCH_core.json}
+floor_file=${2:-bench/mb_per_s.floor}
+
+[ -s "$json" ] || { echo "check_bench_floor: $json missing or empty" >&2; exit 1; }
+[ -s "$floor_file" ] || { echo "check_bench_floor: $floor_file missing or empty" >&2; exit 1; }
+
+floor=$(tr -d ' \n' < "$floor_file")
+
+# Pull mb_per_s from the E2 record with the largest n_cells on the file
+# backend. The bench writes one record per line, so line-oriented tools
+# are enough — no JSON parser dependency.
+measured=$(grep '"experiment":"E2"' "$json" \
+  | grep '"backend":"file"' \
+  | sed 's/.*"n_cells":\([0-9]*\).*"mb_per_s":\([0-9.]*\).*/\1 \2/' \
+  | sort -n | tail -1 | cut -d' ' -f2)
+
+[ -n "$measured" ] || { echo "check_bench_floor: no E2 file record in $json" >&2; exit 1; }
+
+awk -v m="$measured" -v f="$floor" 'BEGIN {
+  min = 0.7 * f;
+  printf "E2 file throughput: %.1f MB/s (floor %.1f, minimum %.1f)\n", m, f, min;
+  exit (m >= min) ? 0 : 1;
+}' || { echo "check_bench_floor: throughput regressed more than 30% below the floor" >&2; exit 1; }

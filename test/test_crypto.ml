@@ -169,6 +169,54 @@ let test_cipher_nonce_freshness () =
   let c2 = Cipher.encrypt k ~nonce:2 plain in
   Alcotest.(check bool) "re-encryption looks fresh" true (not (Bytes.equal c1 c2))
 
+(* Byte-at-a-time reference for the word-at-a-time keystream XOR: byte i
+   takes byte (i mod 8) of keystream word i/8. [Cipher.key_of_int] is
+   PRF key derivation, so a [Prf.key] from the same seed generates the
+   cipher's keystream. The production code must match the reference on
+   every length, in particular the 1..7-byte tails and the empty and
+   sub-word inputs. *)
+let xor_reference pk ~nonce src =
+  Bytes.mapi
+    (fun i c ->
+      let word = Prf.value_pair pk nonce (i / 8) in
+      let ks = Int64.to_int (Int64.shift_right_logical word (i mod 8 * 8)) land 0xff in
+      Char.chr (Char.code c lxor ks))
+    src
+
+let test_xor_stream_matches_bytewise_reference () =
+  let k = Cipher.key_of_int 1234 and pk = Prf.key_of_int 1234 in
+  for len = 0 to 17 do
+    let src = Bytes.init len (fun i -> Char.chr ((i * 37) land 0xFF)) in
+    Alcotest.(check bytes)
+      (Printf.sprintf "len %d" len)
+      (xor_reference pk ~nonce:len src)
+      (Cipher.xor_stream k ~nonce:len src)
+  done
+
+let test_xor_into_region () =
+  (* [xor_into] at an interior offset must keystream the region exactly
+     as [xor_stream] does a standalone buffer of the same bytes (indices
+     are region-relative), and must not touch bytes outside it. *)
+  let k = Cipher.key_of_int 99 in
+  for len = 0 to 17 do
+    let off = 8 in
+    let buf = Bytes.init (off + len + 5) (fun i -> Char.chr ((i * 11) land 0xFF)) in
+    let orig = Bytes.copy buf in
+    let region = Bytes.sub buf off len in
+    Cipher.xor_into k ~nonce:7 buf ~off ~len;
+    Alcotest.(check bytes)
+      (Printf.sprintf "region len %d" len)
+      (Cipher.xor_stream k ~nonce:7 region)
+      (Bytes.sub buf off len);
+    Alcotest.(check bytes) "prefix untouched" (Bytes.sub orig 0 off) (Bytes.sub buf 0 off);
+    Alcotest.(check bytes) "suffix untouched"
+      (Bytes.sub orig (off + len) 5)
+      (Bytes.sub buf (off + len) 5)
+  done;
+  Alcotest.check_raises "out-of-bounds region rejected"
+    (Invalid_argument "Cipher.xor_into: region out of bounds") (fun () ->
+      Cipher.xor_into k ~nonce:0 (Bytes.create 4) ~off:2 ~len:3)
+
 let test_cipher_key_separation () =
   let plain = Bytes.of_string "hello" in
   let c1 = Cipher.encrypt (Cipher.key_of_int 1) ~nonce:0 plain in
@@ -216,6 +264,8 @@ let suite =
     ("permutation identity", `Quick, test_permutation_identity);
     ("cipher roundtrip", `Quick, test_cipher_roundtrip);
     ("cipher nonce freshness", `Quick, test_cipher_nonce_freshness);
+    ("cipher xor vs bytewise reference", `Quick, test_xor_stream_matches_bytewise_reference);
+    ("cipher xor_into region", `Quick, test_xor_into_region);
     ("cipher key separation", `Quick, test_cipher_key_separation);
     prop_permutation_valid;
     prop_cipher_roundtrip;
