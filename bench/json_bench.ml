@@ -5,9 +5,25 @@
    Usage: main.exe --json                    — every entry
           main.exe --json E2 E9              — selected experiments only
           main.exe --json E2 --backend faulty — run on another backend
-                                               (mem | file | faulty) *)
+                                               (mem | file | faulty)
+          main.exe --json E2 --profile p.json — also collect telemetry:
+                                               per-phase latency
+                                               percentiles land in the
+                                               records and a Chrome
+                                               trace-event file at the
+                                               given path *)
 
 open Odex_extmem
+module Telemetry = Odex_telemetry.Telemetry
+
+type phase_row = {
+  ph_label : string;
+  ph_count : int;
+  ph_total_ms : float;
+  ph_p50_us : float;
+  ph_p90_us : float;
+  ph_p99_us : float;
+}
 
 type record = {
   experiment : string;
@@ -27,6 +43,7 @@ type record = {
   batched_ios : int;
   mb_per_s : float;
   ok : bool;
+  phases : phase_row list;  (* empty unless profiling *)
 }
 
 (* Throughput over the sealed payloads actually transferred by counted
@@ -43,6 +60,27 @@ let current_backend = ref "mem"
 
 let fresh_spec () = Odex_obcheck.Registry.backend_spec !current_backend
 
+(* `--profile PATH` flips this on: workload storages get live sinks (via
+   the [Workloads.telemetry] factory), each collected run's sink is kept
+   here under its experiment label, and the lot is written as one Chrome
+   trace at the end. *)
+let profiling = ref false
+let profiled : (string * Telemetry.t) list ref = ref []
+
+let phase_rows tel =
+  List.map
+    (fun (ps : Telemetry.phase_stat) ->
+      let h = ps.phase_latency in
+      {
+        ph_label = ps.phase_label;
+        ph_count = ps.phase_count;
+        ph_total_ms = Int64.to_float (Telemetry.hist_total_ns h) /. 1e6;
+        ph_p50_us = Telemetry.hist_percentile h 50. /. 1e3;
+        ph_p90_us = Telemetry.hist_percentile h 90. /. 1e3;
+        ph_p99_us = Telemetry.hist_percentile h 99. /. 1e3;
+      })
+    (Telemetry.phase_stats tel)
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -51,7 +89,14 @@ let timed f =
 (* Run [f] (returning its success flag) against [s] and harvest the
    storage counters afterwards, then release the backend. *)
 let collect ~experiment ~name ~n_cells ~b ~m s f =
+  let tel = Storage.telemetry s in
+  (* Zero-cost-when-disabled guard: unless `--profile` was given, every
+     benched storage must carry the shared no-op sink — anything else
+     means instrumentation leaked into the timed path. *)
+  if not !profiling then assert (not (Telemetry.enabled tel));
   let ok, wall_ms = timed f in
+  if Telemetry.enabled tel then
+    profiled := (Printf.sprintf "%s/%s" experiment name, tel) :: !profiled;
   let tr = Storage.trace s in
   let r =
     {
@@ -72,6 +117,7 @@ let collect ~experiment ~name ~n_cells ~b ~m s f =
       batched_ios = Stats.batched_ios (Storage.stats s);
       mb_per_s = throughput ~bytes_moved:(Stats.bytes_moved (Storage.stats s)) ~wall_ms;
       ok;
+      phases = (if Telemetry.enabled tel then phase_rows tel else []);
     }
   in
   Storage.close s;
@@ -148,7 +194,10 @@ let e9 () =
 
 let e10 () =
   let words = 1024 and m = 64 in
-  let s = Storage.create ~trace_mode:Trace.Digest ~backend:(fresh_spec ()) ~block_size:4 () in
+  let s =
+    Storage.create ~telemetry:(!Workloads.telemetry ()) ~trace_mode:Trace.Digest
+      ~backend:(fresh_spec ()) ~block_size:4 ()
+  in
   let rng = Odex_crypto.Rng.create ~seed:10 in
   [
     collect ~experiment:"E10" ~name:"hier-oram-64-accesses" ~n_cells:words ~b:4 ~m s (fun () ->
@@ -190,6 +239,9 @@ let e11 () =
         batched_ios = a.Odex_obcheck.Pairtest.batched_ios;
         mb_per_s = throughput ~bytes_moved:a.Odex_obcheck.Pairtest.bytes_moved ~wall_ms;
         ok = o.oblivious;
+        (* Pair runs build their own storages; the profile covers the
+           workload entries, not the audit. *)
+        phases = [];
       })
     Odex_obcheck.Registry.all
 
@@ -199,13 +251,19 @@ let entries =
     ("E9", e9); ("E10", e10); ("E11", e11);
   ]
 
+let json_of_phase p =
+  Printf.sprintf
+    "{\"label\":%S,\"count\":%d,\"total_ms\":%.3f,\"p50_us\":%.2f,\"p90_us\":%.2f,\"p99_us\":%.2f}"
+    p.ph_label p.ph_count p.ph_total_ms p.ph_p50_us p.ph_p90_us p.ph_p99_us
+
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b}"
+    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
     r.experiment r.name r.backend r.n_cells r.b r.m r.reads r.writes r.total_ios r.retries
     r.trace_length r.spans r.wall_ms r.bytes_moved r.batched_ios r.mb_per_s r.ok
+    (String.concat "," (List.map json_of_phase r.phases))
 
-let run ?(backend = "mem") ids =
+let run ?(backend = "mem") ?profile ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
     Printf.eprintf "unknown backend %S (available: %s)\n" backend
       (String.concat " " Odex_obcheck.Registry.backend_names);
@@ -213,6 +271,11 @@ let run ?(backend = "mem") ids =
   end;
   current_backend := backend;
   Workloads.default_backend := fresh_spec;
+  (match profile with
+  | None -> ()
+  | Some _ ->
+      profiling := true;
+      Workloads.telemetry := Telemetry.create);
   List.iter
     (fun id ->
       if not (List.mem_assoc id entries) then
@@ -222,8 +285,14 @@ let run ?(backend = "mem") ids =
   let want id = ids = [] || List.mem id ids in
   let records = List.concat_map (fun (id, f) -> if want id then f () else []) entries in
   Workloads.cleanup ();
+  (match profile with
+  | None -> ()
+  | Some path ->
+      Telemetry.write_chrome ~path (List.rev !profiled);
+      Printf.printf "wrote %s (%d profiled runs, Chrome trace-event JSON)\n" path
+        (List.length !profiled));
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/3\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/4\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

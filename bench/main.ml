@@ -7,6 +7,10 @@
           main.exe time       — wall-clock benches only
           main.exe --json     — machine-readable metrics -> BENCH_core.json
           main.exe --json E2  — ditto, selected experiments only
+          main.exe --json E2 --profile p.json
+                              — ditto, plus telemetry: per-phase latency
+                                percentiles in the records and a Chrome
+                                trace-event JSON at the given path
 
    `--backend mem|file|faulty` (anywhere on the line) picks the storage
    backend for every workload-created store: `file` spills blocks to
@@ -108,10 +112,23 @@ let rec extract_backend = function
       let backend, cleaned = extract_backend rest in
       (backend, arg :: cleaned)
 
+(* Pull `--profile PATH` out likewise (JSON mode only: enables telemetry
+   on every workload storage and writes a Chrome trace there). *)
+let rec extract_profile = function
+  | [] -> (None, [])
+  | "--profile" :: path :: rest ->
+      let _, cleaned = extract_profile rest in
+      (Some path, cleaned)
+  | [ "--profile" ] -> failwith "--profile needs an output path"
+  | arg :: rest ->
+      let profile, cleaned = extract_profile rest in
+      (profile, arg :: cleaned)
+
 let () =
   let backend, args = extract_backend (List.tl (Array.to_list Sys.argv)) in
+  let profile, args = extract_profile args in
   match args with
-  | "--json" :: ids -> Json_bench.run ?backend ids
+  | "--json" :: ids -> Json_bench.run ?backend ?profile ids
   | args ->
       Option.iter
         (fun name ->

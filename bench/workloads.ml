@@ -8,12 +8,20 @@ open Odex_extmem
    produced. *)
 let default_backend : (unit -> Storage.backend_spec) ref = ref (fun () -> Storage.Mem)
 
+(* Which telemetry sink freshly created workloads report to. The default
+   factory hands out the shared disabled sink (no instrumentation at
+   all); `--profile` swaps in a factory minting one live sink per
+   storage. *)
+let telemetry : (unit -> Odex_telemetry.Telemetry.t) ref =
+  ref (fun () -> Odex_telemetry.Telemetry.disabled)
+
 let created_specs : Storage.backend_spec list ref = ref []
 
 let fresh_storage ?cipher ~trace ~b () =
   let spec = !default_backend () in
   created_specs := spec :: !created_specs;
-  Storage.create ?cipher ~trace_mode:trace ~backend:spec ~block_size:b ()
+  Storage.create ?cipher ~telemetry:(!telemetry ()) ~trace_mode:trace ~backend:spec
+    ~block_size:b ()
 
 let cleanup () =
   List.iter Storage.remove_spec_files !created_specs;

@@ -9,7 +9,8 @@
      odx select -k 500 data.txt
      odx quantiles -q 4 data.txt
      odx compact --keep-even data.txt
-     odx audit -n 600 *)
+     odx audit -n 600
+     odx sort --profile trace.json data.txt   # latency profile -> Chrome trace *)
 
 open Cmdliner
 open Odex_extmem
@@ -39,9 +40,17 @@ let backend_of ~store = function
       prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
       exit 2
 
-let setup ~block_size ~backend ~store ~seed keys =
+let setup ~block_size ~backend ~store ~seed ~profile keys =
+  (* `--profile` turns on the telemetry sink; without it the storage
+     carries the shared disabled sink and the I/O path is untouched. *)
+  let telemetry =
+    match profile with
+    | Some _ -> Odex_telemetry.Telemetry.create ()
+    | None -> Odex_telemetry.Telemetry.disabled
+  in
   let server =
-    Storage.create ~trace_mode:Trace.Digest ~backend:(backend_of ~store backend) ~block_size ()
+    Storage.create ~telemetry ~trace_mode:Trace.Digest ~backend:(backend_of ~store backend)
+      ~block_size ()
   in
   let cells = Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:i ()) keys in
   let a = Ext_array.of_cells server ~block_size cells in
@@ -55,6 +64,16 @@ let report_trace server =
     (Trace.length (Storage.trace server))
     (Trace.digest (Storage.trace server))
     (if retries > 0 then Printf.sprintf ", %d transient faults retried" retries else "")
+
+let report_profile server profile =
+  match profile with
+  | None -> ()
+  | Some path ->
+      let tel = Storage.telemetry server in
+      Odex_telemetry.Telemetry.write_chrome ~path [ ("odx", tel) ];
+      Format.printf "%a" Odex_telemetry.Telemetry.pp_summary tel;
+      Printf.printf "; wrote Chrome trace-event profile to %s (load in chrome://tracing)\n"
+        path
 
 (* ---- common options ---- *)
 
@@ -86,25 +105,37 @@ let store_arg =
   let doc = "Path of the block store for --backend file (default: a fresh temp file)." in
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH" ~doc)
 
+let profile_arg =
+  let doc =
+    "Collect latency telemetry and write a Chrome trace-event JSON profile to $(docv) \
+     (load it in chrome://tracing or Perfetto); a human-readable summary is printed too. \
+     Profiling observes only what the storage provider already sees and never changes \
+     the access trace."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"OUT.json" ~doc)
+
 (* ---- sort ---- *)
 
 let sort_cmd =
-  let run block_size m seed backend store file =
+  let run block_size m seed backend store profile file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
-      let server, a, rng = setup ~block_size ~backend ~store ~seed keys in
+      let server, a, rng = setup ~block_size ~backend ~store ~seed ~profile keys in
       let outcome = Odex.Sort.run ~m ~rng a in
       List.iter
         (fun (it : Cell.item) -> print_endline (string_of_int it.key))
         (Ext_array.items a);
       Printf.printf "; ok = %b\n" outcome.Odex.Sort.ok;
-      report_trace server
+      report_trace server;
+      report_profile server profile
     end
   in
   let doc = "Data-oblivious external-memory sort (Theorem 21)." in
   Cmd.v (Cmd.info "sort" ~doc)
-    Term.(const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ file_arg)
+    Term.(
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
+      $ profile_arg $ file_arg)
 
 (* ---- select ---- *)
 
@@ -113,20 +144,21 @@ let select_cmd =
     let doc = "Rank to select (1-indexed)." in
     Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
   in
-  let run block_size m seed backend store k file =
+  let run block_size m seed backend store profile k file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~backend ~store ~seed keys in
+    let server, a, rng = setup ~block_size ~backend ~store ~seed ~profile keys in
     let r = Odex.Selection.select ~m ~rng ~k a in
     (match r.Odex.Selection.item with
     | Some it -> Printf.printf "%d\n; rank %d of %d, ok = %b\n" it.key k (Array.length keys) r.ok
     | None -> Printf.printf "; selection failed (re-run with a fresh --seed)\n");
-    report_trace server
+    report_trace server;
+    report_profile server profile
   in
   let doc = "Data-oblivious selection of the k-th smallest (Theorem 13)." in
   Cmd.v (Cmd.info "select" ~doc)
     Term.(
-      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ k_arg
-      $ file_arg)
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
+      $ profile_arg $ k_arg $ file_arg)
 
 (* ---- quantiles ---- *)
 
@@ -135,21 +167,22 @@ let quantiles_cmd =
     let doc = "Number of quantiles." in
     Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
   in
-  let run block_size m seed backend store q file =
+  let run block_size m seed backend store profile q file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~backend ~store ~seed keys in
+    let server, a, rng = setup ~block_size ~backend ~store ~seed ~profile keys in
     let r = Odex.Quantiles.run ~m ~rng ~q a in
     Array.iteri
       (fun i (it : Cell.item) -> Printf.printf "p%d = %d\n" ((i + 1) * 100 / (q + 1)) it.key)
       r.Odex.Quantiles.quantiles;
     Printf.printf "; ok = %b\n" r.Odex.Quantiles.ok;
-    report_trace server
+    report_trace server;
+    report_profile server profile
   in
   let doc = "Data-oblivious quantiles (Theorem 17)." in
   Cmd.v (Cmd.info "quantiles" ~doc)
     Term.(
-      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ q_arg
-      $ file_arg)
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
+      $ profile_arg $ q_arg $ file_arg)
 
 (* ---- compact ---- *)
 
@@ -158,21 +191,22 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed backend store keep_even file =
+  let run block_size m seed backend store profile keep_even file =
     let keys = read_keys file in
-    let server, a, _rng = setup ~block_size ~backend ~store ~seed keys in
+    let server, a, _rng = setup ~block_size ~backend ~store ~seed ~profile keys in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
     let occupied = Odex.Butterfly.compact ~m d in
     List.iter (fun (it : Cell.item) -> print_endline (string_of_int it.key)) (Ext_array.items d);
     Printf.printf "; %d occupied blocks after tight compaction (Theorem 6)\n" occupied;
-    report_trace server
+    report_trace server;
+    report_profile server profile
   in
   let doc = "Consolidate + tight order-preserving compaction (Lemma 3 + Theorem 6)." in
   Cmd.v (Cmd.info "compact" ~doc)
     Term.(
-      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg $ keep_even
-      $ file_arg)
+      const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
+      $ profile_arg $ keep_even $ file_arg)
 
 (* ---- audit ---- *)
 

@@ -12,6 +12,15 @@ module type S = sig
   val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
   val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
 
+  val read_meta : t -> bytes option
+  (** The out-of-band metadata blob last stored with {!write_meta}, if
+      any. [None] on a fresh store. Not an I/O of the model. *)
+
+  val write_meta : t -> bytes -> unit
+  (** Durably associate a small metadata blob (at most {!meta_capacity}
+      bytes) with the store — {!Storage} keeps its sealing header there.
+      Out-of-band: never counted, never traced, never fault-gated. *)
+
   val sync : t -> unit
   val close : t -> unit
 
@@ -33,8 +42,16 @@ let read_run (Packed ((module B), b)) ~addr ~count ~payload ~buf ~off =
 let write_run (Packed ((module B), b)) ~addr ~count ~payload ~buf ~off =
   B.write_run b ~addr ~count ~payload ~buf ~off
 
+let read_meta (Packed ((module B), b)) = B.read_meta b
+let write_meta (Packed ((module B), b)) m = B.write_meta b m
 let sync (Packed ((module B), b)) = B.sync b
 let close (Packed ((module B), b)) = B.close b
+
+let meta_capacity = 40
+
+let check_meta ~who m =
+  if Bytes.length m > meta_capacity then
+    invalid_arg (Printf.sprintf "%s: metadata exceeds %d bytes" who meta_capacity)
 
 (* Shared run-argument validation: the whole window must be legal before
    any byte moves, so an out-of-bounds run raises without a partial
@@ -52,9 +69,15 @@ let check_run ~who ~blocks ~addr ~count ~payload ~buf ~off =
 (* ---------------- in-memory ---------------- *)
 
 module Mem = struct
-  type t = { mutable slots : bytes array; mutable len : int }
+  type t = { mutable slots : bytes array; mutable len : int; mutable meta : bytes option }
 
   let kind = "mem"
+
+  let read_meta t = Option.map Bytes.copy t.meta
+
+  let write_meta t m =
+    check_meta ~who:"Backend.Mem.write_meta" m;
+    t.meta <- Some (Bytes.copy m)
 
   let ensure t n =
     if n > Array.length t.slots then begin
@@ -106,9 +129,24 @@ module Mem = struct
   let faults _ = 0
 end
 
-let mem () = Packed ((module Mem), { Mem.slots = [||]; len = 0 })
+let mem () = Packed ((module Mem), { Mem.slots = [||]; len = 0; meta = None })
 
 (* ---------------- file-backed ---------------- *)
+
+(* On-disk layout: a fixed 64-byte header, then block [addr] at byte
+   offset [header_bytes + addr * payload_size].
+
+     0 .. 7   magic "ODEXSTO1"
+     8 .. 15  payload_size (int64 LE) — validated on reopen
+    16 .. 23  metadata length (int64 LE, 0 when none)
+    24 .. 63  metadata blob (Storage's sealing header lives here)
+
+   The header is written when a fresh file is created, so every store in
+   this format self-describes; opening a non-empty file without the
+   magic fails loudly instead of misreading blocks at shifted offsets. *)
+let file_header_bytes = 64
+
+let file_magic = "ODEXSTO1"
 
 module File = struct
   type t = {
@@ -120,15 +158,80 @@ module File = struct
 
   let kind = "file"
 
+  let pwrite_all fd ~pos buf =
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let len = Bytes.length buf in
+    let done_ = ref 0 in
+    while !done_ < len do
+      done_ := !done_ + Unix.write fd buf !done_ (len - !done_)
+    done
+
+  let pread_all fd ~pos buf =
+    ignore (Unix.lseek fd pos Unix.SEEK_SET);
+    let len = Bytes.length buf in
+    let done_ = ref 0 in
+    while !done_ < len do
+      let k = Unix.read fd buf !done_ (len - !done_) in
+      if k = 0 then failwith "Backend.File: short header read";
+      done_ := !done_ + k
+    done
+
+  let write_header_fields t ~meta =
+    let h = Bytes.make file_header_bytes '\000' in
+    Bytes.blit_string file_magic 0 h 0 8;
+    Bytes.set_int64_le h 8 (Int64.of_int t.payload_size);
+    (match meta with
+    | None -> Bytes.set_int64_le h 16 0L
+    | Some m ->
+        Bytes.set_int64_le h 16 (Int64.of_int (Bytes.length m));
+        Bytes.blit m 0 h 24 (Bytes.length m));
+    pwrite_all t.fd ~pos:0 h
+
+  let read_header t =
+    let h = Bytes.create file_header_bytes in
+    pread_all t.fd ~pos:0 h;
+    if Bytes.sub_string h 0 8 <> file_magic then
+      invalid_arg "Backend.File: unrecognized store format (bad magic)";
+    let payload = Int64.to_int (Bytes.get_int64_le h 8) in
+    if payload <> t.payload_size then
+      invalid_arg
+        (Printf.sprintf "Backend.File: store has payload size %d, expected %d" payload
+           t.payload_size);
+    let len = Int64.to_int (Bytes.get_int64_le h 16) in
+    if len < 0 || len > meta_capacity then
+      invalid_arg "Backend.File: corrupt store header (metadata length)";
+    if len = 0 then None else Some (Bytes.sub h 24 len)
+
   let create ~path ~payload_size =
     if payload_size < 1 then invalid_arg "Backend.file: payload_size must be >= 1";
     let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o600 in
-    let existing = (Unix.fstat fd).Unix.st_size / payload_size in
-    { fd; payload_size; blocks = existing; closed = false }
+    let size = (Unix.fstat fd).Unix.st_size in
+    let t = { fd; payload_size; blocks = 0; closed = false } in
+    (match
+       if size = 0 then write_header_fields t ~meta:None
+       else begin
+         if size < file_header_bytes then
+           invalid_arg "Backend.File: unrecognized store format (no header)";
+         ignore (read_header t);
+         t.blocks <- (size - file_header_bytes) / payload_size
+       end
+     with
+    | () -> ()
+    | exception e ->
+        Unix.close fd;
+        raise e);
+    t
+
+  let read_meta t =
+    if t.closed then None else read_header t
+
+  let write_meta t m =
+    check_meta ~who:"Backend.File.write_meta" m;
+    if not t.closed then write_header_fields t ~meta:(Some m)
 
   let ensure t n =
     if n > t.blocks then begin
-      Unix.ftruncate t.fd (n * t.payload_size);
+      Unix.ftruncate t.fd (file_header_bytes + (n * t.payload_size));
       t.blocks <- n
     end
 
@@ -139,7 +242,8 @@ module File = struct
     if addr < 0 || addr >= t.blocks then
       invalid_arg (Printf.sprintf "Backend.File: address %d out of bounds (%d)" addr t.blocks)
 
-  let seek t addr = ignore (Unix.lseek t.fd (addr * t.payload_size) Unix.SEEK_SET)
+  let seek t addr =
+    ignore (Unix.lseek t.fd (file_header_bytes + (addr * t.payload_size)) Unix.SEEK_SET)
 
   (* One positioned transfer for the whole run: a single syscall in the
      common case, looping only if the kernel transfers short. *)
@@ -263,6 +367,12 @@ module Faulty = struct
   let ensure t n = ensure t.inner n
   let size t = size t.inner
 
+  (* Metadata is the server's out-of-band state, not a gated access: the
+     fault schedule's access counter must not depend on how often the
+     client checkpoints its sealing header. *)
+  let read_meta t = read_meta t.inner
+  let write_meta t m = write_meta t.inner m
+
   let read t addr =
     gate t addr;
     read t.inner addr
@@ -311,3 +421,65 @@ let faulty plan inner =
       { Faulty.inner; plan; access = 0; burst_left = 0; recovering = false; injected = 0 } )
 
 let faults_injected (Packed ((module B), b)) = B.faults b
+
+(* ---------------- telemetry instrumentation ---------------- *)
+
+(* A timing shim around any backend: each device call is bracketed with
+   the monotonic clock and reported to the sink under the {e inner}
+   backend's kind, so a profile of a faulty-over-file stack attributes
+   latencies to "faulty" as one composite device. The shim carries no
+   state of its own and never looks at payload contents — it observes
+   operation kinds, block counts, byte counts and durations, all of
+   which the server already sees. A raised [Transient] propagates
+   untimed (the eventual successful attempt is what lands in the
+   histogram; failed attempts are visible as fault/retry counters at the
+   Storage layer). {!Storage} installs this wrapper only when its sink
+   is enabled, so a disabled sink costs literally nothing on the I/O
+   path. *)
+
+module Instrumented = struct
+  module Tel = Odex_telemetry.Telemetry
+
+  type nonrec t = { inner : t; tel : Tel.t; inner_kind : string }
+
+  let kind = "instrumented"
+
+  let time t op ~blocks ~bytes f =
+    let t0 = Tel.now_ns () in
+    let r = f () in
+    Tel.record_op t.tel ~backend:t.inner_kind ~op ~blocks ~bytes
+      ~ns:(Int64.sub (Tel.now_ns ()) t0);
+    r
+
+  let ensure t n = ensure t.inner n
+  let size t = size t.inner
+  let read_meta t = read_meta t.inner
+  let write_meta t m = write_meta t.inner m
+
+  let read t addr =
+    let t0 = Tel.now_ns () in
+    let payload = read t.inner addr in
+    Tel.record_op t.tel ~backend:t.inner_kind ~op:Tel.Read ~blocks:1
+      ~bytes:(Bytes.length payload)
+      ~ns:(Int64.sub (Tel.now_ns ()) t0);
+    payload
+
+  let write t addr payload =
+    time t Tel.Write ~blocks:1 ~bytes:(Bytes.length payload) (fun () ->
+        write t.inner addr payload)
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    time t Tel.Read_run ~blocks:count ~bytes:(count * payload) (fun () ->
+        read_run t.inner ~addr ~count ~payload ~buf ~off)
+
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    time t Tel.Write_run ~blocks:count ~bytes:(count * payload) (fun () ->
+        write_run t.inner ~addr ~count ~payload ~buf ~off)
+
+  let sync t = time t Tel.Sync ~blocks:0 ~bytes:0 (fun () -> sync t.inner)
+  let close t = close t.inner
+  let faults t = faults_injected t.inner
+end
+
+let instrument tel inner =
+  Packed ((module Instrumented), { Instrumented.inner; tel; inner_kind = kind inner })

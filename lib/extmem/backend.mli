@@ -57,6 +57,17 @@ module type S = sig
       [buf[off ..]] at [addr, addr + count), with the same validation,
       fault and resume semantics. *)
 
+  val read_meta : t -> bytes option
+  (** The metadata blob last stored with {!write_meta} ([None] on a
+      fresh store). Out-of-band server state: not an I/O of the model,
+      never traced, never fault-gated. *)
+
+  val write_meta : t -> bytes -> unit
+  (** Durably associate a metadata blob (at most {!meta_capacity} bytes)
+      with the store; {!Storage} keeps its sealing header — notably the
+      cipher-nonce high-water mark — there, so a reopened file store can
+      resume without ever reusing a (key, nonce) pair. *)
+
   val sync : t -> unit
   (** Flush to durable media where that means something (file). *)
 
@@ -76,17 +87,29 @@ val read : t -> int -> bytes
 val write : t -> int -> bytes -> unit
 val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
 val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+val read_meta : t -> bytes option
+val write_meta : t -> bytes -> unit
 val sync : t -> unit
 val close : t -> unit
+
+val meta_capacity : int
+(** Maximum {!write_meta} blob size (bytes) every backend supports. *)
 
 val mem : unit -> t
 (** In-process array of payloads. *)
 
 val file : path:string -> payload_size:int -> t
-(** File-backed store: block [addr] lives at byte offset
-    [addr * payload_size]. The file is created if missing and {e not}
-    truncated, so a previous run's block image is readable by a new
-    backend on the same path. *)
+(** File-backed store: a fixed {!file_header_bytes}-byte header (magic,
+    payload size, metadata blob), then block [addr] at byte offset
+    [file_header_bytes + addr * payload_size]. The file is created if
+    missing and {e not} truncated, so a previous run's block image — and
+    its metadata — is readable by a new backend on the same path.
+    Opening a non-empty file without the header magic, or with a
+    different payload size, raises [Invalid_argument] rather than
+    misreading blocks at shifted offsets. *)
+
+val file_header_bytes : int
+(** Size of the file backend's on-disk header (64 bytes). *)
 
 type fault_plan = {
   seed : int;  (** Fixes the whole fault schedule. *)
@@ -114,3 +137,12 @@ val faulty : fault_plan -> t -> t
 
 val faults_injected : t -> int
 (** Total {!Transient} raises so far ([0] for non-faulty backends). *)
+
+val instrument : Odex_telemetry.Telemetry.t -> t -> t
+(** [instrument sink inner] times every [read]/[write]/[read_run]/
+    [write_run]/[sync] with the monotonic clock and reports each to
+    [sink] (as {!Odex_telemetry.Telemetry.record_op}) under [inner]'s
+    kind, forwarding everything else untouched. The shim observes only
+    operation kinds, block/byte counts and durations — never payload
+    contents — and {!Storage} installs it only when the sink is enabled,
+    so a disabled sink leaves the I/O path byte-for-byte as before. *)

@@ -5,7 +5,12 @@
     capacity; exceeding it raises {!Overflow}. Tests therefore verify the
     cache-size side of every theorem ("assuming M >= 3B", "m >= log² n",
     …) mechanically rather than by inspection. The cache contents are
-    invisible to Bob: resident-block access performs no counted I/O. *)
+    invisible to Bob: resident-block access performs no counted I/O.
+
+    When the underlying {!Storage.t} carries an enabled telemetry sink,
+    the cache bumps the ["cache.hit"], ["cache.miss"] and ["cache.flush"]
+    counters on it ({!Odex_telemetry.Telemetry.add_counter}) — purely
+    observational, never changing which I/Os happen. *)
 
 exception Overflow of { capacity : int; requested : int }
 

@@ -1,4 +1,10 @@
-type snapshot = { reads : int; writes : int }
+type snapshot = {
+  reads : int;
+  writes : int;
+  retries : int;
+  bytes_moved : int;
+  batched_ios : int;
+}
 
 type t = {
   mutable r : int;
@@ -37,14 +43,26 @@ let reset t =
   t.batched <- 0;
   t.last_span <- None
 
-let snapshot (t : t) : snapshot = { reads = t.r; writes = t.w }
+let snapshot (t : t) : snapshot =
+  { reads = t.r; writes = t.w; retries = t.retry; bytes_moved = t.bytes; batched_ios = t.batched }
 
 (* Exception-safe: the delta is recorded in [last_span] even when [f]
    raises (e.g. a Cache.Overflow mid-measurement), so an enclosing
-   harness can still attribute the I/Os of the aborted phase. *)
+   harness can still attribute the I/Os of the aborted phase. The delta
+   covers {e every} counter — a span over a faulty backend reports its
+   retries, and a batched span its bytes and batched share, not just
+   reads and writes. *)
 let span t f =
   let before = snapshot t in
-  let delta () = { reads = t.r - before.reads; writes = t.w - before.writes } in
+  let delta () =
+    {
+      reads = t.r - before.reads;
+      writes = t.w - before.writes;
+      retries = t.retry - before.retries;
+      bytes_moved = t.bytes - before.bytes_moved;
+      batched_ios = t.batched - before.batched_ios;
+    }
+  in
   let result = Fun.protect ~finally:(fun () -> t.last_span <- Some (delta ())) f in
   (result, delta ())
 

@@ -44,13 +44,23 @@ val batched_ios : t -> int
 
 val reset : t -> unit
 
-type snapshot = { reads : int; writes : int }
+type snapshot = {
+  reads : int;
+  writes : int;
+  retries : int;
+  bytes_moved : int;
+  batched_ios : int;
+}
+(** A full counter capture — not just reads/writes. Span deltas would
+    otherwise silently drop retries, bytes and batched I/Os, which is
+    exactly what a profiler needs per phase. *)
 
 val snapshot : t -> snapshot
 
 val span : t -> (unit -> 'a) -> 'a * snapshot
-(** [span t f] runs [f] and returns its result together with the I/Os it
-    performed. Exception-safe: if [f] raises (e.g. {!Cache.Overflow}
+(** [span t f] runs [f] and returns its result together with the delta
+    of {e every} counter over [f] — I/Os, retries, bytes moved, batched
+    share. Exception-safe: if [f] raises (e.g. {!Cache.Overflow}
     mid-span), the measured delta is still recorded and retrievable via
     {!last_span} before the exception propagates. *)
 

@@ -12,16 +12,24 @@ let () =
           (Printf.sprintf "Storage.Io_failure(addr=%d after %d attempts)" addr attempts)
     | _ -> None)
 
+module Telemetry = Odex_telemetry.Telemetry
+
 type cipher_state = { key : Odex_crypto.Cipher.key; mutable next_nonce : int }
 
 type t = {
   block_size : int;
   payload_size : int;
   backend : Backend.t;
+  kind : string;  (** The device kind underneath any instrumentation shim. *)
   mutable used : int;
   stats : Stats.t;
   trace : Trace.t;
+  tel : Telemetry.t;
   cipher : cipher_state option;
+  mutable nonce_reserved : int;
+      (** Nonces below this are persisted as potentially spent (the store
+          header's high-water mark); a crash can never roll the counter
+          back below a nonce that hit the device. *)
   max_retries : int;
   backoff_base : float;
   backoff_cap : float;
@@ -42,39 +50,115 @@ let rec remove_spec_files = function
   | File { path } -> if Sys.file_exists path then Sys.remove path
   | Faulty { inner; _ } -> remove_spec_files inner
 
-let create ?cipher ?(trace_mode = Trace.Digest) ?(backend = Mem) ?(max_retries = 10)
-    ?(backoff = (1e-6, 1e-4)) ?(batching = true) ~block_size () =
+(* ---- store header: the sealing state that must survive the process.
+
+   A reopened File store MUST NOT restart the nonce counter: Bob may
+   have retained every ciphertext ever written, and re-sealing under an
+   already-used nonce is a two-time pad against them. The header
+   (persisted through {!Backend.write_meta}, which the file backend
+   keeps in its fixed 64-byte file header) records a conservative
+   high-water mark: before a nonce at or above the persisted mark is
+   used, the mark is pushed [nonce_chunk] ahead and written out — so at
+   most one out-of-band metadata write per 2^16 seals, and after a crash
+   the store resumes from the persisted mark, skipping at most
+   [nonce_chunk] never-used nonces (nonces are a resource of size 2^62;
+   burning a few is free, reusing one is fatal). [sync]/[close] persist
+   the exact counter, so a cleanly closed store resumes with no gap. *)
+
+let header_version = 1L
+let nonce_chunk = 1 lsl 16
+
+let build_header t =
+  let m = Bytes.create 24 in
+  Bytes.set_int64_le m 0 header_version;
+  Bytes.set_int64_le m 8 (Int64.of_int t.block_size);
+  Bytes.set_int64_le m 16 (Int64.of_int t.nonce_reserved);
+  m
+
+let write_header t = Backend.write_meta t.backend (build_header t)
+
+let parse_header ~block_size m =
+  if Bytes.length m < 24 then invalid_arg "Storage: corrupt store header";
+  let v = Bytes.get_int64_le m 0 in
+  if v <> header_version then
+    invalid_arg (Printf.sprintf "Storage: unsupported store header version %Ld" v);
+  let bs = Int64.to_int (Bytes.get_int64_le m 8) in
+  if bs <> block_size then
+    invalid_arg
+      (Printf.sprintf "Storage: store was created with block_size %d, reopened with %d" bs
+         block_size);
+  let hw = Int64.to_int (Bytes.get_int64_le m 16) in
+  if hw < 0 then invalid_arg "Storage: corrupt store header (nonce high-water)";
+  hw
+
+let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
+    ?(max_retries = 10) ?(backoff = (1e-6, 1e-4)) ?(batching = true) ?(resume = false)
+    ~block_size () =
   if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
   if max_retries < 1 then invalid_arg "Storage.create: max_retries must be >= 1";
   let backoff_base, backoff_cap = backoff in
   if backoff_base < 0. || backoff_cap < backoff_base then
     invalid_arg "Storage.create: backoff must satisfy 0 <= base <= cap";
   let payload_size = 8 + Block.encoded_size block_size in
-  {
-    block_size;
-    payload_size;
-    backend = instantiate ~payload_size backend;
-    used = 0;
-    stats = Stats.create ();
-    trace = Trace.create trace_mode;
-    cipher = Option.map (fun key -> { key; next_nonce = 0 }) cipher;
-    max_retries;
-    backoff_base;
-    backoff_cap;
-    batching;
-    seal_buf = Bytes.create payload_size;
-    run_buf = Bytes.empty;
-  }
+  let raw = instantiate ~payload_size backend in
+  let kind = Backend.kind raw in
+  let tel = Option.value telemetry ~default:Telemetry.disabled in
+  (* The timing shim is installed only when the sink collects: a
+     disabled sink leaves the backend — and thus the whole I/O path —
+     untouched. *)
+  let backend = if Telemetry.enabled tel then Backend.instrument tel raw else raw in
+  let nonce_hw =
+    match Backend.read_meta backend with
+    | Some m -> parse_header ~block_size m
+    | None -> 0
+  in
+  let t =
+    {
+      block_size;
+      payload_size;
+      backend;
+      kind;
+      used = (if resume then Backend.size backend else 0);
+      stats = Stats.create ();
+      trace = Trace.create ~telemetry:tel trace_mode;
+      tel;
+      cipher = Option.map (fun key -> { key; next_nonce = nonce_hw }) cipher;
+      nonce_reserved = nonce_hw;
+      max_retries;
+      backoff_base;
+      backoff_cap;
+      batching;
+      seal_buf = Bytes.create payload_size;
+      run_buf = Bytes.empty;
+    }
+  in
+  write_header t;
+  t
 
 let block_size t = t.block_size
 let capacity t = t.used
 let stats t = t.stats
 let trace t = t.trace
-let backend_kind t = Backend.kind t.backend
+let telemetry t = t.tel
+let backend_kind t = t.kind
 let batching t = t.batching
 let faults_injected t = Backend.faults_injected t.backend
-let sync t = Backend.sync t.backend
-let close t = Backend.close t.backend
+let scratch_bytes t = Bytes.length t.run_buf
+
+(* Persist the exact counter (not the rounded-up reservation) before the
+   device flushes or the descriptor goes away: a cleanly closed store
+   reopens with a gap-free nonce stream. *)
+let checkpoint_header t =
+  (match t.cipher with Some cs -> t.nonce_reserved <- cs.next_nonce | None -> ());
+  write_header t
+
+let sync t =
+  checkpoint_header t;
+  Backend.sync t.backend
+
+let close t =
+  checkpoint_header t;
+  Backend.close t.backend
 
 let ensure_run_buf t n =
   let need = n * t.payload_size in
@@ -101,6 +185,12 @@ let seal_into t blk buf off =
       Block.encode_into blk buf (off + 8)
   | Some cs ->
       let nonce = cs.next_nonce in
+      (* Reserve (and persist) ahead of use: the header write lands on
+         the device before any payload sealed under [nonce] can. *)
+      if nonce >= t.nonce_reserved then begin
+        t.nonce_reserved <- nonce + nonce_chunk;
+        write_header t
+      end;
       cs.next_nonce <- nonce + 1;
       Bytes.set_int64_le buf off (Int64.of_int nonce);
       Block.encode_into blk buf (off + 8);
@@ -152,8 +242,10 @@ let run_transfer t ~counted ~retry_op ~record ~addr ~n ~do_run =
           for i = a to fa - 1 do record i done;
           let attempt = if fa > a then 1 else attempt in
           if attempt >= t.max_retries then raise (Io_failure { addr = fa; attempts = attempt });
+          Telemetry.add_faults t.tel 1;
           if counted then begin
             Stats.record_retry t.stats;
+            Telemetry.add_retries t.tel 1;
             Trace.record t.trace (retry_op fa)
           end;
           backoff t attempt;
@@ -170,11 +262,15 @@ let write_run_backend t ~buf ~addr ~count ~off =
 let record_read t a =
   Stats.record_read t.stats;
   Stats.record_moved t.stats t.payload_size;
+  Telemetry.add_ios t.tel 1;
+  Telemetry.add_bytes t.tel t.payload_size;
   Trace.record t.trace (Trace.Read a)
 
 let record_write t a =
   Stats.record_write t.stats;
   Stats.record_moved t.stats t.payload_size;
+  Telemetry.add_ios t.tel 1;
+  Telemetry.add_bytes t.tel t.payload_size;
   Trace.record t.trace (Trace.Write a)
 
 let transfer_read t ~counted ~record ~addr ~n ~buf =

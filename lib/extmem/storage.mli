@@ -43,11 +43,13 @@ type t
 
 val create :
   ?cipher:Odex_crypto.Cipher.key ->
+  ?telemetry:Odex_telemetry.Telemetry.t ->
   ?trace_mode:Trace.mode ->
   ?backend:backend_spec ->
   ?max_retries:int ->
   ?backoff:float * float ->
   ?batching:bool ->
+  ?resume:bool ->
   block_size:int ->
   unit ->
   t
@@ -56,6 +58,36 @@ val create :
     times (default 10), sleeping [min cap (base *. 2. ** attempts)]
     seconds between attempts where [backoff = (base, cap)] (default
     [1e-6, 1e-4] — real but negligible delays).
+
+    [telemetry] (default: the disabled sink) wires this store into a
+    profiling sink: every backend call is timed (through
+    {!Backend.instrument}), every trace span becomes a timed phase, and
+    counted I/Os / retries / faults / bytes are attributed to the
+    innermost open phase. Purely observational — the sink sees only what
+    Bob sees (op kinds, addresses, sizes, timings, never plaintext), and
+    enabling it changes no trace (pair-tested). With the disabled sink
+    the backend is not even wrapped, so the I/O path is exactly the
+    uninstrumented one.
+
+    {b Sealing state persistence.} A store whose backend persists (the
+    file backend) carries a small header — block size and the cipher
+    nonce high-water mark — maintained through {!Backend.write_meta}.
+    [create] on an existing file reads it back and resumes the nonce
+    counter {e above} every nonce that may ever have been used, so
+    reopening a store with the same key never re-seals under a spent
+    nonce (the two-time-pad reopen bug). The mark is persisted ahead of
+    use in 2^16-nonce reservations and exactly on {!sync}/{!close}; a
+    crash therefore costs at most one reservation of skipped (never
+    used) nonces. Reopening with a different [block_size] than the store
+    was created with raises [Invalid_argument].
+
+    [resume] (default [false]) controls whether the blocks already
+    present on a persistent backend become addressable: with
+    [resume:true], [capacity] starts at the backend's block count and
+    previously written blocks can be read back (decrypting under the
+    same key) without re-allocating — with the default, the store starts
+    logically empty and {!alloc} zero-fills from address 0 as always
+    (still under fresh nonces).
 
     [batching] (default [true]) controls whether {!read_many} and
     {!write_many} are served by a single contiguous backend run or
@@ -128,6 +160,17 @@ val write_many : t -> int -> Block.t array -> unit
 
 val stats : t -> Stats.t
 val trace : t -> Trace.t
+
+val telemetry : t -> Odex_telemetry.Telemetry.t
+(** The profiling sink this store reports to ({!Odex_telemetry.Telemetry.disabled}
+    unless one was passed to {!create}). *)
+
+val scratch_bytes : t -> int
+(** Bytes currently retained by the shared run scratch buffer. Bounded:
+    the scratch grows by doubling to the largest run ever requested, so
+    it never exceeds [2 * payload_bytes_of_largest_run] — property-tested
+    together with the staleness invariant (interleaved batched reads and
+    writes never observe bytes left over from an earlier, larger run). *)
 
 val unchecked_peek : t -> int -> Block.t
 (** Read a block {e without} counting an I/O or recording a trace entry.

@@ -13,6 +13,7 @@ type span = {
 
 type t = {
   mode : mode;
+  tel : Odex_telemetry.Telemetry.t;
   mutable length : int;
   mutable hash : int64;
   (* [Full] mode keeps the ops in a growable array (amortized O(1) push,
@@ -26,8 +27,17 @@ type t = {
   mutable rev_spans : span list;
 }
 
-let create mode =
-  { mode; length = 0; hash = 0L; ops_buf = [||]; ops_len = 0; depth = 0; rev_spans = [] }
+let create ?(telemetry = Odex_telemetry.Telemetry.disabled) mode =
+  {
+    mode;
+    tel = telemetry;
+    length = 0;
+    hash = 0L;
+    ops_buf = [||];
+    ops_len = 0;
+    depth = 0;
+    rev_spans = [];
+  }
 
 let push_op t op =
   let cap = Array.length t.ops_buf in
@@ -72,6 +82,14 @@ let ops t = Array.to_list (Array.sub t.ops_buf 0 t.ops_len)
    compares exactly what Bob sees. Closing is exception-safe so that a
    mid-phase Cache.Overflow still leaves a usable span record. *)
 let with_span t label f =
+  (* Telemetry phases mirror the span structure exactly (same label, same
+     nesting), so a profile names the same phases the divergence reports
+     do. Wall-clock timing never feeds back into what is recorded. *)
+  let f =
+    if Odex_telemetry.Telemetry.enabled t.tel then fun () ->
+      Odex_telemetry.Telemetry.with_phase t.tel label f
+    else f
+  in
   match t.mode with
   | Off -> f ()
   | Digest | Full ->
@@ -162,11 +180,25 @@ let pp_span ppf (s : span) =
     (String.make (2 * s.depth) ' ')
     s.label s.start_length s.end_length s.end_hash
 
+(* A [Full] dump keeps at most [pp_keep] ops from each end: a failing
+   pair-test over a multi-million-op trace must not flood the terminal
+   (the digest and the span reports carry the diagnostic weight; the raw
+   op dump is only orientation). *)
+let pp_keep = 32
+
 let pp ppf t =
   match t.mode with
   | Off -> Format.fprintf ppf "<trace off>"
   | Digest -> Format.fprintf ppf "<%d ops, digest %Lx>" t.length t.hash
   | Full ->
-      Format.fprintf ppf "@[<hov>%a@]"
-        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp_op)
-        (ops t)
+      let pp_ops ppf l =
+        Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp_op ppf l
+      in
+      let n = t.ops_len in
+      if n <= 2 * pp_keep then Format.fprintf ppf "@[<hov>%a@]" pp_ops (ops t)
+      else
+        let head = Array.to_list (Array.sub t.ops_buf 0 pp_keep) in
+        let tail = Array.to_list (Array.sub t.ops_buf (n - pp_keep) pp_keep) in
+        Format.fprintf ppf "@[<hov>%a@ ... (%d ops elided) ...@ %a@]" pp_ops head
+          (n - (2 * pp_keep))
+          pp_ops tail

@@ -40,7 +40,11 @@ type span = {
 
 type t
 
-val create : mode -> t
+val create : ?telemetry:Odex_telemetry.Telemetry.t -> mode -> t
+(** [telemetry] (default: the disabled sink) receives one timed
+    {!Odex_telemetry.Telemetry.with_phase} per {!with_span}, mirroring
+    the span structure. Purely observational: enabling it changes
+    nothing the trace records. *)
 
 val mode : t -> mode
 val record : t -> op -> unit

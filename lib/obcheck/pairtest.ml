@@ -58,12 +58,13 @@ let pair_inputs ~seed ~n =
    live trace (for span divergence) alongside the summary numbers. The
    storage is closed before returning so a file-backed pair can reuse one
    path for both runs. *)
-let execute subject ~backend ~b ~m ~seed cells =
+let execute ?telemetry subject ~backend ~b ~m ~seed cells =
   (* Zero backoff: the harness compares traces, not wall-clock, and a
      fuzzed faulty backend injects thousands of retries per run —
      sleeping through real (if tiny) delays would dominate the suite. *)
   let s =
-    Storage.create ~trace_mode:Trace.Digest ~backend ~backoff:(0., 0.) ~block_size:b ()
+    Storage.create ?telemetry ~trace_mode:Trace.Digest ~backend ~backoff:(0., 0.)
+      ~block_size:b ()
   in
   let kind = Storage.backend_kind s in
   Fun.protect
@@ -87,9 +88,12 @@ let execute subject ~backend ~b ~m ~seed cells =
       in
       (tr, info, kind))
 
-let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) subject ~n_cells ~b ~m =
+let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry subject ~n_cells ~b ~m =
   let cells_a, cells_b = pair_inputs ~seed ~n:n_cells in
-  let tr_a, run_a, kind = execute subject ~backend ~b ~m ~seed cells_a in
+  (* The sink (if any) instruments run A only, while run B stays
+     uninstrumented: [oblivious = true] then also certifies that enabling
+     telemetry changed not a single trace op. *)
+  let tr_a, run_a, kind = execute ?telemetry subject ~backend ~b ~m ~seed cells_a in
   let tr_b, run_b, _ = execute subject ~backend ~b ~m ~seed cells_b in
   let oblivious = Trace.equal tr_a tr_b in
   let diverging_span = if oblivious then None else Trace.diverging_label tr_a tr_b in

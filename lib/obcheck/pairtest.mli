@@ -53,11 +53,23 @@ val pair_inputs : seed:int -> n:int -> Cell.t array * Cell.t array
     key and value ranges, drawn from independent streams. *)
 
 val check :
-  ?seed:int -> ?backend:Storage.backend_spec -> subject -> n_cells:int -> b:int -> m:int -> outcome
+  ?seed:int ->
+  ?backend:Storage.backend_spec ->
+  ?telemetry:Odex_telemetry.Telemetry.t ->
+  subject ->
+  n_cells:int ->
+  b:int ->
+  m:int ->
+  outcome
 (** Run the subject on both inputs of a pair (both on [backend],
     default [Mem]; a [File] spec's path is shared safely — the runs are
     sequential and each storage is closed when its run ends) and compare
     traces. With a [Faulty] backend the fault schedule restarts at the
-    same point for both runs, so retries must line up exactly. *)
+    same point for both runs, so retries must line up exactly.
+
+    [telemetry], when given, instruments run A {e only} — run B runs on
+    the bare, unwrapped backend. [oblivious = true] therefore doubles as
+    the assertion that profiling is invisible to Bob: the instrumented
+    trace is bit-identical to the uninstrumented one. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

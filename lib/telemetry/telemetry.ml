@@ -1,0 +1,342 @@
+(* An event sink for the storage stack. The design constraint is the
+   disabled path: [disabled] must cost one branch per entry point and
+   read no clock, because it is threaded through every Storage instance
+   by default. The enabled path favours fixed-size state — histograms
+   are 63 int buckets, counters a small assoc table — so a profiled run
+   allocates O(phases), never O(ops). *)
+
+let now_ns = Monotonic_clock.now
+
+(* ---- log2-bucketed histograms ---- *)
+
+(* Bucket [i] holds samples with [2^i <= ns < 2^(i+1)] (bucket 0 also
+   takes 0 ns). 63 buckets cover every positive int64 the clock can
+   produce. *)
+type hist = {
+  buckets : int array;
+  mutable count : int;
+  mutable total_ns : int64;
+}
+
+let hist_create () = { buckets = Array.make 63 0; count = 0; total_ns = 0L }
+
+let bucket_of_ns ns =
+  let ns = Int64.to_int ns in
+  if ns <= 1 then 0
+  else
+    let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n lsr 1) in
+    min 62 (log2 0 ns)
+
+let hist_add h ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  h.buckets.(bucket_of_ns ns) <- h.buckets.(bucket_of_ns ns) + 1;
+  h.count <- h.count + 1;
+  h.total_ns <- Int64.add h.total_ns ns
+
+let hist_count h = h.count
+let hist_total_ns h = h.total_ns
+
+(* Geometric midpoint of the bucket holding the requested rank: crude
+   (a factor-sqrt(2) resolution) but monotone, allocation-free and
+   plenty to see where a 2x hides. *)
+let hist_percentile h p =
+  if h.count = 0 then 0.
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int h.count)) in
+    let rank = max 1 rank in
+    let seen = ref 0 and found = ref 0 in
+    (try
+       for i = 0 to 62 do
+         seen := !seen + h.buckets.(i);
+         if !seen >= rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let lo = if !found = 0 then 1. else Float.pow 2. (float_of_int !found) in
+    lo *. sqrt 2.
+  end
+
+(* ---- sink ---- *)
+
+type op_kind = Read | Write | Read_run | Write_run | Sync
+
+let op_kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Read_run -> "read_run"
+  | Write_run -> "write_run"
+  | Sync -> "sync"
+
+type op_stat = {
+  op : op_kind;
+  op_backend : string;
+  count : int;
+  op_blocks : int;
+  op_bytes : int;
+  latency : hist;
+}
+
+type phase = {
+  label : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  ios : int;
+  retries : int;
+  faults : int;
+  bytes : int;
+}
+
+type phase_stat = { phase_label : string; phase_count : int; phase_latency : hist }
+
+(* An open phase accumulates counters while it is innermost; entering a
+   child phase pushes a fresh frame, so a parent's numbers cover only
+   its own direct I/O (the chrome view nests children visually). *)
+type frame = {
+  f_label : string;
+  f_depth : int;
+  f_start : int64;
+  mutable f_ios : int;
+  mutable f_retries : int;
+  mutable f_faults : int;
+  mutable f_bytes : int;
+}
+
+type t = {
+  on : bool;
+  mutable ops : (op_kind * string * op_stat) list;
+      (* (kind, backend) -> stat; a handful of combinations, assoc is fine. *)
+  mutable rev_phases : phase list;
+  mutable stack : frame list;
+  mutable counts : (string * int ref) list;
+}
+
+let make on = { on; ops = []; rev_phases = []; stack = []; counts = [] }
+let disabled = make false
+let create () = make true
+let enabled t = t.on
+
+let record_op t ~backend ~op ~blocks ~bytes ~ns =
+  if t.on then begin
+    let stat =
+      match List.find_opt (fun (k, b, _) -> k = op && String.equal b backend) t.ops with
+      | Some (_, _, s) -> s
+      | None ->
+          let s =
+            { op; op_backend = backend; count = 0; op_blocks = 0; op_bytes = 0;
+              latency = hist_create () }
+          in
+          t.ops <- (op, backend, s) :: t.ops;
+          s
+    in
+    let stat =
+      { stat with count = stat.count + 1; op_blocks = stat.op_blocks + blocks;
+        op_bytes = stat.op_bytes + bytes }
+    in
+    hist_add stat.latency ns;
+    t.ops <-
+      List.map
+        (fun (k, b, s) -> if k = op && String.equal b backend then (k, b, stat) else (k, b, s))
+        t.ops
+  end
+
+let top t = match t.stack with [] -> None | f :: _ -> Some f
+
+let add_ios t n = if t.on then Option.iter (fun f -> f.f_ios <- f.f_ios + n) (top t)
+let add_retries t n = if t.on then Option.iter (fun f -> f.f_retries <- f.f_retries + n) (top t)
+let add_faults t n = if t.on then Option.iter (fun f -> f.f_faults <- f.f_faults + n) (top t)
+let add_bytes t n = if t.on then Option.iter (fun f -> f.f_bytes <- f.f_bytes + n) (top t)
+
+let add_counter t name n =
+  if t.on then
+    match List.assoc_opt name t.counts with
+    | Some r -> r := !r + n
+    | None -> t.counts <- (name, ref n) :: t.counts
+
+let with_phase t label f =
+  if not t.on then f ()
+  else begin
+    let frame =
+      { f_label = label; f_depth = List.length t.stack; f_start = now_ns ();
+        f_ios = 0; f_retries = 0; f_faults = 0; f_bytes = 0 }
+    in
+    t.stack <- frame :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match t.stack with x :: rest when x == frame -> t.stack <- rest | _ -> ());
+        t.rev_phases <-
+          {
+            label = frame.f_label;
+            depth = frame.f_depth;
+            start_ns = frame.f_start;
+            dur_ns = Int64.sub (now_ns ()) frame.f_start;
+            ios = frame.f_ios;
+            retries = frame.f_retries;
+            faults = frame.f_faults;
+            bytes = frame.f_bytes;
+          }
+          :: t.rev_phases)
+      f
+  end
+
+let phases t = List.rev t.rev_phases
+
+let op_stats t =
+  List.sort
+    (fun a b -> compare (a.op, a.op_backend) (b.op, b.op_backend))
+    (List.map (fun (_, _, s) -> s) t.ops)
+
+let phase_stats t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : phase) ->
+      let s =
+        match Hashtbl.find_opt tbl p.label with
+        | Some s -> s
+        | None ->
+            let s = { phase_label = p.label; phase_count = 0; phase_latency = hist_create () } in
+            Hashtbl.add tbl p.label s;
+            s
+      in
+      hist_add s.phase_latency p.dur_ns;
+      Hashtbl.replace tbl p.label { s with phase_count = s.phase_count + 1 })
+    t.rev_phases;
+  List.sort
+    (fun a b -> String.compare a.phase_label b.phase_label)
+    (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [])
+
+let counters t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (List.map (fun (n, r) -> (n, !r)) t.counts)
+
+(* ---- human-readable profile ---- *)
+
+let ms ns = Int64.to_float ns /. 1e6
+let us f = f /. 1e3
+
+let pp_summary ppf t =
+  if not t.on then Format.fprintf ppf "telemetry: disabled@."
+  else if t.ops = [] && t.rev_phases = [] && t.counts = [] then
+    Format.fprintf ppf "telemetry: enabled, nothing recorded@."
+  else begin
+    if t.ops <> [] then begin
+      Format.fprintf ppf "backend op latency (us): %-18s %8s %10s %8s %8s %8s@." "op[backend]"
+        "count" "total_ms" "p50" "p90" "p99";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "  %-38s %8d %10.3f %8.1f %8.1f %8.1f@."
+            (Printf.sprintf "%s[%s] (%d blk, %d B)" (op_kind_name s.op) s.op_backend
+               s.op_blocks s.op_bytes)
+            s.count
+            (ms (hist_total_ns s.latency))
+            (us (hist_percentile s.latency 50.))
+            (us (hist_percentile s.latency 90.))
+            (us (hist_percentile s.latency 99.)))
+        (op_stats t)
+    end;
+    let ps = phase_stats t in
+    if ps <> [] then begin
+      Format.fprintf ppf "phases (ms): %-31s %8s %10s %8s %8s %8s@." "label" "count" "total_ms"
+        "p50" "p90" "p99";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "  %-41s %8d %10.3f %8.3f %8.3f %8.3f@." s.phase_label
+            s.phase_count
+            (ms (hist_total_ns s.phase_latency))
+            (hist_percentile s.phase_latency 50. /. 1e6)
+            (hist_percentile s.phase_latency 90. /. 1e6)
+            (hist_percentile s.phase_latency 99. /. 1e6))
+        ps
+    end;
+    (match counters t with
+    | [] -> ()
+    | cs ->
+        Format.fprintf ppf "counters:@.";
+        List.iter (fun (n, v) -> Format.fprintf ppf "  %-41s %8d@." n v) cs)
+  end
+
+(* ---- Chrome trace-event export ---- *)
+
+(* The catapult JSON object format: {"traceEvents": [...]}. Each phase
+   becomes one complete event ("ph":"X", microsecond floats); each
+   (op x backend) aggregate becomes one instant event carrying its
+   histogram summary in args. Labels come from span names and backend
+   kinds — short ASCII identifiers — but escape anyway. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_json named =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let event s =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf "    ";
+    Buffer.add_string buf s
+  in
+  (* Rebase all timestamps to the earliest phase start across sinks. *)
+  let epoch =
+    List.fold_left
+      (fun acc (_, t) ->
+        List.fold_left
+          (fun acc (p : phase) -> if Int64.compare p.start_ns acc < 0 then p.start_ns else acc)
+          acc t.rev_phases)
+      Int64.max_int named
+  in
+  let epoch = if epoch = Int64.max_int then 0L else epoch in
+  let ts ns = Int64.to_float (Int64.sub ns epoch) /. 1e3 in
+  Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  List.iteri
+    (fun tid (name, t) ->
+      event
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+           tid (json_escape name));
+      List.iter
+        (fun (p : phase) ->
+          event
+            (Printf.sprintf
+               "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"cat\":\"phase\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"ios\":%d,\"retries\":%d,\"faults\":%d,\"bytes\":%d,\"depth\":%d}}"
+               tid (json_escape p.label) (ts p.start_ns)
+               (Int64.to_float p.dur_ns /. 1e3)
+               p.ios p.retries p.faults p.bytes p.depth))
+        (phases t);
+      List.iter
+        (fun s ->
+          event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"s\":\"t\",\"name\":\"%s\",\"cat\":\"opstat\",\"ts\":0,\"args\":{\"backend\":\"%s\",\"count\":%d,\"blocks\":%d,\"bytes\":%d,\"total_ms\":%.3f,\"p50_us\":%.1f,\"p99_us\":%.1f}}"
+               tid
+               (json_escape (op_kind_name s.op))
+               (json_escape s.op_backend) s.count s.op_blocks s.op_bytes
+               (ms (hist_total_ns s.latency))
+               (us (hist_percentile s.latency 50.))
+               (us (hist_percentile s.latency 99.))))
+        (op_stats t);
+      List.iter
+        (fun (n, v) ->
+          event
+            (Printf.sprintf
+               "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"ts\":0,\"args\":{\"value\":%d}}"
+               tid (json_escape n) v))
+        (counters t))
+    named;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write_chrome ~path named =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (chrome_json named))

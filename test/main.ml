@@ -14,6 +14,7 @@ let () =
       ("oram", Test_oram.suite);
       ("bounds", Test_bounds.suite);
       ("properties", Test_properties.suite);
+      ("telemetry", Test_telemetry.suite);
       ("obliviousness", Test_obliviousness.suite);
       ("edge", Test_edge.suite);
     ]

@@ -241,6 +241,31 @@ let test_cache_flush_all_order () =
   Alcotest.(check int) "three writes" 3 (Stats.writes (Storage.stats s));
   ignore ops
 
+(* A [Full] trace dump keeps only the first and last [pp_keep] ops; a
+   multi-million-op trace must never flood a failing test's output. *)
+let test_trace_pp_truncation () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let tr = Trace.create Trace.Full in
+  for i = 0 to 199 do
+    Trace.record tr (Trace.Read i)
+  done;
+  let out = Format.asprintf "%a" Trace.pp tr in
+  Alcotest.(check bool) "head kept" true (contains out "R0");
+  Alcotest.(check bool) "tail kept" true (contains out "R199");
+  Alcotest.(check bool) "middle elided" false (contains out "R100");
+  Alcotest.(check bool) "elision marker" true (contains out "(136 ops elided)");
+  let short = Trace.create Trace.Full in
+  for i = 0 to 9 do
+    Trace.record short (Trace.Write i)
+  done;
+  let out = Format.asprintf "%a" Trace.pp short in
+  Alcotest.(check bool) "short trace printed whole" false (contains out "elided");
+  Alcotest.(check bool) "short trace has every op" true (contains out "W9")
+
 let test_emodel () =
   Alcotest.(check int) "ceil_div" 3 (Emodel.ceil_div 7 3);
   Alcotest.(check int) "ceil_div exact" 2 (Emodel.ceil_div 6 3);
@@ -294,6 +319,7 @@ let suite =
     ("storage bounds", `Quick, test_storage_bounds);
     ("storage encrypted", `Quick, test_storage_encrypted);
     ("trace modes", `Quick, test_trace_modes);
+    ("trace pp truncates long dumps", `Quick, test_trace_pp_truncation);
     ("ext_array", `Quick, test_ext_array);
     ("ext_array concat", `Quick, test_ext_array_concat);
     ("cache accounting", `Quick, test_cache_accounting);

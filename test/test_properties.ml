@@ -182,6 +182,60 @@ let prop_sort_engines_agree =
           || Util.keys_of_items (Ext_array.items a) = List.sort compare (Array.to_list keys))
         [ `Auto; `Skip; `Butterfly; `Loose ])
 
+(* S4: batched reads and writes of arbitrary interleaved sizes share one
+   scratch buffer (Storage.run_buf). A smaller run after a larger one
+   must never surface the larger run's leftover bytes, and the retained
+   scratch stays within its documented bound (< 2x the largest run's
+   payload bytes, and never below what the biggest run needed). *)
+let prop_run_buf_never_stale =
+  Util.qcheck_case ~name:"interleaved batched runs never read stale scratch" ~count:40
+    QCheck2.Gen.(
+      triple (int_range 1 5) (int_range 0 1)
+        (list_size (int_range 1 40) (triple bool (int_range 0 47) (int_range 1 16))))
+    (fun (b, use_cipher, ops) ->
+      let total = 48 in
+      let cipher = if use_cipher = 1 then Some (Odex_crypto.Cipher.key_of_int 9) else None in
+      let s = Util.storage ?cipher ~b () in
+      let base = Storage.alloc s total in
+      (* Mirror model: what each address must currently hold. *)
+      let model = Array.init total (fun _ -> Block.make b) in
+      let payload = 8 + Block.encoded_size b in
+      let stamp = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_write, off, len) ->
+          let len = min len (total - off) in
+          if len > 0 then
+            if is_write then begin
+              let blks =
+                Array.init len (fun i ->
+                    incr stamp;
+                    let blk = Block.make b in
+                    blk.(0) <- Cell.item ~key:!stamp ~value:(off + i) ();
+                    blk)
+              in
+              Storage.write_many s (base + off) blks;
+              Array.iteri (fun i blk -> model.(off + i) <- Block.copy blk) blks
+            end
+            else begin
+              let got = Storage.read_many s (base + off) len in
+              Array.iteri
+                (fun i blk ->
+                  if not (Array.for_all2 Cell.equal blk model.(off + i)) then ok := false)
+                got
+            end)
+        ops;
+      let final = Storage.read_many s base total in
+      Array.iteri
+        (fun i blk -> if not (Array.for_all2 Cell.equal blk model.(i)) then ok := false)
+        final;
+      (* The documented retention bound: the scratch doubles up to the
+         largest run's byte need, so it never exceeds twice that. The
+         final full-array read makes [total] the largest run. *)
+      !ok
+      && Storage.scratch_bytes s >= total * payload
+      && Storage.scratch_bytes s < 2 * total * payload)
+
 let prop_prp_roundtrip =
   Util.qcheck_case ~name:"PRP apply/inverse roundtrip on random domains" ~count:60
     QCheck2.Gen.(triple (int_range 1 5000) int (int_range 0 10_000))
@@ -273,6 +327,7 @@ let suite =
     prop_logstar_conserves;
     prop_selection_exponent_quarter;
     prop_sort_engines_agree;
+    prop_run_buf_never_stale;
     prop_prp_roundtrip;
     prop_prp_bijection;
     prop_ceil_div;

@@ -1,0 +1,247 @@
+(* The telemetry subsystem: zero-cost disabled sink, latency histograms,
+   backend-op timing, span phases with counter attribution, cache
+   counters, exports — and the load-bearing property that profiling is
+   invisible to the adversary (pair-tested). *)
+
+open Odex_extmem
+module Telemetry = Odex_telemetry.Telemetry
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------------- the disabled sink ---------------- *)
+
+let test_disabled_sink_is_noop () =
+  let t = Telemetry.disabled in
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled t);
+  Telemetry.record_op t ~backend:"mem" ~op:Telemetry.Read ~blocks:1 ~bytes:64 ~ns:100L;
+  Telemetry.add_ios t 3;
+  Telemetry.add_retries t 1;
+  Telemetry.add_faults t 1;
+  Telemetry.add_bytes t 512;
+  Telemetry.add_counter t "cache.hit" 9;
+  let r = Telemetry.with_phase t "phase" (fun () -> 42) in
+  Alcotest.(check int) "with_phase is exactly f ()" 42 r;
+  Alcotest.(check int) "no op stats" 0 (List.length (Telemetry.op_stats t));
+  Alcotest.(check int) "no phases" 0 (List.length (Telemetry.phases t));
+  Alcotest.(check int) "no counters" 0 (List.length (Telemetry.counters t))
+
+let test_storage_default_sink_is_disabled () =
+  let s = Storage.create ~block_size:2 () in
+  Alcotest.(check bool) "plain storage carries the disabled sink" false
+    (Telemetry.enabled (Storage.telemetry s))
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_percentiles () =
+  let t = Telemetry.create () in
+  Alcotest.(check bool) "enabled" true (Telemetry.enabled t);
+  (* 100 samples spread over four decades of latency. *)
+  for i = 1 to 100 do
+    let ns = Int64.of_int (if i <= 50 then 100 else if i <= 90 then 10_000 else 1_000_000) in
+    Telemetry.record_op t ~backend:"mem" ~op:Telemetry.Read ~blocks:1 ~bytes:8 ~ns
+  done;
+  match Telemetry.op_stats t with
+  | [ st ] ->
+      let h = st.Telemetry.latency in
+      Alcotest.(check int) "count" 100 (Telemetry.hist_count h);
+      (* 50*100ns + 40*10us + 10*1ms = 10_405_000 ns, exactly. *)
+      Alcotest.(check int64) "total is the exact sum" 10_405_000L (Telemetry.hist_total_ns h);
+      let p50 = Telemetry.hist_percentile h 50. in
+      let p90 = Telemetry.hist_percentile h 90. in
+      let p99 = Telemetry.hist_percentile h 99. in
+      Alcotest.(check bool) "p50 near 100ns bucket" true (p50 >= 64. && p50 < 256.);
+      Alcotest.(check bool) "p90 near 10us bucket" true (p90 >= 8192. && p90 < 32768.);
+      Alcotest.(check bool) "p99 near 1ms bucket" true (p99 >= 524288. && p99 < 2097152.);
+      Alcotest.(check bool) "percentiles monotone" true (p50 <= p90 && p90 <= p99)
+  | l -> Alcotest.failf "expected one op stat, got %d" (List.length l)
+
+(* ---------------- storage instrumentation ---------------- *)
+
+let test_storage_ops_timed () =
+  let tel = Telemetry.create () in
+  let s = Storage.create ~telemetry:tel ~block_size:2 () in
+  Alcotest.(check string) "kind survives the shim" "mem" (Storage.backend_kind s);
+  let base = Storage.alloc s 8 in
+  let blk = Block.make 2 in
+  blk.(0) <- Cell.item ~key:1 ~value:1 ();
+  Storage.write s base blk;
+  ignore (Storage.read s base);
+  ignore (Storage.read_many s base 8);
+  Storage.write_many s base (Array.init 8 (fun _ -> Block.copy blk));
+  Storage.sync s;
+  let stats = Telemetry.op_stats tel in
+  let find op =
+    List.find_opt (fun (st : Telemetry.op_stat) -> st.op = op && st.op_backend = "mem") stats
+  in
+  (* Every storage transfer — single-block included — travels through
+     the backend's run API, so the timed kinds are Read_run/Write_run. *)
+  (match find Telemetry.Read_run with
+  | Some st ->
+      Alcotest.(check int) "read runs timed (1 single + 1 batched)" 2 st.Telemetry.count;
+      Alcotest.(check int) "read_run blocks" 9 st.Telemetry.op_blocks;
+      Alcotest.(check bool) "read_run bytes" true (st.Telemetry.op_bytes > 0)
+  | None -> Alcotest.fail "no Read_run stat");
+  (match find Telemetry.Write_run with
+  (* alloc's zero-init also travels as write runs, so >= 3 runs here. *)
+  | Some st -> Alcotest.(check bool) "write runs timed" true (st.Telemetry.count >= 3)
+  | None -> Alcotest.fail "no Write_run stat");
+  (match find Telemetry.Sync with
+  | Some st -> Alcotest.(check int) "sync timed" 1 st.Telemetry.count
+  | None -> Alcotest.fail "no Sync stat");
+  List.iter
+    (fun (st : Telemetry.op_stat) ->
+      Alcotest.(check int)
+        ("hist count matches op count for " ^ Telemetry.op_kind_name st.op)
+        st.Telemetry.count
+        (Telemetry.hist_count st.Telemetry.latency))
+    stats
+
+let test_phase_attribution () =
+  let tel = Telemetry.create () in
+  let s = Storage.create ~telemetry:tel ~block_size:2 () in
+  let payload = 8 + Block.encoded_size 2 in
+  let base = Storage.alloc s 4 in
+  Trace.with_span (Storage.trace s) "outer" (fun () ->
+      ignore (Storage.read s base);
+      Trace.with_span (Storage.trace s) "inner" (fun () -> ignore (Storage.read_many s base 4)));
+  (match Telemetry.phases tel with
+  | [ inner; outer ] ->
+      (* Completion order: inner closes first. *)
+      Alcotest.(check string) "inner label" "inner" inner.Telemetry.label;
+      Alcotest.(check int) "inner depth" 1 inner.Telemetry.depth;
+      Alcotest.(check int) "inner ios" 4 inner.Telemetry.ios;
+      Alcotest.(check int) "inner bytes" (4 * payload) inner.Telemetry.bytes;
+      Alcotest.(check string) "outer label" "outer" outer.Telemetry.label;
+      (* Innermost attribution: the outer phase keeps only its own read. *)
+      Alcotest.(check int) "outer ios" 1 outer.Telemetry.ios;
+      Alcotest.(check bool) "durations nest" true
+        (outer.Telemetry.dur_ns >= inner.Telemetry.dur_ns)
+  | l -> Alcotest.failf "expected 2 phases, got %d" (List.length l));
+  match Telemetry.phase_stats tel with
+  | [ a; b ] ->
+      Alcotest.(check (list string)) "phase stats sorted by label" [ "inner"; "outer" ]
+        [ a.Telemetry.phase_label; b.Telemetry.phase_label ]
+  | l -> Alcotest.failf "expected 2 phase stats, got %d" (List.length l)
+
+let test_retry_and_fault_attribution () =
+  let tel = Telemetry.create () in
+  let backend =
+    Storage.Faulty { inner = Storage.Mem; seed = 3; failure_rate = 1.0; max_burst = 1 }
+  in
+  let s =
+    Storage.create ~telemetry:tel ~backend ~backoff:(0., 0.) ~trace_mode:Trace.Digest
+      ~block_size:2 ()
+  in
+  Alcotest.(check string) "kind is the device's, not the shim's" "faulty"
+    (Storage.backend_kind s);
+  let base = Storage.alloc s 2 in
+  Trace.with_span (Storage.trace s) "probe" (fun () -> ignore (Storage.read_many s base 2));
+  match Telemetry.phases tel with
+  | [ p ] ->
+      Alcotest.(check string) "phase label" "probe" p.Telemetry.label;
+      Alcotest.(check int) "ios" 2 p.Telemetry.ios;
+      Alcotest.(check int) "one retry per access" 2 p.Telemetry.retries;
+      Alcotest.(check int) "faults" 2 p.Telemetry.faults
+  | l -> Alcotest.failf "expected 1 phase, got %d" (List.length l)
+
+(* ---------------- cache counters ---------------- *)
+
+let test_cache_counters () =
+  let tel = Telemetry.create () in
+  let s = Storage.create ~telemetry:tel ~block_size:2 () in
+  let base = Storage.alloc s 8 in
+  let c = Cache.create s ~capacity:8 in
+  ignore (Cache.load c base);
+  ignore (Cache.load c base);
+  ignore (Cache.load c (base + 1));
+  Cache.load_run c base ~count:4;
+  Cache.flush c base;
+  Cache.write_through c (base + 1);
+  Cache.flush_all c;
+  let counter name =
+    match List.assoc_opt name (Telemetry.counters tel) with Some v -> v | None -> 0
+  in
+  (* load: 1 miss + 1 hit + 1 miss; load_run over [0,4): 2 hits, 2 misses. *)
+  Alcotest.(check int) "hits" 3 (counter "cache.hit");
+  Alcotest.(check int) "misses" 4 (counter "cache.miss");
+  (* flush 1 + write_through 1 + flush_all of the 3 still-resident. *)
+  Alcotest.(check int) "flushes" 5 (counter "cache.flush")
+
+(* ---------------- obliviousness ---------------- *)
+
+(* The central safety property: enabling telemetry must not change one
+   op of the trace. Run A of each pair is instrumented, run B is not —
+   [oblivious = true] is exactly "profiled trace == unprofiled trace". *)
+let sort_subject =
+  {
+    Odex_obcheck.Pairtest.name = "sort-under-telemetry";
+    run = (fun ~rng ~m _s a -> ignore (Odex.Sort.run ~m ~rng a));
+  }
+
+let check_invisible backend =
+  let o =
+    Odex_obcheck.Pairtest.check ~backend ~telemetry:(Telemetry.create ()) sort_subject
+      ~n_cells:96 ~b:4 ~m:16
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "telemetry-on trace == telemetry-off trace on %s"
+       o.Odex_obcheck.Pairtest.backend)
+    true o.Odex_obcheck.Pairtest.oblivious
+
+let test_telemetry_invisible_mem () = check_invisible Storage.Mem
+
+let test_telemetry_invisible_file () =
+  let path = Filename.temp_file "odex_tel" ".store" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> check_invisible (Storage.File { path }))
+
+let test_telemetry_invisible_faulty () =
+  check_invisible
+    (Storage.Faulty { inner = Storage.Mem; seed = 11; failure_rate = 0.1; max_burst = 2 })
+
+(* ---------------- exports ---------------- *)
+
+let test_exports () =
+  let tel = Telemetry.create () in
+  let s = Storage.create ~telemetry:tel ~block_size:2 () in
+  let base = Storage.alloc s 4 in
+  Trace.with_span (Storage.trace s) "export \"phase\"" (fun () ->
+      ignore (Storage.read_many s base 4));
+  let summary = Format.asprintf "%a" Telemetry.pp_summary tel in
+  Alcotest.(check bool) "summary names the op" true (contains summary "read_run[mem]");
+  Alcotest.(check bool) "summary names the phase" true (contains summary "export");
+  let json = Telemetry.chrome_json [ ("run", tel) ] in
+  Alcotest.(check bool) "traceEvents present" true (contains json "\"traceEvents\"");
+  Alcotest.(check bool) "phase event present" true (contains json "\"ph\":\"X\"");
+  Alcotest.(check bool) "thread named" true (contains json "thread_name");
+  Alcotest.(check bool) "quotes escaped" true (contains json "export \\\"phase\\\"");
+  let path = Filename.temp_file "odex_tel" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.write_chrome ~path [ ("run", tel) ];
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check bool) "file written" true (len > 0));
+  let empty = Format.asprintf "%a" Telemetry.pp_summary Telemetry.disabled in
+  Alcotest.(check bool) "disabled sink prints a note" true (String.length empty > 0)
+
+let suite =
+  [
+    ("disabled sink is a no-op", `Quick, test_disabled_sink_is_noop);
+    ("storage default sink is disabled", `Quick, test_storage_default_sink_is_disabled);
+    ("histogram percentiles", `Quick, test_histogram_percentiles);
+    ("backend ops are timed", `Quick, test_storage_ops_timed);
+    ("phase counter attribution", `Quick, test_phase_attribution);
+    ("retries and faults attributed", `Quick, test_retry_and_fault_attribution);
+    ("cache hit/miss/flush counters", `Quick, test_cache_counters);
+    ("telemetry invisible to the adversary (mem)", `Quick, test_telemetry_invisible_mem);
+    ("telemetry invisible to the adversary (file)", `Quick, test_telemetry_invisible_file);
+    ("telemetry invisible to the adversary (faulty)", `Quick, test_telemetry_invisible_faulty);
+    ("summary and chrome exports", `Quick, test_exports);
+  ]
