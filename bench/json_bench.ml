@@ -6,6 +6,10 @@
           main.exe --json E2 E9              — selected experiments only
           main.exe --json E2 --backend faulty — run on another backend
                                                (mem | file | faulty)
+          main.exe --json E2 --shards 4       — stripe every store across
+                                               4 domain-parallel shards
+          main.exe --json E2 --prefetch       — double-buffered scan
+                                               prefetcher on
           main.exe --json E2 --profile p.json — also collect telemetry:
                                                per-phase latency
                                                percentiles land in the
@@ -29,6 +33,8 @@ type record = {
   experiment : string;
   name : string;
   backend : string;
+  shards : int;
+  prefetch : bool;
   n_cells : int;
   b : int;
   m : int;
@@ -58,7 +64,13 @@ let throughput ~bytes_moved ~wall_ms =
    the entries that build their own storage consult it directly. *)
 let current_backend = ref "mem"
 
-let fresh_spec () = Odex_obcheck.Registry.backend_spec !current_backend
+(* `--shards K` / `--prefetch` for the whole JSON run; every record
+   carries both so sweeps over either knob land in one comparable file. *)
+let current_shards = ref 1
+let current_prefetch = ref false
+
+let fresh_spec () =
+  Odex_obcheck.Registry.backend_spec ~shards:!current_shards !current_backend
 
 (* `--profile PATH` flips this on: workload storages get live sinks (via
    the [Workloads.telemetry] factory), each collected run's sink is kept
@@ -103,6 +115,8 @@ let collect ~experiment ~name ~n_cells ~b ~m s f =
       experiment;
       name;
       backend = Storage.backend_kind s;
+      shards = !current_shards;
+      prefetch = Storage.prefetch_enabled s;
       n_cells;
       b;
       m;
@@ -196,7 +210,7 @@ let e10 () =
   let words = 1024 and m = 64 in
   let s =
     Storage.create ~telemetry:(!Workloads.telemetry ()) ~trace_mode:Trace.Digest
-      ~backend:(fresh_spec ()) ~block_size:4 ()
+      ~prefetch:!current_prefetch ~backend:(fresh_spec ()) ~block_size:4 ()
   in
   let rng = Odex_crypto.Rng.create ~seed:10 in
   [
@@ -216,8 +230,8 @@ let e11 () =
       let spec = fresh_spec () in
       let (o : Odex_obcheck.Pairtest.outcome), wall_ms =
         timed (fun () ->
-            Odex_obcheck.Pairtest.check ~backend:spec e.subject ~n_cells:e.n_cells ~b:e.b
-              ~m:e.m)
+            Odex_obcheck.Pairtest.check ~backend:spec ~prefetch:!current_prefetch e.subject
+              ~n_cells:e.n_cells ~b:e.b ~m:e.m)
       in
       Storage.remove_spec_files spec;
       let a = o.run_a in
@@ -225,6 +239,8 @@ let e11 () =
         experiment = "E11";
         name = "pair-" ^ e.subject.Odex_obcheck.Pairtest.name;
         backend = o.Odex_obcheck.Pairtest.backend;
+        shards = !current_shards;
+        prefetch = !current_prefetch;
         n_cells = e.n_cells;
         b = e.b;
         m = e.m;
@@ -258,18 +274,26 @@ let json_of_phase p =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
-    r.experiment r.name r.backend r.n_cells r.b r.m r.reads r.writes r.total_ios r.retries
-    r.trace_length r.spans r.wall_ms r.bytes_moved r.batched_ios r.mb_per_s r.ok
+    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
+    r.experiment r.name r.backend r.shards r.prefetch r.n_cells r.b r.m r.reads r.writes
+    r.total_ios r.retries r.trace_length r.spans r.wall_ms r.bytes_moved r.batched_ios
+    r.mb_per_s r.ok
     (String.concat "," (List.map json_of_phase r.phases))
 
-let run ?(backend = "mem") ?profile ids =
+let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?profile ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
     Printf.eprintf "unknown backend %S (available: %s)\n" backend
       (String.concat " " Odex_obcheck.Registry.backend_names);
     exit 2
   end;
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
+    exit 2
+  end;
   current_backend := backend;
+  current_shards := shards;
+  current_prefetch := prefetch;
+  Workloads.prefetch := prefetch;
   Workloads.default_backend := fresh_spec;
   (match profile with
   | None -> ()
@@ -292,7 +316,7 @@ let run ?(backend = "mem") ?profile ids =
       Printf.printf "wrote %s (%d profiled runs, Chrome trace-event JSON)\n" path
         (List.length !profiled));
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/4\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/5\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

@@ -16,7 +16,12 @@
    backend for every workload-created store: `file` spills blocks to
    per-store temp files, `faulty` injects deterministic transient
    faults (fixed seed) whose retries show up in the trace lengths and
-   the JSON `retries` field. *)
+   the JSON `retries` field.
+
+   `--shards K` stripes every workload store across K inner devices
+   (domain-parallel, PRP fan-out; see DESIGN.md §9) and `--prefetch`
+   turns on the double-buffered scan prefetcher — both physical-only
+   knobs whose traces stay bit-identical to the plain run. *)
 
 open Bechamel
 open Toolkit
@@ -124,17 +129,40 @@ let rec extract_profile = function
       let profile, cleaned = extract_profile rest in
       (profile, arg :: cleaned)
 
+(* Pull `--shards K` out likewise. *)
+let rec extract_shards = function
+  | [] -> (None, [])
+  | "--shards" :: k :: rest ->
+      let shards =
+        match int_of_string_opt k with
+        | Some k when k >= 1 -> k
+        | _ -> failwith "--shards needs a positive integer"
+      in
+      let _, cleaned = extract_shards rest in
+      (Some shards, cleaned)
+  | [ "--shards" ] -> failwith "--shards needs a shard count"
+  | arg :: rest ->
+      let shards, cleaned = extract_shards rest in
+      (shards, arg :: cleaned)
+
+(* Pull the bare `--prefetch` flag out likewise. *)
+let extract_prefetch args =
+  (List.mem "--prefetch" args, List.filter (fun a -> a <> "--prefetch") args)
+
 let () =
   let backend, args = extract_backend (List.tl (Array.to_list Sys.argv)) in
   let profile, args = extract_profile args in
+  let shards, args = extract_shards args in
+  let prefetch, args = extract_prefetch args in
   match args with
-  | "--json" :: ids -> Json_bench.run ?backend ?profile ids
+  | "--json" :: ids -> Json_bench.run ?backend ?shards ~prefetch ?profile ids
   | args ->
-      Option.iter
-        (fun name ->
-          Workloads.default_backend :=
-            fun () -> Odex_obcheck.Registry.backend_spec name)
-        backend;
+      let backend_name = Option.value backend ~default:"mem" in
+      let shard_count = Option.value shards ~default:1 in
+      if backend <> None || shard_count > 1 then
+        Workloads.default_backend :=
+          (fun () -> Odex_obcheck.Registry.backend_spec ~shards:shard_count backend_name);
+      Workloads.prefetch := prefetch;
       Fun.protect ~finally:Workloads.cleanup (fun () ->
           let want id = args = [] || List.mem id args in
           List.iter (fun (id, f) -> if want id then f ()) Experiments.all;

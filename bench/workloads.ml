@@ -15,13 +15,18 @@ let default_backend : (unit -> Storage.backend_spec) ref = ref (fun () -> Storag
 let telemetry : (unit -> Odex_telemetry.Telemetry.t) ref =
   ref (fun () -> Odex_telemetry.Telemetry.disabled)
 
+(* Whether freshly created workload storages run the double-buffered
+   prefetch worker (`--prefetch`). Physical-only: traces and stats are
+   unchanged, so tables stay comparable across the switch. *)
+let prefetch = ref false
+
 let created_specs : Storage.backend_spec list ref = ref []
 
 let fresh_storage ?cipher ~trace ~b () =
   let spec = !default_backend () in
   created_specs := spec :: !created_specs;
-  Storage.create ?cipher ~telemetry:(!telemetry ()) ~trace_mode:trace ~backend:spec
-    ~block_size:b ()
+  Storage.create ?cipher ~telemetry:(!telemetry ()) ~trace_mode:trace ~prefetch:!prefetch
+    ~backend:spec ~block_size:b ()
 
 let cleanup () =
   List.iter Storage.remove_spec_files !created_specs;

@@ -28,19 +28,28 @@ let read_keys path =
   Array.of_list (List.rev !keys)
 
 (* The fault plan of `--backend faulty` is fixed (seed and all), so a
-   faulty run is exactly as reproducible as a mem run. *)
-let backend_of ~store = function
-  | "mem" -> Storage.Mem
+   faulty run is exactly as reproducible as a mem run. `--shards K`
+   stripes the chosen store across K inner devices; the faulty
+   decorator composes outside the stripe so the fault schedule is the
+   same at every K. *)
+let backend_of ~store ~shards name =
+  let stripe inner =
+    if shards <= 1 then inner else Storage.Sharded { inner; shards; seed = 0x5A4D }
+  in
+  match name with
+  | "mem" -> stripe Storage.Mem
   | "file" ->
-      Storage.File
-        { path = (match store with Some p -> p | None -> Filename.temp_file "odx" ".store") }
+      stripe
+        (Storage.File
+           { path = (match store with Some p -> p | None -> Filename.temp_file "odx" ".store") })
   | "faulty" ->
-      Storage.Faulty { inner = Storage.Mem; seed = 0xFA17; failure_rate = 0.05; max_burst = 2 }
+      Storage.Faulty
+        { inner = stripe Storage.Mem; seed = 0xFA17; failure_rate = 0.05; max_burst = 2 }
   | other ->
       prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
       exit 2
 
-let setup ~block_size ~backend ~store ~seed ~profile keys =
+let setup ~block_size ~backend ~store ~shards ~seed ~profile keys =
   (* `--profile` turns on the telemetry sink; without it the storage
      carries the shared disabled sink and the I/O path is untouched. *)
   let telemetry =
@@ -49,8 +58,8 @@ let setup ~block_size ~backend ~store ~seed ~profile keys =
     | None -> Odex_telemetry.Telemetry.disabled
   in
   let server =
-    Storage.create ~telemetry ~trace_mode:Trace.Digest ~backend:(backend_of ~store backend)
-      ~block_size ()
+    Storage.create ~telemetry ~trace_mode:Trace.Digest
+      ~backend:(backend_of ~store ~shards backend) ~block_size ()
   in
   let cells = Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:i ()) keys in
   let a = Ext_array.of_cells server ~block_size cells in
@@ -63,7 +72,12 @@ let report_trace server =
     (Storage.backend_kind server)
     (Trace.length (Storage.trace server))
     (Trace.digest (Storage.trace server))
-    (if retries > 0 then Printf.sprintf ", %d transient faults retried" retries else "")
+    (if retries > 0 then Printf.sprintf ", %d transient faults retried" retries else "");
+  let per_shard = Storage.shard_ios server in
+  if Array.length per_shard > 0 then
+    Printf.printf "; per-shard ops: %s\n"
+      (String.concat " "
+         (Array.to_list (Array.mapi (Printf.sprintf "s%d=%d") per_shard)))
 
 let report_profile server profile =
   match profile with
@@ -105,6 +119,14 @@ let store_arg =
   let doc = "Path of the block store for --backend file (default: a fresh temp file)." in
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH" ~doc)
 
+let shards_arg =
+  let doc =
+    "Stripe the store across $(docv) domain-parallel shards (deterministic PRP fan-out). \
+     The logical trace — and the answer — are bit-identical at every shard count; the \
+     provider report adds the per-shard op split."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
 let profile_arg =
   let doc =
     "Collect latency telemetry and write a Chrome trace-event JSON profile to $(docv) \
@@ -117,11 +139,11 @@ let profile_arg =
 (* ---- sort ---- *)
 
 let sort_cmd =
-  let run block_size m seed backend store profile file =
+  let run block_size m seed backend store shards profile file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
-      let server, a, rng = setup ~block_size ~backend ~store ~seed ~profile keys in
+      let server, a, rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
       let outcome = Odex.Sort.run ~m ~rng a in
       List.iter
         (fun (it : Cell.item) -> print_endline (string_of_int it.key))
@@ -135,7 +157,7 @@ let sort_cmd =
   Cmd.v (Cmd.info "sort" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ profile_arg $ file_arg)
+      $ shards_arg $ profile_arg $ file_arg)
 
 (* ---- select ---- *)
 
@@ -144,9 +166,9 @@ let select_cmd =
     let doc = "Rank to select (1-indexed)." in
     Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
   in
-  let run block_size m seed backend store profile k file =
+  let run block_size m seed backend store shards profile k file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~backend ~store ~seed ~profile keys in
+    let server, a, rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
     let r = Odex.Selection.select ~m ~rng ~k a in
     (match r.Odex.Selection.item with
     | Some it -> Printf.printf "%d\n; rank %d of %d, ok = %b\n" it.key k (Array.length keys) r.ok
@@ -158,7 +180,7 @@ let select_cmd =
   Cmd.v (Cmd.info "select" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ profile_arg $ k_arg $ file_arg)
+      $ shards_arg $ profile_arg $ k_arg $ file_arg)
 
 (* ---- quantiles ---- *)
 
@@ -167,9 +189,9 @@ let quantiles_cmd =
     let doc = "Number of quantiles." in
     Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
   in
-  let run block_size m seed backend store profile q file =
+  let run block_size m seed backend store shards profile q file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~backend ~store ~seed ~profile keys in
+    let server, a, rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
     let r = Odex.Quantiles.run ~m ~rng ~q a in
     Array.iteri
       (fun i (it : Cell.item) -> Printf.printf "p%d = %d\n" ((i + 1) * 100 / (q + 1)) it.key)
@@ -182,7 +204,7 @@ let quantiles_cmd =
   Cmd.v (Cmd.info "quantiles" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ profile_arg $ q_arg $ file_arg)
+      $ shards_arg $ profile_arg $ q_arg $ file_arg)
 
 (* ---- compact ---- *)
 
@@ -191,9 +213,9 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed backend store profile keep_even file =
+  let run block_size m seed backend store shards profile keep_even file =
     let keys = read_keys file in
-    let server, a, _rng = setup ~block_size ~backend ~store ~seed ~profile keys in
+    let server, a, _rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
     let occupied = Odex.Butterfly.compact ~m d in
@@ -206,7 +228,7 @@ let compact_cmd =
   Cmd.v (Cmd.info "compact" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ profile_arg $ keep_even $ file_arg)
+      $ shards_arg $ profile_arg $ keep_even $ file_arg)
 
 (* ---- audit ---- *)
 

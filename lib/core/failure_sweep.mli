@@ -19,6 +19,20 @@
 
 open Odex_extmem
 
+val monte_carlo :
+  trials:int -> seed:int -> (rng:Odex_crypto.Rng.t -> trial:int -> bool) -> int
+(** [monte_carlo ~trials ~seed f] runs [f] once per trial, each under a
+    deterministic per-trial rng (a fixed mix of [seed] and the trial
+    index), and returns the number of trials where [f] returned false.
+    Fully seeded: the count is a reproducible measurement of a failure
+    probability, suitable for pinning the paper's success bounds
+    (Theorem 8 region overflow, Lemma 1 decode completeness) in tests
+    that never flake. *)
+
+val failure_rate :
+  trials:int -> seed:int -> (rng:Odex_crypto.Rng.t -> trial:int -> bool) -> float
+(** {!monte_carlo} normalized to a rate in [0, 1]. *)
+
 val sweep : m:int -> Ext_array.t array -> bool array -> bool
 (** [sweep ~m subarrays ok_flags] re-sorts (by (key, tag)) every
     subarray whose flag is false, running trace-identical dummy passes

@@ -26,6 +26,9 @@ module type S = sig
 
   val faults : t -> int
   (** Transient failures injected so far (0 for real devices). *)
+
+  val shard_ops : t -> int array
+  (** Per-shard block-op counts ([[||]] for unsharded devices). *)
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -46,6 +49,7 @@ let read_meta (Packed ((module B), b)) = B.read_meta b
 let write_meta (Packed ((module B), b)) m = B.write_meta b m
 let sync (Packed ((module B), b)) = B.sync b
 let close (Packed ((module B), b)) = B.close b
+let shard_io_counts (Packed ((module B), b)) = B.shard_ops b
 
 let meta_capacity = 40
 
@@ -127,6 +131,7 @@ module Mem = struct
   let sync _ = ()
   let close _ = ()
   let faults _ = 0
+  let shard_ops _ = [||]
 end
 
 let mem () = Packed ((module Mem), { Mem.slots = [||]; len = 0; meta = None })
@@ -300,6 +305,7 @@ module File = struct
     end
 
   let faults _ = 0
+  let shard_ops _ = [||]
 end
 
 let file ~path ~payload_size = Packed ((module File), File.create ~path ~payload_size)
@@ -410,6 +416,7 @@ module Faulty = struct
   let sync t = sync t.inner
   let close t = close t.inner
   let faults t = t.injected
+  let shard_ops t = shard_io_counts t.inner
 end
 
 let faulty plan inner =
@@ -421,6 +428,360 @@ let faulty plan inner =
       { Faulty.inner; plan; access = 0; burst_left = 0; recovering = false; injected = 0 } )
 
 let faults_injected (Packed ((module B), b)) = B.faults b
+
+(* ---------------- sharded, domain-parallel striping ---------------- *)
+
+(* K inner stores behind one logical address space. Logical block [a]
+   belongs to group [g = a / K] with lane [j = a mod K] and lives on
+   shard [perm.((j + g) mod K)] at inner address [g], where [perm] is a
+   keyed PRP of the K lanes. Three properties carry the design:
+
+   - {e bijection}: within a group the K lanes map to the K distinct
+     shards (a rotation of a permutation), so logical <-> (shard, inner)
+     is one-to-one and every group stripes across all K devices;
+   - {e data independence}: the fan-out is a pure function of the block
+     index and the (public) seed — never of payloads — so striping can
+     not leak anything the flat address sequence did not;
+   - {e contiguity}: the logical address shard [s] serves at inner
+     address [g] is [g*K + ((perm_inv.(s) - g) mod K)], strictly
+     increasing in [g], so a contiguous logical run decomposes into
+     exactly one contiguous inner run per shard. The batched fast path
+     (one positioned transfer per device) survives under the stripe.
+
+   Runs big enough to amortize the handoff are dispatched to one worker
+   domain per shard (spawned lazily on first use, joined on [close]);
+   smaller runs and single-block ops execute inline on the caller's
+   domain through the same decomposition, so which mode ran never shows
+   in the logical trace. *)
+
+module Sharded = struct
+  type worker = {
+    mu : Mutex.t;
+    cv : Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable result : exn option option;  (** [Some None] = done, [Some (Some e)] = raised. *)
+    mutable stop : bool;
+    mutable dom : unit Domain.t option;
+  }
+
+  type nonrec t = {
+    k : int;
+    inners : t array;
+    perm : int array;  (** lane -> shard *)
+    perm_inv : int array;  (** shard -> lane *)
+    mutable len : int;  (** Logical block count (inner sizes are rounded up). *)
+    scratch : bytes ref array;  (** Per-shard gather/scatter buffers. *)
+    ops : int array;  (** Per-shard block ops, tallied by the coordinator. *)
+    workers : worker array;
+    mutable spawned : bool;
+    mutable closed : bool;
+  }
+
+  let kind = "sharded"
+
+  (* ---- worker protocol: one mailbox per shard, mutex + condvar.
+     Only the coordinator posts and only worker [s] takes from mailbox
+     [s]; the mutex handoff gives the happens-before edges the OCaml
+     memory model needs for the scratch and caller buffers. ---- *)
+
+  let rec worker_loop w =
+    Mutex.lock w.mu;
+    while w.job = None && not w.stop do
+      Condition.wait w.cv w.mu
+    done;
+    if w.stop then Mutex.unlock w.mu
+    else begin
+      let f = Option.get w.job in
+      Mutex.unlock w.mu;
+      let r = (try f (); None with e -> Some e) in
+      Mutex.lock w.mu;
+      w.job <- None;
+      w.result <- Some r;
+      Condition.signal w.cv;
+      Mutex.unlock w.mu;
+      worker_loop w
+    end
+
+  let spawn_workers t =
+    if not t.spawned then begin
+      t.spawned <- true;
+      Array.iter (fun w -> w.dom <- Some (Domain.spawn (fun () -> worker_loop w))) t.workers
+    end
+
+  let post w f =
+    Mutex.lock w.mu;
+    w.job <- Some f;
+    w.result <- None;
+    Condition.signal w.cv;
+    Mutex.unlock w.mu
+
+  let await w =
+    Mutex.lock w.mu;
+    while w.result = None do
+      Condition.wait w.cv w.mu
+    done;
+    let r = Option.get w.result in
+    w.result <- None;
+    Mutex.unlock w.mu;
+    r
+
+  (* ---- the striping map ---- *)
+
+  let lane t s g =
+    let j = (t.perm_inv.(s) - g) mod t.k in
+    if j < 0 then j + t.k else j
+
+  let logical t s g = (g * t.k) + lane t s g
+
+  let route t a =
+    let g = a / t.k and j = a mod t.k in
+    (t.perm.((j + g) mod t.k), g)
+
+  (* Member inner-address interval of shard [s] within logical [lo, hi):
+     [logical t s g] is strictly increasing in [g], so the members form
+     one contiguous inner run (possibly empty). Interior groups always
+     contribute; only the two boundary groups need the window check. *)
+  let members t s ~lo ~hi =
+    let g0 = lo / t.k and g1 = (hi - 1) / t.k in
+    let gs = if logical t s g0 >= lo then g0 else g0 + 1 in
+    let ge = if logical t s g1 < hi then g1 else g1 - 1 in
+    if gs > ge then None else Some (gs, ge)
+
+  let scratch t s need =
+    let r = t.scratch.(s) in
+    if Bytes.length !r < need then r := Bytes.create (max need (2 * Bytes.length !r));
+    !r
+
+  (* Execute one closure per participating shard and aggregate failures.
+     Every job runs to completion (or its own fault) even when another
+     shard faults first: the resume contract promises all logical blocks
+     below the faulted address transferred, and those blocks live on the
+     other shards. The smallest faulted logical address is re-raised; a
+     non-transient exception wins over any transient (it is a bug, not
+     weather). Serial and parallel execution share the decomposition, so
+     which one ran never shows in the logical trace. *)
+  let dispatch t ~parallel (jobs : (int * (unit -> unit)) array) =
+    let outcomes =
+      if parallel && Array.length jobs > 1 then begin
+        spawn_workers t;
+        Array.iter (fun (s, job) -> post t.workers.(s) job) jobs;
+        Array.map (fun (s, _) -> await t.workers.(s)) jobs
+      end
+      else Array.map (fun (_, job) -> (try job (); None with e -> Some e)) jobs
+    in
+    let hard = ref None and fault = ref None in
+    Array.iter
+      (fun o ->
+        match o with
+        | None -> ()
+        | Some (Transient f) -> (
+            match !fault with
+            | Some (Transient g) when g.addr <= f.addr -> ()
+            | _ -> fault := Some (Transient f))
+        | Some e -> if !hard = None then hard := Some e)
+      outcomes;
+    (match !hard with Some e -> raise e | None -> ());
+    match !fault with Some e -> raise e | None -> ()
+
+  let check_open t = if t.closed then invalid_arg "Backend.Sharded: store is closed"
+
+  (* Below [2K] blocks a run cannot give every worker two blocks to
+     stream; the handoff would dominate, so it runs inline. *)
+  let parallel_threshold t = 2 * t.k
+
+  let run_ops ~write t ~addr ~count ~payload ~buf ~off =
+    let who = if write then "Backend.Sharded.write_run" else "Backend.Sharded.read_run" in
+    check_open t;
+    check_run ~who ~blocks:t.len ~addr ~count ~payload ~buf ~off;
+    if count > 0 then begin
+      let lo = addr and hi = addr + count in
+      let jobs = ref [] in
+      for s = t.k - 1 downto 0 do
+        match members t s ~lo ~hi with
+        | None -> ()
+        | Some (gs, ge) -> (
+            let n = ge - gs + 1 in
+            t.ops.(s) <- t.ops.(s) + n;
+            let job () =
+              let scr = scratch t s (n * payload) in
+              if write then begin
+                for g = gs to ge do
+                  Bytes.blit buf
+                    (off + ((logical t s g - lo) * payload))
+                    scr
+                    ((g - gs) * payload)
+                    payload
+                done;
+                match write_run t.inners.(s) ~addr:gs ~count:n ~payload ~buf:scr ~off:0 with
+                | () -> ()
+                | exception Transient { addr = gf; access } ->
+                    (* Inner blocks [gs, gf) landed; their logical
+                       addresses are exactly the members below the
+                       faulted one. *)
+                    raise (Transient { addr = logical t s gf; access })
+              end
+              else begin
+                let scatter upto =
+                  for g = gs to upto do
+                    Bytes.blit scr
+                      ((g - gs) * payload)
+                      buf
+                      (off + ((logical t s g - lo) * payload))
+                      payload
+                  done
+                in
+                match read_run t.inners.(s) ~addr:gs ~count:n ~payload ~buf:scr ~off:0 with
+                | () -> scatter ge
+                | exception Transient { addr = gf; access } ->
+                    scatter (gf - 1);
+                    raise (Transient { addr = logical t s gf; access })
+              end
+            in
+            jobs := (s, job) :: !jobs)
+      done;
+      dispatch t
+        ~parallel:(t.k > 1 && count >= parallel_threshold t)
+        (Array.of_list !jobs)
+    end
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    run_ops ~write:false t ~addr ~count ~payload ~buf ~off
+
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    run_ops ~write:true t ~addr ~count ~payload ~buf ~off
+
+  let check_addr t a =
+    check_open t;
+    if a < 0 || a >= t.len then
+      invalid_arg (Printf.sprintf "Backend.Sharded: address %d out of bounds (%d)" a t.len)
+
+  let read t a =
+    check_addr t a;
+    let s, g = route t a in
+    t.ops.(s) <- t.ops.(s) + 1;
+    read t.inners.(s) g
+
+  let write t a payload =
+    check_addr t a;
+    let s, g = route t a in
+    t.ops.(s) <- t.ops.(s) + 1;
+    write t.inners.(s) g payload
+
+  let ensure t n =
+    check_open t;
+    if n > t.len then begin
+      let groups = (n + t.k - 1) / t.k in
+      Array.iter (fun inner -> ensure inner groups) t.inners;
+      t.len <- n
+    end
+
+  let size t = t.len
+
+  (* The logical length is sharded-layer state: inner sizes are rounded
+     up to whole groups, so it cannot be recovered from them. It rides
+     as an 8-byte prefix in front of the client's metadata blob on shard
+     0 and is re-read on reopen — persisted exactly as often as the
+     client checkpoints its own header, so a crash resumes at the last
+     checkpointed length. *)
+  let meta_reserved = 8
+
+  (* The generic accessor, saved before the module's own [read_meta]
+     shadows it ([recover_len] runs on inner stores, not on [t]). *)
+  let inner_read_meta = read_meta
+
+  let read_meta t =
+    check_open t;
+    match inner_read_meta t.inners.(0) with
+    | Some blob when Bytes.length blob >= meta_reserved ->
+        Some (Bytes.sub blob meta_reserved (Bytes.length blob - meta_reserved))
+    | Some _ | None -> None
+
+  let write_meta t m =
+    check_open t;
+    if Bytes.length m > meta_capacity - meta_reserved then
+      invalid_arg
+        (Printf.sprintf "Backend.Sharded.write_meta: metadata exceeds %d bytes"
+           (meta_capacity - meta_reserved));
+    let blob = Bytes.create (meta_reserved + Bytes.length m) in
+    Bytes.set_int64_le blob 0 (Int64.of_int t.len);
+    Bytes.blit m 0 blob meta_reserved (Bytes.length m);
+    write_meta t.inners.(0) blob
+
+  let recover_len inners =
+    match inner_read_meta inners.(0) with
+    | Some blob when Bytes.length blob >= meta_reserved ->
+        let len = Int64.to_int (Bytes.get_int64_le blob 0) in
+        if len < 0 then 0 else len
+    | Some _ | None -> 0
+
+  let sync t =
+    check_open t;
+    Array.iter sync t.inners
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      if t.spawned then
+        Array.iter
+          (fun w ->
+            Mutex.lock w.mu;
+            w.stop <- true;
+            Condition.signal w.cv;
+            Mutex.unlock w.mu;
+            match w.dom with
+            | Some d ->
+                Domain.join d;
+                w.dom <- None
+            | None -> ())
+          t.workers;
+      Array.iter close t.inners
+    end
+
+  let faults t = Array.fold_left (fun acc inner -> acc + faults_injected inner) 0 t.inners
+  let shard_ops t = Array.copy t.ops
+end
+
+let shard_perm ~shards ~seed =
+  if shards < 1 then invalid_arg "Backend.sharded: shards must be >= 1";
+  let prp = Odex_crypto.Prp.create ~domain:shards (Odex_crypto.Prf.key_of_int seed) in
+  let perm = Array.init shards (Odex_crypto.Prp.apply prp) in
+  let perm_inv = Array.make shards 0 in
+  Array.iteri (fun j s -> perm_inv.(s) <- j) perm;
+  (perm, perm_inv)
+
+let shard_route ~shards ~seed a =
+  if a < 0 then invalid_arg "Backend.shard_route: negative address";
+  let perm, _ = shard_perm ~shards ~seed in
+  let g = a / shards and j = a mod shards in
+  (perm.((j + g) mod shards), g)
+
+let sharded ~seed inners =
+  let k = Array.length inners in
+  let perm, perm_inv = shard_perm ~shards:k ~seed in
+  let t =
+    {
+      Sharded.k;
+      inners;
+      perm;
+      perm_inv;
+      len = Sharded.recover_len inners;
+      scratch = Array.init k (fun _ -> ref Bytes.empty);
+      ops = Array.make k 0;
+      workers =
+        Array.init k (fun _ ->
+            {
+              Sharded.mu = Mutex.create ();
+              cv = Condition.create ();
+              job = None;
+              result = None;
+              stop = false;
+              dom = None;
+            });
+      spawned = false;
+      closed = false;
+    }
+  in
+  Packed ((module Sharded), t)
 
 (* ---------------- telemetry instrumentation ---------------- *)
 
@@ -479,6 +840,7 @@ module Instrumented = struct
   let sync t = time t Tel.Sync ~blocks:0 ~bytes:0 (fun () -> sync t.inner)
   let close t = close t.inner
   let faults t = faults_injected t.inner
+  let shard_ops t = shard_io_counts t.inner
 end
 
 let instrument tel inner =

@@ -75,6 +75,10 @@ module type S = sig
 
   val faults : t -> int
   (** Transient failures injected so far (0 for real devices). *)
+
+  val shard_ops : t -> int array
+  (** Per-shard block-op counts ([[||]] for unsharded devices); see
+      {!shard_io_counts}. *)
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -137,6 +141,44 @@ val faulty : fault_plan -> t -> t
 
 val faults_injected : t -> int
 (** Total {!Transient} raises so far ([0] for non-faulty backends). *)
+
+val sharded : seed:int -> t array -> t
+(** [sharded ~seed inners] stripes one logical address space across the
+    [K = Array.length inners] inner stores (requires [K >= 1]). Logical
+    block [a] belongs to group [g = a / K] and lives on shard
+    [perm((a mod K + g) mod K)] at inner address [g], where [perm] is a
+    keyed PRP of the lanes derived from [seed] — a bijection, so every
+    group of [K] consecutive logical blocks touches all [K] devices, and
+    a pure function of the block index, so the fan-out is as
+    data-independent as the flat address sequence it refines.
+
+    A contiguous logical run decomposes into exactly one contiguous
+    inner run per shard (the logical addresses a shard serves are
+    strictly increasing in its inner address); runs of at least [2K]
+    blocks are dispatched to one worker domain per shard — spawned
+    lazily on first use and joined on {!close} — while smaller runs and
+    single-block ops execute inline through the same decomposition, so
+    execution mode never shows in the logical trace. On a mid-run
+    {!Transient} the smallest faulted {e logical} address is re-raised
+    after every shard has run to completion or its own fault: all blocks
+    below it have been transferred (blocks at or above it may have been
+    too — resuming re-transfers them, which is idempotent).
+
+    [ensure n] grows every inner store to [ceil(n / K)] blocks; the
+    exact logical length is persisted as an 8-byte prefix of the
+    metadata blob on shard 0 (so client metadata is limited to
+    [meta_capacity - 8] bytes) and recovered on reopen. *)
+
+val shard_route : shards:int -> seed:int -> int -> int * int
+(** [shard_route ~shards ~seed a] is the pure striping map of
+    {!sharded}: the (shard, inner address) pair logical block [a] maps
+    to. Exposed for property tests (the map must be a bijection). *)
+
+val shard_io_counts : t -> int array
+(** Per-shard counts of block ops served ([|[]|] for unsharded
+    backends; decorators forward to their inner store). The obliviousness
+    harness compares these across a pair run: the fan-out must be a
+    function of the logical trace alone. *)
 
 val instrument : Odex_telemetry.Telemetry.t -> t -> t
 (** [instrument sink inner] times every [read]/[write]/[read_run]/

@@ -6,45 +6,64 @@ type snapshot = {
   batched_ios : int;
 }
 
+(* Counters are atomics so accounting stays exact if ops are ever tallied
+   off the coordinator domain (the sharded backend and the prefetcher put
+   worker domains under this layer). [last_span] stays plain: spans are a
+   coordinator-only measurement protocol. *)
 type t = {
-  mutable r : int;
-  mutable w : int;
-  mutable retry : int;
-  mutable bytes : int;
-  mutable batched : int;
+  r : int Atomic.t;
+  w : int Atomic.t;
+  retry : int Atomic.t;
+  bytes : int Atomic.t;
+  batched : int Atomic.t;
   mutable last_span : snapshot option;
 }
 
-let create () = { r = 0; w = 0; retry = 0; bytes = 0; batched = 0; last_span = None }
+let create () =
+  {
+    r = Atomic.make 0;
+    w = Atomic.make 0;
+    retry = Atomic.make 0;
+    bytes = Atomic.make 0;
+    batched = Atomic.make 0;
+    last_span = None;
+  }
 
-let record_read t = t.r <- t.r + 1
-let record_write t = t.w <- t.w + 1
-let record_retry t = t.retry <- t.retry + 1
-let record_moved t n = t.bytes <- t.bytes + n
-let record_batched t n = t.batched <- t.batched + n
+let bump c n = ignore (Atomic.fetch_and_add c n)
+let record_read t = bump t.r 1
+let record_write t = bump t.w 1
+let record_retry t = bump t.retry 1
+let record_moved t n = bump t.bytes n
+let record_batched t n = bump t.batched n
 
-let reads t = t.r
-let writes t = t.w
-let total t = t.r + t.w
+let reads t = Atomic.get t.r
+let writes t = Atomic.get t.w
+let total t = Atomic.get t.r + Atomic.get t.w
 
-let retries t = t.retry
+let retries t = Atomic.get t.retry
 (* Retries are repeated attempts, not extra logical I/Os: they stay out
    of [total] so I/O-bound assertions hold on every backend, but Bob
    still sees them (the trace records each one). *)
 
-let bytes_moved t = t.bytes
-let batched_ios t = t.batched
+let bytes_moved t = Atomic.get t.bytes
+let batched_ios t = Atomic.get t.batched
 
 let reset t =
-  t.r <- 0;
-  t.w <- 0;
-  t.retry <- 0;
-  t.bytes <- 0;
-  t.batched <- 0;
+  Atomic.set t.r 0;
+  Atomic.set t.w 0;
+  Atomic.set t.retry 0;
+  Atomic.set t.bytes 0;
+  Atomic.set t.batched 0;
   t.last_span <- None
 
 let snapshot (t : t) : snapshot =
-  { reads = t.r; writes = t.w; retries = t.retry; bytes_moved = t.bytes; batched_ios = t.batched }
+  {
+    reads = reads t;
+    writes = writes t;
+    retries = retries t;
+    bytes_moved = bytes_moved t;
+    batched_ios = batched_ios t;
+  }
 
 (* Exception-safe: the delta is recorded in [last_span] even when [f]
    raises (e.g. a Cache.Overflow mid-measurement), so an enclosing
@@ -56,11 +75,11 @@ let span t f =
   let before = snapshot t in
   let delta () =
     {
-      reads = t.r - before.reads;
-      writes = t.w - before.writes;
-      retries = t.retry - before.retries;
-      bytes_moved = t.bytes - before.bytes_moved;
-      batched_ios = t.batched - before.batched_ios;
+      reads = reads t - before.reads;
+      writes = writes t - before.writes;
+      retries = retries t - before.retries;
+      bytes_moved = bytes_moved t - before.bytes_moved;
+      batched_ios = batched_ios t - before.batched_ios;
     }
   in
   let result = Fun.protect ~finally:(fun () -> t.last_span <- Some (delta ())) f in
@@ -69,5 +88,5 @@ let span t f =
 let last_span t = t.last_span
 
 let pp ppf (t : t) =
-  Format.fprintf ppf "reads=%d writes=%d total=%d" t.r t.w (total t);
-  if t.retry > 0 then Format.fprintf ppf " retries=%d" t.retry
+  Format.fprintf ppf "reads=%d writes=%d total=%d" (reads t) (writes t) (total t);
+  if retries t > 0 then Format.fprintf ppf " retries=%d" (retries t)

@@ -2,6 +2,7 @@ type backend_spec =
   | Mem
   | File of { path : string }
   | Faulty of { inner : backend_spec; seed : int; failure_rate : float; max_burst : int }
+  | Sharded of { inner : backend_spec; shards : int; seed : int }
 
 exception Io_failure of { addr : int; attempts : int }
 
@@ -15,6 +16,43 @@ let () =
 module Telemetry = Odex_telemetry.Telemetry
 
 type cipher_state = { key : Odex_crypto.Cipher.key; mutable next_nonce : int }
+
+(* ---- the oblivious prefetcher.
+
+   One worker domain fetches the {e next} run's raw payloads into a
+   spare buffer while the coordinator unseals and consumes the current
+   one. The fetch is a physical hint below the accounting layer: nothing
+   is counted, traced or unsealed until the coordinator's own
+   [read_many] asks for exactly that window, at which point the normal
+   per-block trace ops and stats fire as if the bytes had just come off
+   the device — so the logical trace with prefetch on is bit-identical
+   to the trace with it off (pair-tested). Obliviousness is preserved
+   because callers only prefetch windows that are a fixed function of
+   the public scan shape (N, M, B — see Ext_array.iter_runs), never of
+   data.
+
+   Two buffers alternate ([fetch_idx]): the worker fills one while the
+   coordinator drains the other, which is exactly the scan-loop
+   discipline (issue run k+1, consume run k). The protocol assumes a
+   single coordinator — Storage was never reentrant. [dev_mu] serializes
+   every backend access while a prefetcher exists: the file backend's
+   lseek+read pairs share one file offset, and a faulty backend's access
+   counter must advance race-free. When no prefetcher is attached the
+   device path takes no lock and is byte-for-byte the old one. ---- *)
+
+type prefetcher = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable job : (int * int) option;  (** Posted window, not yet taken. *)
+  mutable inflight : (int * int) option;  (** Window the worker is fetching now. *)
+  mutable busy : bool;
+  mutable ready : (int * int * int) option;  (** (addr, count, buffer index). *)
+  mutable fetch_idx : int;
+  bufs : bytes ref array;  (** Two alternating fetch targets. *)
+  mutable stop : bool;
+  mutable dom : unit Domain.t option;
+  dev_mu : Mutex.t;  (** Serializes all backend access while prefetch is on. *)
+}
 
 type t = {
   block_size : int;
@@ -34,9 +72,22 @@ type t = {
   backoff_base : float;
   backoff_cap : float;
   batching : bool;
+  pf : prefetcher option;
   seal_buf : bytes;  (** One payload: the single-block sealing scratch. *)
   mutable run_buf : bytes;  (** Grows to the largest run requested; reused across calls. *)
 }
+
+(* The member spec of shard [i] under a [Sharded] spec: file paths get a
+   per-shard suffix (each shard is its own device and needs its own
+   file) and fault seeds are mixed with the shard index (each device
+   runs its own deterministic weather). Nesting Sharded in Sharded is
+   rejected — the striping math assumes one flat address refinement. *)
+let rec shard_member_spec i = function
+  | Mem -> Mem
+  | File { path } -> File { path = Printf.sprintf "%s.shard%d" path i }
+  | Faulty f ->
+      Faulty { f with inner = shard_member_spec i f.inner; seed = f.seed + ((i + 1) * 0x9E37) }
+  | Sharded _ -> invalid_arg "Storage: nested Sharded specs are not supported"
 
 let rec instantiate ~payload_size = function
   | Mem -> Backend.mem ()
@@ -44,11 +95,19 @@ let rec instantiate ~payload_size = function
   | Faulty { inner; seed; failure_rate; max_burst } ->
       Backend.faulty { Backend.seed; failure_rate; max_burst }
         (instantiate ~payload_size inner)
+  | Sharded { inner; shards; seed } ->
+      if shards < 1 then invalid_arg "Storage: shards must be >= 1";
+      Backend.sharded ~seed
+        (Array.init shards (fun i -> instantiate ~payload_size (shard_member_spec i inner)))
 
 let rec remove_spec_files = function
   | Mem -> ()
   | File { path } -> if Sys.file_exists path then Sys.remove path
   | Faulty { inner; _ } -> remove_spec_files inner
+  | Sharded { inner; shards; _ } ->
+      for i = 0 to shards - 1 do
+        remove_spec_files (shard_member_spec i inner)
+      done
 
 (* ---- store header: the sealing state that must survive the process.
 
@@ -75,7 +134,16 @@ let build_header t =
   Bytes.set_int64_le m 16 (Int64.of_int t.nonce_reserved);
   m
 
-let write_header t = Backend.write_meta t.backend (build_header t)
+(* Every path to the device goes through this gate when a prefetcher is
+   attached; without one it is a single match. *)
+let with_dev t f =
+  match t.pf with
+  | None -> f ()
+  | Some p ->
+      Mutex.lock p.dev_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock p.dev_mu) f
+
+let write_header t = with_dev t (fun () -> Backend.write_meta t.backend (build_header t))
 
 let parse_header ~block_size m =
   if Bytes.length m < 24 then invalid_arg "Storage: corrupt store header";
@@ -92,8 +160,8 @@ let parse_header ~block_size m =
   hw
 
 let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
-    ?(max_retries = 10) ?(backoff = (1e-6, 1e-4)) ?(batching = true) ?(resume = false)
-    ~block_size () =
+    ?(max_retries = 10) ?(backoff = (1e-6, 1e-4)) ?(batching = true) ?(prefetch = false)
+    ?(resume = false) ~block_size () =
   if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
   if max_retries < 1 then invalid_arg "Storage.create: max_retries must be >= 1";
   let backoff_base, backoff_cap = backoff in
@@ -128,6 +196,26 @@ let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
       backoff_base;
       backoff_cap;
       batching;
+      pf =
+        (* Prefetch serves whole runs from a buffered fetch, which only
+           makes sense under batching semantics; with batching off it is
+           silently disabled so the per-block degradation stays exact. *)
+        (if prefetch && batching then
+           Some
+             {
+               mu = Mutex.create ();
+               cv = Condition.create ();
+               job = None;
+               inflight = None;
+               busy = false;
+               ready = None;
+               fetch_idx = 0;
+               bufs = [| ref Bytes.empty; ref Bytes.empty |];
+               stop = false;
+               dom = None;
+               dev_mu = Mutex.create ();
+             }
+         else None);
       seal_buf = Bytes.create payload_size;
       run_buf = Bytes.empty;
     }
@@ -144,6 +232,145 @@ let backend_kind t = t.kind
 let batching t = t.batching
 let faults_injected t = Backend.faults_injected t.backend
 let scratch_bytes t = Bytes.length t.run_buf
+let shard_ios t = Backend.shard_io_counts t.backend
+let prefetch_enabled t = t.pf <> None
+
+(* ---- prefetch worker ---- *)
+
+let pf_loop t p =
+  let rec go () =
+    Mutex.lock p.mu;
+    while p.job = None && not p.stop do
+      Condition.wait p.cv p.mu
+    done;
+    if p.stop then Mutex.unlock p.mu
+    else begin
+      let ((addr, count) as window) = Option.get p.job in
+      p.job <- None;
+      p.busy <- true;
+      p.inflight <- Some window;
+      let idx = p.fetch_idx in
+      let bufr = p.bufs.(idx) in
+      (* Grown under the sink lock: the coordinator only ever reads the
+         other buffer (they alternate, and a ready window is consumed
+         before the next hint is posted). *)
+      let need = count * t.payload_size in
+      if Bytes.length !bufr < need then bufr := Bytes.create need;
+      let target = !bufr in
+      Mutex.unlock p.mu;
+      let ok =
+        Mutex.lock p.dev_mu;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock p.dev_mu)
+          (fun () ->
+            match
+              Backend.read_run t.backend ~addr ~count ~payload:t.payload_size ~buf:target
+                ~off:0
+            with
+            | () -> true
+            | exception _ ->
+                (* A transient (or anything else) aborts the hint: the
+                   coordinator falls back to the counted path, whose own
+                   retry engine owns fault handling. *)
+                false)
+      in
+      Mutex.lock p.mu;
+      p.busy <- false;
+      p.inflight <- None;
+      if ok then begin
+        p.ready <- Some (addr, count, idx);
+        p.fetch_idx <- 1 - idx
+      end
+      else p.ready <- None;
+      Condition.signal p.cv;
+      Mutex.unlock p.mu;
+      go ()
+    end
+  in
+  go ()
+
+let prefetch t addr n =
+  match t.pf with
+  | None -> ()
+  | Some p ->
+      if n > 0 && addr >= 0 && addr + n <= t.used then begin
+        (match p.dom with
+        | Some _ -> ()
+        | None -> p.dom <- Some (Domain.spawn (fun () -> pf_loop t p)));
+        Mutex.lock p.mu;
+        let covered =
+          (match p.ready with Some (a, c, _) -> a = addr && c = n | None -> false)
+          || (match p.inflight with Some (a, c) -> a = addr && c = n | None -> false)
+          || match p.job with Some (a, c) -> a = addr && c = n | None -> false
+        in
+        (* One outstanding hint: a busy worker means the caller prefetches
+           faster than it consumes, so the new hint is dropped. *)
+        if (not covered) && (not p.busy) && p.job = None then begin
+          p.job <- Some (addr, n);
+          Condition.signal p.cv
+        end;
+        Mutex.unlock p.mu
+      end
+
+(* Take the raw payload buffer for window [addr, n) if it is ready (or
+   about to be: an in-flight fetch is waited out, since in the scan
+   discipline it is the window about to be consumed). Returns with the
+   window cleared — the buffer is valid until the next fetch completes
+   into it, i.e. until two more hints are posted, and the caller unseals
+   it before posting any. *)
+let pf_take t addr n =
+  match t.pf with
+  | None -> None
+  | Some p ->
+      Mutex.lock p.mu;
+      let rec get () =
+        match p.ready with
+        | Some (a, c, idx) when a = addr && c = n ->
+            p.ready <- None;
+            Some !(p.bufs.(idx))
+        | _ ->
+            if p.busy || p.job <> None then begin
+              Condition.wait p.cv p.mu;
+              get ()
+            end
+            else None
+      in
+      let r = get () in
+      Mutex.unlock p.mu;
+      r
+
+(* Drop any buffered or in-flight window overlapping [addr, n): called
+   before every device write, so a later hit can never serve bytes from
+   before the overwrite. Data-independent — it looks only at addresses. *)
+let pf_invalidate t addr n =
+  match t.pf with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.mu;
+      let overlaps (a, c) = addr < a + c && a < addr + n in
+      (match p.job with Some w when overlaps w -> p.job <- None | _ -> ());
+      while p.busy && (match p.inflight with Some w -> overlaps w | None -> false) do
+        Condition.wait p.cv p.mu
+      done;
+      (match p.ready with Some (a, c, _) when overlaps (a, c) -> p.ready <- None | _ -> ());
+      Mutex.unlock p.mu
+
+let stop_prefetcher t =
+  match t.pf with
+  | None -> ()
+  | Some p -> (
+      match p.dom with
+      | None -> ()
+      | Some d ->
+          Mutex.lock p.mu;
+          while p.busy do
+            Condition.wait p.cv p.mu
+          done;
+          p.stop <- true;
+          Condition.signal p.cv;
+          Mutex.unlock p.mu;
+          Domain.join d;
+          p.dom <- None)
 
 (* Persist the exact counter (not the rounded-up reservation) before the
    device flushes or the descriptor goes away: a cleanly closed store
@@ -154,9 +381,10 @@ let checkpoint_header t =
 
 let sync t =
   checkpoint_header t;
-  Backend.sync t.backend
+  with_dev t (fun () -> Backend.sync t.backend)
 
 let close t =
+  stop_prefetcher t;
   checkpoint_header t;
   Backend.close t.backend
 
@@ -253,11 +481,14 @@ let run_transfer t ~counted ~retry_op ~record ~addr ~n ~do_run =
   in
   go addr 1
 
+(* The device lock is taken per attempt, not per logical transfer, so
+   retry backoff sleeps never hold the device against the prefetcher. *)
 let read_run_backend t ~buf ~addr ~count ~off =
-  Backend.read_run t.backend ~addr ~count ~payload:t.payload_size ~buf ~off
+  with_dev t (fun () -> Backend.read_run t.backend ~addr ~count ~payload:t.payload_size ~buf ~off)
 
 let write_run_backend t ~buf ~addr ~count ~off =
-  Backend.write_run t.backend ~addr ~count ~payload:t.payload_size ~buf ~off
+  with_dev t (fun () ->
+      Backend.write_run t.backend ~addr ~count ~payload:t.payload_size ~buf ~off)
 
 let record_read t a =
   Stats.record_read t.stats;
@@ -278,6 +509,7 @@ let transfer_read t ~counted ~record ~addr ~n ~buf =
     ~do_run:(fun ~addr ~count ~off -> read_run_backend t ~buf ~addr ~count ~off)
 
 let transfer_write t ~counted ~record ~addr ~n ~buf =
+  pf_invalidate t addr n;
   run_transfer t ~counted ~retry_op:(fun a -> Trace.Retry_write a) ~record ~addr ~n
     ~do_run:(fun ~addr ~count ~off -> write_run_backend t ~buf ~addr ~count ~off)
 
@@ -285,7 +517,7 @@ let alloc t n =
   if n < 0 then invalid_arg "Storage.alloc: negative size";
   let base = t.used in
   if n > 0 then begin
-    Backend.ensure t.backend (t.used + n);
+    with_dev t (fun () -> Backend.ensure t.backend (t.used + n));
     t.used <- t.used + n;
     (* Zero-initialization is the server's job and costs no counted I/O;
        retries here stay out of the trace for the same reason. Batched
@@ -349,6 +581,20 @@ let read_many t addr n =
   if n > 0 then begin
     check_addr t addr;
     check_addr t (addr + n - 1);
+    match pf_take t addr n with
+    | Some buf ->
+        (* The payloads already travelled (uncounted, untraced); the
+           logical read happens now, so the accounting fires here
+           exactly as the batched transfer below would have fired it:
+           one trace op and one stats tick per block in address order. *)
+        for i = 0 to n - 1 do
+          record_read t (addr + i)
+        done;
+        if n > 1 then Stats.record_batched t.stats n;
+        for i = 0 to n - 1 do
+          out.(i) <- unseal_from t buf (i * t.payload_size)
+        done
+    | None ->
     if t.batching && n > 1 then begin
       ensure_run_buf t n;
       transfer_read t ~counted:true ~record:(record_read t) ~addr ~n ~buf:t.run_buf;

@@ -34,6 +34,18 @@ type backend_spec =
           [inner]; see {!Backend.fault_plan}. [max_burst] must stay
           below [max_retries] or accesses inside a burst exhaust their
           retry budget. *)
+  | Sharded of { inner : backend_spec; shards : int; seed : int }
+      (** Stripe the address space across [shards] instances of [inner]
+          (each a fresh device: file paths get a [.shardN] suffix, fault
+          seeds are mixed per shard), served in parallel by one domain
+          per shard for large runs — see {!Backend.sharded}. The fan-out
+          is a keyed PRP of the block index, so the {e logical} trace —
+          and therefore every obliviousness guarantee — is bit-identical
+          to the single-shard run at every shard count. Nesting
+          [Sharded] inside [Sharded] is rejected; composing [Faulty]
+          {e outside} [Sharded] preserves exact trace parity with the
+          unsharded faulty store (the fault gate iterates per logical
+          block either way). *)
 
 exception Io_failure of { addr : int; attempts : int }
 (** A counted or uncounted operation kept failing after [attempts]
@@ -49,6 +61,7 @@ val create :
   ?max_retries:int ->
   ?backoff:float * float ->
   ?batching:bool ->
+  ?prefetch:bool ->
   ?resume:bool ->
   block_size:int ->
   unit ->
@@ -95,7 +108,24 @@ val create :
     what Bob sees: traces, stats totals and retry sequences are
     identical either way (the batch-parity tests assert this on every
     backend). Disable it to measure the batching win or to bisect a
-    suspected batching bug. *)
+    suspected batching bug.
+
+    [prefetch] (default [false]) attaches a double-buffered prefetch
+    worker (one domain, spawned lazily on the first {!prefetch} hint,
+    joined on {!close}). Callers — {!Ext_array.iter_runs} in practice —
+    hint the next scan window while consuming the current one; the
+    worker moves raw payloads into a spare buffer, and when [read_many]
+    asks for exactly that window the payloads are unsealed from the
+    buffer while the normal per-block trace and stats fire unchanged.
+    Purely physical: on a fault-free backend the logical trace with
+    prefetch on is bit-identical to prefetch off (pair-tested), and
+    since hints are a fixed function of the public scan shape they are
+    as oblivious as the scan itself. On a [Faulty] backend a fetch that
+    trips the fault gate is abandoned (the counted path re-reads and
+    owns the retries) but consumes fault-schedule accesses, so trace
+    {e parity across prefetch on/off} holds on fault-free backends only
+    — obliviousness (pair equality at fixed settings) holds on all.
+    Implies [batching]; with [~batching:false] the flag is ignored. *)
 
 val block_size : t -> int
 val capacity : t -> int
@@ -106,6 +136,27 @@ val backend_kind : t -> string
 
 val batching : t -> bool
 (** Whether {!read_many}/{!write_many} use multi-block backend runs. *)
+
+val prefetch_enabled : t -> bool
+(** Whether a prefetch worker is attached (see {!create}). *)
+
+val prefetch : t -> int -> int -> unit
+(** [prefetch t addr n] hints that the contiguous run [addr, addr + n)
+    will be read soon. Uncounted, untraced, asynchronous, best-effort:
+    out-of-range windows and hints posted while the worker is busy are
+    dropped, and a transient fault abandons the fetch. Never call it
+    with a data-dependent window — hints must be a function of public
+    shape only, or the physical schedule leaks. No-op without a
+    prefetcher. *)
+
+val shard_ios : t -> int array
+(** Per-shard counts of block ops served by a [Sharded] backend ([[||]]
+    otherwise) — the adversary's per-device view; see
+    {!Backend.shard_io_counts}. *)
+
+val nonce_chunk : int
+(** Granularity (2^16) of the nonce high-water reservations described
+    above: a crash skips at most this many never-used nonces. *)
 
 val faults_injected : t -> int
 (** Transient failures the backend has raised so far (0 unless the

@@ -14,6 +14,7 @@ type run_info = {
   span_count : int;
   bytes_moved : int;
   batched_ios : int;
+  shard_ios : int array;
 }
 
 type outcome = {
@@ -58,13 +59,13 @@ let pair_inputs ~seed ~n =
    live trace (for span divergence) alongside the summary numbers. The
    storage is closed before returning so a file-backed pair can reuse one
    path for both runs. *)
-let execute ?telemetry subject ~backend ~b ~m ~seed cells =
+let execute ?telemetry ?(prefetch = false) subject ~backend ~b ~m ~seed cells =
   (* Zero backoff: the harness compares traces, not wall-clock, and a
      fuzzed faulty backend injects thousands of retries per run —
      sleeping through real (if tiny) delays would dominate the suite. *)
   let s =
     Storage.create ?telemetry ~trace_mode:Trace.Digest ~backend ~backoff:(0., 0.)
-      ~block_size:b ()
+      ~prefetch ~block_size:b ()
   in
   let kind = Storage.backend_kind s in
   Fun.protect
@@ -84,18 +85,23 @@ let execute ?telemetry subject ~backend ~b ~m ~seed cells =
           span_count = List.length (Trace.spans tr);
           bytes_moved = Stats.bytes_moved st;
           batched_ios = Stats.batched_ios st;
+          shard_ios = Storage.shard_ios s;
         }
       in
       (tr, info, kind))
 
-let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry subject ~n_cells ~b ~m =
+let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch subject
+    ~n_cells ~b ~m =
   let cells_a, cells_b = pair_inputs ~seed ~n:n_cells in
   (* The sink (if any) instruments run A only, while run B stays
      uninstrumented: [oblivious = true] then also certifies that enabling
      telemetry changed not a single trace op. *)
-  let tr_a, run_a, kind = execute ?telemetry subject ~backend ~b ~m ~seed cells_a in
-  let tr_b, run_b, _ = execute subject ~backend ~b ~m ~seed cells_b in
-  let oblivious = Trace.equal tr_a tr_b in
+  let tr_a, run_a, kind = execute ?telemetry ?prefetch subject ~backend ~b ~m ~seed cells_a in
+  let tr_b, run_b, _ = execute ?prefetch subject ~backend ~b ~m ~seed cells_b in
+  (* On a sharded backend the adversary also sees which physical device
+     serves each op: the per-shard op counts must line up exactly, not
+     just the logical trace. *)
+  let oblivious = Trace.equal tr_a tr_b && run_a.shard_ios = run_b.shard_ios in
   let diverging_span = if oblivious then None else Trace.diverging_label tr_a tr_b in
   {
     subject = subject.name;

@@ -32,6 +32,10 @@ type run_info = {
   span_count : int;
   bytes_moved : int;  (** See {!Odex_extmem.Stats.bytes_moved}. *)
   batched_ios : int;  (** See {!Odex_extmem.Stats.batched_ios}. *)
+  shard_ios : int array;
+      (** Per-shard op counts on a [Sharded] backend ([[||]] otherwise):
+          the per-device view of the adversary, compared across the pair
+          alongside the logical trace. *)
 }
 
 type outcome = {
@@ -56,6 +60,7 @@ val check :
   ?seed:int ->
   ?backend:Storage.backend_spec ->
   ?telemetry:Odex_telemetry.Telemetry.t ->
+  ?prefetch:bool ->
   subject ->
   n_cells:int ->
   b:int ->
@@ -65,11 +70,19 @@ val check :
     default [Mem]; a [File] spec's path is shared safely — the runs are
     sequential and each storage is closed when its run ends) and compare
     traces. With a [Faulty] backend the fault schedule restarts at the
-    same point for both runs, so retries must line up exactly.
+    same point for both runs, so retries must line up exactly. On a
+    [Sharded] backend, [oblivious] additionally requires the per-shard
+    op counts ([shard_ios]) to agree — the adversary also sees which
+    physical device serves each op.
 
     [telemetry], when given, instruments run A {e only} — run B runs on
     the bare, unwrapped backend. [oblivious = true] therefore doubles as
     the assertion that profiling is invisible to Bob: the instrumented
-    trace is bit-identical to the uninstrumented one. *)
+    trace is bit-identical to the uninstrumented one.
+
+    [prefetch] (default [false]) attaches the double-buffered prefetch
+    worker to {e both} runs (see {!Odex_extmem.Storage.create}):
+    [oblivious = true] then certifies the prefetching schedule leaks
+    nothing either. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

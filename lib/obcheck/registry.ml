@@ -108,8 +108,18 @@ let find name = List.find_opt (fun e -> e.subject.Pairtest.name = name) all
    permanent. *)
 let backend_names = [ "mem"; "file"; "faulty" ]
 
-let backend_spec ?(seed = 0xFA17) ?(failure_rate = 0.05) = function
-  | "mem" -> Storage.Mem
-  | "file" -> Storage.File { path = Filename.temp_file "odex_obcheck" ".store" }
-  | "faulty" -> Storage.Faulty { inner = Storage.Mem; seed; failure_rate; max_burst = 2 }
+let backend_spec ?(seed = 0xFA17) ?(failure_rate = 0.05) ?(shards = 1) name =
+  if shards < 1 then invalid_arg "Registry.backend_spec: shards must be >= 1";
+  (* [shards > 1] stripes the spec across K inner devices. The faulty
+     decorator composes OUTSIDE the stripe: its access counter then
+     ticks per logical block exactly as over an unsharded store, so the
+     fault (and retry) schedule — hence the whole trace — is identical
+     at every K. *)
+  let stripe inner =
+    if shards = 1 then inner else Storage.Sharded { inner; shards; seed = 0x5A4D }
+  in
+  match name with
+  | "mem" -> stripe Storage.Mem
+  | "file" -> stripe (Storage.File { path = Filename.temp_file "odex_obcheck" ".store" })
+  | "faulty" -> Storage.Faulty { inner = stripe Storage.Mem; seed; failure_rate; max_burst = 2 }
   | other -> invalid_arg (Printf.sprintf "Registry.backend_spec: unknown backend %S" other)

@@ -31,8 +31,14 @@ val backend_names : string list
     suite must pass on. *)
 
 val backend_spec :
-  ?seed:int -> ?failure_rate:float -> string -> Odex_extmem.Storage.backend_spec
+  ?seed:int -> ?failure_rate:float -> ?shards:int -> string -> Odex_extmem.Storage.backend_spec
 (** A fresh spec for a named backend: "file" gets its own temp path
     (clean up with {!Odex_extmem.Storage.remove_spec_files}); "faulty"
     injects deterministic transient faults over a [Mem] inner store at
-    [failure_rate] (default 0.05, seed [0xFA17]). *)
+    [failure_rate] (default 0.05, seed [0xFA17]).
+
+    [shards] (default 1) > 1 stripes the store across that many inner
+    devices ({!Odex_extmem.Storage.backend_spec.Sharded}, PRP seed
+    [0x5A4D]). The faulty decorator composes {e outside} the stripe so
+    the fault schedule — and therefore the full trace, retries included
+    — is bit-identical at every shard count. *)

@@ -107,6 +107,13 @@ type frame = {
 
 type t = {
   on : bool;
+  mu : Mutex.t;
+      (* Guards every mutation of the enabled sink: the storage stack may
+         report from worker domains (sharded backends, the prefetcher)
+         concurrently with the coordinator. The disabled sink never locks
+         — its entry points remain the single [on] branch. Readers
+         (op_stats, phases, counters, the printers) are called after the
+         run, with the workers quiesced, and stay lock-free. *)
   mutable ops : (op_kind * string * op_stat) list;
       (* (kind, backend) -> stat; a handful of combinations, assoc is fine. *)
   mutable rev_phases : phase list;
@@ -114,13 +121,18 @@ type t = {
   mutable counts : (string * int ref) list;
 }
 
-let make on = { on; ops = []; rev_phases = []; stack = []; counts = [] }
+let make on = { on; mu = Mutex.create (); ops = []; rev_phases = []; stack = []; counts = [] }
 let disabled = make false
 let create () = make true
 let enabled t = t.on
 
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let record_op t ~backend ~op ~blocks ~bytes ~ns =
-  if t.on then begin
+  if t.on then
+    locked t @@ fun () ->
     let stat =
       match List.find_opt (fun (k, b, _) -> k = op && String.equal b backend) t.ops with
       | Some (_, _, s) -> s
@@ -141,17 +153,24 @@ let record_op t ~backend ~op ~blocks ~bytes ~ns =
       List.map
         (fun (k, b, s) -> if k = op && String.equal b backend then (k, b, stat) else (k, b, s))
         t.ops
-  end
 
 let top t = match t.stack with [] -> None | f :: _ -> Some f
 
-let add_ios t n = if t.on then Option.iter (fun f -> f.f_ios <- f.f_ios + n) (top t)
-let add_retries t n = if t.on then Option.iter (fun f -> f.f_retries <- f.f_retries + n) (top t)
-let add_faults t n = if t.on then Option.iter (fun f -> f.f_faults <- f.f_faults + n) (top t)
-let add_bytes t n = if t.on then Option.iter (fun f -> f.f_bytes <- f.f_bytes + n) (top t)
+let add_ios t n =
+  if t.on then locked t (fun () -> Option.iter (fun f -> f.f_ios <- f.f_ios + n) (top t))
+
+let add_retries t n =
+  if t.on then locked t (fun () -> Option.iter (fun f -> f.f_retries <- f.f_retries + n) (top t))
+
+let add_faults t n =
+  if t.on then locked t (fun () -> Option.iter (fun f -> f.f_faults <- f.f_faults + n) (top t))
+
+let add_bytes t n =
+  if t.on then locked t (fun () -> Option.iter (fun f -> f.f_bytes <- f.f_bytes + n) (top t))
 
 let add_counter t name n =
   if t.on then
+    locked t @@ fun () ->
     match List.assoc_opt name t.counts with
     | Some r -> r := !r + n
     | None -> t.counts <- (name, ref n) :: t.counts
@@ -163,9 +182,10 @@ let with_phase t label f =
       { f_label = label; f_depth = List.length t.stack; f_start = now_ns ();
         f_ios = 0; f_retries = 0; f_faults = 0; f_bytes = 0 }
     in
-    t.stack <- frame :: t.stack;
+    locked t (fun () -> t.stack <- frame :: t.stack);
     Fun.protect
       ~finally:(fun () ->
+        locked t @@ fun () ->
         (match t.stack with x :: rest when x == frame -> t.stack <- rest | _ -> ());
         t.rev_phases <-
           {

@@ -16,5 +16,7 @@ let () =
       ("properties", Test_properties.suite);
       ("telemetry", Test_telemetry.suite);
       ("obliviousness", Test_obliviousness.suite);
+      ("shard", Test_shard.suite);
+      ("statcheck", Test_statcheck.suite);
       ("edge", Test_edge.suite);
     ]

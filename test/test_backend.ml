@@ -271,6 +271,103 @@ let test_nonce_fresh_after_crash () =
         (has_duplicate (crashed @ after));
       Storage.close s)
 
+(* Sort-based duplicate check for the large scans below (the List.mem
+   one is quadratic). *)
+let has_duplicate_sorted l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let dup = ref false in
+  Array.iteri (fun i x -> if i > 0 && a.(i - 1) = x then dup := true) a;
+  !dup
+
+(* The reservation window, pinned exactly: a store that dies between
+   reserving a nonce chunk and syncing must lose at most that one 2^16
+   reservation — the reopened store's first nonce sits above everything
+   on disk but within one chunk of it. *)
+let test_crash_skips_at_most_one_reservation () =
+  with_temp_store (fun path ->
+      let b = 2 in
+      let payload_size = 8 + Block.encoded_size b in
+      let key = Odex_crypto.Cipher.key_of_int 23 in
+      let s = Storage.create ~cipher:key ~backend:(Storage.File { path }) ~block_size:b () in
+      let base = Storage.alloc s 6 in
+      let blk = Block.make b in
+      blk.(0) <- Cell.item ~key:1 ~value:1 ();
+      for i = 0 to 5 do
+        Storage.write s (base + i) blk
+      done;
+      (* Crash: the header holds the chunk reservation written ahead of
+         use; the exact counter (a clean close's checkpoint) is lost. *)
+      let crashed = scan_nonces path ~payload_size in
+      let s2 =
+        Storage.create ~cipher:key ~resume:true ~backend:(Storage.File { path })
+          ~block_size:b ()
+      in
+      for i = 0 to 5 do
+        Storage.write s2 (base + i) blk
+      done;
+      Storage.close s2;
+      let after = scan_nonces path ~payload_size in
+      Alcotest.(check bool) "no reuse" false (has_duplicate (crashed @ after));
+      let last_before = List.fold_left max Int64.min_int crashed in
+      let first_after = List.fold_left min Int64.max_int after in
+      Alcotest.(check bool) "reopened nonces sit above the crashed run" true
+        (first_after > last_before);
+      let skipped = Int64.to_int (Int64.sub first_after last_before) - 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d skipped nonces < one %d-nonce reservation" skipped
+           Storage.nonce_chunk)
+        true
+        (skipped >= 0 && skipped < Storage.nonce_chunk))
+
+(* Same property across a reservation boundary: more than 2^16 seals in
+   the first session (batched, so the reserve-ahead runs mid-transfer),
+   then a crash. History stays reuse-free and the reopened store still
+   wastes less than one chunk. *)
+let test_crash_across_reservation_boundary () =
+  with_temp_store (fun path ->
+      let b = 1 in
+      let payload_size = 8 + Block.encoded_size b in
+      let key = Odex_crypto.Cipher.key_of_int 29 in
+      let n = Storage.nonce_chunk + 64 in
+      let s = Storage.create ~cipher:key ~backend:(Storage.File { path }) ~block_size:b () in
+      let base = Storage.alloc s n in
+      let blk = Block.make b in
+      blk.(0) <- Cell.item ~key:7 ~value:7 ();
+      let chunk = 4096 in
+      let i = ref 0 in
+      while !i < n do
+        let c = min chunk (n - !i) in
+        Storage.write_many s (base + !i) (Array.make c blk);
+        i := !i + c
+      done;
+      (* Crash past the second reservation. *)
+      let crashed = scan_nonces path ~payload_size in
+      Alcotest.(check bool) "first session reuse-free" false (has_duplicate_sorted crashed);
+      let s2 =
+        Storage.create ~cipher:key ~resume:true ~backend:(Storage.File { path })
+          ~block_size:b ()
+      in
+      Storage.write_many s2 base (Array.make 64 blk);
+      Storage.close s2;
+      let after = scan_nonces path ~payload_size in
+      Alcotest.(check bool) "disk image reuse-free" false (has_duplicate_sorted after);
+      let last_before = List.fold_left max Int64.min_int crashed in
+      (* Only the rewritten prefix carries session-2 seals; the other
+         blocks keep their session-1 nonces, so the cross-session
+         freshness check covers the fresh ones. *)
+      let fresh = List.filter (fun x -> x > last_before) after in
+      Alcotest.(check int) "every rewritten block got a fresh nonce" 64 (List.length fresh);
+      Alcotest.(check bool) "fresh nonces never collide with the crashed run" false
+        (has_duplicate_sorted (crashed @ fresh));
+      let first_after = List.fold_left min Int64.max_int fresh in
+      let skipped = Int64.to_int (Int64.sub first_after last_before) - 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d skipped < one reservation after a boundary crossing" skipped)
+        true
+        (skipped >= 0 && skipped < Storage.nonce_chunk);
+      Storage.close s)
+
 let test_reopen_is_empty_without_resume () =
   with_temp_store (fun path ->
       let s = Storage.create ~backend:(Storage.File { path }) ~block_size:2 () in
@@ -376,6 +473,8 @@ let suite =
     ("unchecked ops retry silently", `Quick, test_unchecked_ops_retry_silently);
     ("nonce freshness across reopen", `Quick, test_nonce_fresh_across_reopen);
     ("nonce freshness after crash", `Quick, test_nonce_fresh_after_crash);
+    ("crash skips at most one nonce reservation", `Quick, test_crash_skips_at_most_one_reservation);
+    ("crash across a reservation boundary", `Quick, test_crash_across_reservation_boundary);
     ("reopen starts empty without resume", `Quick, test_reopen_is_empty_without_resume);
     ("reopen block_size mismatch refused", `Quick, test_reopen_block_size_mismatch);
     ("garbage store file refused", `Quick, test_file_rejects_garbage);

@@ -317,8 +317,130 @@ let prop_tower_of_twos =
       && (i > 2 || Emodel.tower_of_twos (i + 1) = 1 lsl t)
       && t <= Emodel.tower_of_twos (i + 1))
 
+(* --- seeded Monte Carlo: the paper's success probabilities --------- *)
+
+(* Theorem 8's failure event is a region overflow during the halving
+   rounds, probability <= (N/B)^{-d}. 200 deterministic trials at a
+   valid sparse shape (occupied <= capacity = n/8) must see essentially
+   none of it; the 2% ceiling is orders of magnitude above the bound,
+   so a regression that breaks the structure trips it long before the
+   suite ever flakes. *)
+let test_loose_overflow_rate () =
+  let trials = 200 in
+  let b = 2 and n_blocks = 128 and capacity = 16 and m = 32 in
+  let failures =
+    Odex.Failure_sweep.monte_carlo ~trials ~seed:0x100_5E (fun ~rng ~trial:_ ->
+        (* A random capacity-sized subset of blocks is occupied. *)
+        let occupied = Array.make n_blocks false in
+        let placed = ref 0 in
+        while !placed < capacity do
+          let i = Odex_crypto.Rng.int rng n_blocks in
+          if not occupied.(i) then begin
+            occupied.(i) <- true;
+            incr placed
+          end
+        done;
+        let cells =
+          Array.init (n_blocks * b) (fun idx ->
+              if occupied.(idx / b) then
+                Cell.item ~key:(Odex_crypto.Rng.int rng 10_000) ~value:idx ()
+              else Cell.empty)
+        in
+        let (out : Odex.Loose_compaction.outcome), _ =
+          Util.with_array ~b cells (fun _s a ->
+              Odex.Loose_compaction.run ~m ~rng ~capacity a)
+        in
+        out.ok)
+  in
+  if failures * 50 > trials then
+    Alcotest.failf "loose compaction overflowed in %d/%d trials (bound ~(N/B)^-d)" failures
+      trials
+
+(* Lemma 1: decode of an IBLT with k = 3 hashes succeeds whp while the
+   load n/size stays under the ~81% threshold (E12 measures the sharp
+   version). At load 1/3 — the Theorem 4 operating point, multiplier
+   3 — the failure rate must be essentially zero; 300 seeded trials,
+   1% ceiling. *)
+let iblt_decode_failures ~trials ~size ~n =
+  Odex.Failure_sweep.monte_carlo ~trials ~seed:0x1B17 (fun ~rng ~trial:_ ->
+      let key = Odex_crypto.Prf.key_of_int (Odex_crypto.Rng.int rng 0x3FFF_FFFF) in
+      let t = Odex_iblt.Iblt.create ~k:3 ~size key in
+      let seen = Hashtbl.create n in
+      while Hashtbl.length seen < n do
+        let k' = Odex_crypto.Rng.int rng 1_000_000 in
+        if not (Hashtbl.mem seen k') then begin
+          Hashtbl.add seen k' ();
+          Odex_iblt.Iblt.insert t ~key:k' ~value:(k' * 3)
+        end
+      done;
+      let _, complete = Odex_iblt.Iblt.list_entries t in
+      complete)
+
+let test_iblt_decode_rate () =
+  (* The 1 - 1/n^c bound is asymptotic; at n = 180 the measured failure
+     rate at this load is ~0, and the 2% ceiling gives the generous
+     slack the small-n regime needs while still catching any structural
+     regression (a broken hash family fails nearly always). *)
+  let trials = 300 in
+  let failures = iblt_decode_failures ~trials ~size:540 ~n:180 in
+  if failures * 50 > trials then
+    Alcotest.failf "IBLT decode failed %d/%d times at load 1/3 (Lemma 1 says whp success)"
+      failures trials
+
+(* Negative control pinning the measurement's power: past the decode
+   threshold (load 95%) the same harness must see failures in at least
+   half the trials — if it doesn't, the suite above is vacuous. *)
+let test_iblt_overload_fails () =
+  let trials = 100 in
+  let failures = iblt_decode_failures ~trials ~size:60 ~n:57 in
+  if failures * 2 < trials then
+    Alcotest.failf "overloaded IBLT decoded fine %d/%d times - the rate test has no power"
+      (trials - failures) trials
+
+(* Failure sweeping under Monte Carlo failure patterns: whatever random
+   subset of subarrays "failed", the sweep must (a) leave every failed
+   subarray sorted and (b) produce the exact same trace as the
+   all-healthy run — the Theorem 21 point that repair reveals nothing.
+   40 seeded trials through the same harness. *)
+let test_sweep_repairs_obliviously () =
+  let b = 4 and m = 8 in
+  let sizes = [| 6; 9; 4 |] in
+  let run_once ~rng flags =
+    let s = Util.storage ~b () in
+    let arrs =
+      Array.map
+        (fun n_blocks ->
+          let cells =
+            Array.init (n_blocks * b) (fun _ ->
+                Cell.item ~key:(Odex_crypto.Rng.int rng 1_000) ~value:0 ())
+          in
+          Ext_array.of_cells s ~block_size:b cells)
+        sizes
+    in
+    ignore (Odex.Failure_sweep.sweep ~m arrs flags);
+    let sorted_where_required =
+      Array.for_all2
+        (fun a ok ->
+          ok || Util.is_sorted_list (Util.keys_of_items (Ext_array.items a)))
+        arrs flags
+    in
+    (Trace.digest (Storage.trace s), sorted_where_required)
+  in
+  let baseline, _ = run_once ~rng:(Odex_crypto.Rng.create ~seed:0xBA5E) [| true; true; true |] in
+  let failures =
+    Odex.Failure_sweep.monte_carlo ~trials:40 ~seed:0x5EEE (fun ~rng ~trial:_ ->
+        let flags = Array.init (Array.length sizes) (fun _ -> Odex_crypto.Rng.bool rng) in
+        let digest, repaired = run_once ~rng flags in
+        digest = baseline && repaired)
+  in
+  Alcotest.(check int) "every failure pattern repaired under the baseline trace" 0 failures
+
 let suite =
   [
+    Alcotest.test_case "MC: loose compaction overflow rate" `Quick test_loose_overflow_rate;
+    Alcotest.test_case "MC: IBLT decode rate at load 1/3" `Quick test_iblt_decode_rate;
+    Alcotest.test_case "MC: IBLT overload control" `Quick test_iblt_overload_fails;
+    Alcotest.test_case "MC: sweep repairs obliviously" `Quick test_sweep_repairs_obliviously;
     prop_consolidation;
     prop_butterfly_roundtrip;
     prop_quantiles_match_reference;

@@ -1,0 +1,135 @@
+(* Statistical obliviousness: with the coins free (Pairtest fixes
+   them), the distribution of Bob's view over coin draws must still be
+   independent of the data. Every seed below is deterministic, so these
+   verdicts are bit-reproducible — no flaky statistics. *)
+
+open Odex_extmem
+open Odex_obcheck
+open Odex
+
+let sub name run = { Pairtest.name; run }
+
+(* --- the approximation itself -------------------------------------- *)
+
+let test_critical_values () =
+  (* Wilson–Hilferty against table values of the chi-square upper tail:
+     p = 0.001 (z = 3.09): df 10 -> 29.59, df 50 -> 86.66, df 127 ->
+     181.99. The cube approximation is within a few percent there. *)
+  List.iter
+    (fun (df, expected) ->
+      let got = Statcheck.chi_square_critical ~df ~z:3.09 in
+      if Float.abs (got -. expected) > 0.04 *. expected then
+        Alcotest.failf "critical(df=%d): got %.2f, table %.2f" df got expected)
+    [ (10, 29.59); (50, 86.66); (127, 181.99) ]
+
+let test_two_sample_basics () =
+  let stat, df = Statcheck.two_sample [| 50; 50; 0 |] [| 48; 52; 0 |] in
+  Alcotest.(check int) "empty bin carries no df" 1 df;
+  Alcotest.(check bool) "near-identical histograms score low" true (stat < 1.);
+  let stat2, _ = Statcheck.two_sample [| 100; 0 |] [| 0; 100 |] in
+  Alcotest.(check bool) "disjoint histograms score high" true (stat2 > 100.)
+
+(* --- randomized subjects: distribution must be data-independent ---- *)
+
+let shuffle_subject =
+  sub "shuffle" (fun ~rng ~m:_ _s a -> Shuffle_deal.shuffle ~rng a)
+
+(* Sparse (IBLT) compaction under a coin-derived table key: the hash
+   addresses vary with the coins; their law must not vary with the
+   values. The input is consolidated first, as Theorem 4 requires. The
+   capacity is the theorem's sparse regime (far below the occupied
+   count here, so the decode reports incomplete — the trace is
+   identical either way, which is the point). *)
+let sparse_subject =
+  sub "sparse-compaction" (fun ~rng ~m _s a ->
+      let consolidated = Consolidation.run ~into:None a in
+      let key = Odex_crypto.Prf.key_of_int (Odex_crypto.Rng.int rng 0x3FFF_FFFF) in
+      ignore (Sparse_compaction.run ~m ~key ~capacity:4 consolidated))
+
+let distribution_cases =
+  List.map
+    (fun (subject, n_cells, b, m) ->
+      Alcotest.test_case
+        (Printf.sprintf "distribution %s" subject.Pairtest.name)
+        `Quick
+        (fun () ->
+          let v = Statcheck.trace_distribution subject ~n_cells ~b ~m in
+          Alcotest.(check bool) (Format.asprintf "%a" Statcheck.pp_verdict v) true v.pass;
+          Alcotest.(check int) "full sample count" 200 v.samples))
+    [
+      (shuffle_subject, 128, 4, 8);
+      (sparse_subject, 128, 4, 32);
+      (Registry.hierarchical_oram, 48, 4, 16);
+    ]
+
+(* --- the checker catches a planted distributional leak ------------- *)
+
+(* Per fixed coin seed this subject is NOT pair-divergent in
+   distribution-free ways Pairtest would need: it reads addresses
+   derived from the stored keys, so each fixed-coin trace differs
+   between the pair members — but crucially its address *histogram*
+   concentrates where the keys live, which is exactly what the
+   two-sample test must reject (input A's keys live in a disjoint range
+   from input B's). *)
+let leaky_subject =
+  sub "leaky-distribution" (fun ~rng ~m:_ _s a ->
+      let n = Ext_array.blocks a in
+      let k = match Ext_array.items a with it :: _ -> it.key | [] -> 0 in
+      for _ = 1 to 64 do
+        ignore (Ext_array.read_block a ((k + Odex_crypto.Rng.int rng 2) mod n))
+      done)
+
+let test_detects_leak () =
+  let v = Statcheck.trace_distribution ~samples:50 leaky_subject ~n_cells:128 ~b:4 ~m:8 in
+  Alcotest.(check bool)
+    (Format.asprintf "leak must be rejected: %a" Statcheck.pp_verdict v)
+    false v.pass
+
+(* --- shuffle swap-partner uniformity ------------------------------- *)
+
+(* The Knuth shuffle's first step swaps block 0 with a uniform partner
+   in [0, n): read the partner straight out of the Full trace (the swap
+   transcript is Read i, Read j, Write i, Write j) across many seeded
+   runs and test the histogram against the uniform law. *)
+let observed_partners ~n_blocks ~samples =
+  let hist = Array.make n_blocks 0 in
+  for i = 0 to samples - 1 do
+    let s = Storage.create ~trace_mode:Trace.Full ~block_size:2 () in
+    Fun.protect
+      ~finally:(fun () -> Storage.close s)
+      (fun () ->
+        let cells = Array.init (n_blocks * 2) (fun j -> Cell.item ~key:j ~value:j ()) in
+        let a = Ext_array.of_cells s ~block_size:2 cells in
+        let rng = Odex_crypto.Rng.create ~seed:(0x5FFE + i) in
+        Shuffle_deal.shuffle ~rng a;
+        match Trace.ops (Storage.trace s) with
+        | Trace.Read 0 :: Trace.Read j :: _ -> hist.(j) <- hist.(j) + 1
+        | _ -> Alcotest.fail "unexpected swap transcript")
+  done;
+  hist
+
+let test_partner_uniformity () =
+  let n_blocks = 16 in
+  let hist = observed_partners ~n_blocks ~samples:320 in
+  let v = Statcheck.uniformity_verdict ~name:"shuffle partner" hist in
+  Alcotest.(check bool) (Format.asprintf "%a" Statcheck.pp_verdict v) true v.pass
+
+let test_uniformity_rejects_bias () =
+  (* A partner source stuck on a quarter of the range must fail. *)
+  let hist = Array.make 16 0 in
+  for i = 0 to 319 do
+    let j = i mod 4 in
+    hist.(j) <- hist.(j) + 1
+  done;
+  let v = Statcheck.uniformity_verdict ~name:"biased partner" hist in
+  Alcotest.(check bool) (Format.asprintf "%a" Statcheck.pp_verdict v) false v.pass
+
+let suite =
+  [
+    Alcotest.test_case "Wilson-Hilferty critical values" `Quick test_critical_values;
+    Alcotest.test_case "two-sample statistic basics" `Quick test_two_sample_basics;
+    Alcotest.test_case "detects planted distributional leak" `Quick test_detects_leak;
+    Alcotest.test_case "shuffle partner uniformity" `Quick test_partner_uniformity;
+    Alcotest.test_case "uniformity rejects bias" `Quick test_uniformity_rejects_bias;
+  ]
+  @ distribution_cases

@@ -42,5 +42,30 @@ let trace_digest ~b ~seed cells f =
   f rng s a;
   (Trace.digest (Storage.trace s), Trace.length (Storage.trace s))
 
+(* One suite-wide base seed. Every pseudo-random choice in the test
+   suites — qcheck generator streams, per-case rngs, Monte-Carlo trial
+   seeds — derives from it deterministically, so `dune runtest` is
+   bit-reproducible run to run and machine to machine. *)
+let base_seed = 0x0DE_5EED
+
+(* The i-th seed of a named deterministic stream: distinct names give
+   unrelated-looking streams (splitmix-style mixing), the same
+   (name, i) always gives the same seed. Use this instead of ad-hoc
+   seed arithmetic when a test needs many independent seeds. *)
+let seed_stream name i =
+  let h = ref (base_seed lxor (i * 0x9E3779B9)) in
+  String.iter (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land 0x3FFFFFFF) name;
+  let z = !h + 0x6D2B79F5 in
+  let z = (z lxor (z lsr 15)) * 0x2C1B3C6D land 0x3FFFFFFFFFFF in
+  let z = (z lxor (z lsr 12)) * 0x297A2D39 land 0x3FFFFFFFFFFF in
+  z lxor (z lsr 15)
+
+let rng_of name i = Odex_crypto.Rng.create ~seed:(seed_stream name i)
+
+(* qcheck cases run under a pinned generator stream: the random state is
+   derived from [base_seed] and the case name, never from the clock, so
+   every run draws the same inputs (QCheck's default state is seeded
+   from self_init unless QCHECK_SEED is set). *)
 let qcheck_case ?(count = 100) ~name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  let rand = Random.State.make [| base_seed; seed_stream name 0 |] in
+  QCheck_alcotest.to_alcotest ~rand (QCheck2.Test.make ~count ~name gen prop)
