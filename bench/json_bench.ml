@@ -10,6 +10,10 @@
                                                4 domain-parallel shards
           main.exe --json E2 --prefetch       — double-buffered scan
                                                prefetcher on
+          main.exe --json E2 --journal        — run each entry twice,
+                                               journal off then on, so
+                                               the WAL overhead lands in
+                                               the same file
           main.exe --json E2 --profile p.json — also collect telemetry:
                                                per-phase latency
                                                percentiles land in the
@@ -35,6 +39,7 @@ type record = {
   backend : string;
   shards : int;
   prefetch : bool;
+  journal : bool;
   n_cells : int;
   b : int;
   m : int;
@@ -69,8 +74,15 @@ let current_backend = ref "mem"
 let current_shards = ref 1
 let current_prefetch = ref false
 
+(* `--journal` runs every selected entry twice — journal off, then on —
+   so BENCH_core.json carries the overhead comparison in one file. The
+   journal-on records report backend "journaled" (the decorator's kind),
+   keeping `"backend":"file"` floor checks scoped to the bare store. *)
+let current_journal = ref false
+
 let fresh_spec () =
-  Odex_obcheck.Registry.backend_spec ~shards:!current_shards !current_backend
+  Odex_obcheck.Registry.backend_spec ~shards:!current_shards ~journal:!current_journal
+    !current_backend
 
 (* `--profile PATH` flips this on: workload storages get live sinks (via
    the [Workloads.telemetry] factory), each collected run's sink is kept
@@ -117,6 +129,7 @@ let collect ~experiment ~name ~n_cells ~b ~m s f =
       backend = Storage.backend_kind s;
       shards = !current_shards;
       prefetch = Storage.prefetch_enabled s;
+      journal = !current_journal;
       n_cells;
       b;
       m;
@@ -241,6 +254,7 @@ let e11 () =
         backend = o.Odex_obcheck.Pairtest.backend;
         shards = !current_shards;
         prefetch = !current_prefetch;
+        journal = !current_journal;
         n_cells = e.n_cells;
         b = e.b;
         m = e.m;
@@ -274,13 +288,13 @@ let json_of_phase p =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
-    r.experiment r.name r.backend r.shards r.prefetch r.n_cells r.b r.m r.reads r.writes
-    r.total_ios r.retries r.trace_length r.spans r.wall_ms r.bytes_moved r.batched_ios
-    r.mb_per_s r.ok
+    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"journal\":%b,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
+    r.experiment r.name r.backend r.shards r.prefetch r.journal r.n_cells r.b r.m r.reads
+    r.writes r.total_ios r.retries r.trace_length r.spans r.wall_ms r.bytes_moved
+    r.batched_ios r.mb_per_s r.ok
     (String.concat "," (List.map json_of_phase r.phases))
 
-let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?profile ids =
+let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) ?profile ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
     Printf.eprintf "unknown backend %S (available: %s)\n" backend
       (String.concat " " Odex_obcheck.Registry.backend_names);
@@ -307,7 +321,14 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?profile ids =
           (String.concat " " (List.map fst entries)))
     ids;
   let want id = ids = [] || List.mem id ids in
-  let records = List.concat_map (fun (id, f) -> if want id then f () else []) entries in
+  let pass jrnl =
+    current_journal := jrnl;
+    List.concat_map (fun (id, f) -> if want id then f () else []) entries
+  in
+  (* With --journal, the baseline pass runs first so the floor-checked
+     bare-backend records are unchanged; the journal-on pass appends its
+     own records (backend "journaled") for the overhead comparison. *)
+  let records = if journal then pass false @ pass true else pass false in
   Workloads.cleanup ();
   (match profile with
   | None -> ()
@@ -316,7 +337,7 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?profile ids =
       Printf.printf "wrote %s (%d profiled runs, Chrome trace-event JSON)\n" path
         (List.length !profiled));
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/5\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/6\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

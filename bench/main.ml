@@ -21,7 +21,11 @@
    `--shards K` stripes every workload store across K inner devices
    (domain-parallel, PRP fan-out; see DESIGN.md §9) and `--prefetch`
    turns on the double-buffered scan prefetcher — both physical-only
-   knobs whose traces stay bit-identical to the plain run. *)
+   knobs whose traces stay bit-identical to the plain run.
+
+   `--journal` (JSON mode) runs each selected entry twice — write-ahead
+   journal off, then on (DESIGN.md §10) — so the WAL's overhead lands as
+   paired records in one BENCH_core.json. *)
 
 open Bechamel
 open Toolkit
@@ -149,13 +153,19 @@ let rec extract_shards = function
 let extract_prefetch args =
   (List.mem "--prefetch" args, List.filter (fun a -> a <> "--prefetch") args)
 
+(* Pull the bare `--journal` flag out likewise (JSON mode: run each
+   selected entry journal-off then journal-on, recording both). *)
+let extract_journal args =
+  (List.mem "--journal" args, List.filter (fun a -> a <> "--journal") args)
+
 let () =
   let backend, args = extract_backend (List.tl (Array.to_list Sys.argv)) in
   let profile, args = extract_profile args in
   let shards, args = extract_shards args in
   let prefetch, args = extract_prefetch args in
+  let journal, args = extract_journal args in
   match args with
-  | "--json" :: ids -> Json_bench.run ?backend ?shards ~prefetch ?profile ids
+  | "--json" :: ids -> Json_bench.run ?backend ?shards ~prefetch ~journal ?profile ids
   | args ->
       let backend_name = Option.value backend ~default:"mem" in
       let shard_count = Option.value shards ~default:1 in

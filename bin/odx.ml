@@ -32,24 +32,38 @@ let read_keys path =
    stripes the chosen store across K inner devices; the faulty
    decorator composes outside the stripe so the fault schedule is the
    same at every K. *)
-let backend_of ~store ~shards name =
+let backend_of ~store ~shards ~journal name =
   let stripe inner =
     if shards <= 1 then inner else Storage.Sharded { inner; shards; seed = 0x5A4D }
   in
-  match name with
-  | "mem" -> stripe Storage.Mem
-  | "file" ->
-      stripe
-        (Storage.File
-           { path = (match store with Some p -> p | None -> Filename.temp_file "odx" ".store") })
-  | "faulty" ->
-      Storage.Faulty
-        { inner = stripe Storage.Mem; seed = 0xFA17; failure_rate = 0.05; max_burst = 2 }
-  | other ->
-      prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
-      exit 2
+  (* `--journal` wraps the finished spec (outside the stripe / fault
+     decorator) in the write-ahead journal; its side file sits next to
+     the store when --store names one. *)
+  let journaled inner =
+    if not journal then inner
+    else
+      let path =
+        match store with
+        | Some p -> p ^ ".journal"
+        | None -> Filename.temp_file "odx" ".journal"
+      in
+      Storage.Journaled { inner; path; durable = true }
+  in
+  journaled
+    (match name with
+    | "mem" -> stripe Storage.Mem
+    | "file" ->
+        stripe
+          (Storage.File
+             { path = (match store with Some p -> p | None -> Filename.temp_file "odx" ".store") })
+    | "faulty" ->
+        Storage.Faulty
+          { inner = stripe Storage.Mem; seed = 0xFA17; failure_rate = 0.05; max_burst = 2 }
+    | other ->
+        prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
+        exit 2)
 
-let setup ~block_size ~backend ~store ~shards ~seed ~profile keys =
+let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys =
   (* `--profile` turns on the telemetry sink; without it the storage
      carries the shared disabled sink and the I/O path is untouched. *)
   let telemetry =
@@ -58,11 +72,22 @@ let setup ~block_size ~backend ~store ~shards ~seed ~profile keys =
     | None -> Odex_telemetry.Telemetry.disabled
   in
   let server =
-    Storage.create ~telemetry ~trace_mode:Trace.Digest
-      ~backend:(backend_of ~store ~shards backend) ~block_size ()
+    Storage.create ~telemetry ~trace_mode:Trace.Digest ~resume
+      ~backend:(backend_of ~store ~shards ~journal backend) ~block_size ()
   in
-  let cells = Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:i ()) keys in
-  let a = Ext_array.of_cells server ~block_size cells in
+  let n = Array.length keys in
+  let blocks = (n + block_size - 1) / block_size in
+  let a =
+    (* `--resume` replays the journal and re-attaches the existing data
+       region instead of re-loading (and so clobbering) the input; a
+       subsequent sort picks up from its last committed phase. *)
+    if resume && Storage.capacity server >= blocks then
+      Ext_array.view server ~base:0 ~blocks
+    else begin
+      let cells = Array.mapi (fun i k -> Cell.item ~tag:i ~key:k ~value:i ()) keys in
+      Ext_array.of_cells server ~block_size cells
+    end
+  in
   let rng = Odex_crypto.Rng.create ~seed in
   (server, a, rng)
 
@@ -127,6 +152,23 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
 
+let journal_arg =
+  let doc =
+    "Wrap the store in a write-ahead journal: every batch of writes is group-committed \
+     to a checksummed side log and fsync'd before being applied in place, so a crash \
+     never tears the store. Pair with $(b,--resume) to recover and continue a killed \
+     run. The journal's commit schedule is data-independent, like every other access."
+  in
+  Arg.(value & flag & info [ "journal" ] ~doc)
+
+let resume_arg =
+  let doc =
+    "Reopen an existing store (use $(b,--store) and $(b,--journal)), replay any \
+     journaled writes a crash left behind, and continue: a sort that was killed \
+     mid-run restarts from its last committed phase instead of from scratch."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
 let profile_arg =
   let doc =
     "Collect latency telemetry and write a Chrome trace-event JSON profile to $(docv) \
@@ -139,25 +181,30 @@ let profile_arg =
 (* ---- sort ---- *)
 
 let sort_cmd =
-  let run block_size m seed backend store shards profile file =
+  let run block_size m seed backend store shards profile journal resume file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
-      let server, a, rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
+      let server, a, rng =
+        setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+      in
       let outcome = Odex.Sort.run ~m ~rng a in
       List.iter
         (fun (it : Cell.item) -> print_endline (string_of_int it.key))
         (Ext_array.items a);
       Printf.printf "; ok = %b\n" outcome.Odex.Sort.ok;
       report_trace server;
-      report_profile server profile
+      report_profile server profile;
+      (* Commit the journal tail and flush: without this, a journaled
+         store would roll the whole run back on the next --resume. *)
+      Storage.close server
     end
   in
   let doc = "Data-oblivious external-memory sort (Theorem 21)." in
   Cmd.v (Cmd.info "sort" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ file_arg)
 
 (* ---- select ---- *)
 
@@ -166,21 +213,24 @@ let select_cmd =
     let doc = "Rank to select (1-indexed)." in
     Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
   in
-  let run block_size m seed backend store shards profile k file =
+  let run block_size m seed backend store shards profile journal resume k file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
+    let server, a, rng =
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+    in
     let r = Odex.Selection.select ~m ~rng ~k a in
     (match r.Odex.Selection.item with
     | Some it -> Printf.printf "%d\n; rank %d of %d, ok = %b\n" it.key k (Array.length keys) r.ok
     | None -> Printf.printf "; selection failed (re-run with a fresh --seed)\n");
     report_trace server;
-    report_profile server profile
+    report_profile server profile;
+    Storage.close server
   in
   let doc = "Data-oblivious selection of the k-th smallest (Theorem 13)." in
   Cmd.v (Cmd.info "select" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ k_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ k_arg $ file_arg)
 
 (* ---- quantiles ---- *)
 
@@ -189,22 +239,25 @@ let quantiles_cmd =
     let doc = "Number of quantiles." in
     Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
   in
-  let run block_size m seed backend store shards profile q file =
+  let run block_size m seed backend store shards profile journal resume q file =
     let keys = read_keys file in
-    let server, a, rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
+    let server, a, rng =
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+    in
     let r = Odex.Quantiles.run ~m ~rng ~q a in
     Array.iteri
       (fun i (it : Cell.item) -> Printf.printf "p%d = %d\n" ((i + 1) * 100 / (q + 1)) it.key)
       r.Odex.Quantiles.quantiles;
     Printf.printf "; ok = %b\n" r.Odex.Quantiles.ok;
     report_trace server;
-    report_profile server profile
+    report_profile server profile;
+    Storage.close server
   in
   let doc = "Data-oblivious quantiles (Theorem 17)." in
   Cmd.v (Cmd.info "quantiles" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ q_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ q_arg $ file_arg)
 
 (* ---- compact ---- *)
 
@@ -213,22 +266,25 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed backend store shards profile keep_even file =
+  let run block_size m seed backend store shards profile journal resume keep_even file =
     let keys = read_keys file in
-    let server, a, _rng = setup ~block_size ~backend ~store ~shards ~seed ~profile keys in
+    let server, a, _rng =
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+    in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
     let occupied = Odex.Butterfly.compact ~m d in
     List.iter (fun (it : Cell.item) -> print_endline (string_of_int it.key)) (Ext_array.items d);
     Printf.printf "; %d occupied blocks after tight compaction (Theorem 6)\n" occupied;
     report_trace server;
-    report_profile server profile
+    report_profile server profile;
+    Storage.close server
   in
   let doc = "Consolidate + tight order-preserving compaction (Lemma 3 + Theorem 6)." in
   Cmd.v (Cmd.info "compact" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ keep_even $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ keep_even $ file_arg)
 
 (* ---- audit ---- *)
 

@@ -31,7 +31,18 @@ module type S = sig
   (** Per-shard block-op counts ([[||]] for unsharded devices). *)
 end
 
+exception Crashed
+
 type t = Packed : (module S with type t = 'a) * 'a -> t
+
+(* Every raw Unix call on the I/O path goes through this gate: a handled
+   signal (profiler timers, SIGALRM harnesses) interrupts [read]/[write]/
+   [fsync] mid-transfer with [EINTR], which is not a device failure and
+   must never abort a counted run half-written. *)
+let rec retry_eintr f =
+  match f () with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
 
 let kind (Packed ((module B), _)) = B.kind
 let ensure (Packed ((module B), b)) n = B.ensure b n
@@ -168,7 +179,7 @@ module File = struct
     let len = Bytes.length buf in
     let done_ = ref 0 in
     while !done_ < len do
-      done_ := !done_ + Unix.write fd buf !done_ (len - !done_)
+      done_ := !done_ + retry_eintr (fun () -> Unix.write fd buf !done_ (len - !done_))
     done
 
   let pread_all fd ~pos buf =
@@ -176,7 +187,7 @@ module File = struct
     let len = Bytes.length buf in
     let done_ = ref 0 in
     while !done_ < len do
-      let k = Unix.read fd buf !done_ (len - !done_) in
+      let k = retry_eintr (fun () -> Unix.read fd buf !done_ (len - !done_)) in
       if k = 0 then failwith "Backend.File: short header read";
       done_ := !done_ + k
     done
@@ -209,7 +220,10 @@ module File = struct
 
   let create ~path ~payload_size =
     if payload_size < 1 then invalid_arg "Backend.file: payload_size must be >= 1";
-    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o600 in
+    let fd =
+      retry_eintr (fun () ->
+          Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o600)
+    in
     let size = (Unix.fstat fd).Unix.st_size in
     let t = { fd; payload_size; blocks = 0; closed = false } in
     (match
@@ -218,7 +232,18 @@ module File = struct
          if size < file_header_bytes then
            invalid_arg "Backend.File: unrecognized store format (no header)";
          ignore (read_header t);
-         t.blocks <- (size - file_header_bytes) / payload_size
+         let data = size - file_header_bytes in
+         (* A trailing fragment means a write was torn mid-block (a crash
+            landed between the kernel's partial transfers). Absorbing it
+            into the block count would silently expose a corrupt block;
+            surface it instead — journal replay is the recovery path. *)
+         if data mod payload_size <> 0 then
+           invalid_arg
+             (Printf.sprintf
+                "Backend.File: torn store: %d trailing bytes beyond the last whole block \
+                 (crash damage? recover via a journaled reopen)"
+                (data mod payload_size));
+         t.blocks <- data / payload_size
        end
      with
     | () -> ()
@@ -228,15 +253,17 @@ module File = struct
     t
 
   let read_meta t =
-    if t.closed then None else read_header t
+    if t.closed then invalid_arg "Backend.File: store is closed";
+    read_header t
 
   let write_meta t m =
     check_meta ~who:"Backend.File.write_meta" m;
-    if not t.closed then write_header_fields t ~meta:(Some m)
+    if t.closed then invalid_arg "Backend.File: store is closed";
+    write_header_fields t ~meta:(Some m)
 
   let ensure t n =
     if n > t.blocks then begin
-      Unix.ftruncate t.fd (file_header_bytes + (n * t.payload_size));
+      retry_eintr (fun () -> Unix.ftruncate t.fd (file_header_bytes + (n * t.payload_size)));
       t.blocks <- n
     end
 
@@ -257,7 +284,7 @@ module File = struct
     seek t addr;
     let done_ = ref 0 in
     while !done_ < bytes do
-      let k = Unix.read t.fd buf (off + !done_) (bytes - !done_) in
+      let k = retry_eintr (fun () -> Unix.read t.fd buf (off + !done_) (bytes - !done_)) in
       if k = 0 then failwith "Backend.File: short read";
       done_ := !done_ + k
     done
@@ -266,7 +293,7 @@ module File = struct
     seek t addr;
     let done_ = ref 0 in
     while !done_ < bytes do
-      done_ := !done_ + Unix.write t.fd buf (off + !done_) (bytes - !done_)
+      done_ := !done_ + retry_eintr (fun () -> Unix.write t.fd buf (off + !done_) (bytes - !done_))
     done
 
   let read t addr =
@@ -296,7 +323,7 @@ module File = struct
     check_run ~who:"Backend.File.write_run" ~blocks:t.blocks ~addr ~count ~payload ~buf ~off;
     if count > 0 then write_from t ~addr ~bytes:(count * payload) ~buf ~off
 
-  let sync t = if not t.closed then Unix.fsync t.fd
+  let sync t = if not t.closed then retry_eintr (fun () -> Unix.fsync t.fd)
 
   let close t =
     if not t.closed then begin
@@ -845,3 +872,59 @@ end
 
 let instrument tel inner =
   Packed ((module Instrumented), { Instrumented.inner; tel; inner_kind = kind inner })
+
+(* ---------------- deterministic crash injection ---------------- *)
+
+(* A kill-switch decorator for crash-recovery sweeps: the first [ops]
+   block operations (and syncs) pass through, then every further one
+   raises {!Crashed} without touching the inner store — the moment the
+   process "died". Unlike {!Faulty}'s transient weather this is terminal:
+   {!Storage}'s retry engine does not catch it, so it unwinds to the
+   harness, which abandons the store exactly as a SIGKILL would leave it
+   and reopens through journal replay. [ensure]/metadata/[close] are not
+   gated: the sweep's unit of interruption is the block op, and the
+   harness still needs to release descriptors after the "crash". *)
+
+module Crashing = struct
+  type nonrec t = { inner : t; mutable budget : int; mutable survived : int }
+
+  let kind = "crashing"
+
+  let gate t =
+    if t.budget <= 0 then raise Crashed;
+    t.budget <- t.budget - 1;
+    t.survived <- t.survived + 1
+
+  let ensure t n = ensure t.inner n
+  let size t = size t.inner
+  let read_meta t = read_meta t.inner
+  let write_meta t m = write_meta t.inner m
+
+  let read t addr =
+    gate t;
+    read t.inner addr
+
+  let write t addr payload =
+    gate t;
+    write t.inner addr payload
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    gate t;
+    read_run t.inner ~addr ~count ~payload ~buf ~off
+
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    gate t;
+    write_run t.inner ~addr ~count ~payload ~buf ~off
+
+  let sync t =
+    gate t;
+    sync t.inner
+
+  let close t = close t.inner
+  let faults t = faults_injected t.inner
+  let shard_ops t = shard_io_counts t.inner
+end
+
+let crash_after ~ops inner =
+  if ops < 0 then invalid_arg "Backend.crash_after: negative op budget";
+  Packed ((module Crashing), { Crashing.inner; budget = ops; survived = 0 })

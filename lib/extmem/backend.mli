@@ -22,6 +22,17 @@ exception Transient of { addr : int; access : int }
     counter) to block [addr] failed. Raised only by the faulty
     decorator; {!Storage} retries with capped exponential backoff. *)
 
+exception Crashed
+(** The simulated process death of the {!crash_after} decorator. Never
+    retried — it unwinds through {!Storage} to the crash-sweep harness. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Run a raw Unix call, restarting it as long as it raises
+    [Unix_error (EINTR, _, _)]. Every [read]/[write]/[fsync]/[ftruncate]
+    on the file-backend I/O path (and the journal's) goes through this:
+    a handled signal — a profiler timer, a test harness's SIGALRM — must
+    never abort a counted transfer half-written. *)
+
 module type S = sig
   type t
 
@@ -108,9 +119,15 @@ val file : path:string -> payload_size:int -> t
     [file_header_bytes + addr * payload_size]. The file is created if
     missing and {e not} truncated, so a previous run's block image — and
     its metadata — is readable by a new backend on the same path.
-    Opening a non-empty file without the header magic, or with a
-    different payload size, raises [Invalid_argument] rather than
-    misreading blocks at shifted offsets. *)
+    Opening a non-empty file without the header magic, with a different
+    payload size, or whose data region is not a whole number of blocks
+    (a write torn by a crash) raises [Invalid_argument] rather than
+    misreading blocks at shifted offsets or exposing the torn block;
+    recover a torn store by reopening through its {!Journal}.
+
+    Every operation on a closed store — including [read_meta] and
+    [write_meta], so a nonce high-water checkpoint can never be silently
+    dropped — raises [Invalid_argument]. *)
 
 val file_header_bytes : int
 (** Size of the file backend's on-disk header (64 bytes). *)
@@ -179,6 +196,15 @@ val shard_io_counts : t -> int array
     backends; decorators forward to their inner store). The obliviousness
     harness compares these across a pair run: the fan-out must be a
     function of the logical trace alone. *)
+
+val crash_after : ops:int -> t -> t
+(** [crash_after ~ops inner] lets the first [ops] block operations (and
+    syncs) through, then raises {!Crashed} on every further one — a
+    deterministic kill switch for crash-recovery sweeps. [ensure],
+    metadata and [close] are never gated: the sweep interrupts at block
+    ops, and the harness must still release descriptors after the
+    "crash". Sweeping [ops] over [0 .. total] simulates dying after
+    every backend op of a run. *)
 
 val instrument : Odex_telemetry.Telemetry.t -> t -> t
 (** [instrument sink inner] times every [read]/[write]/[read_run]/

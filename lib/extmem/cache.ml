@@ -114,7 +114,10 @@ let resident_addrs t =
 
 (* Resident addresses are flushed in sorted order (deterministic, like
    the per-block loop) with each maximal contiguous stretch written as
-   one batched run. *)
+   one batched run. The whole flush is one atomic journal group: a
+   strided window (e.g. a bitonic compare-exchange group) flushes as
+   several runs, and a crash between them must roll back all of them —
+   re-running a half-exchanged pair would lose values. *)
 let flush_all t =
   let rec runs = function
     | [] -> ()
@@ -130,5 +133,5 @@ let flush_all t =
         for i = 0 to len - 1 do Hashtbl.remove t.table (a + i) done;
         runs rest
   in
-  runs (resident_addrs t)
+  Storage.atomically t.storage (fun () -> runs (resident_addrs t))
 let drop_all t = Hashtbl.reset t.table

@@ -1,0 +1,481 @@
+(* Write-ahead redo journal around a backend (the crash-atomicity layer
+   of DESIGN.md §10).
+
+   Every mutation is appended to a side file as a length-prefixed,
+   checksummed record and kept in an in-memory overlay that serves
+   read-your-writes; the inner store is NOT touched until [commit]. The
+   commit protocol is marker-then-apply:
+
+     1. fsync the records (when [durable]),
+     2. persist the commit marker — the header's committed-tail offset —
+        and fsync it,
+     3. apply every pending record to the inner store, in append order,
+     4. flush the inner store, truncate the journal, clear the marker.
+
+   Reopening with [replay:true] re-applies the records below the
+   committed tail (a crash during step 3/4 — redo is idempotent) and
+   DISCARDS everything above it (a crash before step 2): the inner store
+   always lands exactly on a commit boundary, never between two writes
+   of the same commit group. That group atomicity — not just run
+   atomicity — is what makes phase-checkpointed resume sound: a bitonic
+   compare-exchange group torn in the middle loses data when re-run,
+   while a group rolled back to its start is simply re-executed
+   ({!Ext_sort} aligns its checkpoints with commits for exactly this
+   reason).
+
+   Recovery is oblivious by construction: the replay schedule — which
+   (addr, count) runs are rewritten, in which order — is a function of
+   the journal bytes alone, which in turn record only the address
+   schedule and ciphertexts the server already saw. Replay copies the
+   original sealed payloads verbatim, so it introduces no new
+   (key, nonce) pairs; the nonce high-water header (PR 4) still bounds
+   the counter on resume. Both properties are pair- and sweep-tested in
+   test_journal.ml.
+
+   The header additionally carries one checkpoint slot (owner hash,
+   phase, cursor) for algorithm-level restart points — see
+   {!Storage.checkpoint}. The whole header is covered by a checksum: a
+   header torn mid-rewrite degrades to "no checkpoint, nothing
+   committed" (a full restart from the previous boundary), never to a
+   wrong checkpoint or a half-committed group. *)
+
+type t = {
+  path : string;
+  payload_size : int;
+  inner : Backend.t;
+  durable : bool;
+  auto_commit_bytes : int;
+  mutable fd : Unix.file_descr;
+  mutable tail : int;  (** Append offset: header_bytes + pending record bytes. *)
+  mutable committed_tail : int;
+      (** The commit marker: records below this offset are committed
+          (their apply may be incomplete — replay finishes it); records
+          at or above it are provisional and discarded by replay. *)
+  mutable owner : int64;
+  mutable phase : int;
+  mutable cursor : int;
+  overlay : (int, Bytes.t * int) Hashtbl.t;
+      (** addr -> latest pending sealed payload (buffer, offset): the
+          read-your-writes view of the uncommitted tail. *)
+  mutable pending_ops : (int * int * Bytes.t) list;
+      (** (addr, count, payload run) per pending record, reversed. *)
+  mutable hold_depth : int;
+      (** > 0 suppresses auto-commit: the writer is inside an atomic
+          group ({!hold}/{!release}) that must not be split. *)
+  mutable append_log : (int * int) list;  (** (addr, count) per record, reversed. *)
+  mutable replay_log : (int * int) list;  (** Records re-applied at open, in order. *)
+  mutable commit_count : int;
+  mutable closed : bool;
+}
+
+let header_bytes = 56
+let record_header_bytes = 32
+let magic = "ODEXJRN1"
+
+(* ---- FNV-1a, 64-bit: the record and header checksums. Not a MAC —
+   the journal holds only ciphertexts the server already has — just a
+   torn-write detector. ---- *)
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xFF))) fnv_prime
+
+let fnv_bytes h buf off len =
+  let h = ref h in
+  for i = off to off + len - 1 do
+    h := fnv_byte !h (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !h
+
+let fnv_int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical v (i * 8)))
+  done;
+  !h
+
+let hash_owner s = fnv_bytes fnv_offset (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let record_checksum ~addr ~count buf off len =
+  fnv_bytes (fnv_int64 (fnv_int64 fnv_offset (Int64.of_int addr)) (Int64.of_int count)) buf
+    off len
+
+(* ---- raw file I/O (EINTR-hardened like the file backend's) ---- *)
+
+let pwrite_all fd ~pos buf ~off ~len =
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let done_ = ref 0 in
+  while !done_ < len do
+    done_ := !done_ + Backend.retry_eintr (fun () -> Unix.write fd buf (off + !done_) (len - !done_))
+  done
+
+(* Best-effort positioned read: returns the number of bytes read before
+   EOF — a short read here is a crash boundary, not an error. *)
+let pread_upto fd ~pos buf ~len =
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let done_ = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !done_ < len do
+    let k = Backend.retry_eintr (fun () -> Unix.read fd buf !done_ (len - !done_)) in
+    if k = 0 then eof := true else done_ := !done_ + k
+  done;
+  !done_
+
+let fsync_fd fd = Backend.retry_eintr (fun () -> Unix.fsync fd)
+
+(* ---- header ---- *)
+
+let build_header t =
+  let h = Bytes.make header_bytes '\000' in
+  Bytes.blit_string magic 0 h 0 8;
+  Bytes.set_int64_le h 8 (Int64.of_int t.payload_size);
+  Bytes.set_int64_le h 16 t.owner;
+  Bytes.set_int64_le h 24 (Int64.of_int t.phase);
+  Bytes.set_int64_le h 32 (Int64.of_int t.cursor);
+  Bytes.set_int64_le h 40 (Int64.of_int t.committed_tail);
+  Bytes.set_int64_le h 48 (fnv_bytes fnv_offset h 0 48);
+  h
+
+let write_header t = pwrite_all t.fd ~pos:0 (build_header t) ~off:0 ~len:header_bytes
+
+(* Parse a header buffer into (owner, phase, cursor, committed_tail). A
+   failed header checksum degrades to "no checkpoint, nothing committed"
+   — a safe full restart — while the magic and payload size still
+   validate, so a foreign file fails loudly. *)
+let parse_header ~payload_size h =
+  if Bytes.sub_string h 0 8 <> magic then
+    invalid_arg "Journal: unrecognized journal format (bad magic)";
+  let ps = Int64.to_int (Bytes.get_int64_le h 8) in
+  if ps <> payload_size then
+    invalid_arg
+      (Printf.sprintf "Journal: journal has payload size %d, expected %d" ps payload_size);
+  if Bytes.get_int64_le h 48 <> fnv_bytes fnv_offset h 0 48 then (0L, 0, 0, header_bytes)
+  else
+    ( Bytes.get_int64_le h 16,
+      Int64.to_int (Bytes.get_int64_le h 24),
+      Int64.to_int (Bytes.get_int64_le h 32),
+      max header_bytes (Int64.to_int (Bytes.get_int64_le h 40)) )
+
+(* ---- applying records to the inner store ----
+
+   Inner [Transient]s are retried here — commit application and replay
+   are out-of-band recovery, below Storage's counted engine. *)
+
+let apply_record t ~addr ~count buf =
+  Backend.ensure t.inner (addr + count);
+  let payload = t.payload_size in
+  let fin = addr + count in
+  let rec go a attempts =
+    if a < fin then
+      match
+        Backend.write_run t.inner ~addr:a ~count:(fin - a) ~payload ~buf
+          ~off:((a - addr) * payload)
+      with
+      | () -> ()
+      | exception Backend.Transient { addr = fa; _ } ->
+          let attempts = if fa > a then 1 else attempts + 1 in
+          if attempts > 1000 then failwith "Journal: replay exhausted its retry budget";
+          go fa attempts
+  in
+  go addr 0
+
+(* ---- replay ----
+
+   Scan records from [header_bytes] up to the committed tail, stopping
+   early at the first torn or checksum-failing one (records are
+   appended strictly in order, so nothing intact can follow a torn
+   record), and redo each onto the inner store. Records beyond the
+   committed tail are a group the crash interrupted before its marker:
+   discarding them is what returns the store to the last commit
+   boundary. *)
+
+let replay_records t ~size =
+  let hdr = Bytes.create record_header_bytes in
+  let body = ref Bytes.empty in
+  let pos = ref header_bytes in
+  let fin = min t.committed_tail size in
+  let stop = ref false in
+  while not !stop do
+    if !pos + record_header_bytes > fin then stop := true
+    else if pread_upto t.fd ~pos:!pos hdr ~len:record_header_bytes < record_header_bytes
+    then stop := true
+    else begin
+      let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      let addr = Int64.to_int (Bytes.get_int64_le hdr 8) in
+      let count = Int64.to_int (Bytes.get_int64_le hdr 16) in
+      let cks = Bytes.get_int64_le hdr 24 in
+      if
+        count < 1 || addr < 0
+        || len <> count * t.payload_size
+        || !pos + record_header_bytes + len > fin
+      then stop := true
+      else begin
+        if Bytes.length !body < len then body := Bytes.create len;
+        if pread_upto t.fd ~pos:(!pos + record_header_bytes) !body ~len < len then
+          stop := true
+        else if record_checksum ~addr ~count !body 0 len <> cks then stop := true
+        else begin
+          apply_record t ~addr ~count !body;
+          t.replay_log <- (addr, count) :: t.replay_log;
+          pos := !pos + record_header_bytes + len
+        end
+      end
+    end
+  done;
+  t.replay_log <- List.rev t.replay_log
+
+(* ---- commit / checkpoint ---- *)
+
+let check_open t = if t.closed then invalid_arg "Backend.Journaled: store is closed"
+
+let commit t =
+  check_open t;
+  if t.tail > header_bytes then begin
+    (* Records durable, then the marker, then the in-place application:
+       a crash anywhere in between replays this exact group on reopen. *)
+    if t.durable then fsync_fd t.fd;
+    t.committed_tail <- t.tail;
+    write_header t;
+    if t.durable then fsync_fd t.fd;
+    List.iter
+      (fun (addr, count, buf) -> apply_record t ~addr ~count buf)
+      (List.rev t.pending_ops);
+    Backend.sync t.inner;
+    Backend.retry_eintr (fun () -> Unix.ftruncate t.fd header_bytes);
+    t.tail <- header_bytes;
+    t.committed_tail <- header_bytes;
+    write_header t;
+    if t.durable then fsync_fd t.fd;
+    t.pending_ops <- [];
+    Hashtbl.reset t.overlay
+  end
+  else Backend.sync t.inner;
+  t.commit_count <- t.commit_count + 1
+
+let checkpoint t ~owner ~phase ~cursor =
+  if phase < 0 then invalid_arg "Journal.checkpoint: negative phase";
+  commit t;
+  t.owner <- hash_owner owner;
+  t.phase <- phase;
+  t.cursor <- cursor;
+  write_header t;
+  if t.durable then fsync_fd t.fd
+
+let state t ~owner =
+  if (not t.closed) && t.owner = hash_owner owner && t.phase > 0 then (t.phase, t.cursor)
+  else (0, 0)
+
+let hold t = t.hold_depth <- t.hold_depth + 1
+
+let release t = if t.hold_depth > 0 then t.hold_depth <- t.hold_depth - 1
+
+(* ---- the append path ---- *)
+
+let append t ~addr ~count ~buf ~off =
+  let len = count * t.payload_size in
+  let hdr = Bytes.create record_header_bytes in
+  Bytes.set_int64_le hdr 0 (Int64.of_int len);
+  Bytes.set_int64_le hdr 8 (Int64.of_int addr);
+  Bytes.set_int64_le hdr 16 (Int64.of_int count);
+  Bytes.set_int64_le hdr 24 (record_checksum ~addr ~count buf off len);
+  (* Header before body: a crash between the two leaves a header whose
+     checksum cannot match the missing body — the scan discards it. *)
+  pwrite_all t.fd ~pos:t.tail hdr ~off:0 ~len:record_header_bytes;
+  pwrite_all t.fd ~pos:(t.tail + record_header_bytes) buf ~off ~len;
+  t.tail <- t.tail + record_header_bytes + len;
+  t.append_log <- (addr, count) :: t.append_log;
+  (* The overlay and pending set own a copy: callers reuse their run
+     buffers. *)
+  let copy = Bytes.sub buf off len in
+  t.pending_ops <- (addr, count, copy) :: t.pending_ops;
+  for i = 0 to count - 1 do
+    Hashtbl.replace t.overlay (addr + i) (copy, i * t.payload_size)
+  done
+
+let check_write t ~addr ~count ~payload ~buf ~off =
+  check_open t;
+  if payload <> t.payload_size then
+    invalid_arg "Backend.Journaled: run payload size differs from the store's";
+  if count < 0 then invalid_arg "Backend.Journaled: negative run length";
+  if addr < 0 || addr + count > Backend.size t.inner then
+    invalid_arg
+      (Printf.sprintf "Backend.Journaled: run [%d, %d) out of bounds (%d blocks)" addr
+         (addr + count) (Backend.size t.inner));
+  if off < 0 || off + (count * payload) > Bytes.length buf then
+    invalid_arg "Backend.Journaled: buffer region out of bounds"
+
+let maybe_auto_commit t =
+  if t.hold_depth = 0 && t.tail - header_bytes > t.auto_commit_bytes then commit t
+
+(* ---- the decorator ---- *)
+
+module Journaled = struct
+  type nonrec t = t
+
+  let kind = "journaled"
+
+  let ensure t n =
+    check_open t;
+    Backend.ensure t.inner n
+
+  let size t = Backend.size t.inner
+
+  (* Blocks with a pending (uncommitted) write are served from the
+     overlay — the inner store has not seen them yet and may not even
+     have a valid slot (Mem refuses never-written reads). Which blocks
+     those are is a function of the address schedule alone, so the inner
+     access pattern stays data-independent. *)
+  let read t addr =
+    check_open t;
+    match Hashtbl.find_opt t.overlay addr with
+    | Some (buf, off) -> Bytes.sub buf off t.payload_size
+    | None -> Backend.read t.inner addr
+
+  let read_run t ~addr ~count ~payload ~buf ~off =
+    check_open t;
+    if Hashtbl.length t.overlay = 0 then
+      Backend.read_run t.inner ~addr ~count ~payload ~buf ~off
+    else begin
+      (* Maximal inner stretches between overlay hits, so a mostly
+         committed run still travels as few contiguous reads. *)
+      let flush_inner lo hi =
+        (* [lo, hi) not in the overlay *)
+        if hi > lo then
+          Backend.read_run t.inner ~addr:lo ~count:(hi - lo) ~payload ~buf
+            ~off:(off + ((lo - addr) * payload))
+      in
+      let lo = ref addr in
+      for a = addr to addr + count - 1 do
+        match Hashtbl.find_opt t.overlay a with
+        | Some (src, soff) ->
+            flush_inner !lo a;
+            lo := a + 1;
+            Bytes.blit src soff buf (off + ((a - addr) * payload)) payload
+        | None -> ()
+      done;
+      flush_inner !lo (addr + count)
+    end
+
+  let write t addr payload =
+    check_write t ~addr ~count:1 ~payload:(Bytes.length payload) ~buf:payload ~off:0;
+    append t ~addr ~count:1 ~buf:payload ~off:0;
+    maybe_auto_commit t
+
+  (* Append-only: one record per backend run, applied in place at the
+     next commit. A [write_many] group therefore commits — or rolls back
+     — as a unit. *)
+  let write_run t ~addr ~count ~payload ~buf ~off =
+    check_write t ~addr ~count ~payload ~buf ~off;
+    if count > 0 then begin
+      append t ~addr ~count ~buf ~off;
+      maybe_auto_commit t
+    end
+
+  (* Metadata is the inner store's own write-ahead protocol (the nonce
+     high-water header lands before any payload sealed under it): it
+     passes straight through, preserving that ordering. *)
+  let read_meta t =
+    check_open t;
+    Backend.read_meta t.inner
+
+  let write_meta t m =
+    check_open t;
+    Backend.write_meta t.inner m
+
+  let sync t = commit t
+
+  let close t =
+    if not t.closed then begin
+      commit t;
+      t.closed <- true;
+      Unix.close t.fd;
+      Backend.close t.inner
+    end
+
+  let faults t = Backend.faults_injected t.inner
+  let shard_ops t = Backend.shard_io_counts t.inner
+end
+
+let backend t = Backend.Packed ((module Journaled), t)
+
+let abandon t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd;
+    Backend.close t.inner
+  end
+
+(* ---- open ---- *)
+
+let create ?(auto_commit_bytes = 1 lsl 22) ~path ~payload_size ~durable ~replay inner =
+  if payload_size < 1 then invalid_arg "Journal.create: payload_size must be >= 1";
+  if auto_commit_bytes < 1 then invalid_arg "Journal.create: auto_commit_bytes must be >= 1";
+  let fd =
+    Backend.retry_eintr (fun () ->
+        Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o600)
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let t =
+    {
+      path;
+      payload_size;
+      inner;
+      durable;
+      auto_commit_bytes;
+      fd;
+      tail = header_bytes;
+      committed_tail = header_bytes;
+      owner = 0L;
+      phase = 0;
+      cursor = 0;
+      overlay = Hashtbl.create 64;
+      pending_ops = [];
+      hold_depth = 0;
+      append_log = [];
+      replay_log = [];
+      commit_count = 0;
+      closed = false;
+    }
+  in
+  (match
+     if size < header_bytes then begin
+       (* Fresh journal (or one torn during its very first header write,
+          before any record could exist): start clean. *)
+       Backend.retry_eintr (fun () -> Unix.ftruncate fd 0);
+       write_header t;
+       if durable then fsync_fd t.fd
+     end
+     else begin
+       let h = Bytes.create header_bytes in
+       ignore (pread_upto fd ~pos:0 h ~len:header_bytes);
+       let owner, phase, cursor, committed_tail = parse_header ~payload_size h in
+       if replay then begin
+         t.owner <- owner;
+         t.phase <- phase;
+         t.cursor <- cursor;
+         t.committed_tail <- committed_tail;
+         replay_records t ~size;
+         Backend.sync t.inner
+       end;
+       (* Committed records replayed, uncommitted tail (or, with
+          [replay:false], everything) deliberately discarded: truncate
+          and persist the surviving checkpoint state. *)
+       t.committed_tail <- header_bytes;
+       Backend.retry_eintr (fun () -> Unix.ftruncate fd header_bytes);
+       write_header t;
+       if durable then fsync_fd t.fd
+     end
+   with
+  | () -> ()
+  | exception e ->
+      Unix.close fd;
+      raise e);
+  t
+
+let path t = t.path
+let durable t = t.durable
+let replay_log t = t.replay_log
+let append_log t = List.rev t.append_log
+let commits t = t.commit_count
+let pending_bytes t = t.tail - header_bytes

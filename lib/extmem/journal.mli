@@ -1,0 +1,114 @@
+(** A deferred-apply write-ahead journal wrapped around any {!Backend}:
+    the crash-atomicity layer (DESIGN.md §10).
+
+    The decorator returned by {!backend} appends every mutation to a
+    side file as a length-prefixed, checksummed record and keeps it in
+    an in-memory overlay that serves read-your-writes; the inner store
+    is untouched until {!commit}. A commit fsyncs the records (when
+    [durable]), durably sets the header's commit marker, and only then
+    applies the group in place. Reopening with [replay:true] re-applies
+    the records below the marker (finishing a commit the crash
+    interrupted — redo is idempotent) and {e discards} everything above
+    it, so the inner store always lands exactly on a commit boundary —
+    group atomicity, not merely run atomicity. That is what makes
+    phase-checkpointed resume sound: a multi-run group (e.g. one bitonic
+    compare-exchange window flushed as several strided runs) either
+    commits whole or rolls back whole, never tears in the middle.
+
+    {b Recovery obliviousness.} The replay schedule is a function of the
+    journal bytes alone — the address schedule and sealed payloads the
+    server already observed — never of plaintext; replay copies the
+    original ciphertexts verbatim, so no new (key, nonce) pair is ever
+    created by recovery. Pair- and kill-sweep-tested in test_journal.ml.
+
+    {b Checkpoint slot.} The header carries one (owner, phase, cursor)
+    slot for algorithm-level restart points, written through
+    {!checkpoint} (which is also a {!commit}). Single slot, last writer
+    wins: resuming from it is sound only for the same deterministic
+    computation that wrote it, which owners encode by folding their
+    array base and shape into the owner string. Its checksum makes a
+    header torn mid-rewrite read as "no checkpoint, nothing committed" —
+    a full restart from the previous boundary — never as a wrong
+    checkpoint or a half-committed group. *)
+
+type t
+
+val create :
+  ?auto_commit_bytes:int ->
+  path:string ->
+  payload_size:int ->
+  durable:bool ->
+  replay:bool ->
+  Backend.t ->
+  t
+(** Open (creating if missing) the journal at [path] over the given
+    inner backend. With [replay:true] the committed records are
+    re-applied to the inner store and the checkpoint slot is restored;
+    uncommitted leftovers are discarded either way, and [replay:false]
+    additionally drops committed records and the checkpoint slot (the
+    store starts logically fresh). Either way the journal file ends
+    empty but for its header. [durable] controls the fsync-before-marker
+    discipline (and header fsyncs); disable it only where crashes are
+    simulated in-process, e.g. the test sweeps, where the page cache
+    survives the "crash" anyway. [auto_commit_bytes] (default 4 MiB)
+    bounds the pending tail: a write that pushes past it triggers an
+    automatic {!commit}, except while a {!hold} is outstanding. Raises
+    [Invalid_argument] on a foreign file or a payload-size mismatch. *)
+
+val backend : t -> Backend.t
+(** The journaled decorator (kind ["journaled"]). [sync] on it is
+    {!commit}; [close] commits, closes the journal and the inner store. *)
+
+val commit : t -> unit
+(** Group-commit boundary: make the pending records durable, mark them
+    committed, apply them to the inner store, flush it, and truncate the
+    journal to its header. After a commit a crash replays nothing —
+    recovery work is bounded by the bytes written since the last
+    commit. *)
+
+val hold : t -> unit
+(** Suppress automatic commits until the matching {!release}: the writes
+    in between form one atomic group that either commits whole at a
+    later {!commit}/{!checkpoint} or rolls back whole. Reentrant
+    (nesting holds is fine); explicit {!commit} calls are not blocked —
+    bracket owners simply must not make them mid-group. *)
+
+val release : t -> unit
+(** Undo one {!hold}. Never commits by itself (so it is safe in an
+    exception-unwinding [finally]); a deferred auto-commit fires on the
+    next unheld write instead. *)
+
+val checkpoint : t -> owner:string -> phase:int -> cursor:int -> unit
+(** {!commit}, then durably record that [owner]'s computation has
+    completed [phase] (with an opaque [cursor], e.g. a scratch-array
+    base address). [phase] must be non-negative; 0 conventionally means
+    "no computation in flight". *)
+
+val state : t -> owner:string -> int * int
+(** The checkpoint slot as [(phase, cursor)] — [(0, 0)] unless the slot
+    holds a positive phase written by this [owner]. *)
+
+val path : t -> string
+
+val durable : t -> bool
+
+val replay_log : t -> (int * int) list
+(** The (addr, count) runs re-applied by this open's replay, in replay
+    order; [[]] when nothing was replayed. Non-empty only when a crash
+    landed between a commit's marker and its completed apply. The sweep
+    tests assert this schedule is bit-identical across pair inputs. *)
+
+val append_log : t -> (int * int) list
+(** The (addr, count) record appends since open, in append order — the
+    journal's commit schedule, asserted data-independent likewise. *)
+
+val commits : t -> int
+(** Commits (explicit, checkpoint, sync or automatic) since open. *)
+
+val pending_bytes : t -> int
+(** Record bytes currently pending in the journal tail. *)
+
+val abandon : t -> unit
+(** Release descriptors {e without} committing — the journal tail and
+    inner store stay exactly as a kill would leave them. Crash-sweep
+    harness only; the handle is unusable afterwards. *)

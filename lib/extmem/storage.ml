@@ -3,6 +3,8 @@ type backend_spec =
   | File of { path : string }
   | Faulty of { inner : backend_spec; seed : int; failure_rate : float; max_burst : int }
   | Sharded of { inner : backend_spec; shards : int; seed : int }
+  | Journaled of { inner : backend_spec; path : string; durable : bool }
+  | Crashing of { inner : backend_spec; ops : int }
 
 exception Io_failure of { addr : int; attempts : int }
 
@@ -72,6 +74,9 @@ type t = {
   backoff_base : float;
   backoff_cap : float;
   batching : bool;
+  journal : Journal.t option;
+      (** The write-ahead journal handle, when the spec has a [Journaled]
+          layer — owns the crash-atomicity and checkpoint machinery. *)
   pf : prefetcher option;
   seal_buf : bytes;  (** One payload: the single-block sealing scratch. *)
   mutable run_buf : bytes;  (** Grows to the largest run requested; reused across calls. *)
@@ -88,22 +93,44 @@ let rec shard_member_spec i = function
   | Faulty f ->
       Faulty { f with inner = shard_member_spec i f.inner; seed = f.seed + ((i + 1) * 0x9E37) }
   | Sharded _ -> invalid_arg "Storage: nested Sharded specs are not supported"
+  | Journaled _ ->
+      (* One journal (and one checkpoint slot) per store: compose the
+         journal OUTSIDE the stripe, where it sees logical addresses. *)
+      invalid_arg "Storage: Journaled inside Sharded is not supported (journal the stripe)"
+  | Crashing _ -> invalid_arg "Storage: Crashing inside Sharded is not supported"
 
-let rec instantiate ~payload_size = function
-  | Mem -> Backend.mem ()
-  | File { path } -> Backend.file ~path ~payload_size
+(* Instantiation returns the backend plus the journal handle when the
+   spec tree contains a [Journaled] layer ([resume] decides whether that
+   journal replays its redo log or starts fresh). *)
+let rec instantiate ~payload_size ~resume = function
+  | Mem -> (Backend.mem (), None)
+  | File { path } -> (Backend.file ~path ~payload_size, None)
   | Faulty { inner; seed; failure_rate; max_burst } ->
-      Backend.faulty { Backend.seed; failure_rate; max_burst }
-        (instantiate ~payload_size inner)
+      let b, j = instantiate ~payload_size ~resume inner in
+      (Backend.faulty { Backend.seed; failure_rate; max_burst } b, j)
+  | Crashing { inner; ops } ->
+      let b, j = instantiate ~payload_size ~resume inner in
+      (Backend.crash_after ~ops b, j)
   | Sharded { inner; shards; seed } ->
       if shards < 1 then invalid_arg "Storage: shards must be >= 1";
-      Backend.sharded ~seed
-        (Array.init shards (fun i -> instantiate ~payload_size (shard_member_spec i inner)))
+      ( Backend.sharded ~seed
+          (Array.init shards (fun i ->
+               fst (instantiate ~payload_size ~resume (shard_member_spec i inner)))),
+        None )
+  | Journaled { inner; path; durable } ->
+      let b, j = instantiate ~payload_size ~resume inner in
+      if Option.is_some j then invalid_arg "Storage: nested Journaled specs are not supported";
+      let journal = Journal.create ~path ~payload_size ~durable ~replay:resume b in
+      (Journal.backend journal, Some journal)
 
 let rec remove_spec_files = function
   | Mem -> ()
   | File { path } -> if Sys.file_exists path then Sys.remove path
   | Faulty { inner; _ } -> remove_spec_files inner
+  | Crashing { inner; _ } -> remove_spec_files inner
+  | Journaled { inner; path; _ } ->
+      if Sys.file_exists path then Sys.remove path;
+      remove_spec_files inner
   | Sharded { inner; shards; _ } ->
       for i = 0 to shards - 1 do
         remove_spec_files (shard_member_spec i inner)
@@ -168,7 +195,7 @@ let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
   if backoff_base < 0. || backoff_cap < backoff_base then
     invalid_arg "Storage.create: backoff must satisfy 0 <= base <= cap";
   let payload_size = 8 + Block.encoded_size block_size in
-  let raw = instantiate ~payload_size backend in
+  let raw, journal = instantiate ~payload_size ~resume backend in
   let kind = Backend.kind raw in
   let tel = Option.value telemetry ~default:Telemetry.disabled in
   (* The timing shim is installed only when the sink collects: a
@@ -196,6 +223,7 @@ let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
       backoff_base;
       backoff_cap;
       batching;
+      journal;
       pf =
         (* Prefetch serves whole runs from a buffered fetch, which only
            makes sense under batching semantics; with batching off it is
@@ -388,6 +416,53 @@ let close t =
   checkpoint_header t;
   Backend.close t.backend
 
+(* Simulate a kill: release every descriptor with no header checkpoint,
+   no journal commit, no flush — the on-disk state stays exactly as the
+   crash point left it. Crash-sweep harness only. *)
+let abandon t =
+  stop_prefetcher t;
+  match t.journal with
+  | Some j -> Journal.abandon j
+  | None -> Backend.close t.backend
+
+(* ---- journal-backed checkpoints (no-ops on unjournaled stores).
+
+   The slot write commits the journal first, so a checkpoint is also a
+   group-commit boundary; the nonce counter is checkpointed exactly (as
+   on [sync]/[close]) so a resume after the crash wastes no reservation.
+   All of it is out-of-band server state: uncounted, untraced — traces
+   are bit-identical with journaling on and off (pair-tested). *)
+
+let journaled t = Option.is_some t.journal
+
+let checkpoint t ~owner ~phase ~cursor =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      checkpoint_header t;
+      with_dev t (fun () -> Journal.checkpoint j ~owner ~phase ~cursor)
+
+let checkpoint_state t ~owner =
+  match t.journal with None -> (0, 0) | Some j -> Journal.state j ~owner
+
+(* Bracket a logical group that spans several backend runs (a strided
+   cache flush, a split batch) so the journal cannot auto-commit in the
+   middle of it: everything inside either commits whole at the next
+   commit boundary or rolls back whole on a crash. No-op without a
+   journal. Release never commits, so unwinding through a simulated
+   crash is safe; a deferred auto-commit fires on the next unheld
+   write. *)
+let atomically t f =
+  match t.journal with
+  | None -> f ()
+  | Some j ->
+      Journal.hold j;
+      Fun.protect ~finally:(fun () -> Journal.release j) f
+
+let journal_replay t = match t.journal with None -> [] | Some j -> Journal.replay_log j
+let journal_appends t = match t.journal with None -> [] | Some j -> Journal.append_log j
+let journal_commits t = match t.journal with None -> 0 | Some j -> Journal.commits j
+
 let ensure_run_buf t n =
   let need = n * t.payload_size in
   if Bytes.length t.run_buf < need then
@@ -458,7 +533,10 @@ let unseal_from t buf off =
 
 let backoff t attempt =
   let delay = Float.min t.backoff_cap (t.backoff_base *. Float.pow 2. (Float.of_int (attempt - 1))) in
-  if delay > 0. then Unix.sleepf delay
+  (* A signal interrupting the sleep ends it early rather than aborting
+     the retry (restarting the full delay could livelock under a fast
+     signal clock; the backoff is advisory, the retry is not). *)
+  if delay > 0. then try Unix.sleepf delay with Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
 let run_transfer t ~counted ~retry_op ~record ~addr ~n ~do_run =
   let fin = addr + n in
@@ -538,15 +616,17 @@ let alloc t n =
         done
     | Some _ -> ());
     let a = ref base in
-    while !a < base + n do
-      let c = min chunk (base + n - !a) in
-      if t.cipher <> None then
-        for i = 0 to c - 1 do
-          seal_into t zero t.run_buf (i * t.payload_size)
-        done;
-      transfer_write t ~counted:false ~record:(fun _ -> ()) ~addr:!a ~n:c ~buf:t.run_buf;
-      a := !a + c
-    done
+    atomically t (fun () ->
+        while !a < base + n do
+          let c = min chunk (base + n - !a) in
+          if t.cipher <> None then
+            for i = 0 to c - 1 do
+              seal_into t zero t.run_buf (i * t.payload_size)
+            done;
+          transfer_write t ~counted:false ~record:(fun _ -> ()) ~addr:!a ~n:c
+            ~buf:t.run_buf;
+          a := !a + c
+        done)
   end;
   base
 
@@ -616,20 +696,21 @@ let write_many t addr blks =
     check_addr t addr;
     check_addr t (addr + n - 1);
     Array.iter (check_block t ~who:"Storage.write_many") blks;
-    if t.batching && n > 1 then begin
-      ensure_run_buf t n;
-      (* Sealing in index order draws the same nonce sequence as the
-         per-block loop. *)
-      for i = 0 to n - 1 do
-        seal_into t blks.(i) t.run_buf (i * t.payload_size)
-      done;
-      transfer_write t ~counted:true ~record:(record_write t) ~addr ~n ~buf:t.run_buf;
-      Stats.record_batched t.stats n
-    end
-    else
-      for i = 0 to n - 1 do
-        write t (addr + i) blks.(i)
-      done
+    atomically t (fun () ->
+        if t.batching && n > 1 then begin
+          ensure_run_buf t n;
+          (* Sealing in index order draws the same nonce sequence as the
+             per-block loop. *)
+          for i = 0 to n - 1 do
+            seal_into t blks.(i) t.run_buf (i * t.payload_size)
+          done;
+          transfer_write t ~counted:true ~record:(record_write t) ~addr ~n ~buf:t.run_buf;
+          Stats.record_batched t.stats n
+        end
+        else
+          for i = 0 to n - 1 do
+            write t (addr + i) blks.(i)
+          done)
   end
 
 let unchecked_peek t addr =

@@ -46,6 +46,25 @@ type backend_spec =
           {e outside} [Sharded] preserves exact trace parity with the
           unsharded faulty store (the fault gate iterates per logical
           block either way). *)
+  | Journaled of { inner : backend_spec; path : string; durable : bool }
+      (** Write-ahead journal at [path] over [inner] (see {!Journal}):
+          every write lands in the journal — checksummed, and fsync'd
+          when [durable] — before it is applied in place, so a crash
+          tears at most the journal tail. Reopening with [resume:true]
+          replays the redo log before the store comes up; with
+          [resume:false] leftovers are discarded. Enables {!checkpoint}.
+          Purely physical: traces, stats and nonces are identical with
+          and without the journal (pair-tested). One journal per store —
+          nest it {e outside} [Sharded], never inside, and never inside
+          another [Journaled]. Disable [durable] only where crashes are
+          simulated in-process (tests), where fsync adds nothing. *)
+  | Crashing of { inner : backend_spec; ops : int }
+      (** Deterministic kill switch for crash-recovery sweeps: the first
+          [ops] backend block operations succeed, every later one raises
+          {!Backend.Crashed} (never retried — it unwinds to the
+          harness). Compose it {e inside} [Journaled] so the journal
+          append survives and the in-place apply dies, the tear replay
+          must heal. See {!Backend.crash_after}. *)
 
 exception Io_failure of { addr : int; attempts : int }
 (** A counted or uncounted operation kept failing after [attempts]
@@ -100,7 +119,10 @@ val create :
     previously written blocks can be read back (decrypting under the
     same key) without re-allocating — with the default, the store starts
     logically empty and {!alloc} zero-fills from address 0 as always
-    (still under fresh nonces).
+    (still under fresh nonces). On a [Journaled] spec, [resume:true]
+    additionally replays the journal's redo log before the store comes
+    up (see {!journal_replay}), healing any crash-torn writes;
+    [resume:false] discards leftover journal records instead.
 
     [batching] (default [true]) controls whether {!read_many} and
     {!write_many} are served by a single contiguous backend run or
@@ -169,7 +191,65 @@ val sync : t -> unit
 
 val close : t -> unit
 (** Release backend resources (file descriptors). The store must not be
-    used afterwards. *)
+    used afterwards. On a journaled store this is also a final commit. *)
+
+val abandon : t -> unit
+(** Release every descriptor {e without} the checkpoint, commit and
+    flush that {!close} performs: the on-disk state stays exactly as the
+    last operation left it, simulating a process kill. Crash-sweep
+    harness only; the store must not be used afterwards. *)
+
+(** {2 Crash-atomic journaling}
+
+    A store built from a [Journaled] spec write-ahead-logs every block
+    write (see {!Journal}); these are its control surface. All of it is
+    out-of-band server state — uncounted, untraced, invisible to Bob's
+    view — so journaling on/off changes no trace (pair-tested). On an
+    unjournaled store [checkpoint] is a no-op and the queries return
+    empty/zero. *)
+
+val journaled : t -> bool
+(** Whether a write-ahead journal is attached. *)
+
+val checkpoint : t -> owner:string -> phase:int -> cursor:int -> unit
+(** Durably record that [owner]'s computation has completed [phase]
+    (plus an opaque [cursor], e.g. a scratch-array base). Also a journal
+    group-commit and an exact nonce-counter checkpoint, so it is a safe
+    crash boundary: killed after phase [k], the computation reopens with
+    [resume:true] and restarts from phase [k + 1]. One slot, last writer
+    wins — owners must fold their array base and shape into the owner
+    string, and a resumed computation must be the same deterministic
+    computation that wrote the slot ({!Ext_sort}'s phase numbering is the
+    canonical client). [phase = 0] conventionally clears the slot. *)
+
+val atomically : t -> (unit -> 'a) -> 'a
+(** [atomically t f] runs [f], holding the journal's automatic commits
+    for the duration: every write [f] issues lands in the same commit
+    group, which either applies whole at the next commit boundary
+    (checkpoint, sync, close, or a post-group auto-commit) or rolls back
+    whole if the process dies first. Use it to bracket a logical write
+    group that spans several backend runs — e.g. a strided cache flush
+    covering one compare-exchange window — so a crash can never tear the
+    group in the middle. Reentrant; a no-op on unjournaled stores. [f]
+    must not call {!sync} or {!checkpoint} itself. *)
+
+val checkpoint_state : t -> owner:string -> int * int
+(** The checkpoint slot as [(phase, cursor)]; [(0, 0)] unless a positive
+    phase was recorded by this [owner] (and survived — a header torn
+    mid-write degrades to [(0, 0)], never to a wrong slot). *)
+
+val journal_replay : t -> (int * int) list
+(** The (addr, count) runs journal replay re-applied when this store was
+    opened ([resume:true] on a journaled spec); [[]] otherwise. The
+    crash sweep asserts this schedule is bit-identical across pair
+    inputs — recovery I/O is a function of the journal alone. *)
+
+val journal_appends : t -> (int * int) list
+(** The (addr, count) journal records appended since open — the commit
+    schedule, pair-tested data-independent likewise. *)
+
+val journal_commits : t -> int
+(** Journal commits (sync, checkpoint, close or automatic) since open. *)
 
 val alloc : t -> int -> int
 (** [alloc t n] reserves [n] fresh blocks initialized to all-[Empty] and
@@ -233,5 +313,6 @@ val unchecked_poke : t -> int -> Block.t -> unit
 (** Write without accounting; test/harness setup only. *)
 
 val remove_spec_files : backend_spec -> unit
-(** Delete the file behind a [File] spec (recursing through [Faulty]),
-    if any. Harness cleanup helper. *)
+(** Delete the files behind a spec — [File] stores, shard members and
+    [Journaled] journals (recursing through every decorator) — if any.
+    Harness cleanup helper. *)

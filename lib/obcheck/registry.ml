@@ -108,7 +108,8 @@ let find name = List.find_opt (fun e -> e.subject.Pairtest.name = name) all
    permanent. *)
 let backend_names = [ "mem"; "file"; "faulty" ]
 
-let backend_spec ?(seed = 0xFA17) ?(failure_rate = 0.05) ?(shards = 1) name =
+let backend_spec ?(seed = 0xFA17) ?(failure_rate = 0.05) ?(shards = 1) ?(journal = false) name
+    =
   if shards < 1 then invalid_arg "Registry.backend_spec: shards must be >= 1";
   (* [shards > 1] stripes the spec across K inner devices. The faulty
      decorator composes OUTSIDE the stripe: its access counter then
@@ -118,8 +119,20 @@ let backend_spec ?(seed = 0xFA17) ?(failure_rate = 0.05) ?(shards = 1) name =
   let stripe inner =
     if shards = 1 then inner else Storage.Sharded { inner; shards; seed = 0x5A4D }
   in
-  match name with
-  | "mem" -> stripe Storage.Mem
-  | "file" -> stripe (Storage.File { path = Filename.temp_file "odex_obcheck" ".store" })
-  | "faulty" -> Storage.Faulty { inner = stripe Storage.Mem; seed; failure_rate; max_burst = 2 }
-  | other -> invalid_arg (Printf.sprintf "Registry.backend_spec: unknown backend %S" other)
+  (* [journal] wraps the finished spec in the write-ahead journal — the
+     outermost decorator, so the log records exactly what the algorithm
+     issued. The journal file rides with the spec ([remove_spec_files]
+     cleans it up alongside any inner store). *)
+  let journaled inner =
+    if not journal then inner
+    else
+      Storage.Journaled
+        { inner; path = Filename.temp_file "odex_obcheck" ".journal"; durable = true }
+  in
+  journaled
+    (match name with
+    | "mem" -> stripe Storage.Mem
+    | "file" -> stripe (Storage.File { path = Filename.temp_file "odex_obcheck" ".store" })
+    | "faulty" ->
+        Storage.Faulty { inner = stripe Storage.Mem; seed; failure_rate; max_burst = 2 }
+    | other -> invalid_arg (Printf.sprintf "Registry.backend_spec: unknown backend %S" other))

@@ -31,7 +31,12 @@ val backend_names : string list
     suite must pass on. *)
 
 val backend_spec :
-  ?seed:int -> ?failure_rate:float -> ?shards:int -> string -> Odex_extmem.Storage.backend_spec
+  ?seed:int ->
+  ?failure_rate:float ->
+  ?shards:int ->
+  ?journal:bool ->
+  string ->
+  Odex_extmem.Storage.backend_spec
 (** A fresh spec for a named backend: "file" gets its own temp path
     (clean up with {!Odex_extmem.Storage.remove_spec_files}); "faulty"
     injects deterministic transient faults over a [Mem] inner store at
@@ -41,4 +46,9 @@ val backend_spec :
     devices ({!Odex_extmem.Storage.backend_spec.Sharded}, PRP seed
     [0x5A4D]). The faulty decorator composes {e outside} the stripe so
     the fault schedule — and therefore the full trace, retries included
-    — is bit-identical at every shard count. *)
+    — is bit-identical at every shard count.
+
+    [journal] (default false) wraps the finished spec in the
+    write-ahead journal ({!Odex_extmem.Storage.backend_spec.Journaled},
+    own temp side file, durable commits) as the outermost decorator;
+    [remove_spec_files] cleans the journal up with the store. *)

@@ -141,6 +141,16 @@ let rebuild t upto =
   let scratch =
     Ext_array.create t.storage ~blocks:(candidate_blocks + (buckets * t.z))
   in
+  (* On a journaled store, stamp a rebuild-level checkpoint before the
+     gather: it commits everything written so far (bounding replay work
+     after a crash mid-rebuild) and, because the store holds a single
+     checkpoint slot, it clobbers any ext-sort phase slot left by a
+     previously killed rebuild — so re-driving this rebuild can never
+     wrongly skip sort phases against a fresh scratch array. Full ORAM
+     session resume (the in-memory level/stash structure) is out of
+     scope here; see ROADMAP. *)
+  if Storage.journaled t.storage then
+    Storage.checkpoint t.storage ~owner:"oram-rebuild" ~phase:t.rebuild_count ~cursor:upto;
   (* 1. Gather all candidate words, stamping each with its source's age
      so the dedup keeps the newest copy: stash words carry positive
      access-counter timestamps, level-idx words get -(idx+1) (shallower
@@ -246,7 +256,11 @@ let rebuild t upto =
       clear_array t t.levels.(idx).region;
       t.levels.(idx).occupied <- false
     end
-  done
+  done;
+  (* Rebuild complete and installed: clear the slot (also a commit, so
+     the install itself is now crash-durable). *)
+  if Storage.journaled t.storage then
+    Storage.checkpoint t.storage ~owner:"oram-rebuild" ~phase:0 ~cursor:0
 
 (* ------------------------------------------------------------------ *)
 

@@ -95,6 +95,27 @@ let process_chunk work cache ~real ~cmp ~stage ~hi ~lo =
     Cache.flush_all cache
   done
 
+(* Phase-checkpointed execution on a journaled store: the network is cut
+   into a deterministic sequence of phases — the pre-sort/copy scan,
+   one per chunk pass, the copy-back — numbered identically on every run
+   with the same (n, m). After each phase the journal checkpoint slot is
+   advanced, so a killed run reopened with [resume:true] skips the
+   phases already committed and restarts from the first incomplete one.
+   That is sound because every phase is idempotent: re-running a
+   compare-exchange pass (or either copy scan) on its own output is a
+   fixed point, so at-least-once phase execution converges to the same
+   array. The slot's cursor persists the padded work array's base
+   address, letting the resumed run re-attach it instead of allocating a
+   fresh one (a crash before the first checkpoint re-allocates — the
+   orphaned scratch is the price of not having committed anything yet).
+
+   The owner string folds in the array base and block count: a slot
+   written by a different array (or a differently-shaped sort) is
+   ignored. One slot per store, last writer wins — resuming is sound
+   only for the same deterministic sort invocation that wrote it (see
+   {!Storage.checkpoint}). On unjournaled stores all of this costs two
+   integer reads and no I/O. *)
+
 let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
   if m < 2 then invalid_arg "Ext_sort.bitonic: need m >= 2";
   let n = Ext_array.blocks a in
@@ -102,17 +123,38 @@ let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
   if n = 0 then ()
   else begin
     let n2 = next_power_of_two n in
+    let ck = Storage.journaled storage in
+    let owner = Printf.sprintf "ext-sort/%d/%d" (Ext_array.base a) n in
+    let done_phase, done_cursor =
+      if ck then Storage.checkpoint_state storage ~owner else (0, 0)
+    in
     (* Hint the pre-sort scan's first window before the padded work
        array is allocated: on a prefetching store the fetch overlaps the
        setup. *)
     Ext_array.prime a ~chunk:32;
-    let work = if n2 = n then a else Ext_array.create storage ~blocks:n2 in
+    let work, done_phase =
+      if n2 = n then (a, done_phase)
+      else if
+        done_phase > 0 && done_cursor >= 0 && done_cursor + n2 <= Storage.capacity storage
+      then (Ext_array.view storage ~base:done_cursor ~blocks:n2, done_phase)
+      else (Ext_array.create storage ~blocks:n2, 0)
+    in
+    let phase = ref 0 in
+    let run_phase f =
+      incr phase;
+      if !phase > done_phase then begin
+        f ();
+        if ck then
+          Storage.checkpoint storage ~owner ~phase:!phase ~cursor:(Ext_array.base work)
+      end
+    in
     (* Pre-sort each block internally (and copy into the padded work
        array when needed); padding blocks are already all-empty = +∞.
        Read and rewritten in batched runs. *)
-    Ext_array.iter_runs a ~chunk:32 (fun base blks ->
-        if real then Array.iter (Block.sort_in_place cmp) blks;
-        Ext_array.write_blocks work base blks);
+    run_phase (fun () ->
+        Ext_array.iter_runs a ~chunk:32 (fun base blks ->
+            if real then Array.iter (Block.sort_in_place cmp) blks;
+            Ext_array.write_blocks work base blks));
     let lpp = max 1 (min (levels_per_pass m) (Emodel.ilog2_floor m)) in
     let cache = Cache.create storage ~capacity:m in
     let stage = ref 2 in
@@ -121,7 +163,9 @@ let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
       let hi = ref top in
       while !hi >= 0 do
         let lo = max 0 (!hi - lpp + 1) in
-        process_chunk work cache ~real ~cmp ~stage:!stage ~hi:!hi ~lo;
+        let stage_now = !stage and hi_now = !hi in
+        run_phase (fun () ->
+            process_chunk work cache ~real ~cmp ~stage:stage_now ~hi:hi_now ~lo);
         hi := lo - 1
       done;
       stage := !stage * 2
@@ -131,8 +175,12 @@ let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
        boundaries (32, in address order) match the old explicit loop, so
        the trace is unchanged. *)
     if work != a then
-      Ext_array.iter_runs (Ext_array.sub work ~off:0 ~len:n) ~chunk:32 (fun base blks ->
-          Ext_array.write_blocks a base blks)
+      run_phase (fun () ->
+          Ext_array.iter_runs (Ext_array.sub work ~off:0 ~len:n) ~chunk:32 (fun base blks ->
+              Ext_array.write_blocks a base blks));
+    (* Done: clear the slot so the next sort over this array starts
+       fresh instead of "resuming" past its own phases. *)
+    if ck then Storage.checkpoint storage ~owner ~phase:0 ~cursor:0
   end
 
 let bitonic = { name = "bitonic"; exec = bitonic_exec ~levels_per_pass:(fun _ -> 1) }

@@ -4,6 +4,7 @@ let () =
       ("crypto", Test_crypto.suite);
       ("extmem", Test_extmem.suite);
       ("backend", Test_backend.suite);
+      ("journal", Test_journal.suite);
       ("batch", Test_batch.suite);
       ("sortnet", Test_sortnet.suite);
       ("iblt", Test_iblt.suite);

@@ -424,6 +424,96 @@ let test_meta_roundtrip () =
       | None -> Alcotest.fail "file metadata lost across reopen");
       Backend.close b)
 
+(* ---------------- durability bugfix sweep ---------------- *)
+
+(* A closed store must refuse metadata access loudly. The old silent
+   no-op (write dropped, read -> None) let callers believe a nonce
+   high-water checkpoint had been persisted when it had not — the kind
+   of quiet data loss this sweep exists to remove. *)
+let test_meta_on_closed_store_raises () =
+  with_temp_store (fun path ->
+      let b = Backend.file ~path ~payload_size:16 in
+      Backend.write_meta b (Bytes.of_string "live");
+      Backend.close b;
+      Alcotest.check_raises "write_meta on closed store"
+        (Invalid_argument "Backend.File: store is closed") (fun () ->
+          Backend.write_meta b (Bytes.of_string "dead"));
+      Alcotest.check_raises "read_meta on closed store"
+        (Invalid_argument "Backend.File: store is closed") (fun () ->
+          ignore (Backend.read_meta b)))
+
+(* A store file whose data section is not a whole number of blocks was
+   torn by a crash mid-append. Reopening used to round the size down,
+   silently discarding the partial block; it must refuse instead. *)
+let test_torn_store_rejected () =
+  with_temp_store (fun path ->
+      let b = Backend.file ~path ~payload_size:16 in
+      Backend.ensure b 4;
+      Backend.write b 0 (Bytes.make 16 'a');
+      Backend.sync b;
+      Backend.close b;
+      (* Tear the tail: 5 bytes of a sixth... fifth block. *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+      ignore (Unix.write fd (Bytes.make 5 'x') 0 5);
+      Unix.close fd;
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "torn store refused with a clear error" true
+        (match Backend.file ~path ~payload_size:16 with
+        | exception Invalid_argument msg -> contains msg "torn store" && contains msg "5"
+        | b ->
+            Backend.close b;
+            false);
+      (* A whole-block file still opens. *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (Backend.file_header_bytes + (4 * 16));
+      Unix.close fd;
+      let b = Backend.file ~path ~payload_size:16 in
+      Alcotest.(check bytes) "intact blocks still readable" (Bytes.make 16 'a')
+        (Backend.read b 0);
+      Backend.close b)
+
+(* EINTR hammer: a high-frequency interval timer delivers SIGALRM
+   throughout a file-backend workload. OCaml installs Signal_handle
+   handlers without SA_RESTART, so the backend's read/write/fsync calls
+   really do return EINTR here; the shared retry helper must absorb
+   every one without dropping or short-writing a byte. *)
+let test_eintr_retried () =
+  let ticks = ref 0 in
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr ticks)) in
+  let old_timer =
+    Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 2e-4; it_value = 2e-4 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
+      Sys.set_signal Sys.sigalrm old)
+    (fun () ->
+      with_temp_store (fun path ->
+          let payload i = Bytes.init 64 (fun j -> Char.chr ((i + j) land 0xFF)) in
+          let b = Backend.file ~path ~payload_size:64 in
+          let n = 512 in
+          Backend.ensure b n;
+          for round = 0 to 3 do
+            for i = 0 to n - 1 do
+              Backend.write b i (payload (i + round))
+            done;
+            Backend.sync b;
+            for i = 0 to n - 1 do
+              Alcotest.(check bytes)
+                (Printf.sprintf "round %d block %d" round i)
+                (payload (i + round)) (Backend.read b i)
+            done
+          done;
+          Backend.close b);
+      (* The harness only proves something if signals actually landed. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "timer delivered signals (%d)" !ticks)
+        true (!ticks > 0))
+
 (* ---------------- stats spans carry every counter ---------------- *)
 
 (* Regression for the narrow snapshot: a span over a faulty backend must
@@ -479,6 +569,9 @@ let suite =
     ("reopen block_size mismatch refused", `Quick, test_reopen_block_size_mismatch);
     ("garbage store file refused", `Quick, test_file_rejects_garbage);
     ("backend metadata roundtrip", `Quick, test_meta_roundtrip);
+    ("meta access on a closed store raises", `Quick, test_meta_on_closed_store_raises);
+    ("torn trailing block rejected on reopen", `Quick, test_torn_store_rejected);
+    ("EINTR retried across the whole I/O surface", `Quick, test_eintr_retried);
     ("stats span carries every counter", `Quick, test_span_reports_all_counters);
     ("remove_spec_files", `Quick, test_remove_spec_files);
   ]

@@ -1,0 +1,482 @@
+(* The write-ahead journal (DESIGN.md §10): crash atomicity, recovery
+   obliviousness, and phase-checkpointed resume.
+
+   The centerpiece is the kill-at-every-op sweep: a small journaled sort
+   is killed after every single backend operation, reopened with
+   [resume:true], and must (a) come back consistent and finish correctly,
+   (b) never reuse a (key, nonce) pair across the crash, and (c) produce
+   a replay and commit schedule that is bit-identical across a pair of
+   same-shape, different-data inputs — recovery leaks nothing. *)
+
+open Odex_extmem
+
+let temp_pair () =
+  (Filename.temp_file "odex_jtest" ".store", Filename.temp_file "odex_jtest" ".journal")
+
+let cleanup paths = List.iter (fun p -> if Sys.file_exists p then Sys.remove p) paths
+
+let with_temp_pair f =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) (fun () -> f sp jp)
+
+(* ---------------- journal unit layer ---------------- *)
+
+let payload i = Bytes.init 16 (fun j -> Char.chr ((i + (7 * j)) land 0xFF))
+
+let test_append_commit_bookkeeping () =
+  with_temp_pair (fun sp jp ->
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      let b = Journal.backend j in
+      Backend.ensure b 8;
+      for i = 0 to 2 do
+        Backend.write b i (payload i)
+      done;
+      let buf = Bytes.concat Bytes.empty (List.init 4 (fun i -> payload (10 + i))) in
+      Backend.write_run b ~addr:3 ~count:4 ~payload:16 ~buf ~off:0;
+      Alcotest.(check (list (pair int int)))
+        "append schedule: one record per run"
+        [ (0, 1); (1, 1); (2, 1); (3, 4) ]
+        (Journal.append_log j);
+      Alcotest.(check int) "pending bytes" ((3 * (32 + 16)) + (32 + 64)) (Journal.pending_bytes j);
+      (* Deferred apply: the inner store is untouched, but the overlay
+         serves read-your-writes through the decorator. *)
+      Alcotest.(check bytes) "pending write readable" (payload 1) (Backend.read b 1);
+      Alcotest.(check bytes) "pending run readable" (payload 12) (Backend.read b 5);
+      Journal.commit j;
+      Alcotest.(check int) "commit empties the tail" 0 (Journal.pending_bytes j);
+      Alcotest.(check bool) "commits counted" true (Journal.commits j >= 1);
+      (* Now applied in place. *)
+      for i = 0 to 2 do
+        Alcotest.(check bytes) (Printf.sprintf "block %d" i) (payload i) (Backend.read b i)
+      done;
+      Alcotest.(check bytes) "run block" (payload 12) (Backend.read b 5);
+      Backend.close b)
+
+let test_auto_commit_bounds_tail () =
+  with_temp_pair (fun sp jp ->
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j =
+        Journal.create ~auto_commit_bytes:64 ~path:jp ~payload_size:16 ~durable:false
+          ~replay:false inner
+      in
+      let b = Journal.backend j in
+      Backend.ensure b 16;
+      for i = 0 to 15 do
+        Backend.write b i (payload i)
+      done;
+      Alcotest.(check bool) "auto-commits fired" true (Journal.commits j >= 4);
+      Alcotest.(check bool) "tail stays bounded" true
+        (Journal.pending_bytes j <= 64 + 32 + 16);
+      Backend.close b)
+
+(* A crash between a commit's marker and its completed in-place apply is
+   exactly what the redo log exists for: reopening replays the whole
+   committed group and the store is whole. *)
+let test_replay_heals_crashed_apply () =
+  with_temp_pair (fun sp jp ->
+      let inner =
+        Backend.crash_after ~ops:2 (Backend.file ~path:sp ~payload_size:16)
+      in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      let b = Journal.backend j in
+      Backend.ensure b 4;
+      Backend.write b 0 (payload 0);
+      Backend.write b 1 (payload 1);
+      Backend.write b 2 (payload 2);
+      (* The commit marker lands, then the third in-place apply dies. *)
+      (match Journal.commit j with
+      | () -> Alcotest.fail "expected the crash"
+      | exception Backend.Crashed -> ());
+      Journal.abandon j;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      Alcotest.(check (list (pair int int)))
+        "replay re-applies every intact record"
+        [ (0, 1); (1, 1); (2, 1) ]
+        (Journal.replay_log j);
+      Alcotest.(check int) "journal truncated after replay" 0 (Journal.pending_bytes j);
+      let b = Journal.backend j in
+      for i = 0 to 2 do
+        Alcotest.(check bytes)
+          (Printf.sprintf "block %d healed" i)
+          (payload i) (Backend.read b i)
+      done;
+      Backend.close b)
+
+(* Journal-file surgery on a marked-committed-but-unapplied group: a torn
+   tail (short body) and a corrupted body byte must both stop replay at
+   the damage, never apply garbage. And a group with no commit marker at
+   all must be discarded wholesale — that is the rollback boundary. *)
+let test_torn_tail_discarded () =
+  let header_bytes = 56 in
+  let record_bytes = 32 + 16 in
+  (* Four records, committed (marker durable) but zero in-place applies:
+     the inner store crashes on the commit's first apply. *)
+  let write_records sp jp =
+    let inner = Backend.crash_after ~ops:0 (Backend.file ~path:sp ~payload_size:16) in
+    let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+    let b = Journal.backend j in
+    Backend.ensure b 4;
+    for i = 0 to 3 do
+      Backend.write b i (payload i)
+    done;
+    (match Journal.commit j with
+    | () -> Alcotest.fail "expected the crash"
+    | exception Backend.Crashed -> ());
+    Journal.abandon j
+  in
+  with_temp_pair (fun sp jp ->
+      write_records sp jp;
+      (* Cut 6 bytes off the last record's body. *)
+      let fd = Unix.openfile jp [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (header_bytes + (4 * record_bytes) - 6);
+      Unix.close fd;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      Alcotest.(check (list (pair int int)))
+        "replay stops at the torn record"
+        [ (0, 1); (1, 1); (2, 1) ]
+        (Journal.replay_log j);
+      Backend.close (Journal.backend j));
+  with_temp_pair (fun sp jp ->
+      write_records sp jp;
+      (* Flip one byte inside record 2's body. *)
+      let fd = Unix.openfile jp [ Unix.O_RDWR ] 0 in
+      let pos = header_bytes + (2 * record_bytes) + 32 + 5 in
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      let c = Bytes.create 1 in
+      ignore (Unix.read fd c 0 1);
+      Bytes.set c 0 (Char.chr (Char.code (Bytes.get c 0) lxor 0xFF));
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      ignore (Unix.write fd c 0 1);
+      Unix.close fd;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      Alcotest.(check (list (pair int int)))
+        "checksum failure stops replay before the corrupt record"
+        [ (0, 1); (1, 1) ]
+        (Journal.replay_log j);
+      Backend.close (Journal.backend j));
+  (* No commit marker: the whole intact tail is provisional, and reopen
+     rolls it back instead of replaying it. *)
+  with_temp_pair (fun sp jp ->
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      let b = Journal.backend j in
+      Backend.ensure b 4;
+      for i = 0 to 3 do
+        Backend.write b i (payload i)
+      done;
+      Journal.abandon j;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      Alcotest.(check (list (pair int int)))
+        "uncommitted tail discarded, not replayed" []
+        (Journal.replay_log j);
+      let b = Journal.backend j in
+      Alcotest.(check bool) "rolled back to zero-init, not the pending write" true
+        (Backend.read b 0 = Bytes.make 16 '\000');
+      Backend.close b)
+
+let test_checkpoint_slot_persistence () =
+  with_temp_pair (fun sp jp ->
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      Journal.checkpoint j ~owner:"sorter/0/6" ~phase:3 ~cursor:7;
+      Alcotest.(check (pair int int)) "own slot" (3, 7) (Journal.state j ~owner:"sorter/0/6");
+      Alcotest.(check (pair int int))
+        "foreign owner sees nothing" (0, 0)
+        (Journal.state j ~owner:"other");
+      Journal.abandon j;
+      (* Survives a crash + replayed reopen. *)
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      Alcotest.(check (pair int int))
+        "slot survives crash" (3, 7)
+        (Journal.state j ~owner:"sorter/0/6");
+      Journal.abandon j;
+      (* A torn header mid-rewrite degrades to "no checkpoint". *)
+      let fd = Unix.openfile jp [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd 26 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\xAB') 0 1);
+      Unix.close fd;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      Alcotest.(check (pair int int))
+        "torn header reads as no checkpoint" (0, 0)
+        (Journal.state j ~owner:"sorter/0/6");
+      Journal.abandon j;
+      (* replay:false deliberately discards a surviving slot. *)
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      Journal.checkpoint j ~owner:"x" ~phase:1 ~cursor:0;
+      Journal.abandon j;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      Alcotest.(check (pair int int))
+        "fresh open drops the slot" (0, 0)
+        (Journal.state j ~owner:"x");
+      Backend.close (Journal.backend j))
+
+let test_foreign_journal_rejected () =
+  with_temp_pair (fun sp jp ->
+      let oc = open_out_bin jp in
+      output_string oc (String.make 128 'z');
+      close_out oc;
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      Alcotest.(check bool) "foreign journal refused" true
+        (match Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner with
+        | exception Invalid_argument _ -> true
+        | j ->
+            Backend.close (Journal.backend j);
+            false);
+      Backend.close inner)
+
+(* ---------------- storage layer ---------------- *)
+
+(* Journaling is a physical-only layer: the counted I/O schedule — the
+   adversary's view — must be bit-identical with the journal on and off.
+   (The journal file itself is server-side state derived from that same
+   view.) *)
+let test_trace_parity_journal_on_off () =
+  with_temp_pair (fun sp jp ->
+      let keys = Util.random_keys (Odex_crypto.Rng.create ~seed:11) 96 ~bound:1000 in
+      let run backend =
+        let s = Storage.create ~trace_mode:Trace.Digest ~backend ~block_size:2 () in
+        Fun.protect
+          ~finally:(fun () -> Storage.close s)
+          (fun () ->
+            let a = Ext_array.of_cells s ~block_size:2 (Util.cells_of_keys keys) in
+            Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:4 a;
+            Util.check_sorted_by_key (Storage.backend_kind s) a;
+            let st = Storage.stats s and tr = Storage.trace s in
+            (Stats.reads st, Stats.writes st, Trace.length tr, Trace.digest tr))
+      in
+      let r0, w0, l0, d0 = run (Storage.File { path = sp }) in
+      cleanup [ sp ];
+      let r1, w1, l1, d1 =
+        run (Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false })
+      in
+      Alcotest.(check int) "same reads" r0 r1;
+      Alcotest.(check int) "same writes" w0 w1;
+      Alcotest.(check int) "same trace length" l0 l1;
+      Alcotest.(check int64) "same trace digest" d0 d1)
+
+(* ---------------- the kill-at-every-op sweep ---------------- *)
+
+(* Raw out-of-band scan of the sealed store file: (nonce, ciphertext)
+   per block — the adversary's retained disk image. Blocks that are all
+   zero bytes are the [ensure] zero-fill, not a seal event (a real seal
+   of nonce 0 has the keystream as ciphertext), and are skipped: a crash
+   between a group's ensure and its committed apply legitimately leaves
+   them behind. *)
+let scan_sealed path ~payload_size =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let n = max 0 ((len - Backend.file_header_bytes) / payload_size) in
+        List.filter_map Fun.id
+          (List.init n (fun i ->
+               seek_in ic (Backend.file_header_bytes + (i * payload_size));
+               let b = Bytes.create payload_size in
+               really_input ic b 0 payload_size;
+               if Bytes.for_all (fun c -> c = '\000') b then None
+               else Some (Bytes.get_int64_le b 0, Bytes.sub_string b 8 (payload_size - 8)))))
+
+(* The precise no-reuse property: one nonce may appear at several points
+   of history only as the SAME seal event (same ciphertext) — e.g. a
+   replay copying a record verbatim. The same nonce over two different
+   ciphertexts is a (key, nonce) reuse, the catastrophic failure. *)
+let check_no_nonce_reuse name scans =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (nonce, ct) ->
+      if nonce <> -1L then
+        match Hashtbl.find_opt tbl nonce with
+        | Some ct' ->
+            if ct' <> ct then
+              Alcotest.failf "%s: nonce %Ld sealed two different payloads" name nonce
+        | None -> Hashtbl.add tbl nonce ct)
+    scans
+
+type sweep_obs = {
+  crashed : bool;
+  appends : (int * int) list;  (* journal records of the killed run *)
+  replays : (int * int) list;  (* records re-applied on reopen *)
+  resumed_phase : int;  (* ext-sort checkpoint found on reopen *)
+  resumed_ios : int;  (* counted I/Os of the resumed completion *)
+}
+
+let sort_keys = 12 (* 6 blocks of 2 -> pads to n2 = 8: exercises the scratch path *)
+let sweep_b = 2
+let sweep_m = 4
+
+(* Counted I/O cost of the sort alone on a journaled store, crash-free:
+   the baseline a resumed run must beat. *)
+let full_sort_ios keys =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+  let spec = Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false } in
+  let s = Storage.create ~trace_mode:Trace.Digest ~backend:spec ~block_size:sweep_b () in
+  Fun.protect
+    ~finally:(fun () -> Storage.close s)
+    (fun () ->
+      let a = Ext_array.of_cells s ~block_size:sweep_b (Util.cells_of_keys keys) in
+      let before = Stats.total (Storage.stats s) in
+      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:sweep_m a;
+      Stats.total (Storage.stats s) - before)
+
+(* Kill after exactly [k] backend ops, reopen with resume, finish the
+   sort, and check everything the issue demands of that crash point. *)
+let sweep_point ~keys ~full_ios k =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+  let cipher = Odex_crypto.Cipher.key_of_int 99 in
+  let payload_size = 8 + Block.encoded_size sweep_b in
+  let cells = Util.cells_of_keys keys in
+  let nblocks = (Array.length keys + sweep_b - 1) / sweep_b in
+  let crash_spec =
+    Storage.Journaled
+      {
+        inner = Storage.Crashing { inner = Storage.File { path = sp }; ops = k };
+        path = jp;
+        durable = false;
+      }
+  in
+  let s = Storage.create ~cipher ~trace_mode:Trace.Digest ~backend:crash_spec ~block_size:sweep_b () in
+  let crashed, appends =
+    match
+      let a = Ext_array.of_cells s ~block_size:sweep_b cells in
+      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:sweep_m a;
+      Storage.close s
+    with
+    | () -> (false, [])
+    | exception Backend.Crashed ->
+        let ap = Storage.journal_appends s in
+        Storage.abandon s;
+        (true, ap)
+  in
+  let scan_at_crash = scan_sealed sp ~payload_size in
+  let resume_spec =
+    Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false }
+  in
+  let s2 =
+    Storage.create ~cipher ~resume:true ~trace_mode:Trace.Digest ~backend:resume_spec
+      ~block_size:sweep_b ()
+  in
+  let replays = Storage.journal_replay s2 in
+  let owner = Printf.sprintf "ext-sort/0/%d" nblocks in
+  let resumed_phase, _ = Storage.checkpoint_state s2 ~owner in
+  let a2 =
+    if resumed_phase > 0 && Storage.capacity s2 >= nblocks then
+      (* Phase 1 committed, so the input was fully consumed: re-attach
+         and let the sort skip its finished phases. *)
+      Ext_array.view s2 ~base:0 ~blocks:nblocks
+    else if Storage.capacity s2 >= nblocks then begin
+      (* Crashed before any committed phase (possibly mid-load): the
+         replayed store is run-consistent but the logical input may be
+         partial — reload it in place and restart. *)
+      let v = Ext_array.view s2 ~base:0 ~blocks:nblocks in
+      for i = 0 to nblocks - 1 do
+        let blk = Block.make sweep_b in
+        for j = 0 to sweep_b - 1 do
+          let idx = (i * sweep_b) + j in
+          if idx < Array.length cells then blk.(j) <- cells.(idx)
+        done;
+        Ext_array.write_block v i blk
+      done;
+      v
+    end
+    else Ext_array.of_cells s2 ~block_size:sweep_b cells
+  in
+  let before = Stats.total (Storage.stats s2) in
+  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:sweep_m a2;
+  let resumed_ios = Stats.total (Storage.stats s2) - before in
+  let got = List.map (fun (it : Cell.item) -> it.key) (Ext_array.items a2) in
+  let expect = List.sort compare (Array.to_list keys) in
+  if got <> expect then
+    Alcotest.failf "k=%d: resumed sort wrong — got [%s], want [%s]" k
+      (String.concat ";" (List.map string_of_int got))
+      (String.concat ";" (List.map string_of_int expect));
+  if resumed_phase > 0 && resumed_ios >= full_ios then
+    Alcotest.failf "k=%d: resume from phase %d cost %d I/Os, full run costs %d — no progress kept"
+      k resumed_phase resumed_ios full_ios;
+  Storage.close s2;
+  check_no_nonce_reuse
+    (Printf.sprintf "k=%d" k)
+    (scan_at_crash @ scan_sealed sp ~payload_size);
+  { crashed; appends; replays; resumed_phase; resumed_ios }
+
+let keys_a = [| 9; 3; 12; 1; 15; 7; 2; 14; 5; 11; 4; 8 |]
+let keys_b = [| 900; 420; 770; 130; 560; 210; 880; 640; 310; 50; 990; 700 |]
+
+let test_kill_at_every_op_sweep () =
+  assert (Array.length keys_a = sort_keys && Array.length keys_b = sort_keys);
+  let full_a = full_sort_ios keys_a in
+  let full_b = full_sort_ios keys_b in
+  Alcotest.(check int) "pair inputs cost the same full sort" full_a full_b;
+  let schedule = Alcotest.(list (pair int int)) in
+  let saw_mid_sort_resume = ref false in
+  let rec go k =
+    if k > 2000 then Alcotest.fail "sweep never reached a crash-free run";
+    let oa = sweep_point ~keys:keys_a ~full_ios:full_a k in
+    let ob = sweep_point ~keys:keys_b ~full_ios:full_b k in
+    (* Recovery obliviousness: at every crash point the journal's commit
+       and replay schedules are functions of shape alone. *)
+    Alcotest.(check bool) (Printf.sprintf "k=%d: same fate" k) oa.crashed ob.crashed;
+    Alcotest.check schedule (Printf.sprintf "k=%d: same append schedule" k) oa.appends
+      ob.appends;
+    Alcotest.check schedule (Printf.sprintf "k=%d: same replay schedule" k) oa.replays
+      ob.replays;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same resumed phase" k)
+      oa.resumed_phase ob.resumed_phase;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same resumed I/O count" k)
+      oa.resumed_ios ob.resumed_ios;
+    if oa.resumed_phase > 0 then saw_mid_sort_resume := true;
+    if oa.crashed then go (k + 1)
+  in
+  go 0;
+  Alcotest.(check bool) "some crash points resumed mid-sort (not from scratch)" true
+    !saw_mid_sort_resume
+
+(* ---------------- ORAM checkpoint smoke ---------------- *)
+
+let test_oram_rebuild_checkpoints () =
+  with_temp_pair (fun _sp jp ->
+      let spec = Storage.Journaled { inner = Storage.Mem; path = jp; durable = false } in
+      let s = Storage.create ~trace_mode:Trace.Digest ~backend:spec ~block_size:4 () in
+      Fun.protect
+        ~finally:(fun () -> Storage.close s)
+        (fun () ->
+          let rng = Odex_crypto.Rng.create ~seed:13 in
+          let o = Odex_oram.Hierarchical_oram.init ~m:16 ~rng s ~values:(Array.init 64 Fun.id) in
+          for i = 0 to 63 do
+            Alcotest.(check int) (Printf.sprintf "read %d" i) i
+              (Odex_oram.Hierarchical_oram.read o i)
+          done;
+          Alcotest.(check bool) "rebuilds happened" true
+            (Odex_oram.Hierarchical_oram.rebuilds o > 0);
+          (* Every completed rebuild must have cleared its slot. *)
+          Alcotest.(check (pair int int))
+            "no rebuild left in flight" (0, 0)
+            (Storage.checkpoint_state s ~owner:"oram-rebuild")))
+
+let suite =
+  [
+    ("append/commit bookkeeping", `Quick, test_append_commit_bookkeeping);
+    ("auto-commit bounds the tail", `Quick, test_auto_commit_bounds_tail);
+    ("replay heals a crashed apply", `Quick, test_replay_heals_crashed_apply);
+    ("torn tail and corrupt record discarded", `Quick, test_torn_tail_discarded);
+    ("checkpoint slot persistence", `Quick, test_checkpoint_slot_persistence);
+    ("foreign journal rejected", `Quick, test_foreign_journal_rejected);
+    ("trace parity with journaling on and off", `Quick, test_trace_parity_journal_on_off);
+    ("kill-at-every-op sweep", `Slow, test_kill_at_every_op_sweep);
+    ("ORAM rebuild checkpoints clear", `Quick, test_oram_rebuild_checkpoints);
+  ]
