@@ -1,4 +1,4 @@
-(* One function per experiment of the DESIGN.md index (E1–E14). Each
+(* One function per experiment of the DESIGN.md index (E1–E15). Each
    prints the table(s) EXPERIMENTS.md records. *)
 
 open Odex_extmem
@@ -748,9 +748,42 @@ let e14 () =
     \  though the input was fully color-sorted.\n"
     (window / colors)
 
+(* ------------------------------------------------------------------ *)
+(* E15 — DESIGN.md §12: bucket oblivious sort vs the deterministic
+   engines, counted I/Os at a cache where every engine's geometry is
+   feasible. Columnsort rows past its one-level capacity print n/a.
+   The JSON twin (`--json E15 [--sorter NAME]`) carries the same sweep
+   into BENCH_core.json for the CI sorter matrix. *)
+
+let e15 () =
+  let b = 8 and m = 128 in
+  let engine_io name n =
+    match name with
+    | "columnsort" when Odex_sortnet.Columnsort.plan ~n_cells:n ~b ~m = None -> "n/a"
+    | _ ->
+        let rng = rng_of 15 in
+        let s, a = Workloads.array ~rng ~b ~n Workloads.Uniform in
+        let eng = Option.get (Odex_sortnet.Ext_sort.find name) in
+        Odex_sortnet.Ext_sort.run eng ~m a;
+        Table.fint (Workloads.io s)
+  in
+  let engines = [ "batcher"; "columnsort"; "bucket" ] in
+  let rows =
+    List.map
+      (fun n -> Table.fint n :: List.map (fun name -> engine_io name n) engines)
+      [ 1280; 2048; 8192; 32768 ]
+  in
+  Table.print
+    ~title:"E15 DESIGN.md 12: sorting-engine head-to-head, counted I/Os (B = 8, m = 128)"
+    ~header:("N cells" :: engines) rows;
+  Table.note
+    "  bucket stays below batcher at every out-of-core N; columnsort leads inside its\n\
+    \  one-level capacity (~18.9k cells here) and is n/a beyond it. EXPERIMENTS.md E15\n\
+    \  records the crossovers.\n"
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
-    ("E14", e14);
+    ("E14", e14); ("E15", e15);
   ]

@@ -36,6 +36,7 @@ type phase_row = {
 type record = {
   experiment : string;
   name : string;
+  sorter : string;  (* "" unless the entry sweeps sorting engines (E15) *)
   backend : string;
   shards : int;
   prefetch : bool;
@@ -80,6 +81,10 @@ let current_prefetch = ref false
    keeping `"backend":"file"` floor checks scoped to the bare store. *)
 let current_journal = ref false
 
+(* `--sorter NAME` narrows E15's engine sweep to one sorter (CI runs one
+   matrix leg per engine); the default sweeps all three head-to-head. *)
+let current_sorter : string option ref = ref None
+
 let fresh_spec () =
   Odex_obcheck.Registry.backend_spec ~shards:!current_shards ~journal:!current_journal
     !current_backend
@@ -112,7 +117,7 @@ let timed f =
 
 (* Run [f] (returning its success flag) against [s] and harvest the
    storage counters afterwards, then release the backend. *)
-let collect ~experiment ~name ~n_cells ~b ~m s f =
+let collect ?(sorter = "") ~experiment ~name ~n_cells ~b ~m s f =
   let tel = Storage.telemetry s in
   (* Zero-cost-when-disabled guard: unless `--profile` was given, every
      benched storage must carry the shared no-op sink — anything else
@@ -126,6 +131,7 @@ let collect ~experiment ~name ~n_cells ~b ~m s f =
     {
       experiment;
       name;
+      sorter;
       backend = Storage.backend_kind s;
       shards = !current_shards;
       prefetch = Storage.prefetch_enabled s;
@@ -243,14 +249,16 @@ let e11 () =
       let spec = fresh_spec () in
       let (o : Odex_obcheck.Pairtest.outcome), wall_ms =
         timed (fun () ->
-            Odex_obcheck.Pairtest.check ~backend:spec ~prefetch:!current_prefetch e.subject
-              ~n_cells:e.n_cells ~b:e.b ~m:e.m)
+            Odex_obcheck.Pairtest.check ~backend:spec ~prefetch:!current_prefetch
+              ~pair:(Odex_obcheck.Registry.pair_mode e) e.subject ~n_cells:e.n_cells ~b:e.b
+              ~m:e.m)
       in
       Storage.remove_spec_files spec;
       let a = o.run_a in
       {
         experiment = "E11";
         name = "pair-" ^ e.subject.Odex_obcheck.Pairtest.name;
+        sorter = "";
         backend = o.Odex_obcheck.Pairtest.backend;
         shards = !current_shards;
         prefetch = !current_prefetch;
@@ -275,10 +283,64 @@ let e11 () =
       })
     Odex_obcheck.Registry.all
 
+(* E15: sorting-engine head-to-head. The same uniform workload through
+   each registered out-of-core sorter (Batcher's bitonic network,
+   columnsort, bucket oblivious sort), so the record file carries the
+   crossover data EXPERIMENTS.md summarises. Every record names its
+   engine in the [sorter] field; the floor check keys on it. m = 128
+   keeps the default-Z bucket geometry feasible (4*zb + 2 = 114 blocks
+   at B = 8) — at m = 64 the bucket engine would publicly fall back to
+   the windowed bitonic network and the record would mislabel it. *)
+let e15 () =
+  let b = 8 and m = 128 in
+  (* Uncounted sortedness sweep: unchecked peeks keep the verification
+     out of the benched I/O counters and trace. *)
+  let sorted a =
+    let s = Ext_array.storage a in
+    let prev = ref None and ok = ref true in
+    for i = 0 to Ext_array.blocks a - 1 do
+      List.iter
+        (fun (it : Cell.item) ->
+          (match !prev with Some p when p > it.key -> ok := false | _ -> ());
+          prev := Some it.key)
+        (Block.items (Storage.unchecked_peek s (Ext_array.addr a i)))
+    done;
+    !ok
+  in
+  (* Columnsort's single-level geometry caps N at ~M^{3/2}; sizes past
+     the cap are skipped for that engine rather than recorded as
+     failures (the cap is public geometry, not a sorting defect). *)
+  let feasible name n =
+    name <> "columnsort" || Odex_sortnet.Columnsort.plan ~n_cells:n ~b ~m <> None
+  in
+  List.concat_map
+    (fun name ->
+      List.filter_map
+        (fun n ->
+          if not (feasible name n) then None
+          else begin
+            let s, a, _ = uniform ~seed:13 ~b ~n in
+            let eng = Option.get (Odex_sortnet.Ext_sort.find name) in
+            Some
+              (collect ~sorter:name ~experiment:"E15"
+                 ~name:(Printf.sprintf "sort-%s-%d" name n)
+                 ~n_cells:n ~b ~m s
+                 (fun () ->
+                   match Odex_sortnet.Ext_sort.run eng ~m a with
+                   | () -> sorted a
+                   | exception Odex_sortnet.Bucket_sort.Overflow _ -> false))
+          end)
+        (* 1280 cells = 160 blocks is the smallest out-of-core point at
+           m = 128: it brackets the engines' crossover from below. *)
+        [ 1280; 2048; 8192; 32768; 131072 ])
+    (match !current_sorter with
+    | Some name -> [ name ]
+    | None -> [ "batcher"; "columnsort"; "bucket" ])
+
 let entries =
   [
     ("E2", e2); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
-    ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E9", e9); ("E10", e10); ("E11", e11); ("E15", e15);
   ]
 
 let json_of_phase p =
@@ -288,18 +350,27 @@ let json_of_phase p =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"journal\":%b,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
-    r.experiment r.name r.backend r.shards r.prefetch r.journal r.n_cells r.b r.m r.reads
+    "{\"experiment\":%S,\"name\":%S,\"sorter\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"journal\":%b,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
+    r.experiment r.name r.sorter r.backend r.shards r.prefetch r.journal r.n_cells r.b r.m r.reads
     r.writes r.total_ios r.retries r.trace_length r.spans r.wall_ms r.bytes_moved
     r.batched_ios r.mb_per_s r.ok
     (String.concat "," (List.map json_of_phase r.phases))
 
-let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) ?profile ids =
+let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) ?sorter
+    ?profile ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
     Printf.eprintf "unknown backend %S (available: %s)\n" backend
       (String.concat " " Odex_obcheck.Registry.backend_names);
     exit 2
   end;
+  (match sorter with
+  | Some name when Odex_sortnet.Ext_sort.find name = None ->
+      Printf.eprintf
+        "unknown sorter %S (available: batcher columnsort bucket bitonic bitonic-windowed \
+         cache auto)\n"
+        name;
+      exit 2
+  | _ -> current_sorter := sorter);
   if shards < 1 then begin
     Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
     exit 2
@@ -337,7 +408,7 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) 
       Printf.printf "wrote %s (%d profiled runs, Chrome trace-event JSON)\n" path
         (List.length !profiled));
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/6\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/7\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

@@ -1,5 +1,5 @@
 (* Experiment harness: one section per experiment in DESIGN.md's index
-   (E1–E14) plus Bechamel wall-clock micro-benches for the headline
+   (E1–E15) plus Bechamel wall-clock micro-benches for the headline
    operations.
 
    Usage: main.exe            — run everything
@@ -25,7 +25,11 @@
 
    `--journal` (JSON mode) runs each selected entry twice — write-ahead
    journal off, then on (DESIGN.md §10) — so the WAL's overhead lands as
-   paired records in one BENCH_core.json. *)
+   paired records in one BENCH_core.json.
+
+   `--sorter NAME` (JSON mode) narrows E15's engine head-to-head to one
+   sorting engine (batcher | columnsort | bucket | ...), so a CI matrix
+   can run one leg per engine. *)
 
 open Bechamel
 open Toolkit
@@ -72,6 +76,11 @@ let wallclock_tests () =
     Test.make ~name:"sort-columnsort-8k" (Staged.stage (fun () ->
         let _, a = fresh Workloads.Uniform in
         Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.columnsort ~m:128 a));
+    (* m = 128 >= the default-Z bucket geometry's 114-block floor at
+       B = 8, so this times the butterfly pipeline, not the fallback. *)
+    Test.make ~name:"sort-bucket-8k" (Staged.stage (fun () ->
+        let _, a = fresh Workloads.Uniform in
+        Odex_sortnet.Ext_sort.run (Odex_sortnet.Ext_sort.bucket ()) ~m:128 a));
     Test.make ~name:"hier-oram-access-1k" (Staged.stage (fun () ->
         let s = Storage.create ~trace_mode:Trace.Off ~block_size:4 () in
         let rng = Odex_crypto.Rng.create ~seed:7 in
@@ -149,6 +158,18 @@ let rec extract_shards = function
       let shards, cleaned = extract_shards rest in
       (shards, arg :: cleaned)
 
+(* Pull `--sorter NAME` out likewise (JSON mode: narrow E15's engine
+   sweep to the named sorter — one matrix leg per CI job). *)
+let rec extract_sorter = function
+  | [] -> (None, [])
+  | "--sorter" :: name :: rest ->
+      let _, cleaned = extract_sorter rest in
+      (Some name, cleaned)
+  | [ "--sorter" ] -> failwith "--sorter needs an engine name (batcher | columnsort | bucket)"
+  | arg :: rest ->
+      let sorter, cleaned = extract_sorter rest in
+      (sorter, arg :: cleaned)
+
 (* Pull the bare `--prefetch` flag out likewise. *)
 let extract_prefetch args =
   (List.mem "--prefetch" args, List.filter (fun a -> a <> "--prefetch") args)
@@ -162,10 +183,11 @@ let () =
   let backend, args = extract_backend (List.tl (Array.to_list Sys.argv)) in
   let profile, args = extract_profile args in
   let shards, args = extract_shards args in
+  let sorter, args = extract_sorter args in
   let prefetch, args = extract_prefetch args in
   let journal, args = extract_journal args in
   match args with
-  | "--json" :: ids -> Json_bench.run ?backend ?shards ~prefetch ~journal ?profile ids
+  | "--json" :: ids -> Json_bench.run ?backend ?shards ~prefetch ~journal ?sorter ?profile ids
   | args ->
       let backend_name = Option.value backend ~default:"mem" in
       let shard_count = Option.value shards ~default:1 in

@@ -181,18 +181,46 @@ let profile_arg =
 (* ---- sort ---- *)
 
 let sort_cmd =
-  let run block_size m seed backend store shards profile journal resume file =
+  let sorter_arg =
+    let doc =
+      "Sorting engine: the default is the paper's full pipeline (shuffle + spill-free \
+       scan with network fallback, Theorem 21); name one of $(b,batcher), \
+       $(b,columnsort), $(b,bucket), $(b,bitonic-windowed), $(b,cache) or $(b,auto) to \
+       run that registered network directly. The bucket engine derives its routing coins \
+       from $(b,--seed), so a fixed seed reproduces the permutation exactly."
+    in
+    Arg.(value & opt (some string) None & info [ "sorter" ] ~docv:"ENGINE" ~doc)
+  in
+  let run block_size m seed backend store shards profile journal resume sorter file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
       let server, a, rng =
         setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
       in
-      let outcome = Odex.Sort.run ~m ~rng a in
+      let ok =
+        match sorter with
+        | None -> (Odex.Sort.run ~m ~rng a).Odex.Sort.ok
+        | Some name -> (
+            match Odex_sortnet.Ext_sort.find ~seed name with
+            | None ->
+                prerr_endline
+                  ("unknown sorter " ^ name
+                 ^ " (available: batcher columnsort bucket bitonic bitonic-windowed cache \
+                    auto)");
+                Storage.close server;
+                exit 2
+            | Some eng -> (
+                match Odex_sortnet.Ext_sort.run eng ~m a with
+                | () -> true
+                | exception Odex_sortnet.Bucket_sort.Overflow msg ->
+                    prerr_endline ("; bucket overflow (coin-public): " ^ msg);
+                    false))
+      in
       List.iter
         (fun (it : Cell.item) -> print_endline (string_of_int it.key))
         (Ext_array.items a);
-      Printf.printf "; ok = %b\n" outcome.Odex.Sort.ok;
+      Printf.printf "; ok = %b\n" ok;
       report_trace server;
       report_profile server profile;
       (* Commit the journal tail and flush: without this, a journaled
@@ -204,7 +232,7 @@ let sort_cmd =
   Cmd.v (Cmd.info "sort" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ sorter_arg $ file_arg)
 
 (* ---- select ---- *)
 

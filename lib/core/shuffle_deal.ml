@@ -12,6 +12,20 @@ let shuffle ~rng a =
       Ext_array.write_block a j bi)
     (Odex_crypto.Permutation.swap_sequence rng n)
 
+type engine = [ `Knuth | `Bucket ]
+
+let shuffle_with ~engine ~m ~rng a =
+  match engine with
+  | `Knuth ->
+      shuffle ~rng a;
+      true
+  | `Bucket ->
+      if Ext_array.blocks a > m && m < 18 then begin
+        shuffle ~rng a;
+        true
+      end
+      else (Odex_sortnet.Oblivious_permutation.run_blocks ~rng ~m a).ok
+
 type deal = { outputs : Ext_array.t array; ok : bool }
 
 let block_color ~color_of blk =

@@ -21,6 +21,19 @@ val shuffle : rng:Odex_crypto.Rng.t -> Ext_array.t -> unit
     uniform block in [\[i, n)]. 4 I/Os per step; addresses depend only
     on the coins. *)
 
+type engine = [ `Knuth | `Bucket ]
+
+val shuffle_with : engine:engine -> m:int -> rng:Odex_crypto.Rng.t -> Ext_array.t -> bool
+(** [`Knuth] is {!shuffle} (always complete). [`Bucket] routes whole
+    blocks through the bucket-oblivious butterfly
+    ({!Odex_sortnet.Oblivious_permutation.run_blocks}) — 2 I/Os per
+    block-level instead of 4 per step — falling back to the Knuth
+    shuffle when the cache is too small for the bucket geometry
+    (m < 18, a public condition). Returns false iff a bucket overflowed
+    and blocks were dropped (coin-public probability
+    {!Odex_sortnet.Bucket_sort.overflow_bound}; the caller must treat
+    it as data loss). *)
+
 type deal = {
   outputs : Ext_array.t array;  (** One array per color. *)
   ok : bool;  (** False iff the carry budget overflowed and blocks were dropped. *)

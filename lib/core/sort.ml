@@ -68,7 +68,7 @@ let sample_pivots ~m ~rng ~q a =
    the deal carry, loose-compaction region overflow — which failure
    sweeping must NOT be allowed to mask: sweeping restores sortedness,
    not lost items. The per-node boolean tracks repairable unsortedness. *)
-let rec sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~depth ~path a =
+let rec sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~shuffle_engine ~damage ~depth ~path a =
   let n = Ext_array.blocks a in
   let b_sz = Ext_array.block_size a in
   (* Regime selection is public (n, m, B only). *)
@@ -104,7 +104,11 @@ let rec sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~d
           Multiway.consolidate ~colors ~color_of a)
     in
     (* 3. Shuffle and deal. *)
-    Ext_array.with_span a "sort.shuffle" (fun () -> Shuffle_deal.shuffle ~rng consolidated);
+    let shuffled =
+      Ext_array.with_span a "sort.shuffle" (fun () ->
+          Shuffle_deal.shuffle_with ~engine:shuffle_engine ~m ~rng consolidated)
+    in
+    if not shuffled then begin ok := false; damage := true end;
     let window = max (2 * colors) (m / 2) in
     let per_color = Emodel.ceil_div window colors in
     (* Quota just above the mean rate; bursts ride in the carry buffer
@@ -167,7 +171,8 @@ let rec sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~d
       let sorted =
         Array.mapi
           (fun i d ->
-            sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage
+            sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~shuffle_engine
+              ~damage
               ~depth:(depth + 1)
               ~path:((path * 64) + i + 1)
               d)
@@ -202,24 +207,24 @@ let rec sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~d
     end
   end
 
-let sort_padded ?(sweep = true) ?(bucket_engine = `Auto) ~m ~rng a =
+let sort_padded ?(sweep = true) ?(bucket_engine = `Auto) ?(shuffle = `Knuth) ~m ~rng a =
   let damage = ref false in
   let arr, ok =
     sort_padded_rec ~m ~rng ~inject_failure:(fun _ -> false) ~sweep ~bucket_engine
+      ~shuffle_engine:shuffle ~damage ~depth:0 ~path:0 a
+  in
+  (arr, ok && not !damage)
+
+let sort_padded_with_injection ?(sweep = true) ?(bucket_engine = `Auto) ?(shuffle = `Knuth)
+    ~m ~rng ~inject_failure a =
+  let damage = ref false in
+  let arr, ok =
+    sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~shuffle_engine:shuffle
       ~damage ~depth:0 ~path:0 a
   in
   (arr, ok && not !damage)
 
-let sort_padded_with_injection ?(sweep = true) ?(bucket_engine = `Auto) ~m ~rng
-    ~inject_failure a =
-  let damage = ref false in
-  let arr, ok =
-    sort_padded_rec ~m ~rng ~inject_failure ~sweep ~bucket_engine ~damage ~depth:0
-      ~path:0 a
-  in
-  (arr, ok && not !damage)
-
-let run ?sweep ?bucket_engine ~m ~rng a =
+let run ?sweep ?bucket_engine ?shuffle ~m ~rng a =
   let n = Ext_array.blocks a in
   let storage = Ext_array.storage a in
   (* Work on a copy so [a]'s final state is exactly the dense sorted
@@ -228,7 +233,7 @@ let run ?sweep ?bucket_engine ~m ~rng a =
   for i = 0 to n - 1 do
     Ext_array.write_block work i (Ext_array.read_block a i)
   done;
-  let padded, ok = sort_padded ?sweep ?bucket_engine ~m ~rng work in
+  let padded, ok = sort_padded ?sweep ?bucket_engine ?shuffle ~m ~rng work in
   (* Final pass (paper: "we perform a tight order-preserving compaction
      for all of A using Theorem 6"): consolidate cells into full blocks
      in sorted order, compact the blocks to the front, copy back. *)

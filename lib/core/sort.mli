@@ -41,17 +41,21 @@ type outcome = {
 val run :
   ?sweep:bool ->
   ?bucket_engine:[ `Auto | `Skip | `Loose | `Butterfly ] ->
+  ?shuffle:Shuffle_deal.engine ->
   m:int ->
   rng:Odex_crypto.Rng.t ->
   Ext_array.t ->
   outcome
 (** [run ~m ~rng a] sorts the items of [a] in place by (key, tag):
     items in non-decreasing order at the front, empties after.
-    Requires [m >= 3]. *)
+    Requires [m >= 3]. [shuffle] selects the per-level block shuffle
+    engine (default [`Knuth]; [`Bucket] is the bucket-oblivious
+    butterfly, see {!Shuffle_deal.shuffle_with}). *)
 
 val sort_padded :
   ?sweep:bool ->
   ?bucket_engine:[ `Auto | `Skip | `Loose | `Butterfly ] ->
+  ?shuffle:Shuffle_deal.engine ->
   m:int ->
   rng:Odex_crypto.Rng.t ->
   Ext_array.t ->
@@ -63,6 +67,7 @@ val sort_padded :
 val sort_padded_with_injection :
   ?sweep:bool ->
   ?bucket_engine:[ `Auto | `Skip | `Loose | `Butterfly ] ->
+  ?shuffle:Shuffle_deal.engine ->
   m:int ->
   rng:Odex_crypto.Rng.t ->
   inject_failure:(int -> bool) ->

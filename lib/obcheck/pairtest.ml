@@ -54,6 +54,33 @@ let pair_inputs ~seed ~n =
   let b = fill ~rng:(Odex_crypto.Rng.create ~seed:(seed lxor 0xB0B00)) ~base:keyspan in
   (a, b)
 
+(* A rank-isomorphic pair: same shape and same *relative order* (cell i
+   of run A compares to cell j exactly as in run B), but every key and
+   value is disjoint — A maps the shared rank r to 2r, B to 2r+1, both
+   strictly monotone with interleaved (disjoint) images. This is the
+   certificate for comparison-driven subjects whose schedule is a
+   function of the rank sequence (e.g. the bucket sort's merge phase):
+   trace equality here proves the trace reveals nothing beyond shape
+   and ranks, and the statistical check (Statcheck.trace_distribution)
+   separately proves the rank-dependence is whitened by the coins. *)
+let pair_inputs_isomorphic ~seed ~n =
+  let shape_rng = Odex_crypto.Rng.create ~seed:(seed lxor 0x5117) in
+  let occupied = Array.init n (fun _ -> Odex_crypto.Rng.int shape_rng 4 <> 0) in
+  let keyspan = 4 * max 1 n in
+  let rank_rng = Odex_crypto.Rng.create ~seed:(seed lxor 0x4A11) in
+  let ranks =
+    Array.map (fun occ -> if occ then Odex_crypto.Rng.int rank_rng keyspan else 0) occupied
+  in
+  let fill ~parity =
+    Array.mapi
+      (fun i occ ->
+        if occ then
+          Cell.item ~key:((2 * ranks.(i)) + parity) ~value:((2 * ranks.(i)) + parity) ()
+        else Cell.empty)
+      occupied
+  in
+  (fill ~parity:0, fill ~parity:1)
+
 (* One monitored run: fresh storage on the requested backend, the input
    laid out uncounted, the algorithm's coins fixed by [seed]. Returns the
    live trace (for span divergence) alongside the summary numbers. The
@@ -90,9 +117,13 @@ let execute ?telemetry ?(prefetch = false) subject ~backend ~b ~m ~seed cells =
       in
       (tr, info, kind))
 
-let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch subject
-    ~n_cells ~b ~m =
-  let cells_a, cells_b = pair_inputs ~seed ~n:n_cells in
+let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch
+    ?(pair = `Disjoint) subject ~n_cells ~b ~m =
+  let cells_a, cells_b =
+    match pair with
+    | `Disjoint -> pair_inputs ~seed ~n:n_cells
+    | `Isomorphic -> pair_inputs_isomorphic ~seed ~n:n_cells
+  in
   (* The sink (if any) instruments run A only, while run B stays
      uninstrumented: [oblivious = true] then also certifies that enabling
      telemetry changed not a single trace op. *)

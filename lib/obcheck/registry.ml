@@ -1,7 +1,15 @@
 open Odex_extmem
 open Odex
 
-type entry = { subject : Pairtest.subject; n_cells : int; b : int; m : int }
+type cert = [ `Exact | `Isomorphic ]
+
+type entry = {
+  subject : Pairtest.subject;
+  n_cells : int;
+  b : int;
+  m : int;
+  cert : cert;
+}
 
 let sub name run = { Pairtest.name; run }
 
@@ -41,6 +49,22 @@ let quantiles =
       if item_count a > 0 then ignore (Quantiles.run ~m ~rng ~q:3 a))
 
 let sort = sub "sort" (fun ~rng ~m _s a -> ignore (Sort.run ~m ~rng a))
+
+(* Bucket oblivious sort + its routing-only permutation (DESIGN.md §12).
+   The permutation's trace is a pure function of (shape, coins) —
+   exact-certified; the sorter's merge phase reads runs in rank order,
+   so it is certified rank-isomorphically (plus the statistical
+   distribution check in Statcheck). Shapes are the smallest that push
+   the default bucket geometry through the real pipeline:
+   n = 512 blocks > m = 256 >= 4·zb + 2 with zb = 54. *)
+
+let bucket_sort =
+  sub "bucket-sort" (fun ~rng ~m _s a ->
+      Odex_sortnet.Ext_sort.run (Odex_sortnet.Ext_sort.bucket_rng rng) ~m a)
+
+let oblivious_permutation =
+  sub "oblivious-permutation" (fun ~rng ~m _s a ->
+      ignore (Odex_sortnet.Oblivious_permutation.run ~rng ~m a))
 
 (* ORAM subjects: the input array only supplies the value payloads (its
    item count is shape, hence equal across a pair); the access sequence
@@ -84,20 +108,24 @@ let hierarchical_oram =
    test-suite smoke run. *)
 let all =
   [
-    { subject = consolidation; n_cells = 512; b = 4; m = 8 };
-    { subject = butterfly; n_cells = 512; b = 4; m = 8 };
-    { subject = tight_compaction; n_cells = 512; b = 4; m = 8 };
-    { subject = loose_compaction; n_cells = 1024; b = 4; m = 32 };
-    { subject = logstar_compaction; n_cells = 512; b = 4; m = 16 };
-    { subject = selection; n_cells = 1024; b = 4; m = 16 };
-    { subject = quantiles; n_cells = 1024; b = 4; m = 16 };
-    { subject = sort; n_cells = 768; b = 4; m = 16 };
-    { subject = linear_oram; n_cells = 96; b = 4; m = 8 };
-    { subject = sqrt_oram; n_cells = 96; b = 4; m = 16 };
-    { subject = hierarchical_oram; n_cells = 96; b = 4; m = 16 };
+    { subject = consolidation; n_cells = 512; b = 4; m = 8; cert = `Exact };
+    { subject = butterfly; n_cells = 512; b = 4; m = 8; cert = `Exact };
+    { subject = tight_compaction; n_cells = 512; b = 4; m = 8; cert = `Exact };
+    { subject = loose_compaction; n_cells = 1024; b = 4; m = 32; cert = `Exact };
+    { subject = logstar_compaction; n_cells = 512; b = 4; m = 16; cert = `Exact };
+    { subject = selection; n_cells = 1024; b = 4; m = 16; cert = `Exact };
+    { subject = quantiles; n_cells = 1024; b = 4; m = 16; cert = `Exact };
+    { subject = sort; n_cells = 768; b = 4; m = 16; cert = `Exact };
+    { subject = bucket_sort; n_cells = 2048; b = 4; m = 256; cert = `Isomorphic };
+    { subject = oblivious_permutation; n_cells = 2048; b = 4; m = 256; cert = `Exact };
+    { subject = linear_oram; n_cells = 96; b = 4; m = 8; cert = `Exact };
+    { subject = sqrt_oram; n_cells = 96; b = 4; m = 16; cert = `Exact };
+    { subject = hierarchical_oram; n_cells = 96; b = 4; m = 16; cert = `Exact };
   ]
 
 let find name = List.find_opt (fun e -> e.subject.Pairtest.name = name) all
+
+let pair_mode e = match e.cert with `Exact -> `Disjoint | `Isomorphic -> `Isomorphic
 
 (* Backends the obliviousness suite runs against. Each call returns a
    fresh spec: a file store gets its own temp path (remove it with

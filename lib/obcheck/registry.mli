@@ -4,11 +4,20 @@
     three ORAM constructions, each with a default shape (N, B, m) big
     enough to leave its in-cache base case. *)
 
+type cert = [ `Exact | `Isomorphic ]
+(** How a subject's obliviousness is certified: [`Exact] subjects have a
+    fixed trace across value-disjoint inputs ({!Pairtest.pair_inputs});
+    [`Isomorphic] subjects (comparison-driven schedules, e.g. the bucket
+    sort's merge) are pair-tested on rank-isomorphic inputs
+    ({!Pairtest.pair_inputs_isomorphic}) and additionally certified
+    statistically by {!Statcheck.trace_distribution}. *)
+
 type entry = {
   subject : Pairtest.subject;
   n_cells : int;
   b : int;
   m : int;
+  cert : cert;  (** Pair mode every harness must use for this subject. *)
 }
 
 val consolidation : Pairtest.subject
@@ -19,12 +28,18 @@ val logstar_compaction : Pairtest.subject
 val selection : Pairtest.subject
 val quantiles : Pairtest.subject
 val sort : Pairtest.subject
+val bucket_sort : Pairtest.subject
+val oblivious_permutation : Pairtest.subject
 val linear_oram : Pairtest.subject
 val sqrt_oram : Pairtest.subject
 val hierarchical_oram : Pairtest.subject
 
 val all : entry list
 val find : string -> entry option
+
+val pair_mode : entry -> [ `Disjoint | `Isomorphic ]
+(** The {!Pairtest.check} [pair] argument mandated by the entry's
+    [cert]. *)
 
 val backend_names : string list
 (** ["mem"; "file"; "faulty"] — every storage backend the obliviousness

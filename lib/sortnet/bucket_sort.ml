@@ -1,0 +1,576 @@
+open Odex_extmem
+
+type plan = { zb : int; z : int; half : int; beta : int; levels : int }
+
+(* β·L·e^{-Z/6} < 2^-48 needs Z > 6·(48·ln 2 + ln(β·L)); 144 covers the
+   constant and 6·log₂ n dominates ln(β·L) with a wide margin. *)
+let default_z_cells ~n_cells = 144 + (6 * Emodel.ilog2_ceil (max 2 n_cells))
+
+let make_plan ~b ~z_cells ~n_cells =
+  if b < 1 || z_cells < 1 || n_cells < 1 then invalid_arg "Bucket_sort.make_plan";
+  (* Even zb keeps the initial half-fill block-aligned, so the scatter
+     and routing move whole blocks; >= 4 keeps the run areas inside the
+     2·β·zb scratch budget. *)
+  let zb = max 4 (Emodel.ceil_div z_cells b) in
+  let zb = if zb land 1 = 1 then zb + 1 else zb in
+  let z = zb * b in
+  let half = z / 2 in
+  let beta = 1 lsl Emodel.ilog2_ceil (max 2 (Emodel.ceil_div n_cells half)) in
+  { zb; z; half; beta; levels = Emodel.ilog2_floor beta }
+
+(* A routing node gathers two source buckets and builds the two split
+   sides privately before writing either back. *)
+let feasible ~m plan = (4 * plan.zb) + 2 <= m
+
+let plan_for ~b ~m ~n_cells =
+  let p = make_plan ~b ~z_cells:(default_z_cells ~n_cells) ~n_cells in
+  if feasible ~m p then Some p else None
+
+let auto_plan ~b ~m ~n_cells =
+  let cap = (m - 2) / 4 in
+  let cap = cap - (cap land 1) in
+  if cap < 4 then None
+  else
+    let p = make_plan ~b ~z_cells:(default_z_cells ~n_cells) ~n_cells in
+    if p.zb <= cap then Some p else Some (make_plan ~b ~z_cells:(cap * b) ~n_cells)
+
+let overflow_bound plan =
+  Float.min 1.
+    (Float.of_int (plan.beta * plan.levels) *. Float.exp (-.Float.of_int plan.z /. 6.))
+
+(* Coin streams. Only the routing levels and the finalize priorities
+   consume randomness, each from its own seed derived from [master], so
+   a resumed run replays the exact streams of the crashed one. *)
+let mix master salt = master lxor (salt * 0x9E3779B9) lxor 0x5bd1e995
+
+let level_rng ~master l = Odex_crypto.Rng.create ~seed:(mix master (l + 1))
+let finalize_rng ~master = Odex_crypto.Rng.create ~seed:(mix master 0x0F1A71)
+
+(* Initial fill: bucket g holds input blocks [g·zb/2, (g+1)·zb/2) — a
+   pure function of the shape. Counts are in cells. *)
+let initial_counts plan ~b ~n_blocks =
+  let hb = plan.zb / 2 in
+  Array.init plan.beta (fun g -> b * max 0 (min hb (n_blocks - (g * hb))))
+
+(* Replay the whole routing's coin stream and produce the occupancy
+   table: counts.(l) is the per-bucket cell count entering level l (and
+   counts.(levels) the final occupancy). Pure — this is how a resumed
+   run recovers Alice's private state, and how the Monte-Carlo sweep
+   measures overflow without I/O. The draw order (pair by pair, source
+   g's cells then h's) must match [route_level] exactly. *)
+let simulate plan ~master ~b ~n_blocks =
+  let table = Array.make (plan.levels + 1) [||] in
+  table.(0) <- initial_counts plan ~b ~n_blocks;
+  let overflow = ref false in
+  for l = 0 to plan.levels - 1 do
+    let prev = table.(l) in
+    let next = Array.make plan.beta 0 in
+    let rng = level_rng ~master l in
+    let stride = 1 lsl l in
+    for g = 0 to plan.beta - 1 do
+      if g land stride = 0 then begin
+        let h = g lor stride in
+        let nlo = ref 0 and nhi = ref 0 in
+        for _ = 1 to prev.(g) + prev.(h) do
+          if Odex_crypto.Rng.bool rng then incr nhi else incr nlo
+        done;
+        if !nlo > plan.z || !nhi > plan.z then overflow := true;
+        next.(g) <- min plan.z !nlo;
+        next.(h) <- min plan.z !nhi
+      end
+    done;
+    table.(l + 1) <- next
+  done;
+  (table, !overflow)
+
+let simulate_overflow plan ~master ~b ~n_blocks =
+  snd (simulate plan ~master ~b ~n_blocks)
+
+(* Checkpoint scaffold, same shape as the bitonic path: one slot per
+   owner, phase counter + scratch base as cursor, cleared on completion.
+   Phases re-run after a crash are byte-identical because each one
+   reads only areas the previous checkpoint committed. *)
+let attach_scratch storage ~owner ~blocks =
+  let ck = Storage.journaled storage in
+  let done_phase, done_cursor =
+    if ck then Storage.checkpoint_state storage ~owner else (0, 0)
+  in
+  let scratch, done_phase =
+    if done_phase > 0 && done_cursor >= 0 && done_cursor + blocks <= Storage.capacity storage
+    then (Ext_array.view storage ~base:done_cursor ~blocks, done_phase)
+    else (Ext_array.create storage ~blocks, 0)
+  in
+  let counter = ref 0 in
+  let run_phase f =
+    incr counter;
+    if !counter > done_phase then begin
+      f ();
+      if ck then
+        Storage.checkpoint storage ~owner ~phase:!counter ~cursor:(Ext_array.base scratch)
+    end
+  in
+  let finish () = if ck then Storage.checkpoint storage ~owner ~phase:0 ~cursor:0 in
+  (scratch, run_phase, finish)
+
+(* Move the initial half-fills into area [dst]: whole-block copies,
+   shape-determined. *)
+let scatter_phase a dst plan =
+  let n = Ext_array.blocks a in
+  let hb = plan.zb / 2 in
+  let g = ref 0 in
+  let off = ref 0 in
+  while !off < n do
+    let len = min hb (n - !off) in
+    Ext_array.write_blocks dst (!g * plan.zb) (Ext_array.read_blocks a !off ~count:len);
+    off := !off + len;
+    incr g
+  done
+
+(* One butterfly level: for each bucket pair (g, g|2^l), MergeSplit by a
+   fresh coin bit per cell. Reads the occupied prefix of [src] (count
+   from the replayed table), writes packed prefixes into [dst]; cells
+   beyond a bucket's count are stale and never read. Excess cells on an
+   overflowing side are dropped — the trace is already fixed by the
+   counts, so the drop is Alice-private. *)
+let route_level ~src ~dst plan ~before ~master l =
+  let b = Ext_array.block_size src in
+  let rng = level_rng ~master l in
+  let stride = 1 lsl l in
+  let gather bucket =
+    let cnt = before.(bucket) in
+    if cnt = 0 then [||]
+    else begin
+      let blks = Ext_array.read_blocks src (bucket * plan.zb) ~count:(Emodel.ceil_div cnt b) in
+      Array.init cnt (fun j -> blks.(j / b).(j mod b))
+    end
+  in
+  let scatter bucket side cnt =
+    let cnt = min plan.z cnt in
+    if cnt > 0 then begin
+      let blks = Array.init (Emodel.ceil_div cnt b) (fun _ -> Block.make b) in
+      for j = 0 to cnt - 1 do
+        blks.(j / b).(j mod b) <- side.(j)
+      done;
+      Ext_array.write_blocks dst (bucket * plan.zb) blks
+    end
+  in
+  for g = 0 to plan.beta - 1 do
+    if g land stride = 0 then begin
+      let h = g lor stride in
+      let cells_g = gather g and cells_h = gather h in
+      let lo = Array.make plan.z Cell.empty and hi = Array.make plan.z Cell.empty in
+      let nlo = ref 0 and nhi = ref 0 in
+      let route c =
+        if Odex_crypto.Rng.bool rng then begin
+          if !nhi < plan.z then hi.(!nhi) <- c;
+          incr nhi
+        end
+        else begin
+          if !nlo < plan.z then lo.(!nlo) <- c;
+          incr nlo
+        end
+      in
+      Array.iter route cells_g;
+      Array.iter route cells_h;
+      scatter g lo !nlo;
+      scatter h hi !nhi
+    end
+  done
+
+(* Emit every counted cell of [src]'s buckets in a fresh uniform
+   within-bucket order, streamed through one staging block; pad the
+   tail with empties so exactly [blocks a] blocks are written. *)
+let finalize_cells ~src plan ~counts ~master a =
+  let b = Ext_array.block_size a in
+  let n = Ext_array.blocks a in
+  let rng = finalize_rng ~master in
+  let staging = Block.make b in
+  let fill = ref 0 and out = ref 0 in
+  let emit c =
+    staging.(!fill) <- c;
+    incr fill;
+    if !fill = b then begin
+      Ext_array.write_block a !out (Block.copy staging);
+      incr out;
+      fill := 0
+    end
+  in
+  let emitted = ref 0 in
+  for g = 0 to plan.beta - 1 do
+    let cnt = counts.(g) in
+    if cnt > 0 then begin
+      let blks = Ext_array.read_blocks src (g * plan.zb) ~count:(Emodel.ceil_div cnt b) in
+      let keyed =
+        Array.init cnt (fun j -> (Odex_crypto.Rng.int rng 0x3FFFFFFF, j, blks.(j / b).(j mod b)))
+      in
+      Array.sort (fun (p, i, _) (q, j, _) -> compare (p, i) (q, j)) keyed;
+      Array.iter (fun (_, _, c) -> emit c) keyed;
+      emitted := !emitted + cnt
+    end
+  done;
+  for _ = !emitted + 1 to n * b do
+    emit Cell.empty
+  done
+
+type outcome = { ok : bool }
+
+(* In-cache fallback: one load of the whole array, a private
+   Fisher–Yates over the cells, one flush — fixed trace. *)
+let cache_permute ~master ~m a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  let cache = Cache.create (Ext_array.storage a) ~capacity:m in
+  Cache.load_run cache (Ext_array.base a) ~count:n;
+  let cells = Array.make (n * b) Cell.empty in
+  for i = 0 to n - 1 do
+    Array.blit (Cache.borrow cache (Ext_array.addr a i)) 0 cells (i * b) b
+  done;
+  let rng = finalize_rng ~master in
+  for i = Array.length cells - 1 downto 1 do
+    let j = Odex_crypto.Rng.int rng (i + 1) in
+    let t = cells.(i) in
+    cells.(i) <- cells.(j);
+    cells.(j) <- t
+  done;
+  for i = 0 to n - 1 do
+    Array.blit cells (i * b) (Cache.borrow cache (Ext_array.addr a i)) 0 b
+  done;
+  Cache.flush_all cache
+
+let permute ?z_cells ~rng ~m a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  if n = 0 then { ok = true }
+  else begin
+    let master = Odex_crypto.Rng.int rng 0x3FFFFFFF in
+    if n <= m then begin
+      cache_permute ~master ~m a;
+      { ok = true }
+    end
+    else begin
+      let plan =
+        match z_cells with
+        | Some z ->
+            let p = make_plan ~b ~z_cells:z ~n_cells:(n * b) in
+            if not (feasible ~m p) then
+              invalid_arg "Bucket_sort.permute: bucket size does not fit the cache";
+            p
+        | None -> (
+            match auto_plan ~b ~m ~n_cells:(n * b) with
+            | Some p -> p
+            | None -> invalid_arg "Bucket_sort.permute: need m >= 18 blocks")
+      in
+      let storage = Ext_array.storage a in
+      let owner = Printf.sprintf "bucket-perm/%d/%d" (Ext_array.base a) n in
+      let area = plan.beta * plan.zb in
+      let scratch, run_phase, finish = attach_scratch storage ~owner ~blocks:(2 * area) in
+      let area_a = Ext_array.sub scratch ~off:0 ~len:area in
+      let area_b = Ext_array.sub scratch ~off:area ~len:area in
+      let counts, overflow = simulate plan ~master ~b ~n_blocks:n in
+      run_phase (fun () -> scatter_phase a area_a plan);
+      for l = 0 to plan.levels - 1 do
+        let src, dst = if l land 1 = 0 then (area_a, area_b) else (area_b, area_a) in
+        run_phase (fun () -> route_level ~src ~dst plan ~before:counts.(l) ~master l)
+      done;
+      let final = if plan.levels land 1 = 1 then area_b else area_a in
+      run_phase (fun () -> finalize_cells ~src:final plan ~counts:counts.(plan.levels) ~master a);
+      finish ();
+      { ok = not overflow }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Block-granularity routing: blocks travel through the butterfly
+   unopened, for shuffle passes whose blocks must stay intact.        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_permute_blocks ~master ~m a =
+  let n = Ext_array.blocks a in
+  let cache = Cache.create (Ext_array.storage a) ~capacity:m in
+  Cache.load_run cache (Ext_array.base a) ~count:n;
+  let blks = Array.init n (fun i -> Block.copy (Cache.borrow cache (Ext_array.addr a i))) in
+  let rng = finalize_rng ~master in
+  for i = n - 1 downto 1 do
+    let j = Odex_crypto.Rng.int rng (i + 1) in
+    let t = blks.(i) in
+    blks.(i) <- blks.(j);
+    blks.(j) <- t
+  done;
+  for i = 0 to n - 1 do
+    Array.blit blks.(i) 0 (Cache.borrow cache (Ext_array.addr a i)) 0 (Array.length blks.(i))
+  done;
+  Cache.flush_all cache
+
+let route_level_blocks ~src ~dst plan ~before ~master l =
+  let rng = level_rng ~master l in
+  let stride = 1 lsl l in
+  for g = 0 to plan.beta - 1 do
+    if g land stride = 0 then begin
+      let h = g lor stride in
+      let gather bucket =
+        let cnt = before.(bucket) in
+        if cnt = 0 then [||] else Ext_array.read_blocks src (bucket * plan.zb) ~count:cnt
+      in
+      let blks_g = gather g and blks_h = gather h in
+      let lo = ref [] and hi = ref [] in
+      let nlo = ref 0 and nhi = ref 0 in
+      let route blk =
+        if Odex_crypto.Rng.bool rng then begin
+          if !nhi < plan.z then hi := blk :: !hi;
+          incr nhi
+        end
+        else begin
+          if !nlo < plan.z then lo := blk :: !lo;
+          incr nlo
+        end
+      in
+      Array.iter route blks_g;
+      Array.iter route blks_h;
+      let scatter bucket side =
+        let blks = Array.of_list (List.rev side) in
+        if Array.length blks > 0 then Ext_array.write_blocks dst (bucket * plan.zb) blks
+      in
+      scatter g !lo;
+      scatter h !hi
+    end
+  done
+
+let finalize_blocks ~src plan ~counts ~master a =
+  let b = Ext_array.block_size a in
+  let n = Ext_array.blocks a in
+  let rng = finalize_rng ~master in
+  let out = ref 0 in
+  for g = 0 to plan.beta - 1 do
+    let cnt = counts.(g) in
+    if cnt > 0 then begin
+      let blks = Ext_array.read_blocks src (g * plan.zb) ~count:cnt in
+      let keyed = Array.mapi (fun j blk -> (Odex_crypto.Rng.int rng 0x3FFFFFFF, j, blk)) blks in
+      Array.sort (fun (p, i, _) (q, j, _) -> compare (p, i) (q, j)) keyed;
+      Array.iter
+        (fun (_, _, blk) ->
+          Ext_array.write_block a !out blk;
+          incr out)
+        keyed
+    end
+  done;
+  for i = !out to n - 1 do
+    Ext_array.write_block a i (Block.make b)
+  done
+
+let permute_blocks ?z_blocks ~rng ~m a =
+  let n = Ext_array.blocks a in
+  if n = 0 then { ok = true }
+  else begin
+    let master = Odex_crypto.Rng.int rng 0x3FFFFFFF in
+    if n <= m then begin
+      cache_permute_blocks ~master ~m a;
+      { ok = true }
+    end
+    else begin
+      (* A b=1 plan over the block count gives the block-level geometry:
+         zb and z coincide and counts are in blocks. *)
+      let plan =
+        match z_blocks with
+        | Some z ->
+            let p = make_plan ~b:1 ~z_cells:z ~n_cells:n in
+            if not (feasible ~m p) then
+              invalid_arg "Bucket_sort.permute_blocks: bucket size does not fit the cache";
+            p
+        | None -> (
+            match auto_plan ~b:1 ~m ~n_cells:n with
+            | Some p -> p
+            | None -> invalid_arg "Bucket_sort.permute_blocks: need m >= 18 blocks")
+      in
+      let storage = Ext_array.storage a in
+      let owner = Printf.sprintf "bucket-perm/%d/%d" (Ext_array.base a) n in
+      let area = plan.beta * plan.zb in
+      let scratch, run_phase, finish = attach_scratch storage ~owner ~blocks:(2 * area) in
+      let area_a = Ext_array.sub scratch ~off:0 ~len:area in
+      let area_b = Ext_array.sub scratch ~off:area ~len:area in
+      let counts, overflow = simulate plan ~master ~b:1 ~n_blocks:n in
+      run_phase (fun () -> scatter_phase a area_a plan);
+      for l = 0 to plan.levels - 1 do
+        let src, dst = if l land 1 = 0 then (area_a, area_b) else (area_b, area_a) in
+        run_phase (fun () -> route_level_blocks ~src ~dst plan ~before:counts.(l) ~master l)
+      done;
+      let final = if plan.levels land 1 = 1 then area_b else area_a in
+      run_phase (fun () ->
+          finalize_blocks ~src:final plan ~counts:counts.(plan.levels) ~master a);
+      finish ();
+      { ok = not overflow }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The sorter: route, locally sort bucket groups into runs, merge.    *)
+(* ------------------------------------------------------------------ *)
+
+exception Overflow of string
+
+(* Stream-merge [runs] (offset, cell-count pairs inside [src]) into a
+   packed run at [dst_off] of [dst]: one lazily-refilled block per input
+   run plus one staging output block. The read schedule visits every
+   occupied block of every input run exactly once; only the visit
+   *order* is data-driven (by ranks), which the rank-isomorphic pair
+   mode certifies. *)
+let merge_group ~cmp ~src ~dst ~dst_off runs =
+  let b = Ext_array.block_size src in
+  let k = Array.length runs in
+  let buf = Array.make k [||] in
+  let bpos = Array.make k 0 in
+  let bidx = Array.make k 0 in
+  let left = Array.map snd runs in
+  let load r =
+    buf.(r) <- Ext_array.read_block src (fst runs.(r) + bidx.(r));
+    bidx.(r) <- bidx.(r) + 1;
+    bpos.(r) <- 0
+  in
+  for r = 0 to k - 1 do
+    if left.(r) > 0 then load r
+  done;
+  let staging = Block.make b in
+  let fill = ref 0 and out = ref dst_off in
+  let total = Array.fold_left ( + ) 0 left in
+  for _ = 1 to total do
+    let best = ref (-1) in
+    for r = 0 to k - 1 do
+      if left.(r) > 0 then
+        if !best < 0 then best := r
+        else if cmp buf.(r).(bpos.(r)) buf.(!best).(bpos.(!best)) < 0 then best := r
+    done;
+    let r = !best in
+    staging.(!fill) <- buf.(r).(bpos.(r));
+    incr fill;
+    if !fill = b then begin
+      Ext_array.write_block dst !out (Block.copy staging);
+      incr out;
+      fill := 0
+    end;
+    bpos.(r) <- bpos.(r) + 1;
+    left.(r) <- left.(r) - 1;
+    if left.(r) > 0 && bpos.(r) = b then load r
+  done;
+  if !fill > 0 then begin
+    for j = !fill to b - 1 do
+      staging.(j) <- Cell.empty
+    done;
+    Ext_array.write_block dst !out (Block.copy staging)
+  end
+
+let sort ~plan ~master ~real ~cmp ~m a =
+  let n = Ext_array.blocks a in
+  let b = Ext_array.block_size a in
+  if not (feasible ~m plan) then invalid_arg "Bucket_sort.sort: plan does not fit the cache";
+  if n = 0 then ()
+  else begin
+    let storage = Ext_array.storage a in
+    let owner = Printf.sprintf "bucket-sort/%d/%d" (Ext_array.base a) n in
+    let area = plan.beta * plan.zb in
+    let scratch, run_phase, finish = attach_scratch storage ~owner ~blocks:(2 * area) in
+    let area_a = Ext_array.sub scratch ~off:0 ~len:area in
+    let area_b = Ext_array.sub scratch ~off:area ~len:area in
+    let counts, overflow = simulate plan ~master ~b ~n_blocks:n in
+    run_phase (fun () -> scatter_phase a area_a plan);
+    for l = 0 to plan.levels - 1 do
+      let src, dst = if l land 1 = 0 then (area_a, area_b) else (area_b, area_a) in
+      run_phase (fun () -> route_level ~src ~dst plan ~before:counts.(l) ~master l)
+    done;
+    let routed, spare =
+      if plan.levels land 1 = 1 then (area_b, area_a) else (area_a, area_b)
+    in
+    (* Local sort: groups of [gpr] routed buckets become one sorted run
+       in [spare], packed at shape-and-coin-determined offsets. The run
+       count is shape-determined, so the merge phase structure is too. *)
+    let final_counts = counts.(plan.levels) in
+    let gpr = max 1 (m / (2 * plan.zb)) in
+    let nruns = Emodel.ceil_div plan.beta gpr in
+    let run_cells =
+      Array.init nruns (fun j ->
+          let cells = ref 0 in
+          for g = j * gpr to min plan.beta ((j + 1) * gpr) - 1 do
+            cells := !cells + final_counts.(g)
+          done;
+          !cells)
+    in
+    let run_offs = Array.make nruns 0 in
+    for j = 1 to nruns - 1 do
+      run_offs.(j) <- run_offs.(j - 1) + Emodel.ceil_div run_cells.(j - 1) b
+    done;
+    run_phase (fun () ->
+        for j = 0 to nruns - 1 do
+          let cells = Array.make run_cells.(j) Cell.empty in
+          let pos = ref 0 in
+          for g = j * gpr to min plan.beta ((j + 1) * gpr) - 1 do
+            let cnt = final_counts.(g) in
+            if cnt > 0 then begin
+              let blks =
+                Ext_array.read_blocks routed (g * plan.zb) ~count:(Emodel.ceil_div cnt b)
+              in
+              for i = 0 to cnt - 1 do
+                cells.(!pos) <- blks.(i / b).(i mod b);
+                incr pos
+              done
+            end
+          done;
+          Array.sort cmp cells;
+          let nb = Emodel.ceil_div run_cells.(j) b in
+          if nb > 0 then begin
+            let blks = Array.init nb (fun _ -> Block.make b) in
+            Array.iteri (fun i c -> blks.(i / b).(i mod b) <- c) cells;
+            Ext_array.write_blocks spare run_offs.(j) blks
+          end
+        done);
+    (* Merge passes ping-pong between the two areas until one run
+       remains. *)
+    let fan = max 2 (min nruns (m - 1)) in
+    let rec passes src dst runs =
+      if Array.length runs <= 1 then (src, runs)
+      else begin
+        let k = Array.length runs in
+        let ngroups = Emodel.ceil_div k fan in
+        let out_runs = Array.make ngroups (0, 0) in
+        let off = ref 0 in
+        for gj = 0 to ngroups - 1 do
+          let lo = gj * fan and hi = min k ((gj + 1) * fan) in
+          let cells = ref 0 in
+          for r = lo to hi - 1 do
+            cells := !cells + snd runs.(r)
+          done;
+          out_runs.(gj) <- (!off, !cells);
+          off := !off + Emodel.ceil_div !cells b
+        done;
+        run_phase (fun () ->
+            for gj = 0 to ngroups - 1 do
+              let lo = gj * fan and hi = min k ((gj + 1) * fan) in
+              merge_group ~cmp ~src ~dst ~dst_off:(fst out_runs.(gj))
+                (Array.sub runs lo (hi - lo))
+            done);
+        passes dst src out_runs
+      end
+    in
+    let runs0 = Array.init nruns (fun j -> (run_offs.(j), run_cells.(j))) in
+    let final_area, _ = passes spare routed runs0 in
+    if overflow then begin
+      (* The full schedule above already ran (the event is coin-public,
+         so both members of a pair stop identically); leave [a] intact. *)
+      finish ();
+      raise
+        (Overflow
+           (Printf.sprintf "bucket sort: bucket overflow (Z = %d cells, beta = %d)" plan.z
+              plan.beta))
+    end;
+    (* Copy-back reads both the merged result and the array's current
+       content: a dummy pass writes the latter back, so selective runs
+       keep their fixed trace without touching the data. *)
+    run_phase (fun () ->
+        let chunk = max 1 (min 32 ((m - 1) / 2)) in
+        let off = ref 0 in
+        while !off < n do
+          let len = min chunk (n - !off) in
+          let merged = Ext_array.read_blocks final_area !off ~count:len in
+          let current = Ext_array.read_blocks a !off ~count:len in
+          Ext_array.write_blocks a !off (if real then merged else current);
+          off := !off + len
+        done);
+    finish ()
+  end

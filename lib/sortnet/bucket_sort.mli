@@ -1,0 +1,120 @@
+(** Bucket oblivious sort and oblivious random permutation — Asharov,
+    Chan, Nayak, Pass, Ren, Shi, "Bucket Oblivious Sort: An Extremely
+    Simple Oblivious Sort" (arXiv:2008.01765), adapted to the paper's
+    external-memory model (DESIGN.md §12).
+
+    Elements are routed through a log-depth butterfly of β buckets of
+    Z cells each: at level i, the per-node MergeSplit primitive splits a
+    bucket pair by one fresh uniform coin bit per element, so after
+    log₂ β levels every element sits in a uniformly random bucket.
+    A random within-bucket order then yields a uniformly random
+    permutation of the input (conditioned on no bucket overflowing,
+    which fails with probability ≤ β·L·e^{-Z/6}); locally sorting the
+    routed buckets and merging the runs yields an O(n log n)-work sort.
+
+    Obliviousness model: destination labels are never written to
+    storage — the coin bit for level i is drawn lazily at level i, and
+    the per-bucket occupancy counts live in Alice's private memory.
+    Counts are a pure function of the coins given the input {e shape},
+    so every read and write below depends only on (n, B, M, Z) and the
+    coins: {!permute} has a fully fixed trace, and {!sort}'s trace
+    depends on data only through the rank order that its run-formation
+    and merge phases consume (certified by the rank-isomorphic pair
+    mode plus the statistical trace-distribution check, see
+    {!Odex_obcheck.Pairtest} and {!Odex_obcheck.Statcheck}).
+
+    Crash-resume: both pipelines checkpoint once per butterfly level /
+    merge pass (owners ["bucket-perm/<base>/<n>"] and
+    ["bucket-sort/<base>/<n>"]). Levels route between two ping-pong
+    scratch areas, so every phase reads only data the previous
+    checkpoint committed and re-running a torn phase is byte-identical;
+    the private counts are re-derived on resume by replaying the coins
+    with {!simulate_overflow}'s machinery. *)
+
+open Odex_extmem
+
+type plan = private {
+  zb : int;  (** bucket capacity in blocks (even, >= 4) *)
+  z : int;  (** bucket capacity in cells: zb·B *)
+  half : int;  (** initial fill per bucket in cells: z/2 *)
+  beta : int;  (** number of buckets (power of two, >= 2) *)
+  levels : int;  (** butterfly depth: log₂ β *)
+}
+
+val default_z_cells : n_cells:int -> int
+(** [144 + 6·⌈log₂ n⌉]: drives the union-bound failure probability
+    β·L·e^{-Z/6} below ~2^{-48} at any feasible n. *)
+
+val make_plan : b:int -> z_cells:int -> n_cells:int -> plan
+(** Derive the butterfly geometry for [n_cells] cells in blocks of [b]
+    with bucket capacity ~[z_cells] (rounded up so buckets are an even
+    number of blocks, at least 4). *)
+
+val feasible : m:int -> plan -> bool
+(** A routing node holds two source buckets plus the two split sides in
+    Alice's memory: [4·zb + 2 <= m]. *)
+
+val plan_for : b:int -> m:int -> n_cells:int -> plan option
+(** The sorter's plan: {!default_z_cells} capacity, [None] when the
+    cache cannot honour {!feasible} (callers fall back to a
+    deterministic network). *)
+
+val auto_plan : b:int -> m:int -> n_cells:int -> plan option
+(** The permutation's plan: {!default_z_cells} capped to what [m]
+    admits ([zb <= (m-2)/4]); [None] below [m = 18]. Smaller caps trade
+    failure probability ({!overflow_bound}) for cache, never trace
+    shape. *)
+
+val overflow_bound : plan -> float
+(** Analytic union bound on the probability that any bucket overflows:
+    [min 1 (β·L·e^{-Z/6})] — each bucket-level event is a sum of
+    independent indicators with mean ≤ Z/2, Chernoff-bounded at
+    e^{-Z/6}. *)
+
+val simulate_overflow : plan -> master:int -> b:int -> n_blocks:int -> bool
+(** Replay the coin stream of a routing with master seed [master] (no
+    I/O) and report whether any bucket would overflow. This is the
+    exact counts computation the real pipelines use, exposed for the
+    Monte-Carlo sweeps in [test_properties.ml]. *)
+
+exception Overflow of string
+(** Raised by {!sort} (after completing its full I/O schedule, with the
+    array untouched and the checkpoint slot cleared) when a bucket
+    overflowed. The event depends only on the coins — probability
+    {!overflow_bound} — never on the data. *)
+
+val sort :
+  plan:plan ->
+  master:int ->
+  real:bool ->
+  cmp:(Cell.t -> Cell.t -> int) ->
+  m:int ->
+  Ext_array.t ->
+  unit
+(** One bucket-oblivious sort pass over the whole array: scatter,
+    [levels] butterfly levels, per-group local sort into runs, k-way
+    merge passes, copy-back. Requires [feasible ~m plan] and
+    [blocks a > m] (smaller inputs belong to the cache sorter).
+    [cmp] must order [Cell.Empty] last. When [real] is false the
+    entire pipeline still runs on the scratch areas (identical trace)
+    but the copy-back rewrites the array's own content, leaving it
+    untouched. Usually reached through {!Ext_sort.bucket}. *)
+
+type outcome = { ok : bool }
+(** [ok = false]: a bucket overflowed; the output is a uniformly random
+    arrangement of the surviving cells, padded with empties
+    (Alice-private, trace unchanged). *)
+
+val permute : ?z_cells:int -> rng:Odex_crypto.Rng.t -> m:int -> Ext_array.t -> outcome
+(** Oblivious random permutation of the {e cells} of the array: route
+    through the butterfly, then emit each final bucket in a fresh
+    uniform order. Inputs that fit in cache ([blocks a <= m]) are
+    permuted privately behind the same fixed load/flush trace. The
+    trace is a function of (shape, coins) only. *)
+
+val permute_blocks :
+  ?z_blocks:int -> rng:Odex_crypto.Rng.t -> m:int -> Ext_array.t -> outcome
+(** Same routing at {e block} granularity: blocks travel through the
+    butterfly unopened. This is the drop-in replacement for the Knuth
+    shuffle in shuffle-and-deal passes ({!Odex.Shuffle_deal}), where
+    block payloads must stay intact. *)

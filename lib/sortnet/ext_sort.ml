@@ -202,4 +202,49 @@ let auto =
 
 let columnsort = { name = "columnsort"; exec = Columnsort.exec }
 
-let all = [ cache_sort; bitonic; bitonic_windowed; columnsort ]
+(* ------------------------------------------------------------------ *)
+(* Bucket oblivious sort (Asharov et al., DESIGN.md §12). Dispatch is
+   public (n, B, M only): in-cache inputs use the cache sorter, inputs
+   whose bucket geometry does not fit Alice's memory fall back to the
+   windowed bitonic network, everything else runs the O(n log n)
+   butterfly pipeline. *)
+
+let bucket_exec ~master ~real ~cmp ~m a =
+  let n = Ext_array.blocks a in
+  if n = 0 then ()
+  else if n <= m then cache_sort_exec ~real ~cmp ~m a
+  else
+    match Bucket_sort.plan_for ~b:(Ext_array.block_size a) ~m ~n_cells:(n * Ext_array.block_size a) with
+    | Some plan -> Bucket_sort.sort ~plan ~master ~real ~cmp ~m a
+    | None -> bitonic_exec ~levels_per_pass:(fun m -> Emodel.ilog2_floor m) ~real ~cmp ~m a
+
+let bucket ?(seed = 0xB0C4E7) () =
+  {
+    name = "bucket";
+    exec =
+      (fun ~real ~cmp ~m a ->
+        (* A fresh stream per exec: the same sorter value replays the
+           same coins on every invocation (deterministic, resumable). *)
+        let rng = Odex_crypto.Rng.create ~seed in
+        bucket_exec ~master:(Odex_crypto.Rng.int rng 0x3FFFFFFF) ~real ~cmp ~m a);
+  }
+
+let bucket_rng rng =
+  {
+    name = "bucket";
+    exec =
+      (fun ~real ~cmp ~m a ->
+        bucket_exec ~master:(Odex_crypto.Rng.int rng 0x3FFFFFFF) ~real ~cmp ~m a);
+  }
+
+let all = [ cache_sort; bitonic; bitonic_windowed; columnsort; bucket () ]
+
+let find ?seed name =
+  match name with
+  | "cache" -> Some cache_sort
+  | "bitonic" | "batcher" -> Some bitonic
+  | "bitonic-windowed" -> Some bitonic_windowed
+  | "columnsort" -> Some columnsort
+  | "bucket" -> Some (bucket ?seed ())
+  | "auto" -> Some auto
+  | _ -> None

@@ -65,8 +65,34 @@ val columnsort : t
 val auto : t
 (** [cache_sort] when the array fits in cache, else [bitonic_windowed]. *)
 
+val bucket : ?seed:int -> unit -> t
+(** Bucket oblivious sort ({!Bucket_sort}, DESIGN.md §12): route the
+    cells through a log-depth butterfly of size-Z buckets under fresh
+    random labels, locally sort the buckets into runs, k-way merge —
+    O((N/B)·log(N/B)) I/Os against the bitonic network's log² factor.
+    Dispatch is public: in-cache inputs use [cache_sort]; when the
+    default bucket geometry does not fit Alice's memory
+    (m < 4·⌈Z/B⌉ + 2) it falls back to [bitonic_windowed]. The same
+    sorter value replays the same coins on every invocation; overflow
+    (probability {!Bucket_sort.overflow_bound}, ≈2^{-48} at the default
+    Z) raises {!Bucket_sort.Overflow} after completing the full I/O
+    schedule. Unlike the fixed-circuit sorters, its merge phase's read
+    {e order} is rank-driven: certified by the rank-isomorphic pair
+    mode plus the statistical trace-distribution check instead of the
+    exact pair test. [run_selective ~real:false] runs the whole
+    pipeline on scratch (identical trace) and restores the array's own
+    content in the copy-back. *)
+
+val bucket_rng : Odex_crypto.Rng.t -> t
+(** Same, drawing each invocation's coins from the caller's stream. *)
+
 val all : t list
 (** The concrete algorithms (not [auto]), for benches and audits. *)
+
+val find : ?seed:int -> string -> t option
+(** Look up a sorter by name for CLI/bench selection: ["cache"],
+    ["bitonic"] (alias ["batcher"]), ["bitonic-windowed"],
+    ["columnsort"], ["bucket"], ["auto"]. *)
 
 val merge_split :
   cmp:(Cell.t -> Cell.t -> int) -> ascending:bool -> Block.t -> Block.t -> unit

@@ -1,0 +1,4 @@
+type outcome = Bucket_sort.outcome = { ok : bool }
+
+let run ?z_cells ~rng ~m a = Bucket_sort.permute ?z_cells ~rng ~m a
+let run_blocks ?z_blocks ~rng ~m a = Bucket_sort.permute_blocks ?z_blocks ~rng ~m a

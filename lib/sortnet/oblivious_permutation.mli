@@ -1,0 +1,22 @@
+(** Oblivious random permutation: the bucket sort's routing phase alone
+    (arXiv:2008.01765 §3) — route under fresh uniform labels, then emit
+    each bucket in a fresh uniform order; no tags ever reach storage.
+    Conditioned on no bucket overflowing (probability
+    {!Bucket_sort.overflow_bound}), the output is a uniformly random
+    arrangement of the input cells; the address trace is a function of
+    (shape, coins) only, so it passes the {e exact} pair test. *)
+
+open Odex_extmem
+
+type outcome = Bucket_sort.outcome = { ok : bool }
+
+val run : ?z_cells:int -> rng:Odex_crypto.Rng.t -> m:int -> Ext_array.t -> outcome
+(** Permute the cells of the array in place. [z_cells] overrides the
+    bucket capacity (tests); by default it is {!Bucket_sort.default_z_cells}
+    capped to what [m] admits. Requires [m >= 18] for out-of-cache
+    inputs; in-cache inputs are permuted privately behind a fixed
+    load/flush trace. *)
+
+val run_blocks : ?z_blocks:int -> rng:Odex_crypto.Rng.t -> m:int -> Ext_array.t -> outcome
+(** Permute whole blocks without opening them — the drop-in replacement
+    for the Knuth shuffle in shuffle-and-deal passes. *)

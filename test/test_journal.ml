@@ -446,6 +446,205 @@ let test_kill_at_every_op_sweep () =
   Alcotest.(check bool) "some crash points resumed mid-sort (not from scratch)" true
     !saw_mid_sort_resume
 
+(* ---------------- bucket sort: kill-at-every-op ---------------- *)
+
+(* The same sweep against the bucket oblivious sort's own checkpoints
+   (owner "bucket-sort/<base>/<n>"): scatter, each butterfly level, run
+   formation, each merge pass, copy-back. The pair here is
+   rank-isomorphic (shared rank r maps to 2r / 2r+1), because the merge
+   phase's read order is rank-driven — recovery must still be
+   bit-identical across the pair at every crash point. *)
+let bk_cells = 40 (* 20 blocks of 2 against m = 18: zb = 4 is the floor *)
+let bk_b = 2
+let bk_m = 18
+let bk_plan = Odex_sortnet.Bucket_sort.make_plan ~b:bk_b ~z_cells:8 ~n_cells:bk_cells
+
+(* The overflow event is coin-public; the sweep wants the success path,
+   so pick the first master whose (pure) coin replay routes cleanly. *)
+let bk_master =
+  let rec find c =
+    if c > 5000 then failwith "no clean master below 5000 (Z=8 routing broken?)"
+    else if
+      Odex_sortnet.Bucket_sort.simulate_overflow bk_plan ~master:c ~b:bk_b
+        ~n_blocks:(bk_cells / bk_b)
+    then find (c + 1)
+    else c
+  in
+  lazy (find 0)
+
+let bk_rank_keys =
+  let ranks =
+    let a = Array.init bk_cells (fun i -> i) in
+    let rng = Odex_crypto.Rng.create ~seed:0xB5EED in
+    for i = bk_cells - 1 downto 1 do
+      let j = Odex_crypto.Rng.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  fun parity -> Array.map (fun r -> (2 * r) + parity) ranks
+
+let bucket_sort_once s cells =
+  let a = Ext_array.of_cells s ~block_size:bk_b cells in
+  Odex_sortnet.Bucket_sort.sort ~plan:bk_plan ~master:(Lazy.force bk_master) ~real:true
+    ~cmp:Cell.compare_keys ~m:bk_m a;
+  a
+
+let bucket_full_sort_ios keys =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+  let spec = Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false } in
+  let s = Storage.create ~trace_mode:Trace.Digest ~backend:spec ~block_size:bk_b () in
+  Fun.protect
+    ~finally:(fun () -> Storage.close s)
+    (fun () ->
+      let cells = Util.cells_of_keys keys in
+      let a = Ext_array.of_cells s ~block_size:bk_b cells in
+      let before = Stats.total (Storage.stats s) in
+      Odex_sortnet.Bucket_sort.sort ~plan:bk_plan ~master:(Lazy.force bk_master) ~real:true
+        ~cmp:Cell.compare_keys ~m:bk_m a;
+      Stats.total (Storage.stats s) - before)
+
+let bucket_sweep_point ~keys ~full_ios k =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+  let cipher = Odex_crypto.Cipher.key_of_int 99 in
+  let payload_size = 8 + Block.encoded_size bk_b in
+  let cells = Util.cells_of_keys keys in
+  let nblocks = bk_cells / bk_b in
+  let crash_spec =
+    Storage.Journaled
+      {
+        inner = Storage.Crashing { inner = Storage.File { path = sp }; ops = k };
+        path = jp;
+        durable = false;
+      }
+  in
+  let s = Storage.create ~cipher ~trace_mode:Trace.Digest ~backend:crash_spec ~block_size:bk_b () in
+  let crashed, appends =
+    match
+      ignore (bucket_sort_once s cells);
+      Storage.close s
+    with
+    | () -> (false, [])
+    | exception Backend.Crashed ->
+        let ap = Storage.journal_appends s in
+        Storage.abandon s;
+        (true, ap)
+  in
+  let scan_at_crash = scan_sealed sp ~payload_size in
+  let resume_spec =
+    Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false }
+  in
+  let s2 =
+    Storage.create ~cipher ~resume:true ~trace_mode:Trace.Digest ~backend:resume_spec
+      ~block_size:bk_b ()
+  in
+  let replays = Storage.journal_replay s2 in
+  let owner = Printf.sprintf "bucket-sort/0/%d" nblocks in
+  let resumed_phase, _ = Storage.checkpoint_state s2 ~owner in
+  let a2 =
+    if resumed_phase > 0 && Storage.capacity s2 >= nblocks then
+      (* The scatter phase committed, so the input was fully consumed:
+         re-attach and let the sort skip its finished phases. *)
+      Ext_array.view s2 ~base:0 ~blocks:nblocks
+    else if Storage.capacity s2 >= nblocks then begin
+      let v = Ext_array.view s2 ~base:0 ~blocks:nblocks in
+      for i = 0 to nblocks - 1 do
+        let blk = Block.make bk_b in
+        for j = 0 to bk_b - 1 do
+          let idx = (i * bk_b) + j in
+          if idx < Array.length cells then blk.(j) <- cells.(idx)
+        done;
+        Ext_array.write_block v i blk
+      done;
+      v
+    end
+    else Ext_array.of_cells s2 ~block_size:bk_b cells
+  in
+  let before = Stats.total (Storage.stats s2) in
+  Odex_sortnet.Bucket_sort.sort ~plan:bk_plan ~master:(Lazy.force bk_master) ~real:true
+    ~cmp:Cell.compare_keys ~m:bk_m a2;
+  let resumed_ios = Stats.total (Storage.stats s2) - before in
+  let got = List.map (fun (it : Cell.item) -> it.key) (Ext_array.items a2) in
+  let expect = List.sort compare (Array.to_list keys) in
+  if got <> expect then
+    Alcotest.failf "bucket k=%d: resumed sort wrong — got [%s], want [%s]" k
+      (String.concat ";" (List.map string_of_int got))
+      (String.concat ";" (List.map string_of_int expect));
+  if resumed_phase > 0 && resumed_ios >= full_ios then
+    Alcotest.failf
+      "bucket k=%d: resume from phase %d cost %d I/Os, full run costs %d — no progress kept" k
+      resumed_phase resumed_ios full_ios;
+  (* The completed run must always clear its slot. *)
+  Alcotest.(check (pair int int))
+    (Printf.sprintf "bucket k=%d: slot cleared" k)
+    (0, 0)
+    (Storage.checkpoint_state s2 ~owner);
+  Storage.close s2;
+  check_no_nonce_reuse
+    (Printf.sprintf "bucket k=%d" k)
+    (scan_at_crash @ scan_sealed sp ~payload_size);
+  { crashed; appends; replays; resumed_phase; resumed_ios }
+
+let test_bucket_kill_at_every_op_sweep () =
+  let keys_a = bk_rank_keys 0 and keys_b = bk_rank_keys 1 in
+  let full_a = bucket_full_sort_ios keys_a in
+  let full_b = bucket_full_sort_ios keys_b in
+  Alcotest.(check int) "isomorphic pair costs the same full sort" full_a full_b;
+  let schedule = Alcotest.(list (pair int int)) in
+  let saw_mid_sort_resume = ref false in
+  let rec go k =
+    if k > 4000 then Alcotest.fail "bucket sweep never reached a crash-free run";
+    let oa = bucket_sweep_point ~keys:keys_a ~full_ios:full_a k in
+    let ob = bucket_sweep_point ~keys:keys_b ~full_ios:full_b k in
+    Alcotest.(check bool) (Printf.sprintf "bucket k=%d: same fate" k) oa.crashed ob.crashed;
+    Alcotest.check schedule
+      (Printf.sprintf "bucket k=%d: same append schedule" k)
+      oa.appends ob.appends;
+    Alcotest.check schedule
+      (Printf.sprintf "bucket k=%d: same replay schedule" k)
+      oa.replays ob.replays;
+    Alcotest.(check int)
+      (Printf.sprintf "bucket k=%d: same resumed phase" k)
+      oa.resumed_phase ob.resumed_phase;
+    Alcotest.(check int)
+      (Printf.sprintf "bucket k=%d: same resumed I/O count" k)
+      oa.resumed_ios ob.resumed_ios;
+    if oa.resumed_phase > 0 then saw_mid_sort_resume := true;
+    if oa.crashed then go (k + 1)
+  in
+  go 0;
+  Alcotest.(check bool) "some crash points resumed mid-sort (not from scratch)" true
+    !saw_mid_sort_resume
+
+(* Journaling must stay invisible to the counted schedule for the new
+   sorter too, including its checkpoint writes. *)
+let test_bucket_trace_parity_journal_on_off () =
+  with_temp_pair (fun sp jp ->
+      let keys = bk_rank_keys 0 in
+      let run backend =
+        let s = Storage.create ~trace_mode:Trace.Digest ~backend ~block_size:bk_b () in
+        Fun.protect
+          ~finally:(fun () -> Storage.close s)
+          (fun () ->
+            let a = bucket_sort_once s (Util.cells_of_keys keys) in
+            Util.check_sorted_by_key (Storage.backend_kind s) a;
+            let st = Storage.stats s and tr = Storage.trace s in
+            (Stats.reads st, Stats.writes st, Trace.length tr, Trace.digest tr))
+      in
+      let r0, w0, l0, d0 = run (Storage.File { path = sp }) in
+      cleanup [ sp ];
+      let r1, w1, l1, d1 =
+        run (Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false })
+      in
+      Alcotest.(check int) "same reads" r0 r1;
+      Alcotest.(check int) "same writes" w0 w1;
+      Alcotest.(check int) "same trace length" l0 l1;
+      Alcotest.(check int64) "same trace digest" d0 d1)
+
 (* ---------------- ORAM checkpoint smoke ---------------- *)
 
 let test_oram_rebuild_checkpoints () =
@@ -478,5 +677,8 @@ let suite =
     ("foreign journal rejected", `Quick, test_foreign_journal_rejected);
     ("trace parity with journaling on and off", `Quick, test_trace_parity_journal_on_off);
     ("kill-at-every-op sweep", `Slow, test_kill_at_every_op_sweep);
+    ("bucket sort kill-at-every-op sweep", `Slow, test_bucket_kill_at_every_op_sweep);
+    ("bucket sort journal on/off trace parity", `Quick,
+      test_bucket_trace_parity_journal_on_off);
     ("ORAM rebuild checkpoints clear", `Quick, test_oram_rebuild_checkpoints);
   ]

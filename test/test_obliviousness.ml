@@ -27,7 +27,8 @@ let registry_cases =
                 ~finally:(fun () -> Storage.remove_spec_files spec)
                 (fun () ->
                   let o =
-                    Pairtest.check ~backend:spec e.subject ~n_cells:e.n_cells ~b:e.b ~m:e.m
+                    Pairtest.check ~backend:spec ~pair:(Registry.pair_mode e) e.subject
+                      ~n_cells:e.n_cells ~b:e.b ~m:e.m
                   in
                   Alcotest.(check bool)
                     (Format.asprintf "%a" Pairtest.pp_outcome o)
@@ -52,6 +53,9 @@ let registry_cases =
 let fuzz_m_floor name ~n_blocks =
   match name with
   | "loose-compaction" -> (3 * Emodel.ilog2_ceil (max 2 n_blocks)) + 1
+  (* The butterfly permutation needs 4 buckets of >= 4 blocks plus the
+     split buffers in cache for out-of-cache inputs. *)
+  | "oblivious-permutation" -> 18
   | _ -> 4
 
 (* Size ceiling per subject: ORAM subjects pay 2·N accesses (quadratic
@@ -88,7 +92,7 @@ let fuzz_case (e : Registry.entry) =
             }
         else Storage.Mem
       in
-      let o = Pairtest.check ~seed ~backend e.subject ~n_cells ~b ~m in
+      let o = Pairtest.check ~seed ~backend ~pair:(Registry.pair_mode e) e.subject ~n_cells ~b ~m in
       if not o.Pairtest.oblivious then
         QCheck2.Test.fail_reportf "%a" Pairtest.pp_outcome o;
       true)

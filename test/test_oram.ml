@@ -84,10 +84,18 @@ let test_sqrt_oram_repeated_same_address () =
     Alcotest.(check int) "stable" 123 (Sqrt_oram.read t 7)
   done
 
+(* The bucket engine's dispatch is public (n, B, M): at these rebuild
+   shapes it routes through the cache sorter or the bitonic fallback,
+   which is exactly what an ORAM wired to `--sorter bucket` would do —
+   the variant runs certify the plumbing, not the butterfly. *)
 let test_sqrt_oram_sorter_variants () =
   List.iter
     (fun sorter -> ignore (exercise_sqrt_oram ~sorter ~n:40 ~ops:150 ~seed:5))
-    [ Odex_sortnet.Ext_sort.bitonic; Odex_sortnet.Ext_sort.bitonic_windowed ]
+    [
+      Odex_sortnet.Ext_sort.bitonic;
+      Odex_sortnet.Ext_sort.bitonic_windowed;
+      Odex_sortnet.Ext_sort.bucket ();
+    ]
 
 let test_sqrt_oram_value_oblivious () =
   (* Same virtual access sequence, same coins, different stored values:
@@ -189,7 +197,11 @@ let test_hier_value_oblivious () =
 let test_hier_sorter_variants () =
   List.iter
     (fun sorter -> ignore (exercise_hier ~sorter ~n:40 ~ops:120 ~seed:14))
-    [ Odex_sortnet.Ext_sort.bitonic; Odex_sortnet.Ext_sort.bitonic_windowed ]
+    [
+      Odex_sortnet.Ext_sort.bitonic;
+      Odex_sortnet.Ext_sort.bitonic_windowed;
+      Odex_sortnet.Ext_sort.bucket ();
+    ]
 
 let suite =
   [

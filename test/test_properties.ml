@@ -435,9 +435,122 @@ let test_sweep_repairs_obliviously () =
   in
   Alcotest.(check int) "every failure pattern repaired under the baseline trace" 0 failures
 
+(* --- bucket oblivious sort: the 2^-Omega(Z) overflow bound ---------- *)
+
+(* The routing's only failure mode is a bucket overflow, and the event
+   is a pure function of the coins: Bucket_sort.simulate_overflow
+   replays exactly the coin stream the pipeline would draw, so the
+   Monte-Carlo sweep needs no I/O at all. Shape: n = 2Z cells in unit
+   blocks gives beta = 4 buckets over 2 levels, so the union bound
+   beta*L*e^{-Z/6} = 8e^{-Z/6} evaluates to 0.556 / 0.0387 / 1.8e-4 at
+   Z = 16 / 32 / 64 — every measured rate must sit at or below its
+   bound, and the rates must not grow as Z doubles. *)
+let bucket_overflow_failures ~trials ~z =
+  let plan = Odex_sortnet.Bucket_sort.make_plan ~b:1 ~z_cells:z ~n_cells:(2 * z) in
+  let failures =
+    Odex.Failure_sweep.monte_carlo ~trials ~seed:(0xB0C4 + z) (fun ~rng ~trial:_ ->
+        not
+          (Odex_sortnet.Bucket_sort.simulate_overflow plan
+             ~master:(Odex_crypto.Rng.int rng 0x3FFFFFFF)
+             ~b:1 ~n_blocks:(2 * z)))
+  in
+  (failures, Odex_sortnet.Bucket_sort.overflow_bound plan)
+
+let test_bucket_overflow_bound () =
+  let trials = 400 in
+  let rates =
+    List.map
+      (fun z ->
+        let failures, bound = bucket_overflow_failures ~trials ~z in
+        (* Ceiling: the analytic bound plus 3 binomial standard
+           deviations of headroom — measured rates run far below the
+           Chernoff bound, so tripping this means broken routing. *)
+        let sigma = sqrt (bound *. (1. -. bound) *. Float.of_int trials) in
+        let ceiling = (bound *. Float.of_int trials) +. (3. *. sigma) +. 2. in
+        if Float.of_int failures > ceiling then
+          Alcotest.failf "Z=%d: %d/%d overflows exceeds bound %.4f (ceiling %.1f)" z failures
+            trials bound ceiling;
+        failures)
+      [ 16; 32; 64 ]
+  in
+  match rates with
+  | [ r16; r32; r64 ] ->
+      Alcotest.(check bool) "overflow rate falls as Z doubles" true (r16 >= r32 && r32 >= r64)
+  | _ -> assert false
+
+(* Negative control pinning the sweep's power: at Z = 4 the exponent is
+   gone (bound = 1) and the real pipeline must overflow in at least
+   half the runs — through the actual permutation, not the simulator,
+   so the control also certifies the two agree on the failure event. *)
+let test_bucket_undersized_z_overflows () =
+  let trials = 40 in
+  let b = 1 and n_blocks = 64 in
+  let failures =
+    Odex.Failure_sweep.monte_carlo ~trials ~seed:0xBAD2 (fun ~rng ~trial:_ ->
+        let cells =
+          Array.init (n_blocks * b) (fun i ->
+              Cell.item ~key:(Odex_crypto.Rng.int rng 10_000) ~value:i ())
+        in
+        let (o : Odex_sortnet.Bucket_sort.outcome), _ =
+          Util.with_array ~b cells (fun _s a ->
+              Odex_sortnet.Oblivious_permutation.run ~z_cells:4 ~rng ~m:18 a)
+        in
+        o.ok)
+  in
+  if failures * 2 < trials then
+    Alcotest.failf "undersized Z=4 permutation succeeded %d/%d times - the bound sweep has no power"
+      (trials - failures) trials
+
+(* The same sweep through the real permutation at Z = 32 (the fence):
+   failures are reported via outcome.ok, survivors must still hold the
+   input multiset (padded with empties, never silently wrong). *)
+let test_bucket_real_overflow_rate () =
+  let trials = 60 in
+  let b = 1 and n_blocks = 256 in
+  let plan = Odex_sortnet.Bucket_sort.make_plan ~b ~z_cells:32 ~n_cells:n_blocks in
+  let bound = Odex_sortnet.Bucket_sort.overflow_bound plan in
+  let failures =
+    Odex.Failure_sweep.monte_carlo ~trials ~seed:0xB32 (fun ~rng ~trial:_ ->
+        let keys = Array.init n_blocks (fun i -> i * 17 mod 1009) in
+        let (o : Odex_sortnet.Bucket_sort.outcome), a =
+          Util.with_array ~b (Util.cells_of_keys keys) (fun _s a ->
+              Odex_sortnet.Oblivious_permutation.run ~z_cells:32 ~rng ~m:130 a)
+        in
+        if o.ok then Util.check_multiset "surviving permutation" keys a;
+        o.ok)
+  in
+  let sigma = sqrt (bound *. (1. -. bound) *. Float.of_int trials) in
+  if Float.of_int failures > (bound *. Float.of_int trials) +. (3. *. sigma) +. 2. then
+    Alcotest.failf "real permutation overflowed %d/%d times at Z=32 (bound %.3f)" failures
+      trials bound
+
+let prop_shuffle_engines_agree =
+  Util.qcheck_case ~name:"sort shuffle engines both produce the same multiset, sorted"
+    ~count:10
+    QCheck2.Gen.(pair (list_size (int_range 100 500) (int_range (-50) 50)) int)
+    (fun (keys, seed) ->
+      let keys = Array.of_list keys in
+      List.for_all
+        (fun shuffle ->
+          let cells = Util.cells_of_keys keys in
+          let s = Util.storage ~b:4 () in
+          let a = Ext_array.of_cells s ~block_size:4 cells in
+          let rng = Odex_crypto.Rng.create ~seed in
+          (* m = 20 clears the bucket geometry's m >= 18 floor, so the
+             `Bucket leg really routes through the butterfly. *)
+          let o = Sort.run ~shuffle ~m:20 ~rng a in
+          (not o.Sort.ok)
+          || Util.keys_of_items (Ext_array.items a) = List.sort compare (Array.to_list keys))
+        [ `Knuth; `Bucket ])
+
 let suite =
   [
     Alcotest.test_case "MC: loose compaction overflow rate" `Quick test_loose_overflow_rate;
+    Alcotest.test_case "MC: bucket overflow vs 2^-Z/6 bound" `Quick test_bucket_overflow_bound;
+    Alcotest.test_case "MC: bucket undersized-Z control" `Quick
+      test_bucket_undersized_z_overflows;
+    Alcotest.test_case "MC: bucket real overflow rate at Z=32" `Quick
+      test_bucket_real_overflow_rate;
     Alcotest.test_case "MC: IBLT decode rate at load 1/3" `Quick test_iblt_decode_rate;
     Alcotest.test_case "MC: IBLT overload control" `Quick test_iblt_overload_fails;
     Alcotest.test_case "MC: sweep repairs obliviously" `Quick test_sweep_repairs_obliviously;
@@ -449,6 +562,7 @@ let suite =
     prop_logstar_conserves;
     prop_selection_exponent_quarter;
     prop_sort_engines_agree;
+    prop_shuffle_engines_agree;
     prop_run_buf_never_stale;
     prop_prp_roundtrip;
     prop_prp_bijection;

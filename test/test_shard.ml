@@ -141,7 +141,15 @@ let sharded_pair_cases =
           if
             not
               (List.mem name
-                 [ "consolidation"; "selection"; "quantiles"; "sort"; "hier-oram" ])
+                 [
+                   "consolidation";
+                   "selection";
+                   "quantiles";
+                   "sort";
+                   "hier-oram";
+                   "bucket-sort";
+                   "oblivious-permutation";
+                 ])
           then None
           else
             Some
@@ -154,8 +162,8 @@ let sharded_pair_cases =
                      ~finally:(fun () -> Storage.remove_spec_files spec)
                      (fun () ->
                        let o =
-                         Pairtest.check ~backend:spec e.subject ~n_cells:e.n_cells ~b:e.b
-                           ~m:e.m
+                         Pairtest.check ~backend:spec ~pair:(Registry.pair_mode e) e.subject
+                           ~n_cells:e.n_cells ~b:e.b ~m:e.m
                        in
                        Alcotest.(check bool)
                          (Format.asprintf "%a" Pairtest.pp_outcome o)
@@ -209,17 +217,27 @@ let test_prefetch_parity () =
     ]
 
 let test_prefetch_pair_oblivious () =
-  let entry =
-    match Registry.find "consolidation" with
-    | Some e -> e
-    | None -> Alcotest.fail "consolidation not registered"
-  in
-  let o =
-    Pairtest.check ~prefetch:true
-      ~backend:(Storage.Sharded { inner = Storage.Mem; shards = 4; seed = 0x5A4D })
-      entry.subject ~n_cells:entry.n_cells ~b:entry.b ~m:entry.m
-  in
-  Alcotest.(check bool) (Format.asprintf "%a" Pairtest.pp_outcome o) true o.oblivious
+  (* Consolidation plus the two randomized sorters: the prefetch worker
+     must stay invisible under the bucket pipeline's batched scans too
+     (rank-isomorphic pair for the merge phase, exact for the
+     routing-only permutation — same certificates as the plain runs). *)
+  List.iter
+    (fun name ->
+      let entry =
+        match Registry.find name with
+        | Some e -> e
+        | None -> Alcotest.fail (name ^ " not registered")
+      in
+      let o =
+        Pairtest.check ~prefetch:true
+          ~backend:(Storage.Sharded { inner = Storage.Mem; shards = 4; seed = 0x5A4D })
+          ~pair:(Registry.pair_mode entry) entry.subject ~n_cells:entry.n_cells
+          ~b:entry.b ~m:entry.m
+      in
+      Alcotest.(check bool)
+        (Format.asprintf "%s: %a" name Pairtest.pp_outcome o)
+        true o.oblivious)
+    [ "consolidation"; "bucket-sort"; "oblivious-permutation" ]
 
 (* --- sharded length survives close/reopen -------------------------- *)
 

@@ -276,6 +276,230 @@ let prop_bitonic_sorts =
       let got = Util.keys_of_items (Ext_array.items a) in
       got = List.sort compare (Array.to_list keys))
 
+(* ---------------- bucket oblivious sort / oblivious permutation ------- *)
+
+let test_bucket_plan () =
+  let plan = Bucket_sort.make_plan ~b:4 ~z_cells:210 ~n_cells:2048 in
+  Alcotest.(check bool) "zb even" true (plan.Bucket_sort.zb mod 2 = 0);
+  Alcotest.(check bool) "zb >= 4" true (plan.Bucket_sort.zb >= 4);
+  Alcotest.(check int) "z = zb*b" (plan.Bucket_sort.zb * 4) plan.Bucket_sort.z;
+  Alcotest.(check bool) "beta power of two" true
+    (plan.Bucket_sort.beta land (plan.Bucket_sort.beta - 1) = 0);
+  Alcotest.(check int) "levels = log2 beta" plan.Bucket_sort.beta
+    (1 lsl plan.Bucket_sort.levels);
+  Alcotest.(check bool) "half-fill covers n" true
+    (plan.Bucket_sort.beta * plan.Bucket_sort.half >= 2048);
+  Alcotest.(check bool) "registry shape feasible" true (Bucket_sort.feasible ~m:256 plan);
+  (* The sorter's plan_for refuses rather than shrinking Z (a shrunk Z
+     turns the 2^-Omega(Z) failure bound into a DoS); the permutation's
+     auto_plan shrinks, down to its m >= 18 floor. *)
+  Alcotest.(check bool) "plan_for refuses tiny m" true
+    (Bucket_sort.plan_for ~b:4 ~m:32 ~n_cells:2048 = None);
+  Alcotest.(check bool) "auto_plan shrinks for tiny m" true
+    (Bucket_sort.auto_plan ~b:4 ~m:32 ~n_cells:2048 <> None);
+  Alcotest.(check bool) "auto_plan refuses m < 18" true
+    (Bucket_sort.auto_plan ~b:4 ~m:17 ~n_cells:2048 = None);
+  Alcotest.(check bool) "overflow bound tiny at default Z" true
+    (Bucket_sort.overflow_bound (Bucket_sort.make_plan ~b:4
+       ~z_cells:(Bucket_sort.default_z_cells ~n_cells:2048) ~n_cells:2048) < 1e-9)
+
+let test_bucket_sort_correct () =
+  let rng = Odex_crypto.Rng.create ~seed:31 in
+  (* Pipeline scale: 512 blocks of 4 cells against m = 256 — the
+     butterfly, run formation, and merge passes all engage. 1900 is the
+     deliberately non-power-of-two shape. *)
+  run_sort_case (Ext_sort.bucket ()) ~b:4 ~m:256 (Util.random_keys rng 2048 ~bound:4096);
+  run_sort_case (Ext_sort.bucket ()) ~b:4 ~m:256 (Util.random_keys rng 1900 ~bound:50);
+  run_sort_case (Ext_sort.bucket ()) ~b:4 ~m:256 (Array.init 2048 (fun i -> 2048 - i));
+  run_sort_case (Ext_sort.bucket ()) ~b:4 ~m:256 (Array.make 1500 7);
+  (* In-cache inputs dispatch to the cache sorter (public condition). *)
+  run_sort_case (Ext_sort.bucket ()) ~b:4 ~m:64 (Util.random_keys rng 100 ~bound:50)
+
+let test_bucket_custom_cmp () =
+  let cells = Array.init 2048 (fun i -> Cell.item ~tag:(2047 - i) ~key:i ~value:0 ()) in
+  let (), a =
+    Util.with_array ~b:4 cells (fun _s a ->
+        Ext_sort.run (Ext_sort.bucket ()) ~cmp:Cell.compare_by_tag ~m:256 a)
+  in
+  let tags = List.map (fun (it : Cell.item) -> it.tag) (Ext_array.items a) in
+  Alcotest.(check bool) "tags ascending" true (Util.is_sorted_list tags)
+
+let test_bucket_sort_oblivious_isomorphic () =
+  (* The bucket sorter's merge reads are rank-driven, so its certificate
+     is trace equality across rank-isomorphic inputs (same relative
+     order, disjoint values) — the registry pairs it with the
+     `Isomorphic cert for the same reason. *)
+  let n = 2048 in
+  let t keys = sorter_trace (Ext_sort.bucket ()) ~b:4 ~m:256 keys in
+  let t1 = t (Array.init n (fun i -> 2 * i)) in
+  let t2 = t (Array.init n (fun i -> (4 * i) + 1)) in
+  Alcotest.(check bool) "isomorphic inputs, identical traces" true (t1 = t2)
+
+let test_bucket_dummy_pass () =
+  let keys = Array.init 2048 (fun i -> (i * 7919) mod 2048) in
+  let digest real =
+    let s = Util.storage ~b:4 () in
+    let a = Ext_array.of_cells s ~block_size:4 (Util.cells_of_keys keys) in
+    Ext_sort.run_selective (Ext_sort.bucket ()) ~real ~m:256 a;
+    let d = (Trace.digest (Storage.trace s), Trace.length (Storage.trace s)) in
+    (d, Util.keys_of_items (Ext_array.items a))
+  in
+  let d_real, keys_real = digest true in
+  let d_dummy, keys_dummy = digest false in
+  Alcotest.(check bool) "dummy trace = real trace" true (d_real = d_dummy);
+  Alcotest.(check (list int)) "dummy pass preserves data" (Array.to_list keys) keys_dummy;
+  Alcotest.(check bool) "real pass sorted" true (Util.is_sorted_list keys_real)
+
+let test_bucket_overflow_raises () =
+  (* Undersized Z: at z_cells = 8 the Chernoff exponent is gone and the
+     routing all but surely overflows. The sort must complete its full
+     I/O schedule, raise, and leave the input untouched. *)
+  let plan = Bucket_sort.make_plan ~b:2 ~z_cells:8 ~n_cells:160 in
+  let master =
+    let rec find c =
+      if c > 500 then Alcotest.fail "no overflowing master found (Z=8!?)"
+      else if Bucket_sort.simulate_overflow plan ~master:c ~b:2 ~n_blocks:80 then c
+      else find (c + 1)
+    in
+    find 0
+  in
+  let keys = Array.init 160 (fun i -> 160 - i) in
+  let cells = Util.cells_of_keys keys in
+  let (), a =
+    Util.with_array ~b:2 cells (fun _s a ->
+        Alcotest.(check bool) "Overflow raised" true
+          (try
+             Bucket_sort.sort ~plan ~master ~real:true ~cmp:Cell.compare_keys ~m:64 a;
+             false
+           with Bucket_sort.Overflow _ -> true))
+  in
+  Alcotest.(check (list int)) "input untouched after overflow" (Array.to_list keys)
+    (Util.keys_of_items (Ext_array.items a))
+
+let test_bucket_simulate_matches_run () =
+  (* simulate_overflow replays exactly the coins the pipeline draws:
+     its verdict and the real run's outcome must agree, master by
+     master. Z = 12 sits on the fence, so both outcomes appear. *)
+  let plan = Bucket_sort.make_plan ~b:2 ~z_cells:12 ~n_cells:120 in
+  let seen_ok = ref false and seen_ov = ref false in
+  for master = 0 to 19 do
+    let predicted = Bucket_sort.simulate_overflow plan ~master ~b:2 ~n_blocks:60 in
+    let keys = Array.init 120 (fun i -> (i * 31) mod 120) in
+    let (), a =
+      Util.with_array ~b:2 (Util.cells_of_keys keys) (fun _s a ->
+          let raised =
+            try
+              Bucket_sort.sort ~plan ~master ~real:true ~cmp:Cell.compare_keys ~m:64 a;
+              false
+            with Bucket_sort.Overflow _ -> true
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "master %d: simulation predicts the run" master)
+            predicted raised)
+    in
+    if predicted then seen_ov := true
+    else begin
+      seen_ok := false;
+      Util.check_sorted_by_key "fence sort" a;
+      seen_ok := true
+    end
+  done;
+  Alcotest.(check bool) "fence exercises both outcomes" true (!seen_ok && !seen_ov)
+
+let test_permute_correct () =
+  let rng = Odex_crypto.Rng.create ~seed:41 in
+  let keys = Util.random_keys rng 512 ~bound:100_000 in
+  let outcome = ref { Bucket_sort.ok = false } in
+  let (), a =
+    Util.with_array ~b:4 (Util.cells_of_keys keys) (fun _s a ->
+        let rng = Odex_crypto.Rng.create ~seed:42 in
+        outcome := Oblivious_permutation.run ~rng ~m:66 a)
+  in
+  Alcotest.(check bool) "no overflow at Z=64" true !outcome.Bucket_sort.ok;
+  Util.check_multiset "permute" keys a;
+  (* A uniformly random arrangement of 512 cells is a fixed point with
+     probability 1/512! — inequality here is deterministic (fixed seed). *)
+  Alcotest.(check bool) "actually displaced" true
+    (Util.keys_of_items (Ext_array.items a) <> Array.to_list keys)
+
+let test_permute_fixed_trace () =
+  (* The permutation never consumes ranks: its trace is exact — a
+     function of (shape, coins) alone, whatever the data. *)
+  let t keys =
+    Util.trace_digest ~b:4 ~seed:7 (Util.cells_of_keys keys) (fun rng _s a ->
+        ignore (Oblivious_permutation.run ~rng ~m:66 a))
+  in
+  let n = 512 in
+  let t1 = t (Array.init n (fun i -> i)) in
+  let t2 = t (Array.init n (fun i -> n - i)) in
+  let t3 = t (Array.make n 7) in
+  Alcotest.(check bool) "permutation trace is data-independent" true (t1 = t2 && t2 = t3)
+
+let test_permute_blocks_correct () =
+  let rng = Odex_crypto.Rng.create ~seed:43 in
+  let keys = Util.random_keys rng 512 ~bound:100_000 in
+  let (), a =
+    Util.with_array ~b:4 (Util.cells_of_keys keys) (fun _s a ->
+        let rng = Odex_crypto.Rng.create ~seed:44 in
+        Alcotest.(check bool) "block permute ok" true
+          (Oblivious_permutation.run_blocks ~rng ~m:66 a).Bucket_sort.ok)
+  in
+  Util.check_multiset "permute blocks" keys a;
+  (* Block granularity: each original block's cells must still be
+     contiguous (blocks travel unopened). *)
+  let original = Array.init 128 (fun i -> Array.to_list (Array.sub keys (i * 4) 4)) in
+  for i = 0 to 127 do
+    let blk = Ext_array.read_block a i in
+    let got = Util.keys_of_items (Block.items blk) in
+    Alcotest.(check bool)
+      (Printf.sprintf "output block %d is an input block" i)
+      true
+      (Array.exists (fun o -> o = got) original)
+  done
+
+let test_sorter_edge_sizes () =
+  (* Every registered sorter through the Ext_sort.run dispatch at the
+     degenerate and non-power-of-two sizes: N in {0,1,2,3} plus awkward
+     odd shapes. m = 128 keeps the cache sorter (and the in-cache
+     dispatch of the others) within capacity at every shape. *)
+  let rng = Odex_crypto.Rng.create ~seed:51 in
+  List.iter
+    (fun sorter ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun b ->
+              run_sort_case sorter ~b ~m:128 (Util.random_keys rng n ~bound:(max 1 (2 * n))))
+            [ 1; 4 ])
+        [ 0; 1; 2; 3; 37; 100 ])
+    (Ext_sort.auto :: Ext_sort.all)
+
+let prop_sorters_agree =
+  Util.qcheck_case ~name:"all sorters agree on arbitrary keys" ~count:40
+    QCheck2.Gen.(pair (list_size (int_range 0 120) (int_range (-50) 50)) (int_range 1 4))
+    (fun (keys, b) ->
+      let keys = Array.of_list keys in
+      let expected = List.sort compare (Array.to_list keys) in
+      List.for_all
+        (fun sorter ->
+          let (), a =
+            Util.with_array ~b (Util.cells_of_keys keys) (fun _s a ->
+                Ext_sort.run sorter ~m:128 a)
+          in
+          Util.keys_of_items (Ext_array.items a) = expected)
+        (Ext_sort.auto :: Ext_sort.all))
+
+let prop_bucket_pipeline_sorts =
+  Util.qcheck_case ~name:"bucket sort (pipeline scale) sorts arbitrary keys" ~count:8
+    QCheck2.Gen.(list_size (int_range 1100 2600) (int_range (-1000) 1000))
+    (fun keys ->
+      let keys = Array.of_list keys in
+      let (), a =
+        Util.with_array ~b:4 (Util.cells_of_keys keys) (fun _s a ->
+            Ext_sort.run (Ext_sort.bucket ()) ~m:256 a)
+      in
+      Util.keys_of_items (Ext_array.items a) = List.sort compare (Array.to_list keys))
+
 let suite =
   [
     ("network validation", `Quick, test_network_validation);
@@ -301,4 +525,17 @@ let suite =
     ("columnsort capacity", `Quick, test_columnsort_capacity_raises);
     prop_columnsort_sorts;
     prop_bitonic_sorts;
+    ("bucket plan geometry", `Quick, test_bucket_plan);
+    ("bucket sort correct", `Quick, test_bucket_sort_correct);
+    ("bucket sort custom comparator", `Quick, test_bucket_custom_cmp);
+    ("bucket sort rank-isomorphic traces", `Quick, test_bucket_sort_oblivious_isomorphic);
+    ("bucket dummy pass", `Quick, test_bucket_dummy_pass);
+    ("bucket undersized-Z overflow", `Quick, test_bucket_overflow_raises);
+    ("bucket simulation matches run", `Quick, test_bucket_simulate_matches_run);
+    ("oblivious permutation correct", `Quick, test_permute_correct);
+    ("oblivious permutation fixed trace", `Quick, test_permute_fixed_trace);
+    ("oblivious block permutation", `Quick, test_permute_blocks_correct);
+    ("sorter edge sizes", `Quick, test_sorter_edge_sizes);
+    prop_sorters_agree;
+    prop_bucket_pipeline_sorts;
   ]
