@@ -14,6 +14,16 @@
                                                journal off then on, so
                                                the WAL overhead lands in
                                                the same file
+          main.exe --json E2 --cipher chacha20 — seal every workload
+                                               store under a real cipher
+                                               engine (none | prf_xor |
+                                               chacha20); records carry
+                                               the engine in "cipher"
+          main.exe --json E16 --seal-domains 4 — fan run sealing across
+                                               4 domains (E16 is the
+                                               seal/unseal throughput
+                                               microbench; its records
+                                               fill "seal_mb_per_s")
           main.exe --json E2 --profile p.json — also collect telemetry:
                                                per-phase latency
                                                percentiles land in the
@@ -41,6 +51,7 @@ type record = {
   shards : int;
   prefetch : bool;
   journal : bool;
+  cipher : string;  (* "none", or the engine sealing this run's stores *)
   n_cells : int;
   b : int;
   m : int;
@@ -54,6 +65,7 @@ type record = {
   bytes_moved : int;
   batched_ios : int;
   mb_per_s : float;
+  seal_mb_per_s : float;  (* cipher keystream throughput; 0 unless measured (E16) *)
   ok : bool;
   phases : phase_row list;  (* empty unless profiling *)
 }
@@ -84,6 +96,12 @@ let current_journal = ref false
 (* `--sorter NAME` narrows E15's engine sweep to one sorter (CI runs one
    matrix leg per engine); the default sweeps all three head-to-head. *)
 let current_sorter : string option ref = ref None
+
+(* `--cipher NAME` (none | prf_xor | chacha20) seals every workload
+   store under that engine with a fixed benchmark key; every record
+   names it. `--seal-domains K` fans run sealing across K domains. *)
+let current_cipher = ref "none"
+let current_seal_domains = ref 1
 
 let fresh_spec () =
   Odex_obcheck.Registry.backend_spec ~shards:!current_shards ~journal:!current_journal
@@ -139,6 +157,7 @@ let collect ?(sorter = "") ~experiment ~name ~n_cells ~b ~m s f =
       n_cells;
       b;
       m;
+      cipher = !current_cipher;
       reads = Stats.reads (Storage.stats s);
       writes = Stats.writes (Storage.stats s);
       total_ios = Stats.total (Storage.stats s);
@@ -149,6 +168,7 @@ let collect ?(sorter = "") ~experiment ~name ~n_cells ~b ~m s f =
       bytes_moved = Stats.bytes_moved (Storage.stats s);
       batched_ios = Stats.batched_ios (Storage.stats s);
       mb_per_s = throughput ~bytes_moved:(Stats.bytes_moved (Storage.stats s)) ~wall_ms;
+      seal_mb_per_s = 0.;
       ok;
       phases = (if Telemetry.enabled tel then phase_rows tel else []);
     }
@@ -263,6 +283,7 @@ let e11 () =
         shards = !current_shards;
         prefetch = !current_prefetch;
         journal = !current_journal;
+        cipher = !current_cipher;
         n_cells = e.n_cells;
         b = e.b;
         m = e.m;
@@ -276,6 +297,7 @@ let e11 () =
         bytes_moved = a.Odex_obcheck.Pairtest.bytes_moved;
         batched_ios = a.Odex_obcheck.Pairtest.batched_ios;
         mb_per_s = throughput ~bytes_moved:a.Odex_obcheck.Pairtest.bytes_moved ~wall_ms;
+        seal_mb_per_s = 0.;
         ok = o.oblivious;
         (* Pair runs build their own storages; the profile covers the
            workload entries, not the audit. *)
@@ -337,10 +359,99 @@ let e15 () =
     | Some name -> [ name ]
     | None -> [ "batcher"; "columnsort"; "bucket" ])
 
+(* E16: seal/unseal throughput microbench. One record per cipher engine:
+   a mem-backed store (so the device is not the bottleneck) streams runs
+   through write_many/read_many while a private live telemetry sink
+   times the Seal/Unseal ops Storage reports under the "cipher" pseudo
+   backend. [seal_mb_per_s] is keystream throughput — plaintext bytes
+   per second of in-cipher wall time — the number the engine choice
+   actually moves; [mb_per_s] stays the end-to-end transfer rate. This
+   entry builds its records directly (its sink is always live, which
+   [collect]'s zero-cost-when-disabled guard would reject). *)
+let e16 () =
+  let b = 8 and run_blocks = 256 and rounds = 24 in
+  List.map
+    (fun engine ->
+      let tel = Telemetry.create () in
+      let s =
+        Storage.create
+          ~cipher:(Odex_crypto.Cipher.key_of_int 0x5ea1)
+          ~cipher_engine:engine ~seal_domains:!current_seal_domains ~telemetry:tel
+          ~trace_mode:Trace.Digest ~backend:Storage.Mem ~block_size:b ()
+      in
+      let base = Storage.alloc s run_blocks in
+      let blks =
+        Array.init run_blocks (fun i ->
+            let blk = Block.make b in
+            for j = 0 to b - 1 do
+              blk.(j) <- Cell.item ~tag:j ~key:((i * b) + j) ~value:i ()
+            done;
+            blk)
+      in
+      let ok, wall_ms =
+        timed (fun () ->
+            for _ = 1 to rounds do
+              Storage.write_many s base blks;
+              ignore (Storage.read_many s base run_blocks)
+            done;
+            true)
+      in
+      (* Keystream throughput from the cipher pseudo-backend's op rows:
+         plaintext bytes over in-cipher nanoseconds, both seal and
+         unseal legs pooled. *)
+      let cipher_bytes, cipher_ns =
+        List.fold_left
+          (fun (bts, ns) (st : Telemetry.op_stat) ->
+            match st.op with
+            | Telemetry.Seal | Telemetry.Unseal when st.op_backend = "cipher" ->
+                (bts + st.op_bytes, Int64.add ns (Telemetry.hist_total_ns st.latency))
+            | _ -> (bts, ns))
+          (0, 0L) (Telemetry.op_stats tel)
+      in
+      let seal_mb_per_s =
+        if cipher_bytes = 0 || cipher_ns = 0L then 0.
+        else Float.of_int cipher_bytes /. 1e6 /. (Int64.to_float cipher_ns /. 1e9)
+      in
+      let bytes_moved = Stats.bytes_moved (Storage.stats s) in
+      let r =
+        {
+          experiment = "E16";
+          name =
+            Printf.sprintf "seal-roundtrip-%s-d%d"
+              (Odex_crypto.Cipher.engine_name engine)
+              !current_seal_domains;
+          sorter = "";
+          backend = Storage.backend_kind s;
+          shards = 1;
+          prefetch = false;
+          journal = false;
+          cipher = Odex_crypto.Cipher.engine_name engine;
+          n_cells = run_blocks * b;
+          b;
+          m = 2;
+          reads = Stats.reads (Storage.stats s);
+          writes = Stats.writes (Storage.stats s);
+          total_ios = Stats.total (Storage.stats s);
+          retries = Stats.retries (Storage.stats s);
+          trace_length = Trace.length (Storage.trace s);
+          spans = List.length (Trace.spans (Storage.trace s));
+          wall_ms;
+          bytes_moved;
+          batched_ios = Stats.batched_ios (Storage.stats s);
+          mb_per_s = throughput ~bytes_moved ~wall_ms;
+          seal_mb_per_s;
+          ok;
+          phases = [];
+        }
+      in
+      Storage.close s;
+      r)
+    [ Odex_crypto.Cipher.Prf_xor; Odex_crypto.Cipher.Chacha20 ]
+
 let entries =
   [
     ("E2", e2); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
-    ("E9", e9); ("E10", e10); ("E11", e11); ("E15", e15);
+    ("E9", e9); ("E10", e10); ("E11", e11); ("E15", e15); ("E16", e16);
   ]
 
 let json_of_phase p =
@@ -350,14 +461,14 @@ let json_of_phase p =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"sorter\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"journal\":%b,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
-    r.experiment r.name r.sorter r.backend r.shards r.prefetch r.journal r.n_cells r.b r.m r.reads
-    r.writes r.total_ios r.retries r.trace_length r.spans r.wall_ms r.bytes_moved
-    r.batched_ios r.mb_per_s r.ok
+    "{\"experiment\":%S,\"name\":%S,\"sorter\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"journal\":%b,\"cipher\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"seal_mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
+    r.experiment r.name r.sorter r.backend r.shards r.prefetch r.journal r.cipher r.n_cells
+    r.b r.m r.reads r.writes r.total_ios r.retries r.trace_length r.spans r.wall_ms
+    r.bytes_moved r.batched_ios r.mb_per_s r.seal_mb_per_s r.ok
     (String.concat "," (List.map json_of_phase r.phases))
 
-let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) ?sorter
-    ?profile ids =
+let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false)
+    ?(cipher = "none") ?(seal_domains = 1) ?sorter ?profile ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
     Printf.eprintf "unknown backend %S (available: %s)\n" backend
       (String.concat " " Odex_obcheck.Registry.backend_names);
@@ -375,6 +486,25 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) 
     Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
     exit 2
   end;
+  if seal_domains < 1 then begin
+    Printf.eprintf "--seal-domains must be >= 1 (got %d)\n" seal_domains;
+    exit 2
+  end;
+  (match cipher with
+  | "none" -> ()
+  | "prf_xor" | "chacha20" ->
+      (* A fixed benchmark key: sealing overhead is what's measured, not
+         key management. *)
+      Workloads.cipher := Some (Odex_crypto.Cipher.key_of_int 0x0dec);
+      Workloads.cipher_engine :=
+        (if cipher = "chacha20" then Odex_crypto.Cipher.Chacha20
+         else Odex_crypto.Cipher.Prf_xor)
+  | other ->
+      Printf.eprintf "unknown cipher %S (available: none prf_xor chacha20)\n" other;
+      exit 2);
+  current_cipher := cipher;
+  current_seal_domains := seal_domains;
+  Workloads.seal_domains := seal_domains;
   current_backend := backend;
   current_shards := shards;
   current_prefetch := prefetch;
@@ -408,7 +538,7 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false) 
       Printf.printf "wrote %s (%d profiled runs, Chrome trace-event JSON)\n" path
         (List.length !profiled));
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/7\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/8\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

@@ -29,7 +29,13 @@
 
    `--sorter NAME` (JSON mode) narrows E15's engine head-to-head to one
    sorting engine (batcher | columnsort | bucket | ...), so a CI matrix
-   can run one leg per engine. *)
+   can run one leg per engine.
+
+   `--cipher none|prf_xor|chacha20` seals every workload store under the
+   named keystream engine (fixed benchmark key), and `--seal-domains K`
+   fans run sealing across K worker domains — both physical-only knobs
+   whose traces stay bit-identical to the plaintext run. E16 (JSON mode)
+   is the seal/unseal throughput microbench. *)
 
 open Bechamel
 open Toolkit
@@ -170,6 +176,33 @@ let rec extract_sorter = function
       let sorter, cleaned = extract_sorter rest in
       (sorter, arg :: cleaned)
 
+(* Pull `--cipher NAME` out likewise (none | prf_xor | chacha20). *)
+let rec extract_cipher = function
+  | [] -> (None, [])
+  | "--cipher" :: name :: rest ->
+      let _, cleaned = extract_cipher rest in
+      (Some name, cleaned)
+  | [ "--cipher" ] -> failwith "--cipher needs an engine name (none | prf_xor | chacha20)"
+  | arg :: rest ->
+      let cipher, cleaned = extract_cipher rest in
+      (cipher, arg :: cleaned)
+
+(* Pull `--seal-domains K` out likewise. *)
+let rec extract_seal_domains = function
+  | [] -> (None, [])
+  | "--seal-domains" :: k :: rest ->
+      let d =
+        match int_of_string_opt k with
+        | Some d when d >= 1 -> d
+        | _ -> failwith "--seal-domains needs a positive integer"
+      in
+      let _, cleaned = extract_seal_domains rest in
+      (Some d, cleaned)
+  | [ "--seal-domains" ] -> failwith "--seal-domains needs a domain count"
+  | arg :: rest ->
+      let d, cleaned = extract_seal_domains rest in
+      (d, arg :: cleaned)
+
 (* Pull the bare `--prefetch` flag out likewise. *)
 let extract_prefetch args =
   (List.mem "--prefetch" args, List.filter (fun a -> a <> "--prefetch") args)
@@ -184,10 +217,14 @@ let () =
   let profile, args = extract_profile args in
   let shards, args = extract_shards args in
   let sorter, args = extract_sorter args in
+  let cipher, args = extract_cipher args in
+  let seal_domains, args = extract_seal_domains args in
   let prefetch, args = extract_prefetch args in
   let journal, args = extract_journal args in
   match args with
-  | "--json" :: ids -> Json_bench.run ?backend ?shards ~prefetch ~journal ?sorter ?profile ids
+  | "--json" :: ids ->
+      Json_bench.run ?backend ?shards ~prefetch ~journal ?cipher ?seal_domains ?sorter
+        ?profile ids
   | args ->
       let backend_name = Option.value backend ~default:"mem" in
       let shard_count = Option.value shards ~default:1 in
@@ -195,6 +232,15 @@ let () =
         Workloads.default_backend :=
           (fun () -> Odex_obcheck.Registry.backend_spec ~shards:shard_count backend_name);
       Workloads.prefetch := prefetch;
+      (match cipher with
+      | None | Some "none" -> ()
+      | Some ("prf_xor" | "chacha20") ->
+          Workloads.cipher := Some (Odex_crypto.Cipher.key_of_int 0x0dec);
+          Workloads.cipher_engine :=
+            (if cipher = Some "chacha20" then Odex_crypto.Cipher.Chacha20
+             else Odex_crypto.Cipher.Prf_xor)
+      | Some other -> failwith (Printf.sprintf "unknown cipher %S" other));
+      Workloads.seal_domains := Option.value seal_domains ~default:1;
       Fun.protect ~finally:Workloads.cleanup (fun () ->
           let want id = args = [] || List.mem id args in
           List.iter (fun (id, f) -> if want id then f ()) Experiments.all;

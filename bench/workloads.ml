@@ -20,13 +20,22 @@ let telemetry : (unit -> Odex_telemetry.Telemetry.t) ref =
    unchanged, so tables stay comparable across the switch. *)
 let prefetch = ref false
 
+(* Sealing knobs (`--cipher`, `--seal-domains`): a benchmark-wide cipher
+   key (None = plaintext sealing), the keystream engine under it, and
+   the run-seal fan-out. All physical-only; traces stay comparable. *)
+let cipher : Odex_crypto.Cipher.key option ref = ref None
+let cipher_engine = ref Odex_crypto.Cipher.Prf_xor
+let seal_domains = ref 1
+
 let created_specs : Storage.backend_spec list ref = ref []
 
-let fresh_storage ?cipher ~trace ~b () =
+let fresh_storage ?cipher:per_store ~trace ~b () =
   let spec = !default_backend () in
   created_specs := spec :: !created_specs;
-  Storage.create ?cipher ~telemetry:(!telemetry ()) ~trace_mode:trace ~prefetch:!prefetch
-    ~backend:spec ~block_size:b ()
+  let key = match per_store with Some _ as k -> k | None -> !cipher in
+  Storage.create ?cipher:key ~cipher_engine:!cipher_engine ~seal_domains:!seal_domains
+    ~telemetry:(!telemetry ()) ~trace_mode:trace ~prefetch:!prefetch ~backend:spec
+    ~block_size:b ()
 
 let cleanup () =
   List.iter Storage.remove_spec_files !created_specs;

@@ -63,7 +63,8 @@ let backend_of ~store ~shards ~journal name =
         prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
         exit 2)
 
-let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys =
+let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
+    ~seal_key ~seal_domains keys =
   (* `--profile` turns on the telemetry sink; without it the storage
      carries the shared disabled sink and the I/O path is untouched. *)
   let telemetry =
@@ -71,8 +72,22 @@ let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ke
     | Some _ -> Odex_telemetry.Telemetry.create ()
     | None -> Odex_telemetry.Telemetry.disabled
   in
+  (* `--cipher` seals every payload before it reaches the backend; the
+     engine is recorded in the store header, so a --resume must name
+     the same engine (and the same --seal-key) it was created under. *)
+  let cipher_engine, cipher_key =
+    match cipher with
+    | "none" -> (Odex_crypto.Cipher.Prf_xor, None)
+    | name -> (
+        match Odex_crypto.Cipher.engine_of_name name with
+        | Some e -> (e, Some (Odex_crypto.Cipher.key_of_int seal_key))
+        | None ->
+            prerr_endline ("unknown cipher engine " ^ name ^ " (available: none prf_xor chacha20)");
+            exit 2)
+  in
   let server =
-    Storage.create ~telemetry ~trace_mode:Trace.Digest ~resume
+    Storage.create ~telemetry ~trace_mode:Trace.Digest ~resume ?cipher:cipher_key
+      ~cipher_engine ~seal_domains
       ~backend:(backend_of ~store ~shards ~journal backend) ~block_size ()
   in
   let n = Array.length keys in
@@ -169,6 +184,28 @@ let resume_arg =
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
 
+let cipher_arg =
+  let doc =
+    "Seal every block under a cipher before it reaches the backend: $(b,none) \
+     (plaintext), $(b,prf_xor) (the PRF keystream engine), or $(b,chacha20) (the RFC \
+     8439 core). The engine is recorded in the store header, so a $(b,--resume) must \
+     name the engine the store was created under."
+  in
+  Arg.(value & opt string "none" & info [ "cipher" ] ~docv:"ENGINE" ~doc)
+
+let seal_key_arg =
+  let doc =
+    "Sealing key for $(b,--cipher) (reuse the same key to $(b,--resume) a sealed store)."
+  in
+  Arg.(value & opt int 1 & info [ "seal-key" ] ~docv:"KEY" ~doc)
+
+let seal_domains_arg =
+  let doc =
+    "Fan run sealing across $(docv) worker domains. Sealed bytes and the access trace \
+     are bit-identical at every $(docv); only the wall clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "seal-domains" ] ~docv:"K" ~doc)
+
 let profile_arg =
   let doc =
     "Collect latency telemetry and write a Chrome trace-event JSON profile to $(docv) \
@@ -191,12 +228,13 @@ let sort_cmd =
     in
     Arg.(value & opt (some string) None & info [ "sorter" ] ~docv:"ENGINE" ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume sorter file =
+  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains sorter file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
       let server, a, rng =
-        setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+        setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
+          ~seal_key ~seal_domains keys
       in
       let ok =
         match sorter with
@@ -232,7 +270,8 @@ let sort_cmd =
   Cmd.v (Cmd.info "sort" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ sorter_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ seal_domains_arg $ sorter_arg $ file_arg)
 
 (* ---- select ---- *)
 
@@ -241,10 +280,11 @@ let select_cmd =
     let doc = "Rank to select (1-indexed)." in
     Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume k file =
+  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains k file =
     let keys = read_keys file in
     let server, a, rng =
-      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
+          ~seal_key ~seal_domains keys
     in
     let r = Odex.Selection.select ~m ~rng ~k a in
     (match r.Odex.Selection.item with
@@ -258,7 +298,8 @@ let select_cmd =
   Cmd.v (Cmd.info "select" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ k_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ seal_domains_arg $ k_arg $ file_arg)
 
 (* ---- quantiles ---- *)
 
@@ -267,10 +308,11 @@ let quantiles_cmd =
     let doc = "Number of quantiles." in
     Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume q file =
+  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains q file =
     let keys = read_keys file in
     let server, a, rng =
-      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
+          ~seal_key ~seal_domains keys
     in
     let r = Odex.Quantiles.run ~m ~rng ~q a in
     Array.iteri
@@ -285,7 +327,8 @@ let quantiles_cmd =
   Cmd.v (Cmd.info "quantiles" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ q_arg $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ seal_domains_arg $ q_arg $ file_arg)
 
 (* ---- compact ---- *)
 
@@ -294,10 +337,11 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume keep_even file =
+  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains keep_even file =
     let keys = read_keys file in
     let server, a, _rng =
-      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume keys
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
+          ~seal_key ~seal_domains keys
     in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
@@ -312,7 +356,8 @@ let compact_cmd =
   Cmd.v (Cmd.info "compact" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ keep_even $ file_arg)
+      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ seal_domains_arg $ keep_even $ file_arg)
 
 (* ---- audit ---- *)
 

@@ -1,0 +1,50 @@
+(** Off-heap byte buffers for the zero-copy sealing path.
+
+    A [Bigbuf.t] is a C-layout char Bigarray: a flat, GC-opaque byte
+    region that C stubs (ChaCha20 keystream, positional file I/O) can
+    address directly while the OCaml runtime lock is released, and that
+    worker domains can read and write concurrently on disjoint ranges
+    without copying. All multi-byte accessors are little-endian — the
+    sealed on-disk format — independent of host endianness. *)
+
+type t = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** [create n] is a fresh zero-filled buffer of [n] bytes. (Raw Bigarray
+    allocation is uninitialised; this fills, so grown buffers never leak
+    stale heap contents into sealed payloads.) *)
+
+val length : t -> int
+
+val get : t -> int -> char
+val set : t -> int -> char -> unit
+
+val unsafe_get : t -> int -> char
+val unsafe_set : t -> int -> char -> unit
+
+val get64_le : t -> int -> int64
+(** Bounds-checked little-endian 64-bit load at byte offset [i]
+    (unaligned offsets allowed). *)
+
+val set64_le : t -> int -> int64 -> unit
+
+val unsafe_get64_le : t -> int -> int64
+(** Unchecked variant for inner loops whose caller has validated the
+    whole region once ({!Cell.decode_big} and the cipher cores). *)
+
+val unsafe_set64_le : t -> int -> int64 -> unit
+
+val fill : t -> char -> unit
+
+val blit : t -> int -> t -> int -> int -> unit
+(** [blit src soff dst doff len] copies [len] bytes. The regions must
+    not overlap (all callers move between distinct buffers or disjoint
+    slices; the word-at-a-time copy does not handle aliasing). *)
+
+val blit_from_bytes : bytes -> int -> t -> int -> int -> unit
+val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
+
+val of_bytes : bytes -> t
+val to_bytes : t -> bytes
+
+val sub_string : t -> int -> int -> string

@@ -1,0 +1,393 @@
+/* ChaCha20 keystream XOR (RFC 8439) over char bigarrays.
+ *
+ * Two entry points back Cipher's Chacha20 engine:
+ *
+ *   odex_chacha20_xor       one (key, nonce, counter) stream XORed over a
+ *                           contiguous region — known-answer vectors and
+ *                           the single-block seal path.
+ *
+ *   odex_chacha20_xor_many  n equally-strided regions, each under its own
+ *                           per-block nonce with the counter starting at 0.
+ *                           Sealed blocks are short (tens of bytes to a few
+ *                           hundred), far below what 8-way SIMD needs from a
+ *                           single stream — but a run seals many blocks, so
+ *                           the vector core runs 8 *lanes of different
+ *                           nonces* side by side and XORs each lane into its
+ *                           own region. This is the hot path behind
+ *                           Storage.write_many / read_many.
+ *
+ * The 8-way core uses GCC/Clang vector extensions (vector_size(32)); a
+ * portable scalar core handles lane tails and non-GNU compilers. Both
+ * cores are compute-only on caller-owned off-heap memory, so no OCaml
+ * runtime interaction is needed beyond argument unwrapping.
+ */
+
+#include <stdint.h>
+#include <string.h>
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+#define ODEX_ROTL32(x, n) (((x) << (n)) | ((x) >> (32 - (n))))
+
+static inline uint32_t odex_load32_le(const unsigned char *p)
+{
+  return (uint32_t)p[0] | ((uint32_t)p[1] << 8) | ((uint32_t)p[2] << 16)
+         | ((uint32_t)p[3] << 24);
+}
+
+static inline int64_t odex_load64_le(const unsigned char *p)
+{
+  return (int64_t)odex_load32_le(p) | ((int64_t)odex_load32_le(p + 4) << 32);
+}
+
+/* ---------------- scalar core ---------------- */
+
+#define ODEX_QR(a, b, c, d)                                                   \
+  do {                                                                        \
+    a += b; d ^= a; d = ODEX_ROTL32(d, 16);                                   \
+    c += d; b ^= c; b = ODEX_ROTL32(b, 12);                                   \
+    a += b; d ^= a; d = ODEX_ROTL32(d, 8);                                    \
+    c += d; b ^= c; b = ODEX_ROTL32(b, 7);                                    \
+  } while (0)
+
+static void odex_chacha20_block(const uint32_t in[16], unsigned char out[64])
+{
+  uint32_t x[16];
+  int i;
+  memcpy(x, in, sizeof x);
+  for (i = 0; i < 10; i++) {
+    ODEX_QR(x[0], x[4], x[8], x[12]);
+    ODEX_QR(x[1], x[5], x[9], x[13]);
+    ODEX_QR(x[2], x[6], x[10], x[14]);
+    ODEX_QR(x[3], x[7], x[11], x[15]);
+    ODEX_QR(x[0], x[5], x[10], x[15]);
+    ODEX_QR(x[1], x[6], x[11], x[12]);
+    ODEX_QR(x[2], x[7], x[8], x[13]);
+    ODEX_QR(x[3], x[4], x[9], x[14]);
+  }
+  for (i = 0; i < 16; i++) {
+    uint32_t v = x[i] + in[i];
+    out[4 * i] = (unsigned char)v;
+    out[4 * i + 1] = (unsigned char)(v >> 8);
+    out[4 * i + 2] = (unsigned char)(v >> 16);
+    out[4 * i + 3] = (unsigned char)(v >> 24);
+  }
+}
+
+static void odex_state_init(uint32_t st[16], const unsigned char key[32],
+                            const unsigned char nonce[12], uint32_t counter)
+{
+  int i;
+  st[0] = 0x61707865u; st[1] = 0x3320646eu; st[2] = 0x79622d32u; st[3] = 0x6b206574u;
+  for (i = 0; i < 8; i++) st[4 + i] = odex_load32_le(key + 4 * i);
+  st[12] = counter;
+  st[13] = odex_load32_le(nonce);
+  st[14] = odex_load32_le(nonce + 4);
+  st[15] = odex_load32_le(nonce + 8);
+}
+
+static void odex_xor_scalar(const uint32_t st0[16], unsigned char *buf, intnat len)
+{
+  uint32_t in[16];
+  unsigned char ks[64];
+  intnat off = 0;
+  memcpy(in, st0, sizeof in);
+  while (off < len) {
+    intnat n = len - off < 64 ? len - off : 64;
+    intnat i;
+    odex_chacha20_block(in, ks);
+    in[12]++;
+    for (i = 0; i < n; i++) buf[off + i] ^= ks[i];
+    off += n;
+  }
+}
+
+/* ---------------- 8-way vector core ---------------- */
+
+#if defined(__GNUC__) && !defined(ODEX_CHACHA_NO_VECTOR)
+#define ODEX_CHACHA_VEC 1
+typedef uint32_t odex_v8 __attribute__((vector_size(32)));
+
+/* The stubs are built for the baseline ISA so the binary stays portable,
+ * which would leave the 256-bit vectors emulated in SSE halves on the
+ * very machines that have AVX2. Function multi-versioning compiles the
+ * hot cores once per ISA and picks the widest supported one at load
+ * time (ifunc resolution — no per-call dispatch cost). */
+#if defined(__x86_64__) && defined(__GNUC__) && __GNUC__ >= 10 && !defined(__clang__)
+#define ODEX_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define ODEX_CLONES
+#endif
+
+#define ODEX_VROTL(x, n) (((x) << (n)) | ((x) >> (32 - (n))))
+#define ODEX_VQR(a, b, c, d)                                                  \
+  do {                                                                        \
+    a += b; d ^= a; d = ODEX_VROTL(d, 16);                                    \
+    c += d; b ^= c; b = ODEX_VROTL(b, 12);                                    \
+    a += b; d ^= a; d = ODEX_VROTL(d, 8);                                     \
+    c += d; b ^= c; b = ODEX_VROTL(b, 7);                                     \
+  } while (0)
+
+static inline odex_v8 odex_splat(uint32_t s)
+{
+  odex_v8 v = { s, s, s, s, s, s, s, s };
+  return v;
+}
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define ODEX_CHACHA_VEC_XPOSE 1
+
+#define ODEX_SHUF(a, b, ...) __builtin_shuffle((a), (b), (odex_v8){ __VA_ARGS__ })
+
+/* 8x8 u32 transpose: out[j][i] = in[i][j]. Three shuffle stages (32-bit
+ * interleave, 64-bit interleave, 128-bit combine) — the classic
+ * unpack/permute ladder, which GCC lowers to vpunpck*+vperm2i128 under
+ * AVX2. Turning state rows into per-lane columns lets the keystream XOR
+ * run 32 bytes at a time instead of word-by-word through a lane
+ * extract. */
+static inline void odex_transpose8(const odex_v8 in[8], odex_v8 out[8])
+{
+  odex_v8 t0 = ODEX_SHUF(in[0], in[1], 0, 8, 1, 9, 2, 10, 3, 11);
+  odex_v8 t1 = ODEX_SHUF(in[0], in[1], 4, 12, 5, 13, 6, 14, 7, 15);
+  odex_v8 t2 = ODEX_SHUF(in[2], in[3], 0, 8, 1, 9, 2, 10, 3, 11);
+  odex_v8 t3 = ODEX_SHUF(in[2], in[3], 4, 12, 5, 13, 6, 14, 7, 15);
+  odex_v8 t4 = ODEX_SHUF(in[4], in[5], 0, 8, 1, 9, 2, 10, 3, 11);
+  odex_v8 t5 = ODEX_SHUF(in[4], in[5], 4, 12, 5, 13, 6, 14, 7, 15);
+  odex_v8 t6 = ODEX_SHUF(in[6], in[7], 0, 8, 1, 9, 2, 10, 3, 11);
+  odex_v8 t7 = ODEX_SHUF(in[6], in[7], 4, 12, 5, 13, 6, 14, 7, 15);
+  odex_v8 u0 = ODEX_SHUF(t0, t2, 0, 1, 8, 9, 2, 3, 10, 11);
+  odex_v8 u1 = ODEX_SHUF(t0, t2, 4, 5, 12, 13, 6, 7, 14, 15);
+  odex_v8 u2 = ODEX_SHUF(t1, t3, 0, 1, 8, 9, 2, 3, 10, 11);
+  odex_v8 u3 = ODEX_SHUF(t1, t3, 4, 5, 12, 13, 6, 7, 14, 15);
+  odex_v8 u4 = ODEX_SHUF(t4, t6, 0, 1, 8, 9, 2, 3, 10, 11);
+  odex_v8 u5 = ODEX_SHUF(t4, t6, 4, 5, 12, 13, 6, 7, 14, 15);
+  odex_v8 u6 = ODEX_SHUF(t5, t7, 0, 1, 8, 9, 2, 3, 10, 11);
+  odex_v8 u7 = ODEX_SHUF(t5, t7, 4, 5, 12, 13, 6, 7, 14, 15);
+  out[0] = ODEX_SHUF(u0, u4, 0, 1, 2, 3, 8, 9, 10, 11);
+  out[1] = ODEX_SHUF(u0, u4, 4, 5, 6, 7, 12, 13, 14, 15);
+  out[2] = ODEX_SHUF(u1, u5, 0, 1, 2, 3, 8, 9, 10, 11);
+  out[3] = ODEX_SHUF(u1, u5, 4, 5, 6, 7, 12, 13, 14, 15);
+  out[4] = ODEX_SHUF(u2, u6, 0, 1, 2, 3, 8, 9, 10, 11);
+  out[5] = ODEX_SHUF(u2, u6, 4, 5, 6, 7, 12, 13, 14, 15);
+  out[6] = ODEX_SHUF(u3, u7, 0, 1, 2, 3, 8, 9, 10, 11);
+  out[7] = ODEX_SHUF(u3, u7, 4, 5, 6, 7, 12, 13, 14, 15);
+}
+
+/* XOR one full 64-byte keystream block into each of the 8 lanes:
+ * transpose rows 0-7 and 8-15 of the state matrix into per-lane 32-byte
+ * halves, then each lane is two unaligned 32-byte vector XORs. Lanes
+ * [step] bytes apart ([step] = stride for strided runs, 64 for the
+ * contiguous stream). Little-endian only: the u32 vectors are then
+ * exactly the serialized keystream. */
+static inline void odex_xor_8x64(const odex_v8 x[16], unsigned char *base,
+                                 intnat step)
+{
+  odex_v8 lo[8], hi[8];
+  int lane;
+  odex_transpose8(x, lo);
+  odex_transpose8(x + 8, hi);
+  for (lane = 0; lane < 8; lane++) {
+    unsigned char *p = base + lane * step;
+    odex_v8 a, b;
+    memcpy(&a, p, 32);
+    memcpy(&b, p + 32, 32);
+    a ^= lo[lane];
+    b ^= hi[lane];
+    memcpy(p, &a, 32);
+    memcpy(p + 32, &b, 32);
+  }
+}
+#endif /* little-endian */
+
+static inline void odex_xor_lane(unsigned char *p, const odex_v8 x[16], int lane,
+                                 intnat n)
+{
+  int i;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  if (n == 64) {
+    for (i = 0; i < 16; i++) {
+      uint32_t t;
+      memcpy(&t, p + 4 * i, 4);
+      t ^= x[i][lane];
+      memcpy(p + 4 * i, &t, 4);
+    }
+    return;
+  }
+#endif
+  {
+    unsigned char ks[64];
+    intnat j;
+    for (i = 0; i < 16; i++) {
+      uint32_t v = x[i][lane];
+      ks[4 * i] = (unsigned char)v;
+      ks[4 * i + 1] = (unsigned char)(v >> 8);
+      ks[4 * i + 2] = (unsigned char)(v >> 16);
+      ks[4 * i + 3] = (unsigned char)(v >> 24);
+    }
+    for (j = 0; j < n; j++) p[j] ^= ks[j];
+  }
+}
+
+/* Eight regions at base + lane*stride, each [rlen] bytes, lane [L] under
+ * nonce (0x00000000 || le64(nonces[L])) with the block counter starting
+ * at 0 — the per-block sealing layout. */
+static ODEX_CLONES void odex_xor_8lanes(const uint32_t key_words[8],
+                                        const int64_t nonces[8],
+                                        unsigned char *base, intnat stride,
+                                        intnat rlen)
+{
+  odex_v8 in[16], x[16];
+  odex_v8 n_lo, n_hi;
+  intnat nblocks = (rlen + 63) / 64;
+  intnat c;
+  int i, lane, r;
+  for (lane = 0; lane < 8; lane++) {
+    n_lo[lane] = (uint32_t)(uint64_t)nonces[lane];
+    n_hi[lane] = (uint32_t)((uint64_t)nonces[lane] >> 32);
+  }
+  in[0] = odex_splat(0x61707865u);
+  in[1] = odex_splat(0x3320646eu);
+  in[2] = odex_splat(0x79622d32u);
+  in[3] = odex_splat(0x6b206574u);
+  for (i = 0; i < 8; i++) in[4 + i] = odex_splat(key_words[i]);
+  in[13] = odex_splat(0);
+  in[14] = n_lo;
+  in[15] = n_hi;
+  for (c = 0; c < nblocks; c++) {
+    intnat n = rlen - c * 64 < 64 ? rlen - c * 64 : 64;
+    in[12] = odex_splat((uint32_t)c);
+    memcpy(x, in, sizeof x);
+    for (r = 0; r < 10; r++) {
+      ODEX_VQR(x[0], x[4], x[8], x[12]);
+      ODEX_VQR(x[1], x[5], x[9], x[13]);
+      ODEX_VQR(x[2], x[6], x[10], x[14]);
+      ODEX_VQR(x[3], x[7], x[11], x[15]);
+      ODEX_VQR(x[0], x[5], x[10], x[15]);
+      ODEX_VQR(x[1], x[6], x[11], x[12]);
+      ODEX_VQR(x[2], x[7], x[8], x[13]);
+      ODEX_VQR(x[3], x[4], x[9], x[14]);
+    }
+    for (i = 0; i < 16; i++) x[i] += in[i];
+#ifdef ODEX_CHACHA_VEC_XPOSE
+    if (n == 64) {
+      odex_xor_8x64(x, base + c * 64, stride);
+      continue;
+    }
+#endif
+    for (lane = 0; lane < 8; lane++)
+      odex_xor_lane(base + lane * stride + c * 64, x, lane, n);
+  }
+}
+
+/* One contiguous stream, eight counters at a time: lanes are the 64-byte
+ * keystream blocks [c..c+7] of the SAME (key, nonce) stream, XORed over
+ * one 512-byte span. Backs the long single-region seals (journal
+ * records, whole-run streams); returns the bytes consumed so the caller
+ * finishes the sub-512 tail with the scalar core. */
+static ODEX_CLONES intnat odex_xor_contig8(const uint32_t st0[16],
+                                           unsigned char *buf, intnat len)
+{
+  odex_v8 in[16], x[16];
+  intnat off = 0;
+  int i, lane, r;
+  uint32_t c = st0[12];
+  for (i = 0; i < 16; i++) in[i] = odex_splat(st0[i]);
+  while (len - off >= 512) {
+    for (lane = 0; lane < 8; lane++) in[12][lane] = c + (uint32_t)lane;
+    memcpy(x, in, sizeof x);
+    for (r = 0; r < 10; r++) {
+      ODEX_VQR(x[0], x[4], x[8], x[12]);
+      ODEX_VQR(x[1], x[5], x[9], x[13]);
+      ODEX_VQR(x[2], x[6], x[10], x[14]);
+      ODEX_VQR(x[3], x[7], x[11], x[15]);
+      ODEX_VQR(x[0], x[5], x[10], x[15]);
+      ODEX_VQR(x[1], x[6], x[11], x[12]);
+      ODEX_VQR(x[2], x[7], x[8], x[13]);
+      ODEX_VQR(x[3], x[4], x[9], x[14]);
+    }
+    for (i = 0; i < 16; i++) x[i] += in[i];
+#ifdef ODEX_CHACHA_VEC_XPOSE
+    odex_xor_8x64(x, buf + off, 64);
+#else
+    for (lane = 0; lane < 8; lane++)
+      odex_xor_lane(buf + off + lane * 64, x, lane, 64);
+#endif
+    c += 8;
+    off += 512;
+  }
+  return off;
+}
+#endif /* ODEX_CHACHA_VEC */
+
+/* ---------------- OCaml entry points ---------------- */
+
+CAMLprim value odex_chacha20_xor(value vkey, value vnonce, value vctr, value vbuf,
+                                 value voff, value vlen)
+{
+  uint32_t st[16];
+  unsigned char *buf = (unsigned char *)Caml_ba_data_val(vbuf) + Long_val(voff);
+  intnat len = Long_val(vlen);
+  intnat done = 0;
+  odex_state_init(st, (const unsigned char *)String_val(vkey),
+                  (const unsigned char *)String_val(vnonce),
+                  (uint32_t)Long_val(vctr));
+#ifdef ODEX_CHACHA_VEC
+  if (len >= 512) {
+    done = odex_xor_contig8(st, buf, len);
+    st[12] += (uint32_t)(done / 64);
+  }
+#endif
+  odex_xor_scalar(st, buf + done, len - done);
+  return Val_unit;
+}
+
+CAMLprim value odex_chacha20_xor_byte(value *argv, int argn)
+{
+  (void)argn;
+  return odex_chacha20_xor(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+}
+
+/* [vnonces] is the caller's OCaml int array read in place — tagged
+ * immediates, no marshalling copy. The stub neither allocates nor
+ * retains it, so [@@noalloc] on the OCaml side stays sound. */
+CAMLprim value odex_chacha20_xor_many(value vkey, value vnonces, value vbuf,
+                                      value voff, value vstride, value vlen,
+                                      value vcount)
+{
+  const unsigned char *key = (const unsigned char *)String_val(vkey);
+  unsigned char *base = (unsigned char *)Caml_ba_data_val(vbuf) + Long_val(voff);
+  intnat stride = Long_val(vstride);
+  intnat rlen = Long_val(vlen);
+  intnat count = Long_val(vcount);
+  intnat r = 0;
+#ifdef ODEX_CHACHA_VEC
+  if (count >= 8) {
+    uint32_t key_words[8];
+    int i;
+    for (i = 0; i < 8; i++) key_words[i] = odex_load32_le(key + 4 * i);
+    for (; r + 8 <= count; r += 8) {
+      int64_t nonces[8];
+      for (i = 0; i < 8; i++) nonces[i] = (int64_t)Long_val(Field(vnonces, r + i));
+      odex_xor_8lanes(key_words, nonces, base + r * stride, stride, rlen);
+    }
+  }
+#endif
+  for (; r < count; r++) {
+    uint32_t st[16];
+    unsigned char nonce[12];
+    int64_t nv = (int64_t)Long_val(Field(vnonces, r));
+    int i;
+    memset(nonce, 0, 4);
+    for (i = 0; i < 8; i++) nonce[4 + i] = (unsigned char)(nv >> (8 * i));
+    odex_state_init(st, key, nonce, 0);
+    odex_xor_scalar(st, base + r * stride, rlen);
+  }
+  return Val_unit;
+}
+
+CAMLprim value odex_chacha20_xor_many_byte(value *argv, int argn)
+{
+  (void)argn;
+  return odex_chacha20_xor_many(argv[0], argv[1], argv[2], argv[3], argv[4],
+                                argv[5], argv[6]);
+}

@@ -3,6 +3,8 @@ type key = Prf.key
 let key_of_int = Prf.key_of_int
 let fresh_key = Prf.fresh_key
 
+(* ---------------- legacy bytes interface (Prf_xor keystream) -------- *)
+
 (* Keystream word [j] for a given nonce is PRF(key, nonce, j): 8 bytes
    covering message bytes [8j, 8j+8). The XOR runs a whole word at a
    time — [Bytes.get_int64_le]/[set_int64_le] are byte-addressed, so no
@@ -35,3 +37,98 @@ let xor_stream k ~nonce src =
 
 let encrypt k ~nonce plain = xor_stream k ~nonce plain
 let decrypt k ~nonce cipher = xor_stream k ~nonce cipher
+
+(* ---------------- engines ---------------- *)
+
+type engine = Prf_xor | Chacha20
+
+let engine_id = function Prf_xor -> 1L | Chacha20 -> 2L
+let engine_of_id = function 1L -> Some Prf_xor | 2L -> Some Chacha20 | _ -> None
+let engine_name = function Prf_xor -> "prf_xor" | Chacha20 -> "chacha20"
+
+let engine_of_name = function
+  | "prf_xor" | "prf" -> Some Prf_xor
+  | "chacha20" | "chacha" -> Some Chacha20
+  | _ -> None
+
+external chacha20_xor_stub :
+  string -> string -> int -> Bigbuf.t -> int -> int -> unit
+  = "odex_chacha20_xor_byte" "odex_chacha20_xor"
+[@@noalloc]
+
+(* The nonce array is the caller's int array, read in place by the stub
+   (tagged immediates) — no per-call marshalling buffer. *)
+external chacha20_xor_many_stub :
+  string -> int array -> Bigbuf.t -> int -> int -> int -> int -> unit
+  = "odex_chacha20_xor_many_byte" "odex_chacha20_xor_many"
+[@@noalloc]
+
+let chacha20_xor_raw ~key ~nonce ~counter buf ~off ~len =
+  if String.length key <> 32 then invalid_arg "Cipher.chacha20_xor_raw: key must be 32 bytes";
+  if String.length nonce <> 12 then
+    invalid_arg "Cipher.chacha20_xor_raw: nonce must be 12 bytes";
+  if off < 0 || len < 0 || off + len > Bigbuf.length buf then
+    invalid_arg "Cipher.chacha20_xor_raw: region out of bounds";
+  chacha20_xor_stub key nonce counter buf off len
+
+type state = Prf_state of key | Chacha_state of string
+
+let state_engine = function Prf_state _ -> Prf_xor | Chacha_state _ -> Chacha20
+
+(* The 256-bit ChaCha key is expanded from the 64-bit store key through
+   the PRF at a domain-separated input ([x = -2] collides with no block
+   nonce: sealing nonces are non-negative and the plaintext marker is
+   -1). The expansion is fixed forever — it is part of the on-disk
+   format of every Chacha20 store. *)
+let chacha_key_of k =
+  String.init 32 (fun i ->
+      let word = Prf.value_pair k (-2) (i lsr 3) in
+      Char.chr (Int64.to_int (Int64.shift_right_logical word ((i land 7) * 8)) land 0xff))
+
+let init engine k =
+  match engine with Prf_xor -> Prf_state k | Chacha20 -> Chacha_state (chacha_key_of k)
+
+let chacha_nonce_of nonce =
+  let b = Bytes.make 12 '\000' in
+  Bytes.set_int64_le b 4 (Int64.of_int nonce);
+  Bytes.unsafe_to_string b
+
+(* Prf_xor over a Bigbuf: same keystream words at the same offsets as
+   [xor_into] on an equal bytes buffer (parity-tested in test_crypto). *)
+let prf_xor_big k ~nonce buf ~off ~len =
+  let words = len lsr 3 in
+  for j = 0 to words - 1 do
+    let p = off + (j lsl 3) in
+    Bigbuf.unsafe_set64_le buf p
+      (Int64.logxor (Bigbuf.unsafe_get64_le buf p) (Prf.value_pair k nonce j))
+  done;
+  let tail = len land 7 in
+  if tail > 0 then begin
+    let word = Prf.value_pair k nonce words in
+    for i = len - tail to len - 1 do
+      let ks = Int64.to_int (Int64.shift_right_logical word ((i land 7) * 8)) land 0xff in
+      Bigbuf.unsafe_set buf (off + i)
+        (Char.unsafe_chr (Char.code (Bigbuf.unsafe_get buf (off + i)) lxor ks))
+    done
+  end
+
+let xor_big st ~nonce buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bigbuf.length buf then
+    invalid_arg "Cipher.xor_big: region out of bounds";
+  match st with
+  | Prf_state k -> prf_xor_big k ~nonce buf ~off ~len
+  | Chacha_state raw -> chacha20_xor_stub raw (chacha_nonce_of nonce) 0 buf off len
+
+let xor_run st ~nonces buf ~off ~stride ~len =
+  let count = Array.length nonces in
+  if len < 0 || len > stride then invalid_arg "Cipher.xor_run: len must be in [0, stride]";
+  if count > 0
+     && (off < 0 || stride < 0 || off + ((count - 1) * stride) + len > Bigbuf.length buf)
+  then invalid_arg "Cipher.xor_run: region out of bounds";
+  if count > 0 && len > 0 then
+    match st with
+    | Prf_state k ->
+        for i = 0 to count - 1 do
+          prf_xor_big k ~nonce:nonces.(i) buf ~off:(off + (i * stride)) ~len
+        done
+    | Chacha_state raw -> chacha20_xor_many_stub raw nonces buf off stride len count

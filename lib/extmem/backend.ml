@@ -1,16 +1,20 @@
+module Bigbuf = Odex_crypto.Bigbuf
+
 exception Transient of { addr : int; access : int }
 
 module type S = sig
   type t
 
   val kind : string
+  val payload_bytes : t -> int
   val ensure : t -> int -> unit
   val size : t -> int
-  val read : t -> int -> bytes
-  val write : t -> int -> bytes -> unit
 
-  val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
-  val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+  val read : t -> int -> buf:Bigbuf.t -> off:int -> unit
+  val write : t -> int -> buf:Bigbuf.t -> off:int -> unit
+
+  val read_run : t -> addr:int -> count:int -> payload:int -> buf:Bigbuf.t -> off:int -> unit
+  val write_run : t -> addr:int -> count:int -> payload:int -> buf:Bigbuf.t -> off:int -> unit
 
   val read_meta : t -> bytes option
   (** The out-of-band metadata blob last stored with {!write_meta}, if
@@ -45,10 +49,24 @@ let rec retry_eintr f =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
 
 let kind (Packed ((module B), _)) = B.kind
+let payload_bytes (Packed ((module B), b)) = B.payload_bytes b
 let ensure (Packed ((module B), b)) n = B.ensure b n
 let size (Packed ((module B), b)) = B.size b
-let read (Packed ((module B), b)) addr = B.read b addr
-let write (Packed ((module B), b)) addr payload = B.write b addr payload
+let read_into (Packed ((module B), b)) addr ~buf ~off = B.read b addr ~buf ~off
+let write_from (Packed ((module B), b)) addr ~buf ~off = B.write b addr ~buf ~off
+
+(* bytes convenience for cold paths and tests: one staging buffer per
+   call. The sealing fast path goes through [read_into]/[write_from]
+   against a long-lived buffer instead. *)
+let read (Packed ((module B), b)) addr =
+  let buf = Bigbuf.create (B.payload_bytes b) in
+  B.read b addr ~buf ~off:0;
+  Bigbuf.to_bytes buf
+
+let write (Packed ((module B), b)) addr payload =
+  if Bytes.length payload <> B.payload_bytes b then
+    invalid_arg "Backend.write: payload has wrong size";
+  B.write b addr ~buf:(Bigbuf.of_bytes payload) ~off:0
 
 let read_run (Packed ((module B), b)) ~addr ~count ~payload ~buf ~off =
   B.read_run b ~addr ~count ~payload ~buf ~off
@@ -68,6 +86,12 @@ let check_meta ~who m =
   if Bytes.length m > meta_capacity then
     invalid_arg (Printf.sprintf "%s: metadata exceeds %d bytes" who meta_capacity)
 
+(* Single-block region validation: [buf[off .. off+payload)] must exist
+   before any byte moves. *)
+let check_block ~who ~payload ~buf ~off =
+  if off < 0 || off + payload > Bigbuf.length buf then
+    invalid_arg (who ^ ": buffer region out of bounds")
+
 (* Shared run-argument validation: the whole window must be legal before
    any byte moves, so an out-of-bounds run raises without a partial
    transfer on every backend. *)
@@ -78,15 +102,27 @@ let check_run ~who ~blocks ~addr ~count ~payload ~buf ~off =
     invalid_arg
       (Printf.sprintf "%s: run [%d, %d) out of bounds (%d blocks)" who addr (addr + count)
          blocks);
-  if off < 0 || off + (count * payload) > Bytes.length buf then
+  if off < 0 || off + (count * payload) > Bigbuf.length buf then
     invalid_arg (who ^ ": buffer region out of bounds")
 
 (* ---------------- in-memory ---------------- *)
 
+(* One flat off-heap arena, block [addr] at byte offset
+   [addr * payload]: reads and writes are single blits straight between
+   the arena and the caller's buffer — no per-block allocation on either
+   direction (the regression test in test_backend pins this down).
+   Fresh arena space is zero-filled, so a never-written slot reads as a
+   zero payload. *)
 module Mem = struct
-  type t = { mutable slots : bytes array; mutable len : int; mutable meta : bytes option }
+  type t = {
+    payload : int;
+    mutable arena : Bigbuf.t;
+    mutable len : int;
+    mutable meta : bytes option;
+  }
 
   let kind = "mem"
+  let payload_bytes t = t.payload
 
   let read_meta t = Option.map Bytes.copy t.meta
 
@@ -95,11 +131,12 @@ module Mem = struct
     t.meta <- Some (Bytes.copy m)
 
   let ensure t n =
-    if n > Array.length t.slots then begin
-      let cap = max n (max 16 (2 * Array.length t.slots)) in
-      let fresh = Array.make cap Bytes.empty in
-      Array.blit t.slots 0 fresh 0 t.len;
-      t.slots <- fresh
+    let need = n * t.payload in
+    if need > Bigbuf.length t.arena then begin
+      let cap = max need (max (16 * t.payload) (2 * Bigbuf.length t.arena)) in
+      let fresh = Bigbuf.create cap in
+      Bigbuf.blit t.arena 0 fresh 0 (t.len * t.payload);
+      t.arena <- fresh
     end;
     if n > t.len then t.len <- n
 
@@ -109,35 +146,29 @@ module Mem = struct
     if addr < 0 || addr >= t.len then
       invalid_arg (Printf.sprintf "Backend.Mem: address %d out of bounds (%d)" addr t.len)
 
-  let read t addr =
+  let read t addr ~buf ~off =
     check t addr;
-    Bytes.copy t.slots.(addr)
+    check_block ~who:"Backend.Mem.read" ~payload:t.payload ~buf ~off;
+    Bigbuf.blit t.arena (addr * t.payload) buf off t.payload
 
-  let write t addr payload =
+  let write t addr ~buf ~off =
     check t addr;
-    t.slots.(addr) <- Bytes.copy payload
+    check_block ~who:"Backend.Mem.write" ~payload:t.payload ~buf ~off;
+    Bigbuf.blit buf off t.arena (addr * t.payload) t.payload
 
-  (* Runs are plain blits: no allocation on read (the caller's buffer is
-     filled in place) and, once a slot has been written at its final
-     payload size, none on write either (the slot buffer is reused). *)
+  let check_payload t payload who =
+    if payload <> t.payload then
+      invalid_arg (who ^ ": run payload size differs from the store's")
 
   let read_run t ~addr ~count ~payload ~buf ~off =
+    check_payload t payload "Backend.Mem.read_run";
     check_run ~who:"Backend.Mem.read_run" ~blocks:t.len ~addr ~count ~payload ~buf ~off;
-    for i = 0 to count - 1 do
-      let slot = t.slots.(addr + i) in
-      if Bytes.length slot <> payload then
-        invalid_arg "Backend.Mem.read_run: slot has a different payload size";
-      Bytes.blit slot 0 buf (off + (i * payload)) payload
-    done
+    if count > 0 then Bigbuf.blit t.arena (addr * payload) buf off (count * payload)
 
   let write_run t ~addr ~count ~payload ~buf ~off =
+    check_payload t payload "Backend.Mem.write_run";
     check_run ~who:"Backend.Mem.write_run" ~blocks:t.len ~addr ~count ~payload ~buf ~off;
-    for i = 0 to count - 1 do
-      let src = off + (i * payload) in
-      let slot = t.slots.(addr + i) in
-      if Bytes.length slot = payload then Bytes.blit buf src slot 0 payload
-      else t.slots.(addr + i) <- Bytes.sub buf src payload
-    done
+    if count > 0 then Bigbuf.blit buf off t.arena (addr * payload) (count * payload)
 
   let sync _ = ()
   let close _ = ()
@@ -145,7 +176,10 @@ module Mem = struct
   let shard_ops _ = [||]
 end
 
-let mem () = Packed ((module Mem), { Mem.slots = [||]; len = 0; meta = None })
+let mem ~payload_size () =
+  if payload_size < 1 then invalid_arg "Backend.mem: payload_size must be >= 1";
+  Packed
+    ((module Mem), { Mem.payload = payload_size; arena = Bigbuf.create 0; len = 0; meta = None })
 
 (* ---------------- file-backed ---------------- *)
 
@@ -159,7 +193,12 @@ let mem () = Packed ((module Mem), { Mem.slots = [||]; len = 0; meta = None })
 
    The header is written when a fresh file is created, so every store in
    this format self-describes; opening a non-empty file without the
-   magic fails loudly instead of misreading blocks at shifted offsets. *)
+   magic fails loudly instead of misreading blocks at shifted offsets.
+
+   Header traffic stays on small [bytes] buffers through the shared file
+   offset; block payloads move positionally ({!Bigio}) straight between
+   the file and the caller's off-heap buffer — no staging copy, and no
+   seek state shared with the header path. *)
 let file_header_bytes = 64
 
 let file_magic = "ODEXSTO1"
@@ -173,6 +212,7 @@ module File = struct
   }
 
   let kind = "file"
+  let payload_bytes t = t.payload_size
 
   let pwrite_all fd ~pos buf =
     ignore (Unix.lseek fd pos Unix.SEEK_SET);
@@ -274,39 +314,17 @@ module File = struct
     if addr < 0 || addr >= t.blocks then
       invalid_arg (Printf.sprintf "Backend.File: address %d out of bounds (%d)" addr t.blocks)
 
-  let seek t addr =
-    ignore (Unix.lseek t.fd (file_header_bytes + (addr * t.payload_size)) Unix.SEEK_SET)
+  let pos_of t addr = file_header_bytes + (addr * t.payload_size)
 
-  (* One positioned transfer for the whole run: a single syscall in the
-     common case, looping only if the kernel transfers short. *)
-
-  let read_into t ~addr ~bytes ~buf ~off =
-    seek t addr;
-    let done_ = ref 0 in
-    while !done_ < bytes do
-      let k = retry_eintr (fun () -> Unix.read t.fd buf (off + !done_) (bytes - !done_)) in
-      if k = 0 then failwith "Backend.File: short read";
-      done_ := !done_ + k
-    done
-
-  let write_from t ~addr ~bytes ~buf ~off =
-    seek t addr;
-    let done_ = ref 0 in
-    while !done_ < bytes do
-      done_ := !done_ + retry_eintr (fun () -> Unix.write t.fd buf (off + !done_) (bytes - !done_))
-    done
-
-  let read t addr =
+  let read t addr ~buf ~off =
     check t addr;
-    let buf = Bytes.create t.payload_size in
-    read_into t ~addr ~bytes:t.payload_size ~buf ~off:0;
-    buf
+    check_block ~who:"Backend.File.read" ~payload:t.payload_size ~buf ~off;
+    Bigio.read_all ~who:"Backend.File" t.fd ~pos:(pos_of t addr) buf ~off ~len:t.payload_size
 
-  let write t addr payload =
+  let write t addr ~buf ~off =
     check t addr;
-    if Bytes.length payload <> t.payload_size then
-      invalid_arg "Backend.File: payload has wrong size";
-    write_from t ~addr ~bytes:t.payload_size ~buf:payload ~off:0
+    check_block ~who:"Backend.File.write" ~payload:t.payload_size ~buf ~off;
+    Bigio.write_all t.fd ~pos:(pos_of t addr) buf ~off ~len:t.payload_size
 
   let check_run_payload t payload =
     if t.closed then invalid_arg "Backend.File: store is closed";
@@ -316,12 +334,15 @@ module File = struct
   let read_run t ~addr ~count ~payload ~buf ~off =
     check_run_payload t payload;
     check_run ~who:"Backend.File.read_run" ~blocks:t.blocks ~addr ~count ~payload ~buf ~off;
-    if count > 0 then read_into t ~addr ~bytes:(count * payload) ~buf ~off
+    if count > 0 then
+      Bigio.read_all ~who:"Backend.File" t.fd ~pos:(pos_of t addr) buf ~off
+        ~len:(count * payload)
 
   let write_run t ~addr ~count ~payload ~buf ~off =
     check_run_payload t payload;
     check_run ~who:"Backend.File.write_run" ~blocks:t.blocks ~addr ~count ~payload ~buf ~off;
-    if count > 0 then write_from t ~addr ~bytes:(count * payload) ~buf ~off
+    if count > 0 then
+      Bigio.write_all t.fd ~pos:(pos_of t addr) buf ~off ~len:(count * payload)
 
   let sync t = if not t.closed then retry_eintr (fun () -> Unix.fsync t.fd)
 
@@ -356,6 +377,8 @@ module Faulty = struct
   }
 
   let kind = "faulty"
+
+  let payload_bytes t = payload_bytes t.inner
 
   (* splitmix64-style finalizer: an avalanching hash of (seed, access
      index). The schedule never looks at the address or the payload, so
@@ -406,13 +429,13 @@ module Faulty = struct
   let read_meta t = read_meta t.inner
   let write_meta t m = write_meta t.inner m
 
-  let read t addr =
+  let read t addr ~buf ~off =
     gate t addr;
-    read t.inner addr
+    read_into t.inner addr ~buf ~off
 
-  let write t addr payload =
+  let write t addr ~buf ~off =
     gate t addr;
-    write t.inner addr payload
+    write_from t.inner addr ~buf ~off
 
   (* Runs iterate block by block, gating each address exactly as the
      per-block API would: the access counter — the schedule's only input
@@ -497,7 +520,7 @@ module Sharded = struct
     perm : int array;  (** lane -> shard *)
     perm_inv : int array;  (** shard -> lane *)
     mutable len : int;  (** Logical block count (inner sizes are rounded up). *)
-    scratch : bytes ref array;  (** Per-shard gather/scatter buffers. *)
+    scratch : Bigbuf.t ref array;  (** Per-shard gather/scatter buffers. *)
     ops : int array;  (** Per-shard block ops, tallied by the coordinator. *)
     workers : worker array;
     mutable spawned : bool;
@@ -505,6 +528,8 @@ module Sharded = struct
   }
 
   let kind = "sharded"
+
+  let payload_bytes t = payload_bytes t.inners.(0)
 
   (* ---- worker protocol: one mailbox per shard, mutex + condvar.
      Only the coordinator posts and only worker [s] takes from mailbox
@@ -576,7 +601,7 @@ module Sharded = struct
 
   let scratch t s need =
     let r = t.scratch.(s) in
-    if Bytes.length !r < need then r := Bytes.create (max need (2 * Bytes.length !r));
+    if Bigbuf.length !r < need then r := Bigbuf.create (max need (2 * Bigbuf.length !r));
     !r
 
   (* Execute one closure per participating shard and aggregate failures.
@@ -633,7 +658,7 @@ module Sharded = struct
               let scr = scratch t s (n * payload) in
               if write then begin
                 for g = gs to ge do
-                  Bytes.blit buf
+                  Bigbuf.blit buf
                     (off + ((logical t s g - lo) * payload))
                     scr
                     ((g - gs) * payload)
@@ -650,7 +675,7 @@ module Sharded = struct
               else begin
                 let scatter upto =
                   for g = gs to upto do
-                    Bytes.blit scr
+                    Bigbuf.blit scr
                       ((g - gs) * payload)
                       buf
                       (off + ((logical t s g - lo) * payload))
@@ -682,17 +707,17 @@ module Sharded = struct
     if a < 0 || a >= t.len then
       invalid_arg (Printf.sprintf "Backend.Sharded: address %d out of bounds (%d)" a t.len)
 
-  let read t a =
+  let read t a ~buf ~off =
     check_addr t a;
     let s, g = route t a in
     t.ops.(s) <- t.ops.(s) + 1;
-    read t.inners.(s) g
+    read_into t.inners.(s) g ~buf ~off
 
-  let write t a payload =
+  let write t a ~buf ~off =
     check_addr t a;
     let s, g = route t a in
     t.ops.(s) <- t.ops.(s) + 1;
-    write t.inners.(s) g payload
+    write_from t.inners.(s) g ~buf ~off
 
   let ensure t n =
     check_open t;
@@ -784,6 +809,14 @@ let shard_route ~shards ~seed a =
 
 let sharded ~seed inners =
   let k = Array.length inners in
+  if k >= 1 then begin
+    let p0 = payload_bytes inners.(0) in
+    Array.iter
+      (fun inner ->
+        if payload_bytes inner <> p0 then
+          invalid_arg "Backend.sharded: inner stores disagree on payload size")
+      inners
+  end;
   let perm, perm_inv = shard_perm ~shards:k ~seed in
   let t =
     {
@@ -792,7 +825,7 @@ let sharded ~seed inners =
       perm;
       perm_inv;
       len = Sharded.recover_len inners;
-      scratch = Array.init k (fun _ -> ref Bytes.empty);
+      scratch = Array.init k (fun _ -> ref (Bigbuf.create 0));
       ops = Array.make k 0;
       workers =
         Array.init k (fun _ ->
@@ -832,6 +865,8 @@ module Instrumented = struct
 
   let kind = "instrumented"
 
+  let payload_bytes t = payload_bytes t.inner
+
   let time t op ~blocks ~bytes f =
     let t0 = Tel.now_ns () in
     let r = f () in
@@ -844,17 +879,13 @@ module Instrumented = struct
   let read_meta t = read_meta t.inner
   let write_meta t m = write_meta t.inner m
 
-  let read t addr =
-    let t0 = Tel.now_ns () in
-    let payload = read t.inner addr in
-    Tel.record_op t.tel ~backend:t.inner_kind ~op:Tel.Read ~blocks:1
-      ~bytes:(Bytes.length payload)
-      ~ns:(Int64.sub (Tel.now_ns ()) t0);
-    payload
+  let read t addr ~buf ~off =
+    time t Tel.Read ~blocks:1 ~bytes:(payload_bytes t) (fun () ->
+        read_into t.inner addr ~buf ~off)
 
-  let write t addr payload =
-    time t Tel.Write ~blocks:1 ~bytes:(Bytes.length payload) (fun () ->
-        write t.inner addr payload)
+  let write t addr ~buf ~off =
+    time t Tel.Write ~blocks:1 ~bytes:(payload_bytes t) (fun () ->
+        write_from t.inner addr ~buf ~off)
 
   let read_run t ~addr ~count ~payload ~buf ~off =
     time t Tel.Read_run ~blocks:count ~bytes:(count * payload) (fun () ->
@@ -890,6 +921,8 @@ module Crashing = struct
 
   let kind = "crashing"
 
+  let payload_bytes t = payload_bytes t.inner
+
   let gate t =
     if t.budget <= 0 then raise Crashed;
     t.budget <- t.budget - 1;
@@ -900,13 +933,13 @@ module Crashing = struct
   let read_meta t = read_meta t.inner
   let write_meta t m = write_meta t.inner m
 
-  let read t addr =
+  let read t addr ~buf ~off =
     gate t;
-    read t.inner addr
+    read_into t.inner addr ~buf ~off
 
-  let write t addr payload =
+  let write t addr ~buf ~off =
     gate t;
-    write t.inner addr payload
+    write_from t.inner addr ~buf ~off
 
   let read_run t ~addr ~count ~payload ~buf ~off =
     gate t;

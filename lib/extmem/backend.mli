@@ -3,19 +3,26 @@
     {!Storage} is the paper-facing layer: it owns the I/O accounting,
     the adversary trace, encryption and the bump allocator. A backend is
     only the dumb device those sealed payloads land on — a fixed-size
-    byte string per block address. Three implementations ship:
+    byte region per block address. Three implementations ship:
 
-    - {!mem}: a growable in-process array (the original behaviour);
+    - {!mem}: a growable in-process off-heap arena (one flat
+      {!Odex_crypto.Bigbuf}, blocks served by blit — no per-block
+      allocation in either direction);
     - {!file}: a plain file addressed at [addr * payload_size], so
       datasets can exceed RAM and the block image persists across runs;
+      block payloads move positionally ({!Bigio}) straight between the
+      file and the caller's buffer;
     - {!faulty}: a decorator injecting deterministic transient failures,
       for exercising the retry path of {!Storage} under the
       obliviousness harness.
 
-    Backends never see plaintext (when a cipher key is set the payload
-    is ciphertext), never count I/Os and never touch the trace — that is
-    Storage's job, which is what keeps the accounting identical across
-    backends. *)
+    All block transfers go through caller-owned {!Odex_crypto.Bigbuf}
+    regions — the same off-heap buffers the cipher engines XOR in place
+    — so a sealed payload travels device <-> cipher <-> codec without a
+    staging copy. Backends never see plaintext (when a cipher key is set
+    the payload is ciphertext), never count I/Os and never touch the
+    trace — that is Storage's job, which is what keeps the accounting
+    identical across backends. *)
 
 exception Transient of { addr : int; access : int }
 (** A retryable fault: access [access] (the backend's global access
@@ -39,31 +46,40 @@ module type S = sig
   val kind : string
   (** Short name ("mem", "file", "faulty"), for reports. *)
 
+  val payload_bytes : t -> int
+  (** The fixed byte size of every block payload this store holds, set
+      at construction. Decorators forward to their inner store. *)
+
   val ensure : t -> int -> unit
   (** [ensure t n] guarantees addresses [0 .. n-1] are backed. *)
 
   val size : t -> int
   (** Number of backed addresses (the [ensure] high-water mark). *)
 
-  val read : t -> int -> bytes
-  (** Payload at [addr]; a fresh buffer the caller may keep. *)
+  val read : t -> int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
+  (** [read t addr ~buf ~off] fills [buf[off .. off + payload_bytes)]
+      with the payload at [addr]. A never-written address reads as
+      zeros. *)
 
-  val write : t -> int -> bytes -> unit
-  (** Store a copy of the payload at [addr]. *)
+  val write : t -> int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
+  (** Store the [payload_bytes] bytes at [buf[off ..]] at [addr]. *)
 
-  val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+  val read_run :
+    t -> addr:int -> count:int -> payload:int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
   (** [read_run t ~addr ~count ~payload ~buf ~off] fills
       [buf[off .. off + count*payload)] with the payloads of the
       contiguous block run [addr, addr + count) — a single positioned
-      transfer on {!file}, straight blits on {!mem}, and a per-block
-      fault-gated iteration on {!faulty}. The whole window (addresses and
-      buffer region) is validated before any byte moves, so out-of-bounds
-      runs raise without a partial transfer. On [Transient { addr = a }],
-      blocks before [a] have been transferred and blocks from [a] on have
-      not — the caller may resume the run at [a]. [count = 0] is a
-      validated no-op. *)
+      transfer on {!file}, one blit on {!mem}, and a per-block
+      fault-gated iteration on {!faulty}. [payload] must equal
+      [payload_bytes]. The whole window (addresses and buffer region) is
+      validated before any byte moves, so out-of-bounds runs raise
+      without a partial transfer. On [Transient { addr = a }], blocks
+      before [a] have been transferred and blocks from [a] on have not —
+      the caller may resume the run at [a]. [count = 0] is a validated
+      no-op. *)
 
-  val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+  val write_run :
+    t -> addr:int -> count:int -> payload:int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
   (** Mirror image of [read_run]: stores [count] payloads read from
       [buf[off ..]] at [addr, addr + count), with the same validation,
       fault and resume semantics. *)
@@ -76,8 +92,10 @@ module type S = sig
   val write_meta : t -> bytes -> unit
   (** Durably associate a metadata blob (at most {!meta_capacity} bytes)
       with the store; {!Storage} keeps its sealing header — notably the
-      cipher-nonce high-water mark — there, so a reopened file store can
-      resume without ever reusing a (key, nonce) pair. *)
+      cipher-nonce high-water mark and the cipher engine id — there, so
+      a reopened file store can resume without ever reusing a
+      (key, nonce) pair or misinterpreting ciphertext under the wrong
+      engine. *)
 
   val sync : t -> unit
   (** Flush to durable media where that means something (file). *)
@@ -88,20 +106,37 @@ module type S = sig
   (** Transient failures injected so far (0 for real devices). *)
 
   val shard_ops : t -> int array
-  (** Per-shard block-op counts ([[||]] for unsharded devices); see
-      {!shard_io_counts}. *)
+  (** Per-shard block-op counts ([[||]] for unsharded devices). *)
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
 (** An instantiated backend. *)
 
 val kind : t -> string
+val payload_bytes : t -> int
 val ensure : t -> int -> unit
 val size : t -> int
+
+val read_into : t -> int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
+(** The zero-copy single-block read: fills [payload_bytes] bytes of the
+    caller's buffer in place. *)
+
+val write_from : t -> int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
+
 val read : t -> int -> bytes
+(** Convenience for cold paths and tests: allocates a staging buffer,
+    {!read_into}s it and copies out. The sealing path never calls this. *)
+
 val write : t -> int -> bytes -> unit
-val read_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
-val write_run : t -> addr:int -> count:int -> payload:int -> buf:bytes -> off:int -> unit
+(** Convenience mirror of {!read}: the payload must be exactly
+    [payload_bytes] long. *)
+
+val read_run :
+  t -> addr:int -> count:int -> payload:int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
+
+val write_run :
+  t -> addr:int -> count:int -> payload:int -> buf:Odex_crypto.Bigbuf.t -> off:int -> unit
+
 val read_meta : t -> bytes option
 val write_meta : t -> bytes -> unit
 val sync : t -> unit
@@ -110,8 +145,11 @@ val close : t -> unit
 val meta_capacity : int
 (** Maximum {!write_meta} blob size (bytes) every backend supports. *)
 
-val mem : unit -> t
-(** In-process array of payloads. *)
+val mem : payload_size:int -> unit -> t
+(** In-process store: one flat off-heap arena, block [addr] at byte
+    offset [addr * payload_size]. Reads and writes are single blits
+    between the arena and the caller's buffer; fresh arena space is
+    zero-filled, so a never-written slot reads as a zero payload. *)
 
 val file : path:string -> payload_size:int -> t
 (** File-backed store: a fixed {!file_header_bytes}-byte header (magic,
@@ -124,6 +162,10 @@ val file : path:string -> payload_size:int -> t
     (a write torn by a crash) raises [Invalid_argument] rather than
     misreading blocks at shifted offsets or exposing the torn block;
     recover a torn store by reopening through its {!Journal}.
+
+    Block payloads transfer positionally (pread/pwrite via {!Bigio})
+    directly against the caller's off-heap buffer; only the header path
+    uses the shared file offset.
 
     Every operation on a closed store — including [read_meta] and
     [write_meta], so a nonce high-water checkpoint can never be silently
@@ -161,13 +203,14 @@ val faults_injected : t -> int
 
 val sharded : seed:int -> t array -> t
 (** [sharded ~seed inners] stripes one logical address space across the
-    [K = Array.length inners] inner stores (requires [K >= 1]). Logical
-    block [a] belongs to group [g = a / K] and lives on shard
-    [perm((a mod K + g) mod K)] at inner address [g], where [perm] is a
-    keyed PRP of the lanes derived from [seed] — a bijection, so every
-    group of [K] consecutive logical blocks touches all [K] devices, and
-    a pure function of the block index, so the fan-out is as
-    data-independent as the flat address sequence it refines.
+    [K = Array.length inners] inner stores (requires [K >= 1], all with
+    the same payload size). Logical block [a] belongs to group
+    [g = a / K] and lives on shard [perm((a mod K + g) mod K)] at inner
+    address [g], where [perm] is a keyed PRP of the lanes derived from
+    [seed] — a bijection, so every group of [K] consecutive logical
+    blocks touches all [K] devices, and a pure function of the block
+    index, so the fan-out is as data-independent as the flat address
+    sequence it refines.
 
     A contiguous logical run decomposes into exactly one contiguous
     inner run per shard (the logical addresses a shard serves are

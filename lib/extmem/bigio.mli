@@ -1,0 +1,27 @@
+(** Positional file I/O on {!Odex_crypto.Bigbuf} buffers.
+
+    pread/pwrite C stubs (no shared file offset, runtime lock released
+    around the syscall) wrapped in EINTR-hardened full-transfer loops.
+    The file backend and the journal move block payloads through these;
+    headers and other small cold-path records stay on [bytes]. *)
+
+val pread : Unix.file_descr -> pos:int -> Odex_crypto.Bigbuf.t -> off:int -> len:int -> int
+(** One positioned read syscall (EINTR retried); returns the count
+    transferred, 0 at end of file. Bounds on [off]/[len] are validated
+    against the buffer. *)
+
+val pwrite : Unix.file_descr -> pos:int -> Odex_crypto.Bigbuf.t -> off:int -> len:int -> int
+
+val read_all :
+  who:string -> Unix.file_descr -> pos:int -> Odex_crypto.Bigbuf.t -> off:int -> len:int -> unit
+(** Loop {!pread} until [len] bytes landed; [Failure who^": short read"]
+    if the file ends first. *)
+
+val write_all :
+  Unix.file_descr -> pos:int -> Odex_crypto.Bigbuf.t -> off:int -> len:int -> unit
+
+val read_upto :
+  Unix.file_descr -> pos:int -> Odex_crypto.Bigbuf.t -> off:int -> len:int -> int
+(** Like {!read_all} but stops at end of file, returning the number of
+    bytes read — a short read here is a crash boundary, not an error
+    (journal replay scans with this). *)

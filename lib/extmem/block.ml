@@ -45,6 +45,19 @@ let decode ~block_size buf =
     invalid_arg "Block.decode: wrong buffer size";
   decode_from ~block_size buf 0
 
+module Bigbuf = Odex_crypto.Bigbuf
+
+let encode_into_big blk buf off =
+  let b = Array.length blk in
+  if off < 0 || off + encoded_size b > Bigbuf.length buf then
+    invalid_arg "Block.encode_into_big: region out of bounds";
+  Array.iteri (fun i c -> Cell.encode_big buf (off + (i * Cell.encoded_size)) c) blk
+
+let decode_from_big ~block_size buf off =
+  if off < 0 || off + encoded_size block_size > Bigbuf.length buf then
+    invalid_arg "Block.decode_from_big: region out of bounds";
+  Array.init block_size (fun i -> Cell.decode_big buf (off + (i * Cell.encoded_size)))
+
 let pp ppf blk =
   Format.fprintf ppf "[@[%a@]]"
     (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Cell.pp)

@@ -35,4 +35,11 @@ val decode_from : block_size:int -> bytes -> int -> t
 (** [decode_from ~block_size buf off] decodes an image laid down by
     {!encode_into} at [off], without extracting a sub-buffer. *)
 
+val encode_into_big : t -> Odex_crypto.Bigbuf.t -> int -> unit
+(** {!encode_into} against the off-heap I/O buffer the cipher and the
+    file backend operate on directly: one bounds check for the whole
+    block, then unsafe word stores per cell. *)
+
+val decode_from_big : block_size:int -> Odex_crypto.Bigbuf.t -> int -> t
+
 val pp : Format.formatter -> t -> unit

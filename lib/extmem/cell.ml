@@ -86,6 +86,35 @@ let encode buf off = function
       Bytes.set_int64_le buf (off + 24) (Int64.of_int tag);
       Bytes.set_int64_le buf (off + 32) (Int64.of_int aux)
 
+module Bigbuf = Odex_crypto.Bigbuf
+
+let encode_big buf off = function
+  | Empty ->
+      Bigbuf.unsafe_set64_le buf off 0L;
+      Bigbuf.unsafe_set64_le buf (off + 8) 0L;
+      Bigbuf.unsafe_set64_le buf (off + 16) 0L;
+      Bigbuf.unsafe_set64_le buf (off + 24) 0L;
+      Bigbuf.unsafe_set64_le buf (off + 32) 0L
+  | Item { key; value; tag; aux } ->
+      Bigbuf.unsafe_set64_le buf off 1L;
+      Bigbuf.unsafe_set64_le buf (off + 8) (Int64.of_int key);
+      Bigbuf.unsafe_set64_le buf (off + 16) (Int64.of_int value);
+      Bigbuf.unsafe_set64_le buf (off + 24) (Int64.of_int tag);
+      Bigbuf.unsafe_set64_le buf (off + 32) (Int64.of_int aux)
+
+let decode_big buf off =
+  match Bigbuf.unsafe_get64_le buf off with
+  | 0L -> Empty
+  | 1L ->
+      Item
+        {
+          key = Int64.to_int (Bigbuf.unsafe_get64_le buf (off + 8));
+          value = Int64.to_int (Bigbuf.unsafe_get64_le buf (off + 16));
+          tag = Int64.to_int (Bigbuf.unsafe_get64_le buf (off + 24));
+          aux = Int64.to_int (Bigbuf.unsafe_get64_le buf (off + 32));
+        }
+  | c -> invalid_arg (Printf.sprintf "Cell.decode_big: bad constructor word %Ld" c)
+
 let decode buf off =
   match Bytes.get_int64_le buf off with
   | 0L -> Empty

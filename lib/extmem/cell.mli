@@ -59,3 +59,12 @@ val encode : bytes -> int -> t -> unit
 (** [encode buf off c] serializes [c] at offset [off]. *)
 
 val decode : bytes -> int -> t
+
+val encode_big : Odex_crypto.Bigbuf.t -> int -> t -> unit
+(** [encode] against an off-heap I/O buffer, using unsafe word stores —
+    the caller (in practice {!Block.encode_into_big}) has already
+    bounds-checked the whole region. *)
+
+val decode_big : Odex_crypto.Bigbuf.t -> int -> t
+(** @raise Invalid_argument on a corrupt constructor word. Region bounds
+    are the caller's responsibility, as in {!encode_big}. *)

@@ -1,0 +1,49 @@
+/* Positional file I/O straight into char bigarrays.
+ *
+ * The file backend's block transfers land in (and depart from) the
+ * same off-heap buffer the cipher XORs in place — no bytes staging
+ * copy, no shared-file-offset lseek dance. The runtime lock is
+ * released around the syscall: bigarray data is not moved by the GC,
+ * so the pointer stays valid while other domains run.
+ *
+ * Errors raise Unix.Unix_error via uerror; EINTR is retried at the
+ * OCaml layer (Bigio) like every other raw I/O loop in the repo.
+ */
+
+#define _FILE_OFFSET_BITS 64
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <caml/bigarray.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+CAMLprim value odex_pread(value vfd, value vpos, value vbuf, value voff, value vlen)
+{
+  char *p = (char *)Caml_ba_data_val(vbuf) + Long_val(voff);
+  size_t len = (size_t)Long_val(vlen);
+  off_t pos = (off_t)Long_val(vpos);
+  int fd = Int_val(vfd);
+  ssize_t n;
+  caml_enter_blocking_section();
+  n = pread(fd, p, len, pos);
+  caml_leave_blocking_section();
+  if (n == -1) uerror("pread", Nothing);
+  return Val_long(n);
+}
+
+CAMLprim value odex_pwrite(value vfd, value vpos, value vbuf, value voff, value vlen)
+{
+  char *p = (char *)Caml_ba_data_val(vbuf) + Long_val(voff);
+  size_t len = (size_t)Long_val(vlen);
+  off_t pos = (off_t)Long_val(vpos);
+  int fd = Int_val(vfd);
+  ssize_t n;
+  caml_enter_blocking_section();
+  n = pwrite(fd, p, len, pos);
+  caml_leave_blocking_section();
+  if (n == -1) uerror("pwrite", Nothing);
+  return Val_long(n);
+}

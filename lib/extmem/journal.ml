@@ -32,16 +32,23 @@
    the counter on resume. Both properties are pair- and sweep-tested in
    test_journal.ml.
 
-   The header additionally carries one checkpoint slot (owner hash,
-   phase, cursor) for algorithm-level restart points — see
-   {!Storage.checkpoint}. The whole header is covered by a checksum: a
-   header torn mid-rewrite degrades to "no checkpoint, nothing
-   committed" (a full restart from the previous boundary), never to a
-   wrong checkpoint or a half-committed group. *)
+   The header additionally carries the cipher engine id the payloads are
+   sealed under — replaying ChaCha20 ciphertext into a store that will
+   be unsealed as PRF-XOR garbles silently, so a mismatched reopen fails
+   loudly instead — and one checkpoint slot (owner hash, phase, cursor)
+   for algorithm-level restart points; see {!Storage.checkpoint}. The
+   whole header is covered by a checksum: a header torn mid-rewrite
+   degrades to "no checkpoint, nothing committed" (a full restart from
+   the previous boundary), never to a wrong checkpoint or a
+   half-committed group. *)
+
+module Bigbuf = Odex_crypto.Bigbuf
+module Cipher = Odex_crypto.Cipher
 
 type t = {
   path : string;
   payload_size : int;
+  engine_id : int64;
   inner : Backend.t;
   durable : bool;
   auto_commit_bytes : int;
@@ -54,10 +61,10 @@ type t = {
   mutable owner : int64;
   mutable phase : int;
   mutable cursor : int;
-  overlay : (int, Bytes.t * int) Hashtbl.t;
+  overlay : (int, Bigbuf.t * int) Hashtbl.t;
       (** addr -> latest pending sealed payload (buffer, offset): the
           read-your-writes view of the uncommitted tail. *)
-  mutable pending_ops : (int * int * Bytes.t) list;
+  mutable pending_ops : (int * int * Bigbuf.t) list;
       (** (addr, count, payload run) per pending record, reversed. *)
   mutable hold_depth : int;
       (** > 0 suppresses auto-commit: the writer is inside an atomic
@@ -68,9 +75,9 @@ type t = {
   mutable closed : bool;
 }
 
-let header_bytes = 56
+let header_bytes = 64
 let record_header_bytes = 32
-let magic = "ODEXJRN1"
+let magic = "ODEXJRN2"
 
 (* ---- FNV-1a, 64-bit: the record and header checksums. Not a MAC —
    the journal holds only ciphertexts the server already has — just a
@@ -88,6 +95,13 @@ let fnv_bytes h buf off len =
   done;
   !h
 
+let fnv_big h buf off len =
+  let h = ref h in
+  for i = off to off + len - 1 do
+    h := fnv_byte !h (Char.code (Bigbuf.unsafe_get buf i))
+  done;
+  !h
+
 let fnv_int64 h v =
   let h = ref h in
   for i = 0 to 7 do
@@ -97,11 +111,20 @@ let fnv_int64 h v =
 
 let hash_owner s = fnv_bytes fnv_offset (Bytes.unsafe_of_string s) 0 (String.length s)
 
-let record_checksum ~addr ~count buf off len =
-  fnv_bytes (fnv_int64 (fnv_int64 fnv_offset (Int64.of_int addr)) (Int64.of_int count)) buf
-    off len
+(* The engine id seeds every record checksum: a record written under one
+   engine can never validate — and thus never replay — under another,
+   even if the header were somehow bypassed. *)
+let record_checksum t ~addr ~count buf off len =
+  fnv_big
+    (fnv_int64 (fnv_int64 (fnv_int64 fnv_offset t.engine_id) (Int64.of_int addr))
+       (Int64.of_int count))
+    buf off len
 
-(* ---- raw file I/O (EINTR-hardened like the file backend's) ---- *)
+(* ---- raw file I/O (EINTR-hardened like the file backend's) ----
+
+   The header and record headers are small cold-path [bytes]; record
+   bodies are sealed-payload runs and travel positionally through
+   {!Bigio} straight from/to the caller's off-heap buffer. *)
 
 let pwrite_all fd ~pos buf ~off ~len =
   ignore (Unix.lseek fd pos Unix.SEEK_SET);
@@ -134,28 +157,41 @@ let build_header t =
   Bytes.set_int64_le h 24 (Int64.of_int t.phase);
   Bytes.set_int64_le h 32 (Int64.of_int t.cursor);
   Bytes.set_int64_le h 40 (Int64.of_int t.committed_tail);
-  Bytes.set_int64_le h 48 (fnv_bytes fnv_offset h 0 48);
+  Bytes.set_int64_le h 48 t.engine_id;
+  Bytes.set_int64_le h 56 (fnv_bytes fnv_offset h 0 56);
   h
 
 let write_header t = pwrite_all t.fd ~pos:0 (build_header t) ~off:0 ~len:header_bytes
 
+let engine_id_name id =
+  match Cipher.engine_of_id id with
+  | Some e -> Cipher.engine_name e
+  | None -> Printf.sprintf "unknown (id %Ld)" id
+
 (* Parse a header buffer into (owner, phase, cursor, committed_tail). A
    failed header checksum degrades to "no checkpoint, nothing committed"
-   — a safe full restart — while the magic and payload size still
-   validate, so a foreign file fails loudly. *)
-let parse_header ~payload_size h =
+   — a safe full restart — while the magic, payload size and cipher
+   engine still validate, so a foreign file or a journal sealed under a
+   different engine fails loudly. *)
+let parse_header ~payload_size ~engine_id h =
   if Bytes.sub_string h 0 8 <> magic then
     invalid_arg "Journal: unrecognized journal format (bad magic)";
   let ps = Int64.to_int (Bytes.get_int64_le h 8) in
   if ps <> payload_size then
     invalid_arg
       (Printf.sprintf "Journal: journal has payload size %d, expected %d" ps payload_size);
-  if Bytes.get_int64_le h 48 <> fnv_bytes fnv_offset h 0 48 then (0L, 0, 0, header_bytes)
-  else
+  if Bytes.get_int64_le h 56 <> fnv_bytes fnv_offset h 0 56 then (0L, 0, 0, header_bytes)
+  else begin
+    let eid = Bytes.get_int64_le h 48 in
+    if eid <> engine_id then
+      invalid_arg
+        (Printf.sprintf "Journal: journal is sealed under cipher engine %s, expected %s"
+           (engine_id_name eid) (engine_id_name engine_id));
     ( Bytes.get_int64_le h 16,
       Int64.to_int (Bytes.get_int64_le h 24),
       Int64.to_int (Bytes.get_int64_le h 32),
       max header_bytes (Int64.to_int (Bytes.get_int64_le h 40)) )
+  end
 
 (* ---- applying records to the inner store ----
 
@@ -192,7 +228,7 @@ let apply_record t ~addr ~count buf =
 
 let replay_records t ~size =
   let hdr = Bytes.create record_header_bytes in
-  let body = ref Bytes.empty in
+  let body = ref (Bigbuf.create 0) in
   let pos = ref header_bytes in
   let fin = min t.committed_tail size in
   let stop = ref false in
@@ -211,10 +247,10 @@ let replay_records t ~size =
         || !pos + record_header_bytes + len > fin
       then stop := true
       else begin
-        if Bytes.length !body < len then body := Bytes.create len;
-        if pread_upto t.fd ~pos:(!pos + record_header_bytes) !body ~len < len then
-          stop := true
-        else if record_checksum ~addr ~count !body 0 len <> cks then stop := true
+        if Bigbuf.length !body < len then body := Bigbuf.create len;
+        if Bigio.read_upto t.fd ~pos:(!pos + record_header_bytes) !body ~off:0 ~len < len
+        then stop := true
+        else if record_checksum t ~addr ~count !body 0 len <> cks then stop := true
         else begin
           apply_record t ~addr ~count !body;
           t.replay_log <- (addr, count) :: t.replay_log;
@@ -278,16 +314,17 @@ let append t ~addr ~count ~buf ~off =
   Bytes.set_int64_le hdr 0 (Int64.of_int len);
   Bytes.set_int64_le hdr 8 (Int64.of_int addr);
   Bytes.set_int64_le hdr 16 (Int64.of_int count);
-  Bytes.set_int64_le hdr 24 (record_checksum ~addr ~count buf off len);
+  Bytes.set_int64_le hdr 24 (record_checksum t ~addr ~count buf off len);
   (* Header before body: a crash between the two leaves a header whose
      checksum cannot match the missing body — the scan discards it. *)
   pwrite_all t.fd ~pos:t.tail hdr ~off:0 ~len:record_header_bytes;
-  pwrite_all t.fd ~pos:(t.tail + record_header_bytes) buf ~off ~len;
+  Bigio.write_all t.fd ~pos:(t.tail + record_header_bytes) buf ~off ~len;
   t.tail <- t.tail + record_header_bytes + len;
   t.append_log <- (addr, count) :: t.append_log;
   (* The overlay and pending set own a copy: callers reuse their run
      buffers. *)
-  let copy = Bytes.sub buf off len in
+  let copy = Bigbuf.create len in
+  Bigbuf.blit buf off copy 0 len;
   t.pending_ops <- (addr, count, copy) :: t.pending_ops;
   for i = 0 to count - 1 do
     Hashtbl.replace t.overlay (addr + i) (copy, i * t.payload_size)
@@ -302,7 +339,7 @@ let check_write t ~addr ~count ~payload ~buf ~off =
     invalid_arg
       (Printf.sprintf "Backend.Journaled: run [%d, %d) out of bounds (%d blocks)" addr
          (addr + count) (Backend.size t.inner));
-  if off < 0 || off + (count * payload) > Bytes.length buf then
+  if off < 0 || off + (count * payload) > Bigbuf.length buf then
     invalid_arg "Backend.Journaled: buffer region out of bounds"
 
 let maybe_auto_commit t =
@@ -315,6 +352,8 @@ module Journaled = struct
 
   let kind = "journaled"
 
+  let payload_bytes t = t.payload_size
+
   let ensure t n =
     check_open t;
     Backend.ensure t.inner n
@@ -322,15 +361,14 @@ module Journaled = struct
   let size t = Backend.size t.inner
 
   (* Blocks with a pending (uncommitted) write are served from the
-     overlay — the inner store has not seen them yet and may not even
-     have a valid slot (Mem refuses never-written reads). Which blocks
-     those are is a function of the address schedule alone, so the inner
+     overlay — the inner store has not seen them yet. Which blocks those
+     are is a function of the address schedule alone, so the inner
      access pattern stays data-independent. *)
-  let read t addr =
+  let read t addr ~buf ~off =
     check_open t;
     match Hashtbl.find_opt t.overlay addr with
-    | Some (buf, off) -> Bytes.sub buf off t.payload_size
-    | None -> Backend.read t.inner addr
+    | Some (src, soff) -> Bigbuf.blit src soff buf off t.payload_size
+    | None -> Backend.read_into t.inner addr ~buf ~off
 
   let read_run t ~addr ~count ~payload ~buf ~off =
     check_open t;
@@ -351,15 +389,15 @@ module Journaled = struct
         | Some (src, soff) ->
             flush_inner !lo a;
             lo := a + 1;
-            Bytes.blit src soff buf (off + ((a - addr) * payload)) payload
+            Bigbuf.blit src soff buf (off + ((a - addr) * payload)) payload
         | None -> ()
       done;
       flush_inner !lo (addr + count)
     end
 
-  let write t addr payload =
-    check_write t ~addr ~count:1 ~payload:(Bytes.length payload) ~buf:payload ~off:0;
-    append t ~addr ~count:1 ~buf:payload ~off:0;
+  let write t addr ~buf ~off =
+    check_write t ~addr ~count:1 ~payload:t.payload_size ~buf ~off;
+    append t ~addr ~count:1 ~buf ~off;
     maybe_auto_commit t
 
   (* Append-only: one record per backend run, applied in place at the
@@ -408,9 +446,11 @@ let abandon t =
 
 (* ---- open ---- *)
 
-let create ?(auto_commit_bytes = 1 lsl 22) ~path ~payload_size ~durable ~replay inner =
+let create ?(auto_commit_bytes = 1 lsl 22) ?(engine = Cipher.Prf_xor) ~path ~payload_size
+    ~durable ~replay inner =
   if payload_size < 1 then invalid_arg "Journal.create: payload_size must be >= 1";
   if auto_commit_bytes < 1 then invalid_arg "Journal.create: auto_commit_bytes must be >= 1";
+  let engine_id = Cipher.engine_id engine in
   let fd =
     Backend.retry_eintr (fun () ->
         Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o600)
@@ -420,6 +460,7 @@ let create ?(auto_commit_bytes = 1 lsl 22) ~path ~payload_size ~durable ~replay 
     {
       path;
       payload_size;
+      engine_id;
       inner;
       durable;
       auto_commit_bytes;
@@ -449,7 +490,7 @@ let create ?(auto_commit_bytes = 1 lsl 22) ~path ~payload_size ~durable ~replay 
      else begin
        let h = Bytes.create header_bytes in
        ignore (pread_upto fd ~pos:0 h ~len:header_bytes);
-       let owner, phase, cursor, committed_tail = parse_header ~payload_size h in
+       let owner, phase, cursor, committed_tail = parse_header ~payload_size ~engine_id h in
        if replay then begin
          t.owner <- owner;
          t.phase <- phase;

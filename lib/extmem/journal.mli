@@ -35,6 +35,7 @@ type t
 
 val create :
   ?auto_commit_bytes:int ->
+  ?engine:Odex_crypto.Cipher.engine ->
   path:string ->
   payload_size:int ->
   durable:bool ->
@@ -52,8 +53,15 @@ val create :
     simulated in-process, e.g. the test sweeps, where the page cache
     survives the "crash" anyway. [auto_commit_bytes] (default 4 MiB)
     bounds the pending tail: a write that pushes past it triggers an
-    automatic {!commit}, except while a {!hold} is outstanding. Raises
-    [Invalid_argument] on a foreign file or a payload-size mismatch. *)
+    automatic {!commit}, except while a {!hold} is outstanding.
+
+    [engine] (default [Prf_xor]) names the cipher engine the sealed
+    payloads in this journal are ciphertext under. The id is recorded in
+    the journal header and seeds every record checksum: reopening an
+    existing journal under a different engine raises (replaying
+    ciphertext that will be unsealed under the wrong keystream would
+    garble the store silently). Raises [Invalid_argument] on a foreign
+    file, a payload-size mismatch or an engine mismatch. *)
 
 val backend : t -> Backend.t
 (** The journaled decorator (kind ["journaled"]). [sync] on it is

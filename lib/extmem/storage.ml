@@ -1,3 +1,6 @@
+module Bigbuf = Odex_crypto.Bigbuf
+module Cipher = Odex_crypto.Cipher
+
 type backend_spec =
   | Mem
   | File of { path : string }
@@ -17,7 +20,7 @@ let () =
 
 module Telemetry = Odex_telemetry.Telemetry
 
-type cipher_state = { key : Odex_crypto.Cipher.key; mutable next_nonce : int }
+type cipher_state = { st : Cipher.state; mutable next_nonce : int }
 
 (* ---- the oblivious prefetcher.
 
@@ -37,10 +40,9 @@ type cipher_state = { key : Odex_crypto.Cipher.key; mutable next_nonce : int }
    coordinator drains the other, which is exactly the scan-loop
    discipline (issue run k+1, consume run k). The protocol assumes a
    single coordinator — Storage was never reentrant. [dev_mu] serializes
-   every backend access while a prefetcher exists: the file backend's
-   lseek+read pairs share one file offset, and a faulty backend's access
-   counter must advance race-free. When no prefetcher is attached the
-   device path takes no lock and is byte-for-byte the old one. ---- *)
+   every backend access while a prefetcher exists: a faulty backend's
+   access counter must advance race-free. When no prefetcher is attached
+   the device path takes no lock and is byte-for-byte the old one. ---- *)
 
 type prefetcher = {
   mu : Mutex.t;
@@ -50,10 +52,31 @@ type prefetcher = {
   mutable busy : bool;
   mutable ready : (int * int * int) option;  (** (addr, count, buffer index). *)
   mutable fetch_idx : int;
-  bufs : bytes ref array;  (** Two alternating fetch targets. *)
+  bufs : Bigbuf.t ref array;  (** Two alternating fetch targets. *)
   mutable stop : bool;
   mutable dom : unit Domain.t option;
   dev_mu : Mutex.t;  (** Serializes all backend access while prefetch is on. *)
+}
+
+(* ---- the seal pool: worker domains for parallel run sealing.
+
+   Sealing a run is pure CPU on disjoint stripes of one off-heap buffer
+   — encode the block image, XOR the keystream — with every nonce
+   reserved up front, so fanning the stripes across domains changes
+   which core ran the arithmetic and nothing else: the sealed bytes, the
+   nonce sequence, the trace and the device schedule are bit-identical
+   to the serial seal (pair-tested). One mailbox per worker, mutex +
+   condvar, exactly the {!Backend.Sharded} protocol; workers are spawned
+   lazily on the first run big enough to split and joined on
+   [close]/[abandon]. *)
+
+type seal_worker = {
+  smu : Mutex.t;
+  scv : Condition.t;
+  mutable sjob : (unit -> unit) option;
+  mutable sresult : exn option option;  (** [Some None] = done, [Some (Some e)] = raised. *)
+  mutable sstop : bool;
+  mutable sdom : unit Domain.t option;
 }
 
 type t = {
@@ -61,6 +84,7 @@ type t = {
   payload_size : int;
   backend : Backend.t;
   kind : string;  (** The device kind underneath any instrumentation shim. *)
+  engine : Cipher.engine;
   mutable used : int;
   stats : Stats.t;
   trace : Trace.t;
@@ -78,8 +102,11 @@ type t = {
       (** The write-ahead journal handle, when the spec has a [Journaled]
           layer — owns the crash-atomicity and checkpoint machinery. *)
   pf : prefetcher option;
-  seal_buf : bytes;  (** One payload: the single-block sealing scratch. *)
-  mutable run_buf : bytes;  (** Grows to the largest run requested; reused across calls. *)
+  seal_domains : int;
+  seal_workers : seal_worker array;  (** [seal_domains - 1] mailboxes. *)
+  mutable seal_spawned : bool;
+  seal_buf : Bigbuf.t;  (** One payload: the single-block sealing scratch. *)
+  mutable run_buf : Bigbuf.t;  (** Grows to the largest run requested; reused across calls. *)
 }
 
 (* The member spec of shard [i] under a [Sharded] spec: file paths get a
@@ -102,25 +129,25 @@ let rec shard_member_spec i = function
 (* Instantiation returns the backend plus the journal handle when the
    spec tree contains a [Journaled] layer ([resume] decides whether that
    journal replays its redo log or starts fresh). *)
-let rec instantiate ~payload_size ~resume = function
-  | Mem -> (Backend.mem (), None)
+let rec instantiate ~payload_size ~engine ~resume = function
+  | Mem -> (Backend.mem ~payload_size (), None)
   | File { path } -> (Backend.file ~path ~payload_size, None)
   | Faulty { inner; seed; failure_rate; max_burst } ->
-      let b, j = instantiate ~payload_size ~resume inner in
+      let b, j = instantiate ~payload_size ~engine ~resume inner in
       (Backend.faulty { Backend.seed; failure_rate; max_burst } b, j)
   | Crashing { inner; ops } ->
-      let b, j = instantiate ~payload_size ~resume inner in
+      let b, j = instantiate ~payload_size ~engine ~resume inner in
       (Backend.crash_after ~ops b, j)
   | Sharded { inner; shards; seed } ->
       if shards < 1 then invalid_arg "Storage: shards must be >= 1";
       ( Backend.sharded ~seed
           (Array.init shards (fun i ->
-               fst (instantiate ~payload_size ~resume (shard_member_spec i inner)))),
+               fst (instantiate ~payload_size ~engine ~resume (shard_member_spec i inner)))),
         None )
   | Journaled { inner; path; durable } ->
-      let b, j = instantiate ~payload_size ~resume inner in
+      let b, j = instantiate ~payload_size ~engine ~resume inner in
       if Option.is_some j then invalid_arg "Storage: nested Journaled specs are not supported";
-      let journal = Journal.create ~path ~payload_size ~durable ~replay:resume b in
+      let journal = Journal.create ~engine ~path ~payload_size ~durable ~replay:resume b in
       (Journal.backend journal, Some journal)
 
 let rec remove_spec_files = function
@@ -149,16 +176,23 @@ let rec remove_spec_files = function
    the store resumes from the persisted mark, skipping at most
    [nonce_chunk] never-used nonces (nonces are a resource of size 2^62;
    burning a few is free, reusing one is fatal). [sync]/[close] persist
-   the exact counter, so a cleanly closed store resumes with no gap. *)
+   the exact counter, so a cleanly closed store resumes with no gap.
 
-let header_version = 1L
+   Version 2 appends the cipher engine id: unsealing ChaCha20 ciphertext
+   with the PRF keystream (or vice versa) garbles every block silently,
+   so reopening under a different engine than the store was sealed with
+   must fail loudly instead. Version 1 headers (24 bytes, pre-engines)
+   parse as [Prf_xor] — exactly what sealed them. *)
+
+let header_version = 2L
 let nonce_chunk = 1 lsl 16
 
 let build_header t =
-  let m = Bytes.create 24 in
+  let m = Bytes.create 32 in
   Bytes.set_int64_le m 0 header_version;
   Bytes.set_int64_le m 8 (Int64.of_int t.block_size);
   Bytes.set_int64_le m 16 (Int64.of_int t.nonce_reserved);
+  Bytes.set_int64_le m 24 (Cipher.engine_id t.engine);
   m
 
 (* Every path to the device goes through this gate when a prefetcher is
@@ -172,10 +206,16 @@ let with_dev t f =
 
 let write_header t = with_dev t (fun () -> Backend.write_meta t.backend (build_header t))
 
+let engine_id_name id =
+  match Cipher.engine_of_id id with
+  | Some e -> Cipher.engine_name e
+  | None -> Printf.sprintf "unknown (id %Ld)" id
+
+(* Returns (nonce high-water, sealed-under engine id). *)
 let parse_header ~block_size m =
   if Bytes.length m < 24 then invalid_arg "Storage: corrupt store header";
   let v = Bytes.get_int64_le m 0 in
-  if v <> header_version then
+  if v <> 1L && v <> header_version then
     invalid_arg (Printf.sprintf "Storage: unsupported store header version %Ld" v);
   let bs = Int64.to_int (Bytes.get_int64_le m 8) in
   if bs <> block_size then
@@ -184,18 +224,23 @@ let parse_header ~block_size m =
          block_size);
   let hw = Int64.to_int (Bytes.get_int64_le m 16) in
   if hw < 0 then invalid_arg "Storage: corrupt store header (nonce high-water)";
-  hw
+  if v = 1L then (hw, Cipher.engine_id Cipher.Prf_xor)
+  else begin
+    if Bytes.length m < 32 then invalid_arg "Storage: corrupt store header";
+    (hw, Bytes.get_int64_le m 24)
+  end
 
-let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
-    ?(max_retries = 10) ?(backoff = (1e-6, 1e-4)) ?(batching = true) ?(prefetch = false)
-    ?(resume = false) ~block_size () =
+let create ?cipher ?(cipher_engine = Cipher.Prf_xor) ?telemetry ?(trace_mode = Trace.Digest)
+    ?(backend = Mem) ?(max_retries = 10) ?(backoff = (1e-6, 1e-4)) ?(batching = true)
+    ?(prefetch = false) ?(seal_domains = 1) ?(resume = false) ~block_size () =
   if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
   if max_retries < 1 then invalid_arg "Storage.create: max_retries must be >= 1";
+  if seal_domains < 1 then invalid_arg "Storage.create: seal_domains must be >= 1";
   let backoff_base, backoff_cap = backoff in
   if backoff_base < 0. || backoff_cap < backoff_base then
     invalid_arg "Storage.create: backoff must satisfy 0 <= base <= cap";
   let payload_size = 8 + Block.encoded_size block_size in
-  let raw, journal = instantiate ~payload_size ~resume backend in
+  let raw, journal = instantiate ~payload_size ~engine:cipher_engine ~resume backend in
   let kind = Backend.kind raw in
   let tel = Option.value telemetry ~default:Telemetry.disabled in
   (* The timing shim is installed only when the sink collects: a
@@ -204,7 +249,15 @@ let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
   let backend = if Telemetry.enabled tel then Backend.instrument tel raw else raw in
   let nonce_hw =
     match Backend.read_meta backend with
-    | Some m -> parse_header ~block_size m
+    | Some m ->
+        let hw, engine_id = parse_header ~block_size m in
+        if engine_id <> Cipher.engine_id cipher_engine then
+          invalid_arg
+            (Printf.sprintf
+               "Storage: store is sealed under cipher engine %s, reopened with %s"
+               (engine_id_name engine_id)
+               (Cipher.engine_name cipher_engine));
+        hw
     | None -> 0
   in
   let t =
@@ -213,11 +266,14 @@ let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
       payload_size;
       backend;
       kind;
+      engine = cipher_engine;
       used = (if resume then Backend.size backend else 0);
       stats = Stats.create ();
       trace = Trace.create ~telemetry:tel trace_mode;
       tel;
-      cipher = Option.map (fun key -> { key; next_nonce = nonce_hw }) cipher;
+      cipher =
+        Option.map (fun key -> { st = Cipher.init cipher_engine key; next_nonce = nonce_hw })
+          cipher;
       nonce_reserved = nonce_hw;
       max_retries;
       backoff_base;
@@ -238,14 +294,26 @@ let create ?cipher ?telemetry ?(trace_mode = Trace.Digest) ?(backend = Mem)
                busy = false;
                ready = None;
                fetch_idx = 0;
-               bufs = [| ref Bytes.empty; ref Bytes.empty |];
+               bufs = [| ref (Bigbuf.create 0); ref (Bigbuf.create 0) |];
                stop = false;
                dom = None;
                dev_mu = Mutex.create ();
              }
          else None);
-      seal_buf = Bytes.create payload_size;
-      run_buf = Bytes.empty;
+      seal_domains;
+      seal_workers =
+        Array.init (seal_domains - 1) (fun _ ->
+            {
+              smu = Mutex.create ();
+              scv = Condition.create ();
+              sjob = None;
+              sresult = None;
+              sstop = false;
+              sdom = None;
+            });
+      seal_spawned = false;
+      seal_buf = Bigbuf.create payload_size;
+      run_buf = Bigbuf.create 0;
     }
   in
   write_header t;
@@ -258,10 +326,98 @@ let trace t = t.trace
 let telemetry t = t.tel
 let backend_kind t = t.kind
 let batching t = t.batching
+let cipher_engine t = t.engine
+let seal_domains t = t.seal_domains
 let faults_injected t = Backend.faults_injected t.backend
-let scratch_bytes t = Bytes.length t.run_buf
+let scratch_bytes t = Bigbuf.length t.run_buf
 let shard_ios t = Backend.shard_io_counts t.backend
 let prefetch_enabled t = t.pf <> None
+
+(* ---- seal pool workers ---- *)
+
+let rec seal_worker_loop w =
+  Mutex.lock w.smu;
+  while w.sjob = None && not w.sstop do
+    Condition.wait w.scv w.smu
+  done;
+  if w.sstop then Mutex.unlock w.smu
+  else begin
+    let f = Option.get w.sjob in
+    Mutex.unlock w.smu;
+    let r = (try f (); None with e -> Some e) in
+    Mutex.lock w.smu;
+    w.sjob <- None;
+    w.sresult <- Some r;
+    Condition.signal w.scv;
+    Mutex.unlock w.smu;
+    seal_worker_loop w
+  end
+
+let spawn_seal_workers t =
+  if not t.seal_spawned then begin
+    t.seal_spawned <- true;
+    Array.iter
+      (fun w -> w.sdom <- Some (Domain.spawn (fun () -> seal_worker_loop w)))
+      t.seal_workers
+  end
+
+let seal_post w f =
+  Mutex.lock w.smu;
+  w.sjob <- Some f;
+  w.sresult <- None;
+  Condition.signal w.scv;
+  Mutex.unlock w.smu
+
+let seal_await w =
+  Mutex.lock w.smu;
+  while w.sresult = None do
+    Condition.wait w.scv w.smu
+  done;
+  let r = Option.get w.sresult in
+  w.sresult <- None;
+  Mutex.unlock w.smu;
+  r
+
+let stop_seal_workers t =
+  if t.seal_spawned then
+    Array.iter
+      (fun w ->
+        Mutex.lock w.smu;
+        w.sstop <- true;
+        Condition.signal w.scv;
+        Mutex.unlock w.smu;
+        match w.sdom with
+        | Some d ->
+            Domain.join d;
+            w.sdom <- None
+        | None -> ())
+      t.seal_workers
+
+(* Run [f lo hi] over a partition of [0, n) — one contiguous chunk per
+   domain when the run is big enough to split, inline otherwise. All
+   chunks complete (or raise) before this returns; the first exception
+   wins. The partition is a function of [n] and [seal_domains] alone,
+   never of data. *)
+let parallel_chunks t n f =
+  if t.seal_domains <= 1 || n < 2 * t.seal_domains then f 0 n
+  else begin
+    spawn_seal_workers t;
+    let d = t.seal_domains in
+    let per = (n + d - 1) / d in
+    for i = 1 to d - 1 do
+      let lo = i * per and hi = min n ((i + 1) * per) in
+      seal_post t.seal_workers.(i - 1) (fun () -> if lo < hi then f lo hi)
+    done;
+    let inline_exn = (try f 0 (min n per); None with e -> Some e) in
+    let worker_exn = ref None in
+    for i = 1 to d - 1 do
+      match seal_await t.seal_workers.(i - 1) with
+      | None -> ()
+      | Some e -> if !worker_exn = None then worker_exn := Some e
+    done;
+    (match inline_exn with Some e -> raise e | None -> ());
+    match !worker_exn with Some e -> raise e | None -> ()
+  end
 
 (* ---- prefetch worker ---- *)
 
@@ -283,7 +439,7 @@ let pf_loop t p =
          other buffer (they alternate, and a ready window is consumed
          before the next hint is posted). *)
       let need = count * t.payload_size in
-      if Bytes.length !bufr < need then bufr := Bytes.create need;
+      if Bigbuf.length !bufr < need then bufr := Bigbuf.create need;
       let target = !bufr in
       Mutex.unlock p.mu;
       let ok =
@@ -413,6 +569,7 @@ let sync t =
 
 let close t =
   stop_prefetcher t;
+  stop_seal_workers t;
   checkpoint_header t;
   Backend.close t.backend
 
@@ -421,6 +578,7 @@ let close t =
    crash point left it. Crash-sweep harness only. *)
 let abandon t =
   stop_prefetcher t;
+  stop_seal_workers t;
   match t.journal with
   | Some j -> Journal.abandon j
   | None -> Backend.close t.backend
@@ -465,27 +623,44 @@ let journal_commits t = match t.journal with None -> 0 | Some j -> Journal.commi
 
 let ensure_run_buf t n =
   let need = n * t.payload_size in
-  if Bytes.length t.run_buf < need then
-    t.run_buf <- Bytes.create (max need (2 * Bytes.length t.run_buf))
+  if Bigbuf.length t.run_buf < need then
+    t.run_buf <- Bigbuf.create (max need (2 * Bigbuf.length t.run_buf))
 
 (* ---- sealed payload: an 8-byte nonce header (-1 = plaintext) followed
    by the encoded (and possibly encrypted) block image. A fixed layout
    keeps every backend address-computable and lets a file store reopen a
    previous run's blocks given the same key.
 
-   Sealing and unsealing run entirely inside caller-owned scratch
-   buffers ([seal_buf] for single blocks, [run_buf] for runs): the block
-   image is encoded in place, the cipher XORs the keystream in place,
-   and decoding reads straight from the scratch at an offset — no
-   [Bytes.sub], no per-operation allocation. ---- *)
+   Sealing and unsealing run entirely inside caller-owned off-heap
+   scratch buffers ([seal_buf] for single blocks, [run_buf] for runs):
+   the block image is encoded in place, the cipher XORs the keystream in
+   place — through the engine's C core for ChaCha20 — and decoding reads
+   straight from the scratch at an offset. No staging copy, no
+   per-operation allocation, and the same buffer the backend transfers
+   from/to. ---- *)
 
 let plain_nonce = -1L
+
+(* Cipher work is reported to the sink under the pseudo-backend
+   "cipher", so a profile attributes keystream time separately from
+   device time. Only sealed payloads are timed (plaintext encode/decode
+   is codec work, not cipher work), and only when the sink collects. *)
+let with_seal_tel t ~op ~blocks f =
+  if Telemetry.enabled t.tel && t.cipher <> None then begin
+    let t0 = Telemetry.now_ns () in
+    let r = f () in
+    Telemetry.record_op t.tel ~backend:"cipher" ~op ~blocks
+      ~bytes:(blocks * (t.payload_size - 8))
+      ~ns:(Int64.sub (Telemetry.now_ns ()) t0);
+    r
+  end
+  else f ()
 
 let seal_into t blk buf off =
   match t.cipher with
   | None ->
-      Bytes.set_int64_le buf off plain_nonce;
-      Block.encode_into blk buf (off + 8)
+      Bigbuf.set64_le buf off plain_nonce;
+      Block.encode_into_big blk buf (off + 8)
   | Some cs ->
       let nonce = cs.next_nonce in
       (* Reserve (and persist) ahead of use: the header write lands on
@@ -495,21 +670,103 @@ let seal_into t blk buf off =
         write_header t
       end;
       cs.next_nonce <- nonce + 1;
-      Bytes.set_int64_le buf off (Int64.of_int nonce);
-      Block.encode_into blk buf (off + 8);
-      Odex_crypto.Cipher.xor_into cs.key ~nonce buf ~off:(off + 8)
-        ~len:(t.payload_size - 8)
+      Bigbuf.set64_le buf off (Int64.of_int nonce);
+      Block.encode_into_big blk buf (off + 8);
+      Cipher.xor_big cs.st ~nonce buf ~off:(off + 8) ~len:(t.payload_size - 8)
 
 let unseal_from t buf off =
-  let header = Bytes.get_int64_le buf off in
-  if header = plain_nonce then Block.decode_from ~block_size:t.block_size buf (off + 8)
+  let header = Bigbuf.get64_le buf off in
+  if header = plain_nonce then Block.decode_from_big ~block_size:t.block_size buf (off + 8)
   else
     match t.cipher with
     | None -> invalid_arg "Storage: encrypted block but no cipher key"
     | Some cs ->
-        Odex_crypto.Cipher.xor_into cs.key ~nonce:(Int64.to_int header) buf ~off:(off + 8)
+        Cipher.xor_big cs.st ~nonce:(Int64.to_int header) buf ~off:(off + 8)
           ~len:(t.payload_size - 8);
-        Block.decode_from ~block_size:t.block_size buf (off + 8)
+        Block.decode_from_big ~block_size:t.block_size buf (off + 8)
+
+(* ---- run sealing: the batched counterpart of [seal_into].
+
+   The [n] nonces are reserved up front — block [i] seals under
+   [base + i], exactly the sequence the per-block loop would draw — so
+   the whole run can be encoded and XORed as equally-spaced regions of
+   [run_buf]: one [Cipher.xor_run] per chunk (the ChaCha20 engine
+   dispatches 8 regions per SIMD batch), fanned across the seal pool
+   when one is attached. Serial and parallel sealing produce the same
+   bytes by construction. *)
+
+let seal_run t blks n =
+  match t.cipher with
+  | None ->
+      for i = 0 to n - 1 do
+        let off = i * t.payload_size in
+        Bigbuf.set64_le t.run_buf off plain_nonce;
+        Block.encode_into_big blks.(i) t.run_buf (off + 8)
+      done
+  | Some cs ->
+      let base = cs.next_nonce in
+      if base + n > t.nonce_reserved then begin
+        t.nonce_reserved <- base + n + nonce_chunk;
+        write_header t
+      end;
+      cs.next_nonce <- base + n;
+      with_seal_tel t ~op:Telemetry.Seal ~blocks:n (fun () ->
+          parallel_chunks t n (fun lo hi ->
+              if lo < hi then begin
+                for i = lo to hi - 1 do
+                  let off = i * t.payload_size in
+                  Bigbuf.set64_le t.run_buf off (Int64.of_int (base + i));
+                  Block.encode_into_big blks.(i) t.run_buf (off + 8)
+                done;
+                let nonces = Array.init (hi - lo) (fun j -> base + lo + j) in
+                Cipher.xor_run cs.st ~nonces t.run_buf
+                  ~off:((lo * t.payload_size) + 8)
+                  ~stride:t.payload_size
+                  ~len:(t.payload_size - 8)
+              end))
+
+(* Unseal a whole run from [buf] into [out]. When every payload is
+   sealed (the steady state of a ciphered store) the nonces come from
+   the payload headers and the run opens through the same
+   [Cipher.xor_run] fast path, chunk-parallel like [seal_run]; a mix of
+   plaintext and sealed blocks (or a cipherless store) falls back to the
+   per-block open. *)
+let unseal_run t buf n out =
+  let all_sealed =
+    match t.cipher with
+    | None -> false
+    | Some _ ->
+        let ok = ref true in
+        (let i = ref 0 in
+         while !ok && !i < n do
+           if Bigbuf.get64_le buf (!i * t.payload_size) = plain_nonce then ok := false;
+           incr i
+         done);
+        !ok
+  in
+  if all_sealed then
+    let cs = Option.get t.cipher in
+    with_seal_tel t ~op:Telemetry.Unseal ~blocks:n (fun () ->
+        parallel_chunks t n (fun lo hi ->
+            if lo < hi then begin
+              let nonces =
+                Array.init (hi - lo) (fun j ->
+                    Int64.to_int (Bigbuf.unsafe_get64_le buf ((lo + j) * t.payload_size)))
+              in
+              Cipher.xor_run cs.st ~nonces buf
+                ~off:((lo * t.payload_size) + 8)
+                ~stride:t.payload_size
+                ~len:(t.payload_size - 8);
+              for i = lo to hi - 1 do
+                out.(i) <-
+                  Block.decode_from_big ~block_size:t.block_size buf
+                    ((i * t.payload_size) + 8)
+              done
+            end))
+  else
+    for i = 0 to n - 1 do
+      out.(i) <- unseal_from t buf (i * t.payload_size)
+    done
 
 (* ---- the run engine: every transfer, single-block or batched, goes
    through [run_transfer], which drives the backend's run API and
@@ -605,24 +862,22 @@ let alloc t n =
     let chunk = 256 in
     let c0 = min chunk n in
     ensure_run_buf t c0;
-    (* Without a cipher every zero block seals to the same image, so one
-       seal + blits fill the run; with one, each slot needs a fresh
-       nonce. Either way the buffer stays valid across chunks. *)
-    (match t.cipher with
-    | None ->
-        seal_into t zero t.run_buf 0;
-        for i = 1 to c0 - 1 do
-          Bytes.blit t.run_buf 0 t.run_buf (i * t.payload_size) t.payload_size
-        done
-    | Some _ -> ());
+    (* The zero image is public — zero-initialization is the server's
+       own uncounted work — so fresh blocks carry the plaintext marker
+       even on a ciphered store: sealing a constant the adversary
+       already computes himself would spend keystream and nonces for
+       nothing. [unseal_from] opens the plain marker on any store, so a
+       read of a never-written block still decodes to empties. One
+       encode + blits fill the run, which stays valid across chunks. *)
+    Bigbuf.set64_le t.run_buf 0 plain_nonce;
+    Block.encode_into_big zero t.run_buf 8;
+    for i = 1 to c0 - 1 do
+      Bigbuf.blit t.run_buf 0 t.run_buf (i * t.payload_size) t.payload_size
+    done;
     let a = ref base in
     atomically t (fun () ->
         while !a < base + n do
           let c = min chunk (base + n - !a) in
-          if t.cipher <> None then
-            for i = 0 to c - 1 do
-              seal_into t zero t.run_buf (i * t.payload_size)
-            done;
           transfer_write t ~counted:false ~record:(fun _ -> ()) ~addr:!a ~n:c
             ~buf:t.run_buf;
           a := !a + c
@@ -640,12 +895,12 @@ let check_block t ~who blk =
 let read t addr =
   check_addr t addr;
   transfer_read t ~counted:true ~record:(record_read t) ~addr ~n:1 ~buf:t.seal_buf;
-  unseal_from t t.seal_buf 0
+  with_seal_tel t ~op:Telemetry.Unseal ~blocks:1 (fun () -> unseal_from t t.seal_buf 0)
 
 let write t addr blk =
   check_addr t addr;
   check_block t ~who:"Storage.write" blk;
-  seal_into t blk t.seal_buf 0;
+  with_seal_tel t ~op:Telemetry.Seal ~blocks:1 (fun () -> seal_into t blk t.seal_buf 0);
   transfer_write t ~counted:true ~record:(record_write t) ~addr ~n:1 ~buf:t.seal_buf
 
 (* ---- batched logical I/O. One [Trace.Read]/[Write] op and one Stats
@@ -671,17 +926,13 @@ let read_many t addr n =
           record_read t (addr + i)
         done;
         if n > 1 then Stats.record_batched t.stats n;
-        for i = 0 to n - 1 do
-          out.(i) <- unseal_from t buf (i * t.payload_size)
-        done
+        unseal_run t buf n out
     | None ->
     if t.batching && n > 1 then begin
       ensure_run_buf t n;
       transfer_read t ~counted:true ~record:(record_read t) ~addr ~n ~buf:t.run_buf;
       Stats.record_batched t.stats n;
-      for i = 0 to n - 1 do
-        out.(i) <- unseal_from t t.run_buf (i * t.payload_size)
-      done
+      unseal_run t t.run_buf n out
     end
     else
       for i = 0 to n - 1 do
@@ -699,11 +950,9 @@ let write_many t addr blks =
     atomically t (fun () ->
         if t.batching && n > 1 then begin
           ensure_run_buf t n;
-          (* Sealing in index order draws the same nonce sequence as the
-             per-block loop. *)
-          for i = 0 to n - 1 do
-            seal_into t blks.(i) t.run_buf (i * t.payload_size)
-          done;
+          (* The run sealer draws nonces in index order — the same
+             sequence as the per-block loop. *)
+          seal_run t blks n;
           transfer_write t ~counted:true ~record:(record_write t) ~addr ~n ~buf:t.run_buf;
           Stats.record_batched t.stats n
         end

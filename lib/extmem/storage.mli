@@ -74,6 +74,7 @@ type t
 
 val create :
   ?cipher:Odex_crypto.Cipher.key ->
+  ?cipher_engine:Odex_crypto.Cipher.engine ->
   ?telemetry:Odex_telemetry.Telemetry.t ->
   ?trace_mode:Trace.mode ->
   ?backend:backend_spec ->
@@ -81,6 +82,7 @@ val create :
   ?backoff:float * float ->
   ?batching:bool ->
   ?prefetch:bool ->
+  ?seal_domains:int ->
   ?resume:bool ->
   block_size:int ->
   unit ->
@@ -90,6 +92,25 @@ val create :
     times (default 10), sleeping [min cap (base *. 2. ** attempts)]
     seconds between attempts where [backoff = (base, cap)] (default
     [1e-6, 1e-4] — real but negligible delays).
+
+    [cipher_engine] (default [Prf_xor]) selects the keystream generator
+    blocks are sealed under when a [cipher] key is supplied — see
+    {!Odex_crypto.Cipher.engine}. The engine id is recorded in the store
+    header (and the journal header, on a [Journaled] spec): reopening a
+    persistent store under a different engine than it was sealed with
+    raises [Invalid_argument] instead of silently unsealing ciphertext
+    with the wrong keystream. Engine choice is invisible to Bob — traces,
+    stats and the nonce schedule are engine-independent (pair-tested);
+    only the ciphertext bytes (and the keystream cost) differ.
+
+    [seal_domains] (default 1) fans run sealing/unsealing across that
+    many domains (the caller's plus [seal_domains - 1] lazily spawned
+    workers, joined on {!close}). Sealing is pure CPU on disjoint
+    stripes of one off-heap buffer with all nonces reserved up front, so
+    the sealed bytes, nonce sequence, trace and device schedule are
+    bit-identical at every setting (pair-tested) — the knob changes only
+    which core runs the keystream arithmetic. Runs smaller than
+    [2 * seal_domains] blocks seal inline.
 
     [telemetry] (default: the disabled sink) wires this store into a
     profiling sink: every backend call is timed (through
@@ -102,16 +123,19 @@ val create :
     uninstrumented one.
 
     {b Sealing state persistence.} A store whose backend persists (the
-    file backend) carries a small header — block size and the cipher
-    nonce high-water mark — maintained through {!Backend.write_meta}.
+    file backend) carries a small header — block size, the cipher nonce
+    high-water mark and the cipher engine id — maintained through
+    {!Backend.write_meta}.
     [create] on an existing file reads it back and resumes the nonce
     counter {e above} every nonce that may ever have been used, so
     reopening a store with the same key never re-seals under a spent
     nonce (the two-time-pad reopen bug). The mark is persisted ahead of
     use in 2^16-nonce reservations and exactly on {!sync}/{!close}; a
     crash therefore costs at most one reservation of skipped (never
-    used) nonces. Reopening with a different [block_size] than the store
-    was created with raises [Invalid_argument].
+    used) nonces. Reopening with a different [block_size] or a different
+    [cipher_engine] than the store was created with raises
+    [Invalid_argument]. (Pre-engine version-1 headers read back as
+    [Prf_xor] — exactly what sealed them.)
 
     [resume] (default [false]) controls whether the blocks already
     present on a persistent backend become addressable: with
@@ -158,6 +182,13 @@ val backend_kind : t -> string
 
 val batching : t -> bool
 (** Whether {!read_many}/{!write_many} use multi-block backend runs. *)
+
+val cipher_engine : t -> Odex_crypto.Cipher.engine
+(** The keystream engine this store seals under (meaningful only when a
+    cipher key was supplied; reported regardless). *)
+
+val seal_domains : t -> int
+(** Total domains participating in run sealing (1 = serial). *)
 
 val prefetch_enabled : t -> bool
 (** Whether a prefetch worker is attached (see {!create}). *)

@@ -86,13 +86,14 @@ let pair_inputs_isomorphic ~seed ~n =
    live trace (for span divergence) alongside the summary numbers. The
    storage is closed before returning so a file-backed pair can reuse one
    path for both runs. *)
-let execute ?telemetry ?(prefetch = false) subject ~backend ~b ~m ~seed cells =
+let execute ?telemetry ?(prefetch = false) ?cipher ?cipher_engine ?seal_domains subject
+    ~backend ~b ~m ~seed cells =
   (* Zero backoff: the harness compares traces, not wall-clock, and a
      fuzzed faulty backend injects thousands of retries per run —
      sleeping through real (if tiny) delays would dominate the suite. *)
   let s =
-    Storage.create ?telemetry ~trace_mode:Trace.Digest ~backend ~backoff:(0., 0.)
-      ~prefetch ~block_size:b ()
+    Storage.create ?telemetry ?cipher ?cipher_engine ?seal_domains ~trace_mode:Trace.Digest
+      ~backend ~backoff:(0., 0.) ~prefetch ~block_size:b ()
   in
   let kind = Storage.backend_kind s in
   Fun.protect
@@ -117,8 +118,8 @@ let execute ?telemetry ?(prefetch = false) subject ~backend ~b ~m ~seed cells =
       in
       (tr, info, kind))
 
-let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch
-    ?(pair = `Disjoint) subject ~n_cells ~b ~m =
+let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch ?cipher
+    ?cipher_engine ?seal_domains ?(pair = `Disjoint) subject ~n_cells ~b ~m =
   let cells_a, cells_b =
     match pair with
     | `Disjoint -> pair_inputs ~seed ~n:n_cells
@@ -127,8 +128,14 @@ let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch
   (* The sink (if any) instruments run A only, while run B stays
      uninstrumented: [oblivious = true] then also certifies that enabling
      telemetry changed not a single trace op. *)
-  let tr_a, run_a, kind = execute ?telemetry ?prefetch subject ~backend ~b ~m ~seed cells_a in
-  let tr_b, run_b, _ = execute ?prefetch subject ~backend ~b ~m ~seed cells_b in
+  let tr_a, run_a, kind =
+    execute ?telemetry ?prefetch ?cipher ?cipher_engine ?seal_domains subject ~backend ~b ~m
+      ~seed cells_a
+  in
+  let tr_b, run_b, _ =
+    execute ?prefetch ?cipher ?cipher_engine ?seal_domains subject ~backend ~b ~m ~seed
+      cells_b
+  in
   (* On a sharded backend the adversary also sees which physical device
      serves each op: the per-shard op counts must line up exactly, not
      just the logical trace. *)

@@ -71,6 +71,9 @@ val check :
   ?backend:Storage.backend_spec ->
   ?telemetry:Odex_telemetry.Telemetry.t ->
   ?prefetch:bool ->
+  ?cipher:Odex_crypto.Cipher.key ->
+  ?cipher_engine:Odex_crypto.Cipher.engine ->
+  ?seal_domains:int ->
   ?pair:[ `Disjoint | `Isomorphic ] ->
   subject ->
   n_cells:int ->
@@ -95,6 +98,13 @@ val check :
     worker to {e both} runs (see {!Odex_extmem.Storage.create}):
     [oblivious = true] then certifies the prefetching schedule leaks
     nothing either.
+
+    [cipher], [cipher_engine] and [seal_domains] are forwarded to both
+    runs' {!Odex_extmem.Storage.create}: sealing under a real keystream
+    engine, or fanning the sealing across domains, must not move a
+    single trace op (the parallel-seal parity suite runs the whole
+    registry through this with [seal_domains] on and off and demands
+    identical digests and [shard_ios]).
 
     [pair] selects the input pair: [`Disjoint] (default,
     {!pair_inputs}) for fixed-trace subjects, [`Isomorphic]

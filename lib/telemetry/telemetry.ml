@@ -61,7 +61,7 @@ let hist_percentile h p =
 
 (* ---- sink ---- *)
 
-type op_kind = Read | Write | Read_run | Write_run | Sync
+type op_kind = Read | Write | Read_run | Write_run | Sync | Seal | Unseal
 
 let op_kind_name = function
   | Read -> "read"
@@ -69,6 +69,8 @@ let op_kind_name = function
   | Read_run -> "read_run"
   | Write_run -> "write_run"
   | Sync -> "sync"
+  | Seal -> "seal"
+  | Unseal -> "unseal"
 
 type op_stat = {
   op : op_kind;

@@ -10,7 +10,7 @@ let with_temp_store f =
 (* ---------------- backend layer ---------------- *)
 
 let test_backend_kinds () =
-  Alcotest.(check string) "mem" "mem" (Backend.kind (Backend.mem ()));
+  Alcotest.(check string) "mem" "mem" (Backend.kind (Backend.mem ~payload_size:16 ()));
   with_temp_store (fun path ->
       let b = Backend.file ~path ~payload_size:16 in
       Alcotest.(check string) "file" "file" (Backend.kind b);
@@ -18,12 +18,12 @@ let test_backend_kinds () =
       let f =
         Backend.faulty
           { Backend.seed = 1; failure_rate = 0.5; max_burst = 2 }
-          (Backend.mem ())
+          (Backend.mem ~payload_size:16 ())
       in
       Alcotest.(check string) "faulty" "faulty" (Backend.kind f))
 
 let test_backend_bounds () =
-  let b = Backend.mem () in
+  let b = Backend.mem ~payload_size:16 () in
   Backend.ensure b 4;
   Alcotest.check_raises "mem read past end" (Invalid_argument "Backend.Mem: address 4 out of bounds (4)")
     (fun () -> ignore (Backend.read b 4));
@@ -31,12 +31,12 @@ let test_backend_bounds () =
       let f = Backend.file ~path ~payload_size:8 in
       Backend.ensure f 2;
       Alcotest.check_raises "file payload size enforced"
-        (Invalid_argument "Backend.File: payload has wrong size") (fun () ->
+        (Invalid_argument "Backend.write: payload has wrong size") (fun () ->
           Backend.write f 0 (Bytes.create 7));
       Backend.close f)
 
 let test_faulty_plan_validation () =
-  let inner () = Backend.mem () in
+  let inner () = Backend.mem ~payload_size:16 () in
   Alcotest.check_raises "rate > 1"
     (Invalid_argument "Backend.faulty: failure_rate must be in [0, 1]") (fun () ->
       ignore (Backend.faulty { Backend.seed = 0; failure_rate = 1.5; max_burst = 1 } (inner ())));
@@ -412,7 +412,7 @@ let test_meta_roundtrip () =
             (String.capitalize_ascii name) Backend.meta_capacity))
       (fun () -> Backend.write_meta backend (Bytes.create (Backend.meta_capacity + 1)))
   in
-  roundtrip "mem" (Backend.mem ());
+  roundtrip "mem" (Backend.mem ~payload_size:16 ());
   with_temp_store (fun path ->
       let b = Backend.file ~path ~payload_size:16 in
       roundtrip "file" b;

@@ -4,6 +4,7 @@
    schedules and the resume contract. *)
 
 open Odex_extmem
+module Bigbuf = Odex_crypto.Bigbuf
 
 let with_temp_store f =
   let path = Filename.temp_file "odex_batch" ".store" in
@@ -154,21 +155,22 @@ let test_backend_run_edges () =
     Backend.ensure bk 4;
     let payload = 8 in
     let pat i = Bytes.init payload (fun j -> Char.chr ((i * 31 + j) land 0xFF)) in
-    let buf = Bytes.create (4 * payload) in
+    let buf = Bigbuf.create (4 * payload) in
     for i = 0 to 3 do
-      Bytes.blit (pat i) 0 buf (i * payload) payload
+      Bigbuf.blit_from_bytes (pat i) 0 buf (i * payload) payload
     done;
     (* count = 0 is a validated no-op; a full-width run ends exactly at
        capacity. *)
     Backend.write_run bk ~addr:2 ~count:0 ~payload ~buf ~off:0;
     Backend.write_run bk ~addr:0 ~count:4 ~payload ~buf ~off:0;
-    let out = Bytes.create (4 * payload) in
+    let out = Bigbuf.create (4 * payload) in
     Backend.read_run bk ~addr:0 ~count:4 ~payload ~buf:out ~off:0;
-    Alcotest.(check bytes) (name ^ ": full-run roundtrip") buf out;
+    Alcotest.(check bytes) (name ^ ": full-run roundtrip") (Bigbuf.to_bytes buf)
+      (Bigbuf.to_bytes out);
     (* count = 1 equals the single-block API. *)
-    let one = Bytes.create payload in
+    let one = Bigbuf.create payload in
     Backend.read_run bk ~addr:3 ~count:1 ~payload ~buf:one ~off:0;
-    Alcotest.(check bytes) (name ^ ": run of one") (Backend.read bk 3) one;
+    Alcotest.(check bytes) (name ^ ": run of one") (Backend.read bk 3) (Bigbuf.to_bytes one);
     (* Out-of-bounds address windows and undersized buffers raise before
        any byte moves. *)
     let is_oob = function Invalid_argument _ -> true | _ -> false in
@@ -179,12 +181,13 @@ let test_backend_run_edges () =
       (refused (fun () -> Backend.read_run bk ~addr:(-1) ~count:1 ~payload ~buf:out ~off:0));
     Alcotest.(check bool) (name ^ ": short buffer refused") true
       (refused (fun () ->
-           Backend.write_run bk ~addr:0 ~count:4 ~payload ~buf:(Bytes.create 31) ~off:0));
-    let before = Bytes.create (4 * payload) in
+           Backend.write_run bk ~addr:0 ~count:4 ~payload ~buf:(Bigbuf.create 31) ~off:0));
+    let before = Bigbuf.create (4 * payload) in
     Backend.read_run bk ~addr:0 ~count:4 ~payload ~buf:before ~off:0;
-    Alcotest.(check bytes) (name ^ ": refused writes moved nothing") buf before
+    Alcotest.(check bytes) (name ^ ": refused writes moved nothing") (Bigbuf.to_bytes buf)
+      (Bigbuf.to_bytes before)
   in
-  check_backend "mem" (Backend.mem ());
+  check_backend "mem" (Backend.mem ~payload_size:8 ());
   with_temp_store (fun path ->
       let bk = Backend.file ~path ~payload_size:8 in
       Fun.protect ~finally:(fun () -> Backend.close bk) (fun () -> check_backend "file" bk))
@@ -197,10 +200,10 @@ let test_faulty_run_resume_contract () =
      fall before the resume point (those blocks are already transferred),
      and resuming there must finish the run with one fault per block. *)
   let plan = { Backend.seed = 5; failure_rate = 1.0; max_burst = 1 } in
-  let bk = Backend.faulty plan (Backend.mem ()) in
+  let bk = Backend.faulty plan (Backend.mem ~payload_size:8 ()) in
   Backend.ensure bk 4;
   let payload = 8 in
-  let src = Bytes.init (4 * payload) (fun i -> Char.chr (i land 0xFF)) in
+  let src = Bigbuf.of_bytes (Bytes.init (4 * payload) (fun i -> Char.chr (i land 0xFF))) in
   let resume_loop f =
     let rec go a faults =
       if a < 4 then
@@ -218,20 +221,21 @@ let test_faulty_run_resume_contract () =
         Backend.write_run bk ~addr:a ~count:(4 - a) ~payload ~buf:src ~off:(a * payload))
   in
   Alcotest.(check int) "one write fault per block" 4 wf;
-  let out = Bytes.create (4 * payload) in
+  let out = Bigbuf.create (4 * payload) in
   let rf =
     resume_loop (fun a ->
         Backend.read_run bk ~addr:a ~count:(4 - a) ~payload ~buf:out ~off:(a * payload))
   in
   Alcotest.(check int) "one read fault per block" 4 rf;
-  Alcotest.(check bytes) "resumed run transferred every block" src out;
+  Alcotest.(check bytes) "resumed run transferred every block" (Bigbuf.to_bytes src)
+    (Bigbuf.to_bytes out);
   Alcotest.(check int) "every fault was raised through the runs" 8 (Backend.faults_injected bk);
   (* An out-of-bounds run is refused before the first gate: no fault
      schedule advance, no transfer. *)
   let faults_before = Backend.faults_injected bk in
   Alcotest.(check bool) "oob refused" true
     (try
-       Backend.read_run bk ~addr:2 ~count:5 ~payload ~buf:(Bytes.create (5 * payload)) ~off:0;
+       Backend.read_run bk ~addr:2 ~count:5 ~payload ~buf:(Bigbuf.create (5 * payload)) ~off:0;
        false
      with Invalid_argument _ -> true);
   Alcotest.(check int) "refused run consumed no accesses" faults_before

@@ -223,6 +223,150 @@ let test_cipher_key_separation () =
   let c2 = Cipher.encrypt (Cipher.key_of_int 2) ~nonce:0 plain in
   Alcotest.(check bool) "keys separate" true (not (Bytes.equal c1 c2))
 
+(* ---------------- cipher engines ---------------- *)
+
+let hex_of_big buf off len =
+  String.concat "" (List.init len (fun i -> Printf.sprintf "%02x" (Char.code (Bigbuf.get buf (off + i)))))
+
+let key_00_1f = String.init 32 Char.chr
+
+(* RFC 8439 §2.3.2: block function known-answer vector — key 00..1f,
+   nonce 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1. XORing the
+   keystream over zeros exposes the raw keystream block. *)
+let test_chacha20_kat_block () =
+  let nonce = "\x00\x00\x00\x09\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let buf = Bigbuf.create 64 in
+  Cipher.chacha20_xor_raw ~key:key_00_1f ~nonce ~counter:1 buf ~off:0 ~len:64;
+  Alcotest.(check string) "keystream block"
+    ("10f1e7e4d13b5915500fdd1fa32071c4" ^ "c7d1f4c733c068030422aa9ac3d46c4e"
+   ^ "d2826446079faa0914c2d705d98b02a2" ^ "b5129cd1de164eb9cbd083e8a2503c4e")
+    (hex_of_big buf 0 64)
+
+(* RFC 8439 §2.4.2: the "sunscreen" encryption vector — same key, nonce
+   00:00:00:00:00:00:00:4a:00:00:00:00, counter 1. Exercises the
+   multi-block path with a 114-byte (non-multiple-of-64) message. *)
+let test_chacha20_kat_sunscreen () =
+  let nonce = "\x00\x00\x00\x00\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let plain =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip \
+     for the future, sunscreen would be it."
+  in
+  let buf = Bigbuf.of_bytes (Bytes.of_string plain) in
+  Cipher.chacha20_xor_raw ~key:key_00_1f ~nonce ~counter:1 buf ~off:0
+    ~len:(String.length plain);
+  Alcotest.(check string) "ciphertext"
+    ("6e2e359a2568f98041ba0728dd0d6981" ^ "e97e7aec1d4360c20a27afccfd9fae0b"
+   ^ "f91b65c5524733ab8f593dabcd62b357" ^ "1639d624e65152ab8f530c359f0861d8"
+   ^ "07ca0dbf500d6a6156a38e088a22b65e" ^ "52bc514d16ccf806818ce91ab7793736"
+   ^ "5af90bbf74a35be6b40b8eedf2785e42" ^ "874d")
+    (hex_of_big buf 0 (String.length plain));
+  (* XOR is an involution: the same call decrypts. *)
+  Cipher.chacha20_xor_raw ~key:key_00_1f ~nonce ~counter:1 buf ~off:0
+    ~len:(String.length plain);
+  Alcotest.(check string) "roundtrip" plain (Bigbuf.sub_string buf 0 (String.length plain))
+
+let test_engine_ids () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "id roundtrips" true (Cipher.engine_of_id (Cipher.engine_id e) = Some e);
+      Alcotest.(check bool) "name roundtrips" true
+        (Cipher.engine_of_name (Cipher.engine_name e) = Some e))
+    [ Cipher.Prf_xor; Cipher.Chacha20 ];
+  Alcotest.(check bool) "unknown id" true (Cipher.engine_of_id 99L = None);
+  Alcotest.(check bool) "unknown name" true (Cipher.engine_of_name "rot13" = None)
+
+(* The Bigbuf Prf_xor path must produce byte-identical output to the
+   historical bytes path — stores sealed before the engine abstraction
+   must reopen bit-exactly. *)
+let test_xor_big_matches_bytes_path () =
+  let k = Cipher.key_of_int 4242 in
+  let st = Cipher.init Cipher.Prf_xor k in
+  for len = 0 to 17 do
+    let bytes_buf = Bytes.init (len + 11) (fun i -> Char.chr ((i * 53) land 0xFF)) in
+    let big = Bigbuf.of_bytes bytes_buf in
+    Cipher.xor_into k ~nonce:len bytes_buf ~off:3 ~len;
+    Cipher.xor_big st ~nonce:len big ~off:3 ~len;
+    Alcotest.(check bytes) (Printf.sprintf "len %d" len) bytes_buf (Bigbuf.to_bytes big)
+  done
+
+(* xor_run must equal per-region xor_big for both engines — in
+   particular the Chacha20 8-lane SIMD core against its scalar core
+   (region counts above and below 8, region lengths crossing 64-byte
+   keystream blocks and stopping mid-block). *)
+let test_xor_run_matches_xor_big () =
+  List.iter
+    (fun engine ->
+      let st = Cipher.init engine (Cipher.key_of_int 555) in
+      List.iter
+        (fun (count, len, stride) ->
+          let total = (count * stride) + 16 in
+          let mk () = Bigbuf.of_bytes (Bytes.init total (fun i -> Char.chr ((i * 31) land 0xFF))) in
+          let by_run = mk () and by_block = mk () in
+          let nonces = Array.init count (fun i -> 1000 + (i * 3)) in
+          Cipher.xor_run st ~nonces by_run ~off:8 ~stride ~len;
+          Array.iteri
+            (fun i nonce -> Cipher.xor_big st ~nonce by_block ~off:(8 + (i * stride)) ~len)
+            nonces;
+          Alcotest.(check bytes)
+            (Printf.sprintf "%s count=%d len=%d" (Cipher.engine_name engine) count len)
+            (Bigbuf.to_bytes by_block) (Bigbuf.to_bytes by_run))
+        [ (1, 40, 48); (3, 160, 168); (8, 160, 160); (9, 64, 72); (20, 328, 328); (5, 0, 8) ])
+    [ Cipher.Prf_xor; Cipher.Chacha20 ]
+
+let test_chacha20_engine_properties () =
+  let k = Cipher.key_of_int 808 in
+  let st = Cipher.init Cipher.Chacha20 k in
+  Alcotest.(check bool) "engine tag" true (Cipher.state_engine st = Cipher.Chacha20);
+  let len = 200 in
+  let plain = Bytes.init len (fun i -> Char.chr (i land 0xFF)) in
+  let b1 = Bigbuf.of_bytes plain and b2 = Bigbuf.of_bytes plain in
+  Cipher.xor_big st ~nonce:1 b1 ~off:0 ~len;
+  Cipher.xor_big st ~nonce:2 b2 ~off:0 ~len;
+  Alcotest.(check bool) "nonces separate streams" true
+    (not (Bytes.equal (Bigbuf.to_bytes b1) (Bigbuf.to_bytes b2)));
+  Alcotest.(check bool) "ciphertext differs from plaintext" true
+    (not (Bytes.equal (Bigbuf.to_bytes b1) plain));
+  Cipher.xor_big st ~nonce:1 b1 ~off:0 ~len;
+  Alcotest.(check bytes) "involution" plain (Bigbuf.to_bytes b1);
+  let st' = Cipher.init Cipher.Chacha20 (Cipher.key_of_int 809) in
+  let b3 = Bigbuf.of_bytes plain in
+  Cipher.xor_big st' ~nonce:1 b3 ~off:0 ~len;
+  Alcotest.(check bool) "keys separate streams" true
+    (not (Bytes.equal (Bigbuf.to_bytes b1) (Bigbuf.to_bytes b3)))
+
+(* ---------------- unbiased range mapping ---------------- *)
+
+(* bound = 7 does not divide 2^62, so the plain modulo reduction is
+   (infinitesimally) biased; the rejection sampler must stay uniform.
+   With 70,000 draws each residue expects 10,000; +/-10% is ~13 sigma. *)
+let test_to_range_unbiased_uniform () =
+  let k = Prf.key_of_int 314 in
+  let bound = 7 in
+  let draws = 70_000 in
+  let buckets = Array.make bound 0 in
+  for x = 0 to draws - 1 do
+    let v = Prf.to_range_unbiased k x ~bound in
+    if v < 0 || v >= bound then Alcotest.fail "to_range_unbiased out of bounds";
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = draws / bound in
+  Array.iteri
+    (fun i c ->
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "residue %d count %d too far from %d" i c expected)
+    buckets;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prf.to_range_unbiased: bound must be positive") (fun () ->
+      ignore (Prf.to_range_unbiased k 0 ~bound:0))
+
+let prop_to_range_unbiased_bounds =
+  Util.qcheck_case ~name:"to_range_unbiased stays in bounds and is deterministic"
+    QCheck2.Gen.(triple int (int_range 1 1_000_000) int)
+    (fun (x, bound, seed) ->
+      let k = Prf.key_of_int seed in
+      let v = Prf.to_range_unbiased k x ~bound in
+      v >= 0 && v < bound && v = Prf.to_range_unbiased k x ~bound)
+
 let prop_permutation_valid =
   Util.qcheck_case ~name:"random permutation is a bijection"
     QCheck2.Gen.(pair (int_range 0 200) int)
@@ -267,6 +411,14 @@ let suite =
     ("cipher xor vs bytewise reference", `Quick, test_xor_stream_matches_bytewise_reference);
     ("cipher xor_into region", `Quick, test_xor_into_region);
     ("cipher key separation", `Quick, test_cipher_key_separation);
+    ("chacha20 rfc8439 block vector", `Quick, test_chacha20_kat_block);
+    ("chacha20 rfc8439 sunscreen vector", `Quick, test_chacha20_kat_sunscreen);
+    ("cipher engine ids", `Quick, test_engine_ids);
+    ("cipher xor_big matches bytes path", `Quick, test_xor_big_matches_bytes_path);
+    ("cipher xor_run matches xor_big", `Quick, test_xor_run_matches_xor_big);
+    ("chacha20 engine properties", `Quick, test_chacha20_engine_properties);
+    ("prf to_range_unbiased uniformity", `Quick, test_to_range_unbiased_uniform);
+    prop_to_range_unbiased_bounds;
     prop_permutation_valid;
     prop_cipher_roundtrip;
     prop_rng_int_bounds;

@@ -32,7 +32,10 @@ let test_append_commit_bookkeeping () =
       for i = 0 to 2 do
         Backend.write b i (payload i)
       done;
-      let buf = Bytes.concat Bytes.empty (List.init 4 (fun i -> payload (10 + i))) in
+      let buf =
+        Odex_crypto.Bigbuf.of_bytes
+          (Bytes.concat Bytes.empty (List.init 4 (fun i -> payload (10 + i))))
+      in
       Backend.write_run b ~addr:3 ~count:4 ~payload:16 ~buf ~off:0;
       Alcotest.(check (list (pair int int)))
         "append schedule: one record per run"
@@ -332,11 +335,16 @@ let full_sort_ios keys =
       Stats.total (Storage.stats s) - before)
 
 (* Kill after exactly [k] backend ops, reopen with resume, finish the
-   sort, and check everything the issue demands of that crash point. *)
+   sort, and check everything the issue demands of that crash point.
+   Sealed under ChaCha20 (the bucket sweep below keeps the PRF engine,
+   so both engines get the full kill treatment): the reopen must name
+   the engine, exercising the engine id persisted in both the store
+   header and the journal header across every crash point. *)
 let sweep_point ~keys ~full_ios k =
   let sp, jp = temp_pair () in
   Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
   let cipher = Odex_crypto.Cipher.key_of_int 99 in
+  let cipher_engine = Odex_crypto.Cipher.Chacha20 in
   let payload_size = 8 + Block.encoded_size sweep_b in
   let cells = Util.cells_of_keys keys in
   let nblocks = (Array.length keys + sweep_b - 1) / sweep_b in
@@ -348,7 +356,10 @@ let sweep_point ~keys ~full_ios k =
         durable = false;
       }
   in
-  let s = Storage.create ~cipher ~trace_mode:Trace.Digest ~backend:crash_spec ~block_size:sweep_b () in
+  let s =
+    Storage.create ~cipher ~cipher_engine ~trace_mode:Trace.Digest ~backend:crash_spec
+      ~block_size:sweep_b ()
+  in
   let crashed, appends =
     match
       let a = Ext_array.of_cells s ~block_size:sweep_b cells in
@@ -366,8 +377,8 @@ let sweep_point ~keys ~full_ios k =
     Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false }
   in
   let s2 =
-    Storage.create ~cipher ~resume:true ~trace_mode:Trace.Digest ~backend:resume_spec
-      ~block_size:sweep_b ()
+    Storage.create ~cipher ~cipher_engine ~resume:true ~trace_mode:Trace.Digest
+      ~backend:resume_spec ~block_size:sweep_b ()
   in
   let replays = Storage.journal_replay s2 in
   let owner = Printf.sprintf "ext-sort/0/%d" nblocks in
