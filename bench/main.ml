@@ -1,5 +1,5 @@
 (* Experiment harness: one section per experiment in DESIGN.md's index
-   (E1–E15) plus Bechamel wall-clock micro-benches for the headline
+   (E1–E17) plus Bechamel wall-clock micro-benches for the headline
    operations.
 
    Usage: main.exe            — run everything

@@ -63,8 +63,8 @@ let backend_of ~store ~shards ~journal name =
         prerr_endline ("unknown backend " ^ other ^ " (available: mem file faulty)");
         exit 2)
 
-let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
-    ~seal_key ~seal_domains keys =
+let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~auto_commit ~resume
+    ~cipher ~seal_key ~seal_domains keys =
   (* `--profile` turns on the telemetry sink; without it the storage
      carries the shared disabled sink and the I/O path is untouched. *)
   let telemetry =
@@ -87,7 +87,7 @@ let setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~c
   in
   let server =
     Storage.create ~telemetry ~trace_mode:Trace.Digest ~resume ?cipher:cipher_key
-      ~cipher_engine ~seal_domains
+      ~cipher_engine ~seal_domains ?journal_auto_commit_bytes:auto_commit
       ~backend:(backend_of ~store ~shards ~journal backend) ~block_size ()
   in
   let n = Array.length keys in
@@ -176,6 +176,15 @@ let journal_arg =
   in
   Arg.(value & flag & info [ "journal" ] ~doc)
 
+let auto_commit_arg =
+  let doc =
+    "Auto-commit threshold for $(b,--journal), in bytes (default 4 MiB): a write that \
+     pushes the pending journal tail past $(docv) triggers an automatic group commit. \
+     Smaller values bound crash-recovery replay work at the price of more fsyncs; \
+     experiment E17 measures the trade-off."
+  in
+  Arg.(value & opt (some int) None & info [ "auto-commit-bytes" ] ~docv:"BYTES" ~doc)
+
 let resume_arg =
   let doc =
     "Reopen an existing store (use $(b,--store) and $(b,--journal)), replay any \
@@ -228,13 +237,13 @@ let sort_cmd =
     in
     Arg.(value & opt (some string) None & info [ "sorter" ] ~docv:"ENGINE" ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains sorter file =
+  let run block_size m seed backend store shards profile journal auto_commit resume cipher seal_key seal_domains sorter file =
     let keys = read_keys file in
     if Array.length keys = 0 then prerr_endline "no input"
     else begin
       let server, a, rng =
-        setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
-          ~seal_key ~seal_domains keys
+        setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~auto_commit ~resume
+          ~cipher ~seal_key ~seal_domains keys
       in
       let ok =
         match sorter with
@@ -270,7 +279,7 @@ let sort_cmd =
   Cmd.v (Cmd.info "sort" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ shards_arg $ profile_arg $ journal_arg $ auto_commit_arg $ resume_arg $ cipher_arg $ seal_key_arg
       $ seal_domains_arg $ sorter_arg $ file_arg)
 
 (* ---- select ---- *)
@@ -280,11 +289,11 @@ let select_cmd =
     let doc = "Rank to select (1-indexed)." in
     Arg.(required & opt (some int) None & info [ "k"; "rank" ] ~docv:"K" ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains k file =
+  let run block_size m seed backend store shards profile journal auto_commit resume cipher seal_key seal_domains k file =
     let keys = read_keys file in
     let server, a, rng =
-      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
-          ~seal_key ~seal_domains keys
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~auto_commit ~resume
+          ~cipher ~seal_key ~seal_domains keys
     in
     let r = Odex.Selection.select ~m ~rng ~k a in
     (match r.Odex.Selection.item with
@@ -298,7 +307,7 @@ let select_cmd =
   Cmd.v (Cmd.info "select" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ shards_arg $ profile_arg $ journal_arg $ auto_commit_arg $ resume_arg $ cipher_arg $ seal_key_arg
       $ seal_domains_arg $ k_arg $ file_arg)
 
 (* ---- quantiles ---- *)
@@ -308,11 +317,11 @@ let quantiles_cmd =
     let doc = "Number of quantiles." in
     Arg.(value & opt int 3 & info [ "q"; "quantiles" ] ~docv:"Q" ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains q file =
+  let run block_size m seed backend store shards profile journal auto_commit resume cipher seal_key seal_domains q file =
     let keys = read_keys file in
     let server, a, rng =
-      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
-          ~seal_key ~seal_domains keys
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~auto_commit ~resume
+          ~cipher ~seal_key ~seal_domains keys
     in
     let r = Odex.Quantiles.run ~m ~rng ~q a in
     Array.iteri
@@ -327,7 +336,7 @@ let quantiles_cmd =
   Cmd.v (Cmd.info "quantiles" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ shards_arg $ profile_arg $ journal_arg $ auto_commit_arg $ resume_arg $ cipher_arg $ seal_key_arg
       $ seal_domains_arg $ q_arg $ file_arg)
 
 (* ---- compact ---- *)
@@ -337,11 +346,11 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed backend store shards profile journal resume cipher seal_key seal_domains keep_even file =
+  let run block_size m seed backend store shards profile journal auto_commit resume cipher seal_key seal_domains keep_even file =
     let keys = read_keys file in
     let server, a, _rng =
-      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~resume ~cipher
-          ~seal_key ~seal_domains keys
+      setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~auto_commit ~resume
+          ~cipher ~seal_key ~seal_domains keys
     in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
@@ -356,7 +365,7 @@ let compact_cmd =
   Cmd.v (Cmd.info "compact" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ shards_arg $ profile_arg $ journal_arg $ auto_commit_arg $ resume_arg $ cipher_arg $ seal_key_arg
       $ seal_domains_arg $ keep_even $ file_arg)
 
 (* ---- audit ---- *)

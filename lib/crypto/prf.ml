@@ -9,6 +9,10 @@ let key_of_int seed = mix64 (Int64.add (Int64.of_int seed) 0x5851F42D4C957F2DL)
 
 let fresh_key rng = Rng.next_int64 rng
 
+let key_to_raw k = k
+
+let key_of_raw k = k
+
 let value k x =
   mix64 (Int64.logxor k (mix64 (Int64.of_int x)))
 

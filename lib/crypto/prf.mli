@@ -14,6 +14,13 @@ val key_of_int : int -> key
 val fresh_key : Rng.t -> key
 (** Draw a key from a generator. *)
 
+val key_to_raw : key -> int64
+(** Serialize a key to its raw word — for Alice-private persistence
+    (e.g. the ORAM session metadata, sealed like any other data). *)
+
+val key_of_raw : int64 -> key
+(** Rebuild a key from {!key_to_raw}. *)
+
 val value : key -> int -> int64
 (** [value k x] is the 64-bit PRF output on input [x]. *)
 

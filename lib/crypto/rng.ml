@@ -12,6 +12,10 @@ let create ~seed = { state = mix64 (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state s = { state = s }
+
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

@@ -17,6 +17,15 @@ val copy : t -> t
 (** [copy t] is an independent generator that will replay exactly the
     stream [t] would have produced from this point on. *)
 
+val state : t -> int64
+(** The full generator state as one serializable word. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from {!state}: [of_state (state t)] replays
+    exactly the stream [t] would have produced. The persistence hook for
+    crash-resumable sessions (the hierarchical ORAM checkpoints its
+    generator so a resumed rebuild re-draws the same epoch key). *)
+
 val split : t -> t
 (** [split t] derives a statistically independent child generator and
     advances [t]. Use it to give sub-phases their own streams without

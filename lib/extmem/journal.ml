@@ -35,15 +35,35 @@
    The header additionally carries the cipher engine id the payloads are
    sealed under — replaying ChaCha20 ciphertext into a store that will
    be unsealed as PRF-XOR garbles silently, so a mismatched reopen fails
-   loudly instead — and one checkpoint slot (owner hash, phase, cursor)
-   for algorithm-level restart points; see {!Storage.checkpoint}. The
-   whole header is covered by a checksum: a header torn mid-rewrite
-   degrades to "no checkpoint, nothing committed" (a full restart from
-   the previous boundary), never to a wrong checkpoint or a
-   half-committed group. *)
+   loudly instead — and a bounded checkpoint TABLE of [max_slots]
+   entries, each a full (owner string, phase, cursor) triple for
+   algorithm-level restart points; see {!Storage.checkpoint}. Owners are
+   stored verbatim (not hashed), so two distinct owners can never alias,
+   and occupancy is an explicit per-slot kind tag, never inferred from
+   the phase value. Concurrent algorithms on one store — an ORAM rebuild
+   plus the ext-sort it runs internally plus an unrelated columnsort —
+   each own their slot and never clobber each other. The whole header is
+   covered by a checksum: a header torn mid-rewrite degrades to "no
+   checkpoints, nothing committed" (a full restart from the previous
+   boundary), never to a wrong checkpoint or a half-committed group.
+
+   Format history: v3 ("ODEXJRN3", 616-byte header) is the table format;
+   v2 ("ODEXJRN2", 64 bytes) held a single FNV-hashed slot, last writer
+   wins. A v2 journal reopens cleanly: its slot parses as a one-entry
+   legacy-hash table (matched by hash until the owner checkpoints again,
+   which upgrades the slot to a full string), its records replay from
+   the old 64-byte offset, and the file is rewritten as v3. *)
 
 module Bigbuf = Odex_crypto.Bigbuf
 module Cipher = Odex_crypto.Cipher
+
+type slot_owner =
+  | Named of string  (** Full owner string: the only identity new checkpoints write. *)
+  | Legacy_hash of int64
+      (** FNV-1a owner hash read back from a v2 single-slot header:
+          matched by hash until the owner checkpoints again. *)
+
+type slot = { owner : slot_owner; phase : int; cursor : int }
 
 type t = {
   path : string;
@@ -58,9 +78,7 @@ type t = {
       (** The commit marker: records below this offset are committed
           (their apply may be incomplete — replay finishes it); records
           at or above it are provisional and discarded by replay. *)
-  mutable owner : int64;
-  mutable phase : int;
-  mutable cursor : int;
+  mutable slots : slot option array;  (** The checkpoint table, [max_slots] entries. *)
   overlay : (int, Bigbuf.t * int) Hashtbl.t;
       (** addr -> latest pending sealed payload (buffer, offset): the
           read-your-writes view of the uncommitted tail. *)
@@ -75,9 +93,23 @@ type t = {
   mutable closed : bool;
 }
 
-let header_bytes = 64
+(* v3 header layout:
+     0  magic "ODEXJRN3"
+     8  payload_size
+    16  committed_tail
+    24  cipher engine id
+    32  max_slots (8) slot entries of slot_bytes (72) each:
+          +0 kind (0 = empty, 1 = named, 2 = legacy hash)
+          +8 phase, +16 cursor, +24 owner_len, +32 owner bytes (40)
+   608  FNV-1a checksum over bytes [0, 608) *)
+let max_slots = 8
+let max_owner_bytes = 40
+let slot_bytes = 72
+let header_bytes = 32 + (max_slots * slot_bytes) + 8
 let record_header_bytes = 32
-let magic = "ODEXJRN2"
+let magic = "ODEXJRN3"
+let legacy_magic = "ODEXJRN2"
+let legacy_header_bytes = 64
 
 (* ---- FNV-1a, 64-bit: the record and header checksums. Not a MAC —
    the journal holds only ciphertexts the server already has — just a
@@ -153,12 +185,26 @@ let build_header t =
   let h = Bytes.make header_bytes '\000' in
   Bytes.blit_string magic 0 h 0 8;
   Bytes.set_int64_le h 8 (Int64.of_int t.payload_size);
-  Bytes.set_int64_le h 16 t.owner;
-  Bytes.set_int64_le h 24 (Int64.of_int t.phase);
-  Bytes.set_int64_le h 32 (Int64.of_int t.cursor);
-  Bytes.set_int64_le h 40 (Int64.of_int t.committed_tail);
-  Bytes.set_int64_le h 48 t.engine_id;
-  Bytes.set_int64_le h 56 (fnv_bytes fnv_offset h 0 56);
+  Bytes.set_int64_le h 16 (Int64.of_int t.committed_tail);
+  Bytes.set_int64_le h 24 t.engine_id;
+  Array.iteri
+    (fun i s ->
+      let off = 32 + (i * slot_bytes) in
+      match s with
+      | None -> ()
+      | Some { owner = Named o; phase; cursor } ->
+          Bytes.set_int64_le h off 1L;
+          Bytes.set_int64_le h (off + 8) (Int64.of_int phase);
+          Bytes.set_int64_le h (off + 16) (Int64.of_int cursor);
+          Bytes.set_int64_le h (off + 24) (Int64.of_int (String.length o));
+          Bytes.blit_string o 0 h (off + 32) (String.length o)
+      | Some { owner = Legacy_hash x; phase; cursor } ->
+          Bytes.set_int64_le h off 2L;
+          Bytes.set_int64_le h (off + 8) (Int64.of_int phase);
+          Bytes.set_int64_le h (off + 16) (Int64.of_int cursor);
+          Bytes.set_int64_le h (off + 32) x)
+    t.slots;
+  Bytes.set_int64_le h (header_bytes - 8) (fnv_bytes fnv_offset h 0 (header_bytes - 8));
   h
 
 let write_header t = pwrite_all t.fd ~pos:0 (build_header t) ~off:0 ~len:header_bytes
@@ -168,29 +214,67 @@ let engine_id_name id =
   | Some e -> Cipher.engine_name e
   | None -> Printf.sprintf "unknown (id %Ld)" id
 
-(* Parse a header buffer into (owner, phase, cursor, committed_tail). A
-   failed header checksum degrades to "no checkpoint, nothing committed"
-   — a safe full restart — while the magic, payload size and cipher
-   engine still validate, so a foreign file or a journal sealed under a
-   different engine fails loudly. *)
-let parse_header ~payload_size ~engine_id h =
-  if Bytes.sub_string h 0 8 <> magic then
-    invalid_arg "Journal: unrecognized journal format (bad magic)";
-  let ps = Int64.to_int (Bytes.get_int64_le h 8) in
+let empty_slots () = Array.make max_slots None
+
+let check_payload_size ~payload_size ps =
   if ps <> payload_size then
     invalid_arg
-      (Printf.sprintf "Journal: journal has payload size %d, expected %d" ps payload_size);
-  if Bytes.get_int64_le h 56 <> fnv_bytes fnv_offset h 0 56 then (0L, 0, 0, header_bytes)
+      (Printf.sprintf "Journal: journal has payload size %d, expected %d" ps payload_size)
+
+let check_engine ~engine_id eid =
+  if eid <> engine_id then
+    invalid_arg
+      (Printf.sprintf "Journal: journal is sealed under cipher engine %s, expected %s"
+         (engine_id_name eid) (engine_id_name engine_id))
+
+let parse_slot h off =
+  let kind = Bytes.get_int64_le h off in
+  if kind = 0L then None
   else begin
-    let eid = Bytes.get_int64_le h 48 in
-    if eid <> engine_id then
-      invalid_arg
-        (Printf.sprintf "Journal: journal is sealed under cipher engine %s, expected %s"
-           (engine_id_name eid) (engine_id_name engine_id));
-    ( Bytes.get_int64_le h 16,
-      Int64.to_int (Bytes.get_int64_le h 24),
-      Int64.to_int (Bytes.get_int64_le h 32),
-      max header_bytes (Int64.to_int (Bytes.get_int64_le h 40)) )
+    let phase = Int64.to_int (Bytes.get_int64_le h (off + 8)) in
+    let cursor = Int64.to_int (Bytes.get_int64_le h (off + 16)) in
+    if kind = 2L then Some { owner = Legacy_hash (Bytes.get_int64_le h (off + 32)); phase; cursor }
+    else
+      let len = Int64.to_int (Bytes.get_int64_le h (off + 24)) in
+      if len < 1 || len > max_owner_bytes then None
+      else Some { owner = Named (Bytes.sub_string h (off + 32) len); phase; cursor }
+  end
+
+(* Parse a v3 header buffer into (slots, committed_tail, record start).
+   A failed header checksum degrades to "no checkpoints, nothing
+   committed" — a safe full restart — while the magic, payload size and
+   cipher engine still validate, so a foreign file or a journal sealed
+   under a different engine fails loudly. *)
+let parse_header ~payload_size ~engine_id h =
+  check_payload_size ~payload_size (Int64.to_int (Bytes.get_int64_le h 8));
+  if Bytes.get_int64_le h (header_bytes - 8) <> fnv_bytes fnv_offset h 0 (header_bytes - 8)
+  then (empty_slots (), header_bytes, header_bytes)
+  else begin
+    check_engine ~engine_id (Bytes.get_int64_le h 24);
+    let slots = Array.init max_slots (fun i -> parse_slot h (32 + (i * slot_bytes))) in
+    (slots, max header_bytes (Int64.to_int (Bytes.get_int64_le h 16)), header_bytes)
+  end
+
+(* Parse a v2 ("ODEXJRN2", 64-byte) single-slot header: the hashed slot
+   becomes a one-entry [Legacy_hash] table (only when its phase was
+   positive — v2 occupancy), and records start at the old offset. *)
+let parse_legacy_header ~payload_size ~engine_id h =
+  check_payload_size ~payload_size (Int64.to_int (Bytes.get_int64_le h 8));
+  if Bytes.get_int64_le h 56 <> fnv_bytes fnv_offset h 0 56 then
+    (empty_slots (), legacy_header_bytes, legacy_header_bytes)
+  else begin
+    check_engine ~engine_id (Bytes.get_int64_le h 48);
+    let slots = empty_slots () in
+    let phase = Int64.to_int (Bytes.get_int64_le h 24) in
+    if phase > 0 then
+      slots.(0) <-
+        Some
+          {
+            owner = Legacy_hash (Bytes.get_int64_le h 16);
+            phase;
+            cursor = Int64.to_int (Bytes.get_int64_le h 32);
+          };
+    (slots, max legacy_header_bytes (Int64.to_int (Bytes.get_int64_le h 40)), legacy_header_bytes)
   end
 
 (* ---- applying records to the inner store ----
@@ -218,18 +302,19 @@ let apply_record t ~addr ~count buf =
 
 (* ---- replay ----
 
-   Scan records from [header_bytes] up to the committed tail, stopping
-   early at the first torn or checksum-failing one (records are
+   Scan records from [start] (the opened format's record offset — 616
+   for v3 headers, 64 for legacy v2 files) up to the committed tail,
+   stopping early at the first torn or checksum-failing one (records are
    appended strictly in order, so nothing intact can follow a torn
    record), and redo each onto the inner store. Records beyond the
    committed tail are a group the crash interrupted before its marker:
    discarding them is what returns the store to the last commit
    boundary. *)
 
-let replay_records t ~size =
+let replay_records t ~start ~size =
   let hdr = Bytes.create record_header_bytes in
   let body = ref (Bigbuf.create 0) in
-  let pos = ref header_bytes in
+  let pos = ref start in
   let fin = min t.committed_tail size in
   let stop = ref false in
   while not !stop do
@@ -289,18 +374,97 @@ let commit t =
   else Backend.sync t.inner;
   t.commit_count <- t.commit_count + 1
 
-let checkpoint t ~owner ~phase ~cursor =
-  if phase < 0 then invalid_arg "Journal.checkpoint: negative phase";
+(* The slot owned by [owner]: an exact [Named] match first, then a v2
+   [Legacy_hash] slot whose hash matches (the migration path — the next
+   checkpoint upgrades it to the full string). -1 when absent. *)
+let find_slot t ~owner =
+  let hash = lazy (hash_owner owner) in
+  let found = ref (-1) in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some { owner = Named o; _ } when !found < 0 && String.equal o owner -> found := i
+      | _ -> ())
+    t.slots;
+  if !found < 0 then
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Some { owner = Legacy_hash x; _ } when !found < 0 && x = Lazy.force hash -> found := i
+        | _ -> ())
+      t.slots;
+  !found
+
+let validate_owner owner =
+  if String.length owner = 0 then invalid_arg "Journal.checkpoint: empty owner";
+  if String.length owner > max_owner_bytes then
+    invalid_arg
+      (Printf.sprintf "Journal.checkpoint: owner %S exceeds %d bytes" owner max_owner_bytes)
+
+let occupied_owners t =
+  Array.to_list t.slots
+  |> List.filter_map (function
+       | Some { owner = Named o; _ } -> Some o
+       | Some { owner = Legacy_hash x; _ } -> Some (Printf.sprintf "<legacy %Lx>" x)
+       | None -> None)
+
+let clear t ~owner =
+  validate_owner owner;
   commit t;
-  t.owner <- hash_owner owner;
-  t.phase <- phase;
-  t.cursor <- cursor;
+  (match find_slot t ~owner with
+  | i when i >= 0 -> t.slots.(i) <- None
+  | _ -> ());
   write_header t;
   if t.durable then fsync_fd t.fd
 
+let checkpoint t ~owner ~phase ~cursor =
+  validate_owner owner;
+  if phase < 0 then invalid_arg "Journal.checkpoint: negative phase";
+  if cursor < 0 then invalid_arg "Journal.checkpoint: negative cursor";
+  if phase = 0 then begin
+    (* (0, 0) is the reserved "no checkpoint" value: writing it clears
+       the owner's slot. A phase-0 checkpoint with a nonzero cursor
+       would be indistinguishable from that on read-back, so it is
+       rejected rather than silently aliased. *)
+    if cursor <> 0 then
+      invalid_arg "Journal.checkpoint: phase 0 admits only cursor 0 (the clear)";
+    clear t ~owner
+  end
+  else begin
+    commit t;
+    let i =
+      match find_slot t ~owner with
+      | i when i >= 0 -> i
+      | _ -> (
+          let free = ref (-1) in
+          Array.iteri (fun i s -> if s = None && !free < 0 then free := i) t.slots;
+          match !free with
+          | -1 ->
+              invalid_arg
+                (Printf.sprintf
+                   "Journal.checkpoint: checkpoint table full (%d slots; owners: %s)"
+                   max_slots
+                   (String.concat ", " (occupied_owners t)))
+          | i -> i)
+    in
+    t.slots.(i) <- Some { owner = Named owner; phase; cursor };
+    write_header t;
+    if t.durable then fsync_fd t.fd
+  end
+
 let state t ~owner =
-  if (not t.closed) && t.owner = hash_owner owner && t.phase > 0 then (t.phase, t.cursor)
-  else (0, 0)
+  if t.closed then (0, 0)
+  else
+    match find_slot t ~owner with
+    | i when i >= 0 -> (
+        match t.slots.(i) with Some { phase; cursor; _ } -> (phase, cursor) | None -> (0, 0))
+    | _ -> (0, 0)
+
+let slots t =
+  Array.to_list t.slots
+  |> List.filter_map
+       (Option.map (fun { owner; phase; cursor } ->
+            ((match owner with Named o -> Some o | Legacy_hash _ -> None), phase, cursor)))
 
 let hold t = t.hold_depth <- t.hold_depth + 1
 
@@ -467,9 +631,7 @@ let create ?(auto_commit_bytes = 1 lsl 22) ?(engine = Cipher.Prf_xor) ~path ~pay
       fd;
       tail = header_bytes;
       committed_tail = header_bytes;
-      owner = 0L;
-      phase = 0;
-      cursor = 0;
+      slots = empty_slots ();
       overlay = Hashtbl.create 64;
       pending_ops = [];
       hold_depth = 0;
@@ -479,33 +641,55 @@ let create ?(auto_commit_bytes = 1 lsl 22) ?(engine = Cipher.Prf_xor) ~path ~pay
       closed = false;
     }
   in
+  let start_fresh () =
+    (* Fresh journal (or one torn during its very first header write,
+       before any record could exist): start clean. *)
+    Backend.retry_eintr (fun () -> Unix.ftruncate fd 0);
+    write_header t;
+    if durable then fsync_fd t.fd
+  in
+  let open_existing (slots, committed_tail, records_start) =
+    if replay then begin
+      t.slots <- slots;
+      t.committed_tail <- committed_tail;
+      replay_records t ~start:records_start ~size;
+      Backend.sync t.inner
+    end;
+    (* Committed records replayed, uncommitted tail (or, with
+       [replay:false], everything) deliberately discarded: truncate and
+       persist the surviving checkpoint table — always in the v3 format,
+       so a legacy file is migrated in place. *)
+    t.committed_tail <- header_bytes;
+    Backend.retry_eintr (fun () -> Unix.ftruncate fd header_bytes);
+    write_header t;
+    if durable then fsync_fd t.fd
+  in
   (match
-     if size < header_bytes then begin
-       (* Fresh journal (or one torn during its very first header write,
-          before any record could exist): start clean. *)
-       Backend.retry_eintr (fun () -> Unix.ftruncate fd 0);
-       write_header t;
-       if durable then fsync_fd t.fd
-     end
+     (* The header is written front-to-first on every rewrite, so any
+        file of >= 8 bytes carries an intact magic; shorter files (and
+        files shorter than their format's full header — a tear during
+        the very first header write) are fresh. Unknown magics fail
+        loudly: truncating a foreign file would destroy data. *)
+     if size < 8 then start_fresh ()
      else begin
-       let h = Bytes.create header_bytes in
-       ignore (pread_upto fd ~pos:0 h ~len:header_bytes);
-       let owner, phase, cursor, committed_tail = parse_header ~payload_size ~engine_id h in
-       if replay then begin
-         t.owner <- owner;
-         t.phase <- phase;
-         t.cursor <- cursor;
-         t.committed_tail <- committed_tail;
-         replay_records t ~size;
-         Backend.sync t.inner
-       end;
-       (* Committed records replayed, uncommitted tail (or, with
-          [replay:false], everything) deliberately discarded: truncate
-          and persist the surviving checkpoint state. *)
-       t.committed_tail <- header_bytes;
-       Backend.retry_eintr (fun () -> Unix.ftruncate fd header_bytes);
-       write_header t;
-       if durable then fsync_fd t.fd
+       let mg = Bytes.create 8 in
+       ignore (pread_upto fd ~pos:0 mg ~len:8);
+       let mg = Bytes.to_string mg in
+       if mg = magic then
+         if size < header_bytes then start_fresh ()
+         else begin
+           let h = Bytes.create header_bytes in
+           ignore (pread_upto fd ~pos:0 h ~len:header_bytes);
+           open_existing (parse_header ~payload_size ~engine_id h)
+         end
+       else if mg = legacy_magic then
+         if size < legacy_header_bytes then start_fresh ()
+         else begin
+           let h = Bytes.create legacy_header_bytes in
+           ignore (pread_upto fd ~pos:0 h ~len:legacy_header_bytes);
+           open_existing (parse_legacy_header ~payload_size ~engine_id h)
+         end
+       else invalid_arg "Journal: unrecognized journal format (bad magic)"
      end
    with
   | () -> ()

@@ -21,17 +21,40 @@
     original ciphertexts verbatim, so no new (key, nonce) pair is ever
     created by recovery. Pair- and kill-sweep-tested in test_journal.ml.
 
-    {b Checkpoint slot.} The header carries one (owner, phase, cursor)
-    slot for algorithm-level restart points, written through
-    {!checkpoint} (which is also a {!commit}). Single slot, last writer
-    wins: resuming from it is sound only for the same deterministic
-    computation that wrote it, which owners encode by folding their
-    array base and shape into the owner string. Its checksum makes a
-    header torn mid-rewrite read as "no checkpoint, nothing committed" —
-    a full restart from the previous boundary — never as a wrong
-    checkpoint or a half-committed group. *)
+    {b Checkpoint table.} The header carries a bounded table of
+    {!max_slots} (owner, phase, cursor) slots for algorithm-level
+    restart points, written through {!checkpoint} (which is also a
+    {!commit}). Each slot stores its owner string verbatim (up to
+    {!max_owner_bytes} bytes) — distinct owners can never alias — and
+    occupancy is an explicit per-slot tag in the encoding, so concurrent
+    algorithms on one store (an ORAM rebuild, the ext-sort it runs
+    internally, an unrelated columnsort) each keep their own slot and
+    never clobber each other. Resuming from a slot is sound only for the
+    same deterministic computation that wrote it, which owners encode by
+    folding their array base and shape into the owner string. The header
+    checksum makes a header torn mid-rewrite read as "no checkpoints,
+    nothing committed" — a full restart from the previous boundary —
+    never as a wrong checkpoint or a half-committed group.
+
+    {b Format compatibility.} The current format is v3 ("ODEXJRN3"). A
+    v2 journal ("ODEXJRN2", one FNV-hashed slot, last writer wins)
+    reopens cleanly: its slot parses as a one-entry legacy-hash table —
+    matched by hash until its owner checkpoints again, which upgrades
+    the slot to the full string — its committed records replay from the
+    old record offset, and the file is rewritten in the v3 format. *)
 
 type t
+
+val max_slots : int
+(** Size of the checkpoint table (8): at most this many distinct owners
+    can hold a checkpoint concurrently; one more raises. *)
+
+val max_owner_bytes : int
+(** Longest owner string a slot can store (40 bytes). *)
+
+val header_bytes : int
+(** Size of the v3 header — the file offset at which records begin.
+    Exposed for the tests and tooling that do journal-file surgery. *)
 
 val create :
   ?auto_commit_bytes:int ->
@@ -44,11 +67,12 @@ val create :
   t
 (** Open (creating if missing) the journal at [path] over the given
     inner backend. With [replay:true] the committed records are
-    re-applied to the inner store and the checkpoint slot is restored;
-    uncommitted leftovers are discarded either way, and [replay:false]
-    additionally drops committed records and the checkpoint slot (the
-    store starts logically fresh). Either way the journal file ends
-    empty but for its header. [durable] controls the fsync-before-marker
+    re-applied to the inner store and the checkpoint table is restored
+    (a v2 single-slot header restores as a one-entry table); uncommitted
+    leftovers are discarded either way, and [replay:false] additionally
+    drops committed records and the whole checkpoint table (the store
+    starts logically fresh). Either way the journal file ends empty but
+    for its (v3) header. [durable] controls the fsync-before-marker
     discipline (and header fsyncs); disable it only where crashes are
     simulated in-process, e.g. the test sweeps, where the page cache
     survives the "crash" anyway. [auto_commit_bytes] (default 4 MiB)
@@ -87,14 +111,33 @@ val release : t -> unit
     next unheld write instead. *)
 
 val checkpoint : t -> owner:string -> phase:int -> cursor:int -> unit
-(** {!commit}, then durably record that [owner]'s computation has
-    completed [phase] (with an opaque [cursor], e.g. a scratch-array
-    base address). [phase] must be non-negative; 0 conventionally means
-    "no computation in flight". *)
+(** {!commit}, then durably record in [owner]'s table slot that its
+    computation has completed [phase] (with an opaque non-negative
+    [cursor], e.g. a scratch-array base address). Upserts: an existing
+    slot for [owner] (including a legacy-hash slot from a v2 header) is
+    overwritten, otherwise a free slot is taken. [(0, 0)] is the
+    reserved "no checkpoint" value: [checkpoint ~phase:0 ~cursor:0] is
+    {!clear}. Raises [Invalid_argument] on a negative [phase] {e or}
+    [cursor] (a negative cursor would aim a resume at a bogus base), on
+    [phase = 0] with a nonzero cursor (unrepresentable: it would read
+    back as cleared), on an empty or over-long owner, and when all
+    {!max_slots} slots are held by other owners (loud, never a silent
+    eviction). *)
+
+val clear : t -> owner:string -> unit
+(** {!commit}, then free [owner]'s slot (no-op on its absence, but still
+    a commit): the durable "computation complete" mark. *)
 
 val state : t -> owner:string -> int * int
-(** The checkpoint slot as [(phase, cursor)] — [(0, 0)] unless the slot
-    holds a positive phase written by this [owner]. *)
+(** [owner]'s slot as [(phase, cursor)] — [(0, 0)] when [owner] holds no
+    slot. Occupancy is explicit in the table encoding, and {!checkpoint}
+    cannot write [(0, 0)] into a live slot, so the two cases read back
+    identically by construction, not by sentinel collision. *)
+
+val slots : t -> (string option * int * int) list
+(** The occupied checkpoint slots as [(owner, phase, cursor)] triples,
+    in table order; [None] owners are unmigrated v2 legacy-hash slots.
+    Introspection for tests and tooling. *)
 
 val path : t -> string
 

@@ -129,25 +129,29 @@ let rec shard_member_spec i = function
 (* Instantiation returns the backend plus the journal handle when the
    spec tree contains a [Journaled] layer ([resume] decides whether that
    journal replays its redo log or starts fresh). *)
-let rec instantiate ~payload_size ~engine ~resume = function
+let rec instantiate ~payload_size ~engine ~resume ~auto_commit_bytes = function
   | Mem -> (Backend.mem ~payload_size (), None)
   | File { path } -> (Backend.file ~path ~payload_size, None)
   | Faulty { inner; seed; failure_rate; max_burst } ->
-      let b, j = instantiate ~payload_size ~engine ~resume inner in
+      let b, j = instantiate ~payload_size ~engine ~resume ~auto_commit_bytes inner in
       (Backend.faulty { Backend.seed; failure_rate; max_burst } b, j)
   | Crashing { inner; ops } ->
-      let b, j = instantiate ~payload_size ~engine ~resume inner in
+      let b, j = instantiate ~payload_size ~engine ~resume ~auto_commit_bytes inner in
       (Backend.crash_after ~ops b, j)
   | Sharded { inner; shards; seed } ->
       if shards < 1 then invalid_arg "Storage: shards must be >= 1";
       ( Backend.sharded ~seed
           (Array.init shards (fun i ->
-               fst (instantiate ~payload_size ~engine ~resume (shard_member_spec i inner)))),
+               fst
+                 (instantiate ~payload_size ~engine ~resume ~auto_commit_bytes
+                    (shard_member_spec i inner)))),
         None )
   | Journaled { inner; path; durable } ->
-      let b, j = instantiate ~payload_size ~engine ~resume inner in
+      let b, j = instantiate ~payload_size ~engine ~resume ~auto_commit_bytes inner in
       if Option.is_some j then invalid_arg "Storage: nested Journaled specs are not supported";
-      let journal = Journal.create ~engine ~path ~payload_size ~durable ~replay:resume b in
+      let journal =
+        Journal.create ?auto_commit_bytes ~engine ~path ~payload_size ~durable ~replay:resume b
+      in
       (Journal.backend journal, Some journal)
 
 let rec remove_spec_files = function
@@ -232,7 +236,8 @@ let parse_header ~block_size m =
 
 let create ?cipher ?(cipher_engine = Cipher.Prf_xor) ?telemetry ?(trace_mode = Trace.Digest)
     ?(backend = Mem) ?(max_retries = 10) ?(backoff = (1e-6, 1e-4)) ?(batching = true)
-    ?(prefetch = false) ?(seal_domains = 1) ?(resume = false) ~block_size () =
+    ?(prefetch = false) ?(seal_domains = 1) ?(resume = false) ?journal_auto_commit_bytes
+    ~block_size () =
   if block_size < 1 then invalid_arg "Storage.create: block_size must be >= 1";
   if max_retries < 1 then invalid_arg "Storage.create: max_retries must be >= 1";
   if seal_domains < 1 then invalid_arg "Storage.create: seal_domains must be >= 1";
@@ -240,7 +245,10 @@ let create ?cipher ?(cipher_engine = Cipher.Prf_xor) ?telemetry ?(trace_mode = T
   if backoff_base < 0. || backoff_cap < backoff_base then
     invalid_arg "Storage.create: backoff must satisfy 0 <= base <= cap";
   let payload_size = 8 + Block.encoded_size block_size in
-  let raw, journal = instantiate ~payload_size ~engine:cipher_engine ~resume backend in
+  let raw, journal =
+    instantiate ~payload_size ~engine:cipher_engine ~resume
+      ~auto_commit_bytes:journal_auto_commit_bytes backend
+  in
   let kind = Backend.kind raw in
   let tel = Option.value telemetry ~default:Telemetry.disabled in
   (* The timing shim is installed only when the sink collects: a
@@ -600,8 +608,17 @@ let checkpoint t ~owner ~phase ~cursor =
       checkpoint_header t;
       with_dev t (fun () -> Journal.checkpoint j ~owner ~phase ~cursor)
 
+let checkpoint_clear t ~owner =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      checkpoint_header t;
+      with_dev t (fun () -> Journal.clear j ~owner)
+
 let checkpoint_state t ~owner =
   match t.journal with None -> (0, 0) | Some j -> Journal.state j ~owner
+
+let checkpoint_slots t = match t.journal with None -> [] | Some j -> Journal.slots j
 
 (* Bracket a logical group that spans several backend runs (a strided
    cache flush, a split batch) so the journal cannot auto-commit in the

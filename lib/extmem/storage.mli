@@ -84,6 +84,7 @@ val create :
   ?prefetch:bool ->
   ?seal_domains:int ->
   ?resume:bool ->
+  ?journal_auto_commit_bytes:int ->
   block_size:int ->
   unit ->
   t
@@ -147,6 +148,13 @@ val create :
     additionally replays the journal's redo log before the store comes
     up (see {!journal_replay}), healing any crash-torn writes;
     [resume:false] discards leftover journal records instead.
+
+    [journal_auto_commit_bytes] (default 4 MiB) bounds the journal's
+    pending tail on a [Journaled] spec: a write pushing past it triggers
+    an automatic commit (outside {!atomically} groups). Smaller values
+    bound crash-recovery scan/replay work tighter at the cost of more
+    frequent commits — see EXPERIMENTS.md E17 for the measured
+    trade-off. Ignored without a [Journaled] layer.
 
     [batching] (default [true]) controls whether {!read_many} and
     {!write_many} are served by a single contiguous backend run or
@@ -243,15 +251,27 @@ val journaled : t -> bool
 (** Whether a write-ahead journal is attached. *)
 
 val checkpoint : t -> owner:string -> phase:int -> cursor:int -> unit
-(** Durably record that [owner]'s computation has completed [phase]
-    (plus an opaque [cursor], e.g. a scratch-array base). Also a journal
+(** Durably record in [owner]'s slot of the journal's checkpoint table
+    that its computation has completed [phase] (plus an opaque
+    non-negative [cursor], e.g. a scratch-array base). Also a journal
     group-commit and an exact nonce-counter checkpoint, so it is a safe
     crash boundary: killed after phase [k], the computation reopens with
-    [resume:true] and restarts from phase [k + 1]. One slot, last writer
-    wins — owners must fold their array base and shape into the owner
-    string, and a resumed computation must be the same deterministic
-    computation that wrote the slot ({!Ext_sort}'s phase numbering is the
-    canonical client). [phase = 0] conventionally clears the slot. *)
+    [resume:true] and restarts from phase [k + 1]. The table holds
+    {!Journal.max_slots} slots keyed by the full owner string, so
+    concurrent algorithms on one store — an ORAM rebuild, the ext-sort
+    it runs internally, an independent columnsort — each keep their own
+    slot; owners still fold their array base and shape into the string,
+    and a resumed computation must be the same deterministic computation
+    that wrote the slot ({!Ext_sort}'s phase numbering is the canonical
+    client). [(0, 0)] is the reserved "no checkpoint" value —
+    [~phase:0 ~cursor:0] is {!checkpoint_clear} — and a negative [phase]
+    or [cursor], a phase-0 nonzero-cursor pair, an over-long owner, or a
+    full table raise [Invalid_argument] (see {!Journal.checkpoint}). *)
+
+val checkpoint_clear : t -> owner:string -> unit
+(** Durably free [owner]'s checkpoint slot — the "computation complete"
+    mark. Also a commit boundary, like {!checkpoint}; a no-op slot-wise
+    if [owner] holds none, and entirely on unjournaled stores. *)
 
 val atomically : t -> (unit -> 'a) -> 'a
 (** [atomically t f] runs [f], holding the journal's automatic commits
@@ -265,9 +285,15 @@ val atomically : t -> (unit -> 'a) -> 'a
     must not call {!sync} or {!checkpoint} itself. *)
 
 val checkpoint_state : t -> owner:string -> int * int
-(** The checkpoint slot as [(phase, cursor)]; [(0, 0)] unless a positive
-    phase was recorded by this [owner] (and survived — a header torn
-    mid-write degrades to [(0, 0)], never to a wrong slot). *)
+(** [owner]'s checkpoint slot as [(phase, cursor)]; [(0, 0)] when
+    [owner] holds no slot (occupancy is explicit in the table encoding,
+    and a header torn mid-write degrades to an empty table, never to a
+    wrong slot). *)
+
+val checkpoint_slots : t -> (string option * int * int) list
+(** The occupied checkpoint slots as [(owner, phase, cursor)] — [None]
+    owners are unmigrated v2 legacy-hash slots; [[]] on unjournaled
+    stores. Introspection for tests and tooling. *)
 
 val journal_replay : t -> (int * int) list
 (** The (addr, count) runs journal replay re-applied when this store was

@@ -40,7 +40,35 @@ val init :
   values:int array ->
   t
 (** [bucket_size] defaults to max(4, ⌈log₂ n⌉ + 2); the stash period S
-    equals the bucket size. *)
+    equals the bucket size.
+
+    On a journaled store, [init] additionally persists a session
+    snapshot (geometry, counters, per-level epoch keys and occupancy,
+    rng state) in a small sealed metadata region, registered under the
+    ["oram-session"] owner of the store's checkpoint table, and every
+    rebuild refreshes it — enabling {!resume}. One ORAM session per
+    store: a second [init] on the same journaled store replaces the
+    session slot. *)
+
+val resume : ?sorter:Odex_sortnet.Ext_sort.t -> Storage.t -> t option
+(** [resume storage] re-enters the ORAM session persisted on a journaled
+    store, or returns [None] when the store carries no ["oram-session"]
+    checkpoint (unjournaled store, or no {!init} ever committed).
+
+    The restored session is the state at the last committed rebuild
+    boundary (every rebuild, and [init] itself, is such a boundary);
+    accesses made after that boundary were never durably checkpointed
+    and are rolled back together with the journal tail. If a rebuild was
+    in flight at the crash, [resume] finishes it from its own
+    checkpointed phase — re-attaching the same scratch region and
+    re-drawing the same epoch key from the snapshotted rng state —
+    instead of restarting the session, so the rebuild's committed work
+    (including inner-sort phases checkpointed under their own owners) is
+    never repeated.
+
+    [sorter] must be the sorter the crashed session ran with: inner-sort
+    phase checkpoints are only sound against the same schedule. Raises
+    [Invalid_argument] if the session metadata fails validation. *)
 
 val size : t -> int
 val levels : t -> int

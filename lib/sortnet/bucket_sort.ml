@@ -109,7 +109,7 @@ let attach_scratch storage ~owner ~blocks =
         Storage.checkpoint storage ~owner ~phase:!counter ~cursor:(Ext_array.base scratch)
     end
   in
-  let finish () = if ck then Storage.checkpoint storage ~owner ~phase:0 ~cursor:0 in
+  let finish () = if ck then Storage.checkpoint_clear storage ~owner in
   (scratch, run_phase, finish)
 
 (* Move the initial half-fills into area [dst]: whole-block copies,

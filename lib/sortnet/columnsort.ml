@@ -137,6 +137,19 @@ let untranspose_gather ~m ~r ~s src dst =
     done
   done
 
+(* Phase-checkpointed execution on a journaled store, the same scaffold
+   as the bitonic and bucket paths: the eight columnsort steps are cut
+   into a deterministic phase sequence — copy-in, one phase per column
+   sort, the transpose/untranspose permutations, one per boundary
+   window, copy-out — each of which is idempotent (re-sorting a sorted
+   range, or re-running a read-only-source permutation, is a fixed
+   point), so a killed sort reopened with [resume:true] skips the
+   committed phases and re-enters at the first incomplete one. The
+   cursor persists the work array's base; scratch sits immediately after
+   it (the allocator is a deterministic bump allocator and the two are
+   created back to back), so both re-attach from one address. The owner
+   folds in the input's base and shape and lives in the store's
+   checkpoint table alongside any other in-flight algorithm's slot. *)
 let exec ~real ~cmp ~m a =
   let n_cells = Ext_array.cells a in
   let b = Ext_array.block_size a in
@@ -150,33 +163,61 @@ let exec ~real ~cmp ~m a =
   | Some (r, s) ->
       let storage = Ext_array.storage a in
       let total = r * s in
-      let work = Ext_array.create storage ~blocks:(total / b) in
-      let scratch = Ext_array.create storage ~blocks:(total / b) in
+      let nb = total / b in
+      let ck = Storage.journaled storage in
+      let owner =
+        Printf.sprintf "columnsort/%d/%d" (Ext_array.base a) (Ext_array.blocks a)
+      in
+      let done_phase, done_cursor =
+        if ck then Storage.checkpoint_state storage ~owner else (0, 0)
+      in
+      let work, scratch, done_phase =
+        if done_phase > 0 && done_cursor + (2 * nb) <= Storage.capacity storage then
+          ( Ext_array.view storage ~base:done_cursor ~blocks:nb,
+            Ext_array.view storage ~base:(done_cursor + nb) ~blocks:nb,
+            done_phase )
+        else
+          let work = Ext_array.create storage ~blocks:nb in
+          let scratch = Ext_array.create storage ~blocks:nb in
+          (work, scratch, 0)
+      in
+      let phase = ref 0 in
+      let run_phase f =
+        incr phase;
+        if !phase > done_phase then begin
+          f ();
+          if ck then
+            Storage.checkpoint storage ~owner ~phase:!phase ~cursor:(Ext_array.base work)
+        end
+      in
       (* Copy in (padding cells are already Empty = +∞). *)
-      for i = 0 to Ext_array.blocks a - 1 do
-        Ext_array.write_block work i (Ext_array.read_block a i)
-      done;
+      run_phase (fun () ->
+          for i = 0 to Ext_array.blocks a - 1 do
+            Ext_array.write_block work i (Ext_array.read_block a i)
+          done);
       let sort_columns arr =
         for j = 0 to s - 1 do
-          sort_range ~real ~cmp ~m arr (j * r) r
+          run_phase (fun () -> sort_range ~real ~cmp ~m arr (j * r) r)
         done
       in
       sort_columns work;
       if s > 1 then begin
-        transpose_scatter ~r ~s work scratch;
+        run_phase (fun () -> transpose_scatter ~r ~s work scratch);
         sort_columns scratch;
-        untranspose_gather ~m ~r ~s scratch work;
+        run_phase (fun () -> untranspose_gather ~m ~r ~s scratch work);
         sort_columns work;
         (* Steps 6-8 without copying: sort the r-cell windows that
            straddle adjacent column boundaries. *)
         for j = 0 to s - 2 do
-          sort_range ~real ~cmp ~m work ((j * r) + (r / 2)) r
+          run_phase (fun () -> sort_range ~real ~cmp ~m work ((j * r) + (r / 2)) r)
         done
       end;
       (* Copy out; the extra read of [a] keeps the dummy pass's trace
          identical to the real one. *)
-      for i = 0 to Ext_array.blocks a - 1 do
-        let sorted = Ext_array.read_block work i in
-        let original = Ext_array.read_block a i in
-        Ext_array.write_block a i (if real then sorted else original)
-      done
+      run_phase (fun () ->
+          for i = 0 to Ext_array.blocks a - 1 do
+            let sorted = Ext_array.read_block work i in
+            let original = Ext_array.read_block a i in
+            Ext_array.write_block a i (if real then sorted else original)
+          done);
+      if ck then Storage.checkpoint_clear storage ~owner

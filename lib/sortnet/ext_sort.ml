@@ -111,10 +111,12 @@ let process_chunk work cache ~real ~cmp ~stage ~hi ~lo =
 
    The owner string folds in the array base and block count: a slot
    written by a different array (or a differently-shaped sort) is
-   ignored. One slot per store, last writer wins — resuming is sound
-   only for the same deterministic sort invocation that wrote it (see
-   {!Storage.checkpoint}). On unjournaled stores all of this costs two
-   integer reads and no I/O. *)
+   ignored. The store's checkpoint table keys slots by the full owner
+   string, so a sort nested inside another checkpointed computation (the
+   ORAM rebuild) keeps its slot without clobbering its host's — resuming
+   is still sound only for the same deterministic sort invocation that
+   wrote the slot (see {!Storage.checkpoint}). On unjournaled stores all
+   of this costs two integer reads and no I/O. *)
 
 let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
   if m < 2 then invalid_arg "Ext_sort.bitonic: need m >= 2";
@@ -180,7 +182,7 @@ let bitonic_exec ~levels_per_pass ~real ~cmp ~m a =
               Ext_array.write_blocks a base blks));
     (* Done: clear the slot so the next sort over this array starts
        fresh instead of "resuming" past its own phases. *)
-    if ck then Storage.checkpoint storage ~owner ~phase:0 ~cursor:0
+    if ck then Storage.checkpoint_clear storage ~owner
   end
 
 let bitonic = { name = "bitonic"; exec = bitonic_exec ~levels_per_pass:(fun _ -> 1) }

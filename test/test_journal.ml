@@ -112,7 +112,7 @@ let test_replay_heals_crashed_apply () =
    the damage, never apply garbage. And a group with no commit marker at
    all must be discarded wholesale — that is the rollback boundary. *)
 let test_torn_tail_discarded () =
-  let header_bytes = 56 in
+  let header_bytes = Journal.header_bytes in
   let record_bytes = 32 + 16 in
   (* Four records, committed (marker durable) but zero in-place applies:
      the inner store crashes on the commit's first apply. *)
@@ -220,6 +220,215 @@ let test_checkpoint_slot_persistence () =
       Alcotest.(check (pair int int))
         "fresh open drops the slot" (0, 0)
         (Journal.state j ~owner:"x");
+      Backend.close (Journal.backend j))
+
+(* Regression: [checkpoint] validated [phase] but not [cursor] — a
+   negative cursor was accepted, persisted, and would aim a resumed
+   re-attach at a bogus scratch base. Both must now be rejected, along
+   with the other unrepresentable inputs. *)
+let test_checkpoint_validation () =
+  with_temp_pair (fun sp jp ->
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      let rejects name f =
+        Alcotest.(check bool) name true
+          (match f () with
+          | exception Invalid_argument _ -> true
+          | () -> false)
+      in
+      rejects "negative phase" (fun () ->
+          Journal.checkpoint j ~owner:"x" ~phase:(-1) ~cursor:0);
+      rejects "negative cursor" (fun () ->
+          Journal.checkpoint j ~owner:"x" ~phase:3 ~cursor:(-7));
+      rejects "phase 0 with nonzero cursor" (fun () ->
+          Journal.checkpoint j ~owner:"x" ~phase:0 ~cursor:5);
+      rejects "empty owner" (fun () -> Journal.checkpoint j ~owner:"" ~phase:1 ~cursor:0);
+      rejects "overlong owner" (fun () ->
+          Journal.checkpoint j
+            ~owner:(String.make (Journal.max_owner_bytes + 1) 'a')
+            ~phase:1 ~cursor:0);
+      Alcotest.(check (pair int int))
+        "rejected checkpoints left no slot" (0, 0)
+        (Journal.state j ~owner:"x");
+      (* (0, 0) is the reserved "no checkpoint" value: writing it is a
+         clear, and occupancy is explicit — a cleared slot is free, not a
+         slot that happens to hold zeros. *)
+      Journal.checkpoint j ~owner:"x" ~phase:2 ~cursor:9;
+      Journal.checkpoint j ~owner:"x" ~phase:0 ~cursor:0;
+      Alcotest.(check (pair int int)) "phase 0 clears" (0, 0) (Journal.state j ~owner:"x");
+      Alcotest.(check int) "cleared slot is freed" 0 (List.length (Journal.slots j));
+      Backend.close (Journal.backend j))
+
+(* The bug this PR fixes: the header used to hold ONE (owner, phase,
+   cursor) slot, so an ORAM rebuild, the ext-sort it runs internally,
+   and an unrelated columnsort checkpointing on the same store silently
+   clobbered each other — last writer wins, everyone else restarts (or
+   worse, resumes from a foreign cursor). Each owner now keeps its own
+   table slot. *)
+let test_multi_owner_no_clobber () =
+  with_temp_pair (fun sp jp ->
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner in
+      Journal.checkpoint j ~owner:"oram-rebuild" ~phase:4 ~cursor:100;
+      Journal.checkpoint j ~owner:"ext-sort/112/24" ~phase:2 ~cursor:112;
+      Journal.checkpoint j ~owner:"columnsort/0/24" ~phase:7 ~cursor:48;
+      let check_state name want owner =
+        Alcotest.(check (pair int int)) name want (Journal.state j ~owner)
+      in
+      check_state "outer slot intact" (4, 100) "oram-rebuild";
+      check_state "inner slot intact" (2, 112) "ext-sort/112/24";
+      check_state "sibling slot intact" (7, 48) "columnsort/0/24";
+      (* Updating one owner touches only its slot. *)
+      Journal.checkpoint j ~owner:"ext-sort/112/24" ~phase:3 ~cursor:112;
+      check_state "updated" (3, 112) "ext-sort/112/24";
+      check_state "outer survives the update" (4, 100) "oram-rebuild";
+      check_state "sibling survives the update" (7, 48) "columnsort/0/24";
+      Journal.abandon j;
+      (* All three survive a crashed reopen together. *)
+      let inner = Backend.file ~path:sp ~payload_size:16 in
+      let j = Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:true inner in
+      let check_state name want owner =
+        Alcotest.(check (pair int int)) name want (Journal.state j ~owner)
+      in
+      check_state "outer survives crash" (4, 100) "oram-rebuild";
+      check_state "inner survives crash" (3, 112) "ext-sort/112/24";
+      check_state "sibling survives crash" (7, 48) "columnsort/0/24";
+      Alcotest.(check int) "three slots live" 3 (List.length (Journal.slots j));
+      (* Clearing one owner frees only its slot. *)
+      Journal.clear j ~owner:"ext-sort/112/24";
+      check_state "cleared" (0, 0) "ext-sort/112/24";
+      check_state "outer survives the clear" (4, 100) "oram-rebuild";
+      check_state "sibling survives the clear" (7, 48) "columnsort/0/24";
+      (* Fill the table; overflow is loud, and evicts nobody. *)
+      for i = 1 to Journal.max_slots - 2 do
+        Journal.checkpoint j ~owner:(Printf.sprintf "filler/%d" i) ~phase:1 ~cursor:i
+      done;
+      Alcotest.(check int) "table full" Journal.max_slots (List.length (Journal.slots j));
+      Alcotest.(check bool) "ninth owner rejected loudly" true
+        (match Journal.checkpoint j ~owner:"one-too-many" ~phase:1 ~cursor:0 with
+        | exception Invalid_argument _ -> true
+        | () -> false);
+      check_state "outer survives the overflow" (4, 100) "oram-rebuild";
+      Alcotest.(check int) "nobody evicted" Journal.max_slots
+        (List.length (Journal.slots j));
+      (* A full table still accepts updates to existing owners. *)
+      Journal.checkpoint j ~owner:"oram-rebuild" ~phase:5 ~cursor:100;
+      check_state "update on a full table" (5, 100) "oram-rebuild";
+      Backend.close (Journal.backend j))
+
+(* Owner identity is the full string now (the v2 header stored a 64-bit
+   FNV hash, where distinct owners could in principle alias): property —
+   a checkpoint by one owner is never visible to any other owner. *)
+let checkpoint_no_alias_prop =
+  let owner_gen =
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 40))
+  in
+  Util.qcheck_case ~count:60 ~name:"distinct owners never alias"
+    QCheck2.Gen.(pair owner_gen owner_gen)
+    (fun (o1, o2) ->
+      with_temp_pair (fun sp jp ->
+          let inner = Backend.file ~path:sp ~payload_size:16 in
+          let j =
+            Journal.create ~path:jp ~payload_size:16 ~durable:false ~replay:false inner
+          in
+          Fun.protect
+            ~finally:(fun () -> Backend.close (Journal.backend j))
+            (fun () ->
+              Journal.checkpoint j ~owner:o1 ~phase:3 ~cursor:11;
+              let own = Journal.state j ~owner:o1 = (3, 11) in
+              let foreign =
+                if o1 = o2 then true else Journal.state j ~owner:o2 = (0, 0)
+              in
+              own && foreign)))
+
+(* ---------------- v2 format migration ---------------- *)
+
+(* FNV-1a-64, re-derived here so the fixture bytes are produced
+   independently of the implementation under test. *)
+let fnv64 =
+  let prime = 0x100000001B3L in
+  fun h bytes ->
+    let h = ref h in
+    Bytes.iter
+      (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+      bytes;
+    !h
+
+let fnv64_offset = 0xCBF29CE484222325L
+let fnv64_int64 h v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  fnv64 h b
+
+(* A byte-exact v2 journal: 64-byte "ODEXJRN2" header whose single
+   checkpoint slot stores the FNV hash of the owner, plus one committed
+   record awaiting replay. The current code must open it, restore the
+   slot as a one-entry legacy table, replay the record, and rewrite the
+   file in the v3 format. *)
+let test_v2_journal_migrates () =
+  let owner = "sorter/0/6" in
+  let payload_size = 16 in
+  let body = Bytes.init payload_size (fun i -> Char.chr ((3 * i) land 0xFF)) in
+  let engine_id = Odex_crypto.Cipher.engine_id Odex_crypto.Cipher.Prf_xor in
+  let v2_header_bytes = 64 and record_header_bytes = 32 in
+  let committed_tail = v2_header_bytes + record_header_bytes + payload_size in
+  let mk_v2_file jp =
+    let h = Bytes.make v2_header_bytes '\000' in
+    Bytes.blit_string "ODEXJRN2" 0 h 0 8;
+    Bytes.set_int64_le h 8 (Int64.of_int payload_size);
+    Bytes.set_int64_le h 16 (fnv64 fnv64_offset (Bytes.of_string owner));
+    Bytes.set_int64_le h 24 3L (* phase *);
+    Bytes.set_int64_le h 32 7L (* cursor *);
+    Bytes.set_int64_le h 40 (Int64.of_int committed_tail);
+    Bytes.set_int64_le h 48 engine_id;
+    Bytes.set_int64_le h 56 (fnv64 fnv64_offset (Bytes.sub h 0 56));
+    let r = Bytes.make record_header_bytes '\000' in
+    Bytes.set_int64_le r 0 (Int64.of_int payload_size) (* len *);
+    Bytes.set_int64_le r 8 2L (* addr *);
+    Bytes.set_int64_le r 16 1L (* count *);
+    let cks =
+      fnv64 (fnv64_int64 (fnv64_int64 (fnv64_int64 fnv64_offset engine_id) 2L) 1L) body
+    in
+    Bytes.set_int64_le r 24 cks;
+    let oc = open_out_bin jp in
+    output_bytes oc h;
+    output_bytes oc r;
+    output_bytes oc body;
+    close_out oc
+  in
+  with_temp_pair (fun sp jp ->
+      mk_v2_file jp;
+      let inner = Backend.file ~path:sp ~payload_size in
+      let j = Journal.create ~path:jp ~payload_size ~durable:false ~replay:true inner in
+      Alcotest.(check (list (pair int int)))
+        "v2 committed record replays from the old offset"
+        [ (2, 1) ]
+        (Journal.replay_log j);
+      Alcotest.(check bytes) "replayed into the store" body
+        (Backend.read (Journal.backend j) 2);
+      Alcotest.(check (pair int int))
+        "v2 slot restores as a one-entry table, matched by hash" (3, 7)
+        (Journal.state j ~owner);
+      Alcotest.(check bool) "legacy slot carries no owner string" true
+        (Journal.slots j = [ (None, 3, 7) ]);
+      Alcotest.(check (pair int int))
+        "foreign owner sees nothing" (0, 0)
+        (Journal.state j ~owner:"other");
+      (* The owner's next checkpoint upgrades the slot in place to the
+         full string. *)
+      Journal.checkpoint j ~owner ~phase:4 ~cursor:7;
+      Alcotest.(check bool) "slot upgraded to a named slot" true
+        (Journal.slots j = [ (Some owner, 4, 7) ]);
+      Backend.close (Journal.backend j);
+      (* The file on disk is now v3. *)
+      let ic = open_in_bin jp in
+      let mg = really_input_string ic 8 in
+      close_in ic;
+      Alcotest.(check string) "file rewritten as v3" "ODEXJRN3" mg;
+      (* And reopens as such, slot intact. *)
+      let inner = Backend.file ~path:sp ~payload_size in
+      let j = Journal.create ~path:jp ~payload_size ~durable:false ~replay:true inner in
+      Alcotest.(check (pair int int)) "named slot survives" (4, 7) (Journal.state j ~owner);
       Backend.close (Journal.backend j))
 
 let test_foreign_journal_rejected () =
@@ -678,6 +887,325 @@ let test_oram_rebuild_checkpoints () =
             "no rebuild left in flight" (0, 0)
             (Storage.checkpoint_state s ~owner:"oram-rebuild")))
 
+(* ---------------- full-session resume: ORAM + columnsort ---------------- *)
+
+(* One session, three checkpointing algorithms on one journaled store: a
+   columnsort, then a hierarchical ORAM whose rebuilds nest an ext-sort.
+   Killed after every backend op and driven to completion through the
+   genuine recovery protocol — Storage resume + Hierarchical_oram.resume
+   + re-running the sort against its own slot — this is the sweep the
+   multi-slot table exists for: with the old single slot, the ORAM
+   rebuild's checkpoint and its inner sort's (and the columnsort's)
+   clobbered each other at every nesting boundary. *)
+
+let mx_b = 2
+let mx_m = 8
+let cs_cells = 16 (* columnsort plan at m = 8, b = 2: r = 8, s = 2 *)
+let cs_blocks = cs_cells / mx_b
+let oram_n = 8
+let oram_z = 4 (* stash period 4: 8 reads drive two rebuilds (upto 0, 1) *)
+let oram_reads = 8
+let oram_seed = 77
+
+let cs_rank_keys =
+  let ranks =
+    let a = Array.init cs_cells (fun i -> i) in
+    let rng = Odex_crypto.Rng.create ~seed:0xC01C011 in
+    for i = cs_cells - 1 downto 1 do
+      let j = Odex_crypto.Rng.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  fun parity -> Array.map (fun r -> (2 * r) + parity) ranks
+
+let oram_vals parity = Array.init oram_n (fun i -> 1000 + (2 * i) + parity)
+
+type session_progress = { mutable cs_done : bool; mutable oram_started : bool }
+
+(* Drive the whole session on [s]; raises [Backend.Crashed] at the kill
+   point when [s] wraps a crashing inner. *)
+let run_session s ~cs_keys ~vals ~progress =
+  let a = Ext_array.of_cells s ~block_size:mx_b (Util.cells_of_keys cs_keys) in
+  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.columnsort ~m:mx_m a;
+  progress.cs_done <- true;
+  let rng = Odex_crypto.Rng.create ~seed:oram_seed in
+  progress.oram_started <- true;
+  let o =
+    Odex_oram.Hierarchical_oram.init ~sorter:Odex_sortnet.Ext_sort.bitonic_windowed
+      ~bucket_size:oram_z ~m:mx_m ~rng s ~values:vals
+  in
+  for i = 0 to oram_reads - 1 do
+    let addr = i mod oram_n in
+    let v = Odex_oram.Hierarchical_oram.read o addr in
+    if v <> vals.(addr) then Alcotest.failf "session read %d: got %d, want %d" addr v vals.(addr)
+  done
+
+let session_full_ios ~cs_keys ~vals =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+  let spec = Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false } in
+  let s = Storage.create ~trace_mode:Trace.Digest ~backend:spec ~block_size:mx_b () in
+  Fun.protect
+    ~finally:(fun () -> Storage.close s)
+    (fun () ->
+      let before = Stats.total (Storage.stats s) in
+      run_session s ~cs_keys ~vals ~progress:{ cs_done = false; oram_started = false };
+      Stats.total (Storage.stats s) - before)
+
+type session_obs = {
+  s_crashed : bool;
+  s_appends : (int * int) list;
+  s_replays : (int * int) list;
+  s_cs_phase : int;  (* columnsort slot found on reopen *)
+  s_rebuild_phase : int;  (* oram-rebuild slot found on reopen *)
+  s_session_live : bool;  (* oram-session slot found on reopen *)
+  s_oram_boundary : int;  (* restored access counter, -1 = re-inited *)
+  s_live_owners : int;  (* occupied table slots at the crash point *)
+  s_resumed_ios : int;
+}
+
+let session_sweep_point ~cs_keys ~vals ~full_ios k =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+  let payload_size = 8 + Block.encoded_size mx_b in
+  let progress = { cs_done = false; oram_started = false } in
+  let crash_spec =
+    Storage.Journaled
+      {
+        inner = Storage.Crashing { inner = Storage.File { path = sp }; ops = k };
+        path = jp;
+        durable = false;
+      }
+  in
+  let s = Storage.create ~trace_mode:Trace.Digest ~backend:crash_spec ~block_size:mx_b () in
+  let crashed, appends =
+    match
+      run_session s ~cs_keys ~vals ~progress;
+      Storage.close s
+    with
+    | () -> (false, [])
+    | exception Backend.Crashed ->
+        let ap = Storage.journal_appends s in
+        Storage.abandon s;
+        (true, ap)
+  in
+  let scan_at_crash = scan_sealed sp ~payload_size in
+  let resume_spec =
+    Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false }
+  in
+  let s2 =
+    Storage.create ~resume:true ~trace_mode:Trace.Digest ~backend:resume_spec
+      ~block_size:mx_b ()
+  in
+  Fun.protect ~finally:(fun () -> Storage.close s2) @@ fun () ->
+  let replays = Storage.journal_replay s2 in
+  let live_owners = List.length (Storage.checkpoint_slots s2) in
+  let cs_owner = Printf.sprintf "columnsort/0/%d" cs_blocks in
+  let cs_phase, _ = Storage.checkpoint_state s2 ~owner:cs_owner in
+  let rebuild_phase, _ = Storage.checkpoint_state s2 ~owner:"oram-rebuild" in
+  let session_phase, _ = Storage.checkpoint_state s2 ~owner:"oram-session" in
+  let before = Stats.total (Storage.stats s2) in
+  (* --- columnsort recovery --- *)
+  let a2 =
+    if progress.cs_done then
+      (* Finished before the crash: its clear committed the output. *)
+      Ext_array.view s2 ~base:0 ~blocks:cs_blocks
+    else if Storage.capacity s2 >= cs_blocks then begin
+      let v = Ext_array.view s2 ~base:0 ~blocks:cs_blocks in
+      if cs_phase = 0 then begin
+        (* No committed phase: the input may be partially loaded —
+           reload it in place before restarting. *)
+        let cells = Util.cells_of_keys cs_keys in
+        for i = 0 to cs_blocks - 1 do
+          let blk = Block.make mx_b in
+          for j = 0 to mx_b - 1 do
+            let idx = (i * mx_b) + j in
+            if idx < Array.length cells then blk.(j) <- cells.(idx)
+          done;
+          Ext_array.write_block v i blk
+        done
+      end;
+      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.columnsort ~m:mx_m v;
+      v
+    end
+    else begin
+      let v = Ext_array.of_cells s2 ~block_size:mx_b (Util.cells_of_keys cs_keys) in
+      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.columnsort ~m:mx_m v;
+      v
+    end
+  in
+  (* --- ORAM recovery --- *)
+  let o2, boundary =
+    match
+      Odex_oram.Hierarchical_oram.resume ~sorter:Odex_sortnet.Ext_sort.bitonic_windowed s2
+    with
+    | Some o -> (o, Odex_oram.Hierarchical_oram.accesses o)
+    | None ->
+        (* The session checkpoint never committed: start over. *)
+        let rng = Odex_crypto.Rng.create ~seed:oram_seed in
+        ( Odex_oram.Hierarchical_oram.init ~sorter:Odex_sortnet.Ext_sort.bitonic_windowed
+            ~bucket_size:oram_z ~m:mx_m ~rng s2 ~values:vals,
+          -1 )
+  in
+  if rebuild_phase > 0 then begin
+    (* A rebuild was in flight: resume must have finished it — and
+       cleared its slot — rather than restarting the ORAM. *)
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: in-flight rebuild finished, slot cleared" k)
+      0
+      (fst (Storage.checkpoint_state s2 ~owner:"oram-rebuild"));
+    Alcotest.(check bool)
+      (Printf.sprintf "k=%d: in-flight rebuild implies a live session" k)
+      true (boundary >= 0)
+  end;
+  let start = max 0 boundary in
+  for i = start to oram_reads - 1 do
+    let addr = i mod oram_n in
+    let v = Odex_oram.Hierarchical_oram.read o2 addr in
+    if v <> vals.(addr) then
+      Alcotest.failf "k=%d: resumed read %d: got %d, want %d" k addr v vals.(addr)
+  done;
+  let resumed_ios = Stats.total (Storage.stats s2) - before in
+  (* --- verification --- *)
+  let got = List.map (fun (it : Cell.item) -> it.key) (Ext_array.items a2) in
+  let expect = List.sort compare (Array.to_list cs_keys) in
+  if got <> expect then Alcotest.failf "k=%d: columnsort output wrong after recovery" k;
+  for addr = 0 to oram_n - 1 do
+    let v = Odex_oram.Hierarchical_oram.read o2 addr in
+    if v <> vals.(addr) then
+      Alcotest.failf "k=%d: post-recovery read %d: got %d, want %d" k addr v vals.(addr)
+  done;
+  (* Progress from any committed checkpoint must make the completion
+     strictly cheaper than the full session. *)
+  if (cs_phase > 0 || session_phase > 0) && resumed_ios >= full_ios then
+    Alcotest.failf "k=%d: resumed completion cost %d I/Os, full session costs %d" k
+      resumed_ios full_ios;
+  check_no_nonce_reuse
+    (Printf.sprintf "session k=%d" k)
+    (scan_at_crash @ scan_sealed sp ~payload_size);
+  {
+    s_crashed = crashed;
+    s_appends = appends;
+    s_replays = replays;
+    s_cs_phase = cs_phase;
+    s_rebuild_phase = rebuild_phase;
+    s_session_live = session_phase > 0;
+    s_oram_boundary = boundary;
+    s_live_owners = live_owners;
+    s_resumed_ios = resumed_ios;
+  }
+
+let test_session_kill_at_every_op_sweep () =
+  let keys_a = cs_rank_keys 0 and keys_b = cs_rank_keys 1 in
+  let vals_a = oram_vals 0 and vals_b = oram_vals 1 in
+  let full_a = session_full_ios ~cs_keys:keys_a ~vals:vals_a in
+  let full_b = session_full_ios ~cs_keys:keys_b ~vals:vals_b in
+  Alcotest.(check int) "pair sessions cost the same full run" full_a full_b;
+  let schedule = Alcotest.(list (pair int int)) in
+  let saw_rebuild_resume = ref false in
+  let saw_coexisting_owners = ref 0 in
+  let saw_mid_oram_boundary = ref false in
+  let rec go k =
+    if k > 20_000 then Alcotest.fail "session sweep never reached a crash-free run";
+    let oa = session_sweep_point ~cs_keys:keys_a ~vals:vals_a ~full_ios:full_a k in
+    let ob = session_sweep_point ~cs_keys:keys_b ~vals:vals_b ~full_ios:full_b k in
+    (* Recovery obliviousness across the whole session: every observable
+       of the crash-and-recover cycle is a function of shape alone. *)
+    Alcotest.(check bool) (Printf.sprintf "k=%d: same fate" k) oa.s_crashed ob.s_crashed;
+    Alcotest.check schedule (Printf.sprintf "k=%d: same append schedule" k) oa.s_appends
+      ob.s_appends;
+    Alcotest.check schedule (Printf.sprintf "k=%d: same replay schedule" k) oa.s_replays
+      ob.s_replays;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same columnsort phase" k)
+      oa.s_cs_phase ob.s_cs_phase;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same rebuild phase" k)
+      oa.s_rebuild_phase ob.s_rebuild_phase;
+    Alcotest.(check bool)
+      (Printf.sprintf "k=%d: same session liveness" k)
+      oa.s_session_live ob.s_session_live;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same ORAM boundary" k)
+      oa.s_oram_boundary ob.s_oram_boundary;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same live owner count" k)
+      oa.s_live_owners ob.s_live_owners;
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d: same resumed I/O count" k)
+      oa.s_resumed_ios ob.s_resumed_ios;
+    if oa.s_rebuild_phase > 0 then saw_rebuild_resume := true;
+    if oa.s_oram_boundary > 0 then saw_mid_oram_boundary := true;
+    saw_coexisting_owners := max !saw_coexisting_owners oa.s_live_owners;
+    if oa.s_crashed then go (k + 1)
+  in
+  go 0;
+  Alcotest.(check bool) "some crash points caught a rebuild in flight" true
+    !saw_rebuild_resume;
+  Alcotest.(check bool) "some crash points resumed the ORAM mid-session" true
+    !saw_mid_oram_boundary;
+  Alcotest.(check bool)
+    (Printf.sprintf "checkpoint table held coexisting owners (max seen %d)"
+       !saw_coexisting_owners)
+    true
+    (!saw_coexisting_owners >= 2)
+
+(* Cheap deterministic cousin of the sweep: crash at a handful of fixed
+   points and make sure Hierarchical_oram.resume restores the exact
+   session (counters, values) without restarting. *)
+let test_oram_session_resume_points () =
+  List.iter
+    (fun k ->
+      let sp, jp = temp_pair () in
+      Fun.protect ~finally:(fun () -> cleanup [ sp; jp ]) @@ fun () ->
+      let vals = oram_vals 0 in
+      let crash_spec =
+        Storage.Journaled
+          {
+            inner = Storage.Crashing { inner = Storage.File { path = sp }; ops = k };
+            path = jp;
+            durable = false;
+          }
+      in
+      let s = Storage.create ~backend:crash_spec ~block_size:mx_b () in
+      (match
+         let rng = Odex_crypto.Rng.create ~seed:oram_seed in
+         let o =
+           Odex_oram.Hierarchical_oram.init ~sorter:Odex_sortnet.Ext_sort.bitonic_windowed
+             ~bucket_size:oram_z ~m:mx_m ~rng s ~values:vals
+         in
+         for i = 0 to oram_reads - 1 do
+           ignore (Odex_oram.Hierarchical_oram.read o (i mod oram_n))
+         done;
+         Storage.close s
+       with
+      | () -> ()
+      | exception Backend.Crashed -> Storage.abandon s);
+      let resume_spec =
+        Storage.Journaled { inner = Storage.File { path = sp }; path = jp; durable = false }
+      in
+      let s2 = Storage.create ~resume:true ~backend:resume_spec ~block_size:mx_b () in
+      Fun.protect ~finally:(fun () -> Storage.close s2) @@ fun () ->
+      match
+        Odex_oram.Hierarchical_oram.resume ~sorter:Odex_sortnet.Ext_sort.bitonic_windowed s2
+      with
+      | None -> () (* init never committed at this k *)
+      | Some o2 ->
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: boundary counter is a rebuild boundary" k)
+            true
+            (Odex_oram.Hierarchical_oram.accesses o2 mod oram_z = 0);
+          for addr = 0 to oram_n - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "k=%d: resumed value %d" k addr)
+              vals.(addr)
+              (Odex_oram.Hierarchical_oram.read o2 addr)
+          done)
+    [ 5; 40; 120; 300; 700; 1500 ]
+
 let suite =
   [
     ("append/commit bookkeeping", `Quick, test_append_commit_bookkeeping);
@@ -685,6 +1213,10 @@ let suite =
     ("replay heals a crashed apply", `Quick, test_replay_heals_crashed_apply);
     ("torn tail and corrupt record discarded", `Quick, test_torn_tail_discarded);
     ("checkpoint slot persistence", `Quick, test_checkpoint_slot_persistence);
+    ("checkpoint validation", `Quick, test_checkpoint_validation);
+    ("multi-owner checkpoints never clobber", `Quick, test_multi_owner_no_clobber);
+    checkpoint_no_alias_prop;
+    ("v2 journal migrates", `Quick, test_v2_journal_migrates);
     ("foreign journal rejected", `Quick, test_foreign_journal_rejected);
     ("trace parity with journaling on and off", `Quick, test_trace_parity_journal_on_off);
     ("kill-at-every-op sweep", `Slow, test_kill_at_every_op_sweep);
@@ -692,4 +1224,6 @@ let suite =
     ("bucket sort journal on/off trace parity", `Quick,
       test_bucket_trace_parity_journal_on_off);
     ("ORAM rebuild checkpoints clear", `Quick, test_oram_rebuild_checkpoints);
+    ("ORAM session resume points", `Quick, test_oram_session_resume_points);
+    ("session kill-at-every-op sweep", `Slow, test_session_kill_at_every_op_sweep);
   ]
