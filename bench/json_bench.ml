@@ -8,6 +8,9 @@
                                                (mem | file | faulty)
           main.exe --json E2 --shards 4       — stripe every store across
                                                4 domain-parallel shards
+          main.exe --json E18 --servers 2     — size the multi-server
+                                               compaction leg's stripe
+                                               (non-colluding servers)
           main.exe --json E2 --prefetch       — double-buffered scan
                                                prefetcher on
           main.exe --json E2 --journal        — run each entry twice,
@@ -49,6 +52,7 @@ type record = {
   sorter : string;  (* "" unless the entry sweeps sorting engines (E15) *)
   backend : string;
   shards : int;
+  servers : int;  (* non-colluding servers of a multi-server protocol; 1 otherwise *)
   prefetch : bool;
   journal : bool;
   cipher : string;  (* "none", or the engine sealing this run's stores *)
@@ -97,6 +101,11 @@ let current_journal = ref false
    matrix leg per engine); the default sweeps all three head-to-head. *)
 let current_sorter : string option ref = ref None
 
+(* `--servers K` sets the stripe width of E18's multi-server leg (the
+   non-colluding server count the two-server protocol splits its
+   schedule across); the single-server baseline leg ignores it. *)
+let current_servers = ref 2
+
 (* `--cipher NAME` (none | prf_xor | chacha20) seals every workload
    store under that engine with a fixed benchmark key; every record
    names it. `--seal-domains K` fans run sealing across K domains. *)
@@ -135,7 +144,7 @@ let timed f =
 
 (* Run [f] (returning its success flag) against [s] and harvest the
    storage counters afterwards, then release the backend. *)
-let collect ?(sorter = "") ~experiment ~name ~n_cells ~b ~m s f =
+let collect ?(sorter = "") ?(servers = 1) ~experiment ~name ~n_cells ~b ~m s f =
   let tel = Storage.telemetry s in
   (* Zero-cost-when-disabled guard: unless `--profile` was given, every
      benched storage must carry the shared no-op sink — anything else
@@ -152,6 +161,7 @@ let collect ?(sorter = "") ~experiment ~name ~n_cells ~b ~m s f =
       sorter;
       backend = Storage.backend_kind s;
       shards = !current_shards;
+      servers;
       prefetch = Storage.prefetch_enabled s;
       journal = !current_journal;
       n_cells;
@@ -270,8 +280,9 @@ let e11 () =
       let (o : Odex_obcheck.Pairtest.outcome), wall_ms =
         timed (fun () ->
             Odex_obcheck.Pairtest.check ~backend:spec ~prefetch:!current_prefetch
-              ~pair:(Odex_obcheck.Registry.pair_mode e) e.subject ~n_cells:e.n_cells ~b:e.b
-              ~m:e.m)
+              ~pair:(Odex_obcheck.Registry.pair_mode e)
+              ~multi_server:(Odex_obcheck.Registry.multi_server e) e.subject
+              ~n_cells:e.n_cells ~b:e.b ~m:e.m)
       in
       Storage.remove_spec_files spec;
       let a = o.run_a in
@@ -281,6 +292,7 @@ let e11 () =
         sorter = "";
         backend = o.Odex_obcheck.Pairtest.backend;
         shards = !current_shards;
+        servers = 1;
         prefetch = !current_prefetch;
         journal = !current_journal;
         cipher = !current_cipher;
@@ -423,6 +435,7 @@ let e16 () =
           sorter = "";
           backend = Storage.backend_kind s;
           shards = 1;
+          servers = 1;
           prefetch = false;
           journal = false;
           cipher = Odex_crypto.Cipher.engine_name engine;
@@ -448,10 +461,70 @@ let e16 () =
       r)
     [ Odex_crypto.Cipher.Prf_xor; Odex_crypto.Cipher.Chacha20 ]
 
+(* E18: the multi-server model exploit, head to head. The same
+   compaction workload at equal (N, B, M), measured twice: the classical
+   single-server tight compaction on the selected backend, then the
+   two-server protocol on a K-stripe of it (K from `--servers`, default
+   2). The protocol's whole point is that splitting the schedule across
+   non-colluding servers buys strictly fewer I/Os — 3(N/B) + 3cap
+   against the butterfly's 2(N/B)(1 + phases) — so the two records in
+   BENCH_core.json must show [total_ios] strictly below the baseline. *)
+let e18 () =
+  let b = 8 and m = 64 and n_blocks = 1024 in
+  let n_cells = n_blocks * b in
+  (* One third occupied against a half-capacity target: the butterfly's
+     cost is fixed by shape (2(N/B)(1 + phases), capacity-blind), while
+     the two-server schedule scales with the target — 3(N/B) + 3cap. At
+     m = 64 the butterfly needs 2 phases, so the margin is 6144 vs 4608. *)
+  let capacity = n_blocks / 2 in
+  let cells =
+    Array.init n_cells (fun idx ->
+        if idx / b mod 3 = 0 then Cell.item ~key:idx ~value:idx () else Cell.empty)
+  in
+  let mk spec =
+    Storage.create ~telemetry:(!Workloads.telemetry ()) ~trace_mode:Trace.Digest
+      ~prefetch:!current_prefetch ~backend:spec ~block_size:b ()
+  in
+  let single =
+    let spec = fresh_spec () in
+    let s = mk spec in
+    let a = Ext_array.of_cells s ~block_size:b cells in
+    let r =
+      collect ~experiment:"E18" ~name:"tight-compaction-1server" ~n_cells ~b ~m s
+        (fun () -> (Odex.Compaction.tight ~m ~capacity_blocks:capacity a).Odex.Compaction.ok)
+    in
+    Storage.remove_spec_files spec;
+    r
+  in
+  let k = max 2 !current_servers in
+  let multi =
+    let spec =
+      Odex_obcheck.Registry.backend_spec ~shards:k ~journal:!current_journal
+        !current_backend
+    in
+    let s = mk spec in
+    let a = Ext_array.of_cells s ~block_size:b cells in
+    let r =
+      collect ~servers:k ~experiment:"E18"
+        ~name:(Printf.sprintf "tight-compaction-%dserver" k)
+        ~n_cells ~b ~m s
+        (fun () ->
+          (Odex.Twoserver_compaction.run ~m ~capacity_blocks:capacity a)
+            .Odex.Twoserver_compaction.ok)
+    in
+    Storage.remove_spec_files spec;
+    r
+  in
+  if multi.total_ios >= single.total_ios then
+    Printf.eprintf
+      "warning: E18 two-server compaction (%d I/Os) not below single-server (%d I/Os)\n"
+      multi.total_ios single.total_ios;
+  [ single; multi ]
+
 let entries =
   [
     ("E2", e2); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
-    ("E9", e9); ("E10", e10); ("E11", e11); ("E15", e15); ("E16", e16);
+    ("E9", e9); ("E10", e10); ("E11", e11); ("E15", e15); ("E16", e16); ("E18", e18);
   ]
 
 let json_of_phase p =
@@ -461,14 +534,14 @@ let json_of_phase p =
 
 let json_of_record r =
   Printf.sprintf
-    "{\"experiment\":%S,\"name\":%S,\"sorter\":%S,\"backend\":%S,\"shards\":%d,\"prefetch\":%b,\"journal\":%b,\"cipher\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"seal_mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
-    r.experiment r.name r.sorter r.backend r.shards r.prefetch r.journal r.cipher r.n_cells
+    "{\"experiment\":%S,\"name\":%S,\"sorter\":%S,\"backend\":%S,\"shards\":%d,\"servers\":%d,\"prefetch\":%b,\"journal\":%b,\"cipher\":%S,\"n_cells\":%d,\"b\":%d,\"m\":%d,\"reads\":%d,\"writes\":%d,\"total_ios\":%d,\"retries\":%d,\"trace_length\":%d,\"spans\":%d,\"wall_ms\":%.3f,\"bytes_moved\":%d,\"batched_ios\":%d,\"mb_per_s\":%.3f,\"seal_mb_per_s\":%.3f,\"ok\":%b,\"phases\":[%s]}"
+    r.experiment r.name r.sorter r.backend r.shards r.servers r.prefetch r.journal r.cipher r.n_cells
     r.b r.m r.reads r.writes r.total_ios r.retries r.trace_length r.spans r.wall_ms
     r.bytes_moved r.batched_ios r.mb_per_s r.seal_mb_per_s r.ok
     (String.concat "," (List.map json_of_phase r.phases))
 
-let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false)
-    ?(cipher = "none") ?(seal_domains = 1) ?sorter ?profile ids =
+let run ?(backend = "mem") ?(shards = 1) ?(servers = 2) ?(prefetch = false)
+    ?(journal = false) ?(cipher = "none") ?(seal_domains = 1) ?sorter ?profile ids =
   if not (List.mem backend Odex_obcheck.Registry.backend_names) then begin
     Printf.eprintf "unknown backend %S (available: %s)\n" backend
       (String.concat " " Odex_obcheck.Registry.backend_names);
@@ -486,6 +559,11 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false)
     Printf.eprintf "--shards must be >= 1 (got %d)\n" shards;
     exit 2
   end;
+  if servers < 2 then begin
+    Printf.eprintf "--servers must be >= 2 (got %d)\n" servers;
+    exit 2
+  end;
+  current_servers := servers;
   if seal_domains < 1 then begin
     Printf.eprintf "--seal-domains must be >= 1 (got %d)\n" seal_domains;
     exit 2
@@ -538,7 +616,7 @@ let run ?(backend = "mem") ?(shards = 1) ?(prefetch = false) ?(journal = false)
       Printf.printf "wrote %s (%d profiled runs, Chrome trace-event JSON)\n" path
         (List.length !profiled));
   let oc = open_out "BENCH_core.json" in
-  output_string oc "{\n  \"schema\": \"odex-bench/8\",\n  \"records\": [\n";
+  output_string oc "{\n  \"schema\": \"odex-bench/9\",\n  \"records\": [\n";
   List.iteri
     (fun i r ->
       output_string oc "    ";

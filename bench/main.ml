@@ -27,6 +27,10 @@
    journal off, then on (DESIGN.md §10) — so the WAL's overhead lands as
    paired records in one BENCH_core.json.
 
+   `--servers K` (JSON mode) sizes the stripe of E18's multi-server
+   compaction leg — K non-colluding servers splitting the two-server
+   protocol's schedule (DESIGN.md §14).
+
    `--sorter NAME` (JSON mode) narrows E15's engine head-to-head to one
    sorting engine (batcher | columnsort | bucket | ...), so a CI matrix
    can run one leg per engine.
@@ -164,6 +168,23 @@ let rec extract_shards = function
       let shards, cleaned = extract_shards rest in
       (shards, arg :: cleaned)
 
+(* Pull `--servers K` out likewise (JSON mode: the stripe width of
+   E18's multi-server compaction leg). *)
+let rec extract_servers = function
+  | [] -> (None, [])
+  | "--servers" :: k :: rest ->
+      let servers =
+        match int_of_string_opt k with
+        | Some k when k >= 2 -> k
+        | _ -> failwith "--servers needs an integer >= 2"
+      in
+      let _, cleaned = extract_servers rest in
+      (Some servers, cleaned)
+  | [ "--servers" ] -> failwith "--servers needs a server count"
+  | arg :: rest ->
+      let servers, cleaned = extract_servers rest in
+      (servers, arg :: cleaned)
+
 (* Pull `--sorter NAME` out likewise (JSON mode: narrow E15's engine
    sweep to the named sorter — one matrix leg per CI job). *)
 let rec extract_sorter = function
@@ -216,6 +237,7 @@ let () =
   let backend, args = extract_backend (List.tl (Array.to_list Sys.argv)) in
   let profile, args = extract_profile args in
   let shards, args = extract_shards args in
+  let servers, args = extract_servers args in
   let sorter, args = extract_sorter args in
   let cipher, args = extract_cipher args in
   let seal_domains, args = extract_seal_domains args in
@@ -223,8 +245,8 @@ let () =
   let journal, args = extract_journal args in
   match args with
   | "--json" :: ids ->
-      Json_bench.run ?backend ?shards ~prefetch ~journal ?cipher ?seal_domains ?sorter
-        ?profile ids
+      Json_bench.run ?backend ?shards ?servers ~prefetch ~journal ?cipher ?seal_domains
+        ?sorter ?profile ids
   | args ->
       let backend_name = Option.value backend ~default:"mem" in
       let shard_count = Option.value shards ~default:1 in

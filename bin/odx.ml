@@ -346,17 +346,36 @@ let compact_cmd =
     let doc = "Treat even keys as the distinguished items (default: all)." in
     Arg.(value & flag & info [ "keep-even" ] ~doc)
   in
-  let run block_size m seed backend store shards profile journal auto_commit resume cipher seal_key seal_domains keep_even file =
+  let servers_arg =
+    let doc =
+      "Run the compaction in the multi-server model: stripe the store across $(docv) \
+       non-colluding servers and use the two-server oblivious protocol (DESIGN.md §14) \
+       instead of the butterfly — strictly fewer I/Os, at the price of the combined \
+       (colluding) view no longer being data-independent; each server's own view still \
+       is. Implies at least $(docv) shards."
+    in
+    Arg.(value & opt int 1 & info [ "servers" ] ~docv:"K" ~doc)
+  in
+  let run block_size m seed backend store shards servers profile journal auto_commit resume cipher seal_key seal_domains keep_even file =
     let keys = read_keys file in
+    let shards = if servers >= 2 then max shards servers else shards in
     let server, a, _rng =
       setup ~block_size ~backend ~store ~shards ~seed ~profile ~journal ~auto_commit ~resume
           ~cipher ~seal_key ~seal_domains keys
     in
     let distinguished (it : Cell.item) = (not keep_even) || it.key mod 2 = 0 in
     let d = Odex.Consolidation.run ~distinguished ~into:None a in
-    let occupied = Odex.Butterfly.compact ~m d in
-    List.iter (fun (it : Cell.item) -> print_endline (string_of_int it.key)) (Ext_array.items d);
-    Printf.printf "; %d occupied blocks after tight compaction (Theorem 6)\n" occupied;
+    let out, occupied, how =
+      if servers >= 2 then begin
+        let o = Odex.Twoserver_compaction.run ~m ~capacity_blocks:(Ext_array.blocks d) d in
+        ( o.Odex.Twoserver_compaction.dest,
+          o.Odex.Twoserver_compaction.occupied,
+          Printf.sprintf "two-server protocol, %d non-colluding servers" servers )
+      end
+      else (d, Odex.Butterfly.compact ~m d, "Theorem 6")
+    in
+    List.iter (fun (it : Cell.item) -> print_endline (string_of_int it.key)) (Ext_array.items out);
+    Printf.printf "; %d occupied blocks after tight compaction (%s)\n" occupied how;
     report_trace server;
     report_profile server profile;
     Storage.close server
@@ -365,7 +384,7 @@ let compact_cmd =
   Cmd.v (Cmd.info "compact" ~doc)
     Term.(
       const run $ block_size_arg $ cache_arg $ seed_arg $ backend_arg $ store_arg
-      $ shards_arg $ profile_arg $ journal_arg $ auto_commit_arg $ resume_arg $ cipher_arg $ seal_key_arg
+      $ shards_arg $ servers_arg $ profile_arg $ journal_arg $ auto_commit_arg $ resume_arg $ cipher_arg $ seal_key_arg
       $ seal_domains_arg $ keep_even $ file_arg)
 
 (* ---- audit ---- *)

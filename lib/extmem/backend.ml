@@ -33,6 +33,12 @@ module type S = sig
 
   val shard_ops : t -> int array
   (** Per-shard block-op counts ([[||]] for unsharded devices). *)
+
+  val shard_count : t -> int option
+  (** [Some k] when a striping layer fans this store across [k] separate
+      devices (decorators forward); [None] for a single-server store.
+      [Some 1] and [None] are deliberately distinct: the former is a
+      degenerate stripe, the latter no stripe at all. *)
 end
 
 exception Crashed
@@ -79,6 +85,7 @@ let write_meta (Packed ((module B), b)) m = B.write_meta b m
 let sync (Packed ((module B), b)) = B.sync b
 let close (Packed ((module B), b)) = B.close b
 let shard_io_counts (Packed ((module B), b)) = B.shard_ops b
+let shard_count (Packed ((module B), b)) = B.shard_count b
 
 let meta_capacity = 40
 
@@ -174,6 +181,7 @@ module Mem = struct
   let close _ = ()
   let faults _ = 0
   let shard_ops _ = [||]
+  let shard_count _ = None
 end
 
 let mem ~payload_size () =
@@ -354,6 +362,7 @@ module File = struct
 
   let faults _ = 0
   let shard_ops _ = [||]
+  let shard_count _ = None
 end
 
 let file ~path ~payload_size = Packed ((module File), File.create ~path ~payload_size)
@@ -467,6 +476,7 @@ module Faulty = struct
   let close t = close t.inner
   let faults t = t.injected
   let shard_ops t = shard_io_counts t.inner
+  let shard_count t = shard_count t.inner
 end
 
 let faulty plan inner =
@@ -791,6 +801,7 @@ module Sharded = struct
 
   let faults t = Array.fold_left (fun acc inner -> acc + faults_injected inner) 0 t.inners
   let shard_ops t = Array.copy t.ops
+  let shard_count t = Some t.k
 end
 
 let shard_perm ~shards ~seed =
@@ -899,6 +910,7 @@ module Instrumented = struct
   let close t = close t.inner
   let faults t = faults_injected t.inner
   let shard_ops t = shard_io_counts t.inner
+  let shard_count t = shard_count t.inner
 end
 
 let instrument tel inner =
@@ -956,6 +968,7 @@ module Crashing = struct
   let close t = close t.inner
   let faults t = faults_injected t.inner
   let shard_ops t = shard_io_counts t.inner
+  let shard_count t = shard_count t.inner
 end
 
 let crash_after ~ops inner =

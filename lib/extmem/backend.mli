@@ -107,6 +107,12 @@ module type S = sig
 
   val shard_ops : t -> int array
   (** Per-shard block-op counts ([[||]] for unsharded devices). *)
+
+  val shard_count : t -> int option
+  (** [Some k] when a striping layer fans this store across [k] separate
+      devices (decorators forward); [None] for a single-server store.
+      [Some 1] and [None] are deliberately distinct: the former is a
+      degenerate stripe, the latter no stripe at all. *)
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -233,6 +239,18 @@ val shard_route : shards:int -> seed:int -> int -> int * int
 (** [shard_route ~shards ~seed a] is the pure striping map of
     {!sharded}: the (shard, inner address) pair logical block [a] maps
     to. Exposed for property tests (the map must be a bijection). *)
+
+val shard_perm : shards:int -> seed:int -> int array * int array
+(** The keyed lane permutation behind {!shard_route}: [(perm, perm_inv)]
+    with [perm] mapping lane to shard and [perm_inv] its inverse.
+    Exposed so {!Storage} can mirror the stripe's routing without
+    re-deriving the PRP per address. *)
+
+val shard_count : t -> int option
+(** [Some k] when this backend stack contains a {!sharded} stripe of [k]
+    devices (decorators forward to their inner store); [None] when no
+    stripe is present. Distinguishes a degenerate [K = 1] stripe
+    ([Some 1]) from an unsharded store ([None]). *)
 
 val shard_io_counts : t -> int array
 (** Per-shard counts of block ops served ([|[]|] for unsharded

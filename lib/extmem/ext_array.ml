@@ -71,7 +71,7 @@ let iter_runs t ~chunk f =
     i := next
   done
 
-let with_span t label f = Trace.with_span (Storage.trace t.storage) label f
+let with_span t label f = Storage.with_span t.storage label f
 
 let concat_views a b =
   if a.storage == b.storage && a.base + a.blocks = b.base then

@@ -597,6 +597,7 @@ module Journaled = struct
 
   let faults t = Backend.faults_injected t.inner
   let shard_ops t = Backend.shard_io_counts t.inner
+  let shard_count t = Backend.shard_count t.inner
 end
 
 let backend t = Backend.Packed ((module Journaled), t)

@@ -79,6 +79,26 @@ type seal_worker = {
   mutable sdom : unit Domain.t option;
 }
 
+(* ---- per-server traces.
+
+   Under a [Sharded] spec each shard is a separate adversary: a
+   non-colluding server sees only the inner-address op sequence routed to
+   its own device, never the logical interleaving. The stripe's routing
+   is mirrored here — same PRP, same seed — and every counted op (and
+   counted retry) is recorded a second time into the trace of the shard
+   that served it, at its inner address. Recording happens on the
+   coordinator thread only (the stripe's worker domains move payloads,
+   never accounting), uncounted ops are excluded exactly as they are from
+   the logical trace, and the logical trace itself is untouched — every
+   pinned digest survives. *)
+
+type shard_state = {
+  sk : int;
+  sperm : int array;  (** shard index of lane [l] — [Backend.shard_perm]. *)
+  sperm_inv : int array;
+  straces : Trace.t array;
+}
+
 type t = {
   block_size : int;
   payload_size : int;
@@ -102,6 +122,7 @@ type t = {
       (** The write-ahead journal handle, when the spec has a [Journaled]
           layer — owns the crash-atomicity and checkpoint machinery. *)
   pf : prefetcher option;
+  shard : shard_state option;
   seal_domains : int;
   seal_workers : seal_worker array;  (** [seal_domains - 1] mailboxes. *)
   mutable seal_spawned : bool;
@@ -153,6 +174,14 @@ let rec instantiate ~payload_size ~engine ~resume ~auto_commit_bytes = function
         Journal.create ?auto_commit_bytes ~engine ~path ~payload_size ~durable ~replay:resume b
       in
       (Journal.backend journal, Some journal)
+
+(* The (shards, stripe seed) of the spec tree's [Sharded] layer, if any —
+   the routing parameters the per-server traces mirror. *)
+let rec stripe_of_spec = function
+  | Mem | File _ -> None
+  | Faulty { inner; _ } | Journaled { inner; _ } | Crashing { inner; _ } ->
+      stripe_of_spec inner
+  | Sharded { shards; seed; _ } -> Some (shards, seed)
 
 let rec remove_spec_files = function
   | Mem -> ()
@@ -245,6 +274,7 @@ let create ?cipher ?(cipher_engine = Cipher.Prf_xor) ?telemetry ?(trace_mode = T
   if backoff_base < 0. || backoff_cap < backoff_base then
     invalid_arg "Storage.create: backoff must satisfy 0 <= base <= cap";
   let payload_size = 8 + Block.encoded_size block_size in
+  let stripe = stripe_of_spec backend in
   let raw, journal =
     instantiate ~payload_size ~engine:cipher_engine ~resume
       ~auto_commit_bytes:journal_auto_commit_bytes backend
@@ -308,6 +338,14 @@ let create ?cipher ?(cipher_engine = Cipher.Prf_xor) ?telemetry ?(trace_mode = T
                dev_mu = Mutex.create ();
              }
          else None);
+      shard =
+        (* Shard traces carry no telemetry sink of their own: phases are
+           already timed once, through the logical trace's spans. *)
+        Option.map
+          (fun (k, seed) ->
+            let sperm, sperm_inv = Backend.shard_perm ~shards:k ~seed in
+            { sk = k; sperm; sperm_inv; straces = Array.init k (fun _ -> Trace.create trace_mode) })
+          stripe;
       seal_domains;
       seal_workers =
         Array.init (seal_domains - 1) (fun _ ->
@@ -339,7 +377,48 @@ let seal_domains t = t.seal_domains
 let faults_injected t = Backend.faults_injected t.backend
 let scratch_bytes t = Bigbuf.length t.run_buf
 let shard_ios t = Backend.shard_io_counts t.backend
+let shard_count t = Backend.shard_count t.backend
+let shard_traces t = match t.shard with None -> [||] | Some sh -> sh.straces
 let prefetch_enabled t = t.pf <> None
+
+(* Mirror of [Backend.Sharded]'s routing: logical block [a] lives on
+   shard [perm.((a mod k + a / k) mod k)] at inner address [a / k]. *)
+let route sh a = (sh.sperm.(((a mod sh.sk) + (a / sh.sk)) mod sh.sk), a / sh.sk)
+
+let shard_of t a = Option.map (fun sh -> fst (route sh a)) t.shard
+
+let shard_addr t ~shard ~index =
+  match t.shard with
+  | None -> invalid_arg "Storage.shard_addr: backend is not sharded"
+  | Some sh ->
+      if shard < 0 || shard >= sh.sk then invalid_arg "Storage.shard_addr: shard out of range";
+      if index < 0 then invalid_arg "Storage.shard_addr: negative index";
+      (* The lane whose inner run [index] falls on shard [shard]:
+         perm ((lane + index) mod k) = shard. *)
+      let lane = (((sh.sperm_inv.(shard) - index) mod sh.sk) + sh.sk) mod sh.sk in
+      (index * sh.sk) + lane
+
+(* Record a counted op into the serving shard's trace, at the inner
+   address that shard's device actually sees. *)
+let shard_record t a op_of =
+  match t.shard with
+  | None -> ()
+  | Some sh ->
+      let s, inner = route sh a in
+      Trace.record sh.straces.(s) (op_of inner)
+
+(* Bracket a public phase across the logical trace {e and} every
+   per-shard trace, so shard-level divergence reports name the same
+   phases the logical reports do. [Trace.with_span] on the logical trace
+   keeps the telemetry mirroring. *)
+let with_span t label f =
+  match t.shard with
+  | None -> Trace.with_span t.trace label f
+  | Some sh ->
+      Array.iter (fun tr -> Trace.span_enter tr label) sh.straces;
+      Fun.protect
+        ~finally:(fun () -> Array.iter Trace.span_exit sh.straces)
+        (fun () -> Trace.with_span t.trace label f)
 
 (* ---- seal pool workers ---- *)
 
@@ -812,7 +891,7 @@ let backoff t attempt =
      signal clock; the backoff is advisory, the retry is not). *)
   if delay > 0. then try Unix.sleepf delay with Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-let run_transfer t ~counted ~retry_op ~record ~addr ~n ~do_run =
+let run_transfer t ~counted ~record_retry ~record ~addr ~n ~do_run =
   let fin = addr + n in
   let rec go a attempt =
     if a < fin then
@@ -826,7 +905,7 @@ let run_transfer t ~counted ~retry_op ~record ~addr ~n ~do_run =
           if counted then begin
             Stats.record_retry t.stats;
             Telemetry.add_retries t.tel 1;
-            Trace.record t.trace (retry_op fa)
+            record_retry t fa
           end;
           backoff t attempt;
           go fa (attempt + 1)
@@ -847,22 +926,34 @@ let record_read t a =
   Stats.record_moved t.stats t.payload_size;
   Telemetry.add_ios t.tel 1;
   Telemetry.add_bytes t.tel t.payload_size;
-  Trace.record t.trace (Trace.Read a)
+  Trace.record t.trace (Trace.Read a);
+  shard_record t a (fun inner -> Trace.Read inner)
 
 let record_write t a =
   Stats.record_write t.stats;
   Stats.record_moved t.stats t.payload_size;
   Telemetry.add_ios t.tel 1;
   Telemetry.add_bytes t.tel t.payload_size;
-  Trace.record t.trace (Trace.Write a)
+  Trace.record t.trace (Trace.Write a);
+  shard_record t a (fun inner -> Trace.Write inner)
+
+(* A counted retry is a disk access the faulting shard's server observed
+   too: it lands in that shard's trace as well as the logical one. *)
+let record_retry_read t a =
+  Trace.record t.trace (Trace.Retry_read a);
+  shard_record t a (fun inner -> Trace.Retry_read inner)
+
+let record_retry_write t a =
+  Trace.record t.trace (Trace.Retry_write a);
+  shard_record t a (fun inner -> Trace.Retry_write inner)
 
 let transfer_read t ~counted ~record ~addr ~n ~buf =
-  run_transfer t ~counted ~retry_op:(fun a -> Trace.Retry_read a) ~record ~addr ~n
+  run_transfer t ~counted ~record_retry:record_retry_read ~record ~addr ~n
     ~do_run:(fun ~addr ~count ~off -> read_run_backend t ~buf ~addr ~count ~off)
 
 let transfer_write t ~counted ~record ~addr ~n ~buf =
   pf_invalidate t addr n;
-  run_transfer t ~counted ~retry_op:(fun a -> Trace.Retry_write a) ~record ~addr ~n
+  run_transfer t ~counted ~record_retry:record_retry_write ~record ~addr ~n
     ~do_run:(fun ~addr ~count ~off -> write_run_backend t ~buf ~addr ~count ~off)
 
 let alloc t n =

@@ -215,6 +215,44 @@ val shard_ios : t -> int array
     otherwise) — the adversary's per-device view; see
     {!Backend.shard_io_counts}. *)
 
+val shard_count : t -> int option
+(** [Some k] when the backend spec has a [Sharded] layer of [k] members
+    (including the degenerate [k = 1] stripe), [None] when it has none —
+    the two are deliberately distinct: a 1-shard stripe still routes
+    through the PRP and records a per-server trace. *)
+
+val shard_traces : t -> Trace.t array
+(** The per-server adversary views: trace [s] records exactly the op
+    sequence shard [s]'s device served — counted ops and counted
+    retries, at {e inner} (per-device) addresses, in the order the
+    coordinator issued them — and nothing else (uncounted ops are
+    excluded, as in the logical trace). Span structure mirrors the
+    logical trace's {!with_span} phases. [[||]] on unsharded backends.
+    An algorithm is per-server oblivious when each shard's trace — not
+    just the combined logical one — is value-independent; on a
+    non-colluding multi-server deployment this is the {e weaker}
+    requirement each individual server's view must satisfy, and the
+    multi-server tier of the pair-tester checks it shard by shard. *)
+
+val shard_of : t -> int -> int option
+(** The shard serving logical address [a] (the stripe's PRP routing),
+    [None] on unsharded backends. Public: routing depends only on the
+    address and the stripe seed, never on data. *)
+
+val shard_addr : t -> shard:int -> index:int -> int
+(** The logical address of the [index]-th block held by [shard] — the
+    inverse enumeration of {!shard_of} ([shard_of t (shard_addr t
+    ~shard ~index) = Some shard], with inner address [index]). Lets a
+    multi-server algorithm address one chosen server's device through
+    the logical store. Raises [Invalid_argument] on unsharded backends
+    or out-of-range [shard]/negative [index]. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Bracket a public phase on the logical trace {e and} every per-shard
+    trace at once, so shard-level divergence reports name the same
+    phases as logical ones. Equivalent to {!Trace.with_span} on
+    {!trace} for unsharded stores. *)
+
 val nonce_chunk : int
 (** Granularity (2^16) of the nonce high-water reservations described
     above: a crash skips at most this many never-used nonces. *)

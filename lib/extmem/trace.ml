@@ -25,6 +25,11 @@ type t = {
   mutable ops_len : int;
   mutable depth : int;
   mutable rev_spans : span list;
+  (* Open spans, innermost first: (label, depth, start_length,
+     start_hash). The explicit stack lets a caller bracket several
+     traces at once (the per-shard traces mirror the logical span
+     structure) without nesting closures per trace. *)
+  mutable open_spans : (string * int * int * int64) list;
 }
 
 let create ?(telemetry = Odex_telemetry.Telemetry.disabled) mode =
@@ -37,6 +42,7 @@ let create ?(telemetry = Odex_telemetry.Telemetry.disabled) mode =
     ops_len = 0;
     depth = 0;
     rev_spans = [];
+    open_spans = [];
   }
 
 let push_op t op =
@@ -79,8 +85,36 @@ let ops t = Array.to_list (Array.sub t.ops_buf 0 t.ops_len)
 
 (* Span labels are part of the algorithm's public phase structure, never
    of the data, so they are kept out of the op digest: [equal] still
-   compares exactly what Bob sees. Closing is exception-safe so that a
-   mid-phase Cache.Overflow still leaves a usable span record. *)
+   compares exactly what Bob sees. *)
+let span_enter t label =
+  match t.mode with
+  | Off -> ()
+  | Digest | Full ->
+      t.open_spans <- (label, t.depth, t.length, t.hash) :: t.open_spans;
+      t.depth <- t.depth + 1
+
+let span_exit t =
+  match t.mode with
+  | Off -> ()
+  | Digest | Full -> (
+      match t.open_spans with
+      | [] -> invalid_arg "Trace.span_exit: no open span"
+      | (label, depth, start_length, start_hash) :: rest ->
+          t.open_spans <- rest;
+          t.depth <- depth;
+          t.rev_spans <-
+            {
+              label;
+              depth;
+              start_length;
+              start_hash;
+              end_length = t.length;
+              end_hash = t.hash;
+            }
+            :: t.rev_spans)
+
+(* Closing is exception-safe so that a mid-phase Cache.Overflow still
+   leaves a usable span record. *)
 let with_span t label f =
   (* Telemetry phases mirror the span structure exactly (same label, same
      nesting), so a profile names the same phases the divergence reports
@@ -93,23 +127,8 @@ let with_span t label f =
   match t.mode with
   | Off -> f ()
   | Digest | Full ->
-      let start_length = t.length and start_hash = t.hash in
-      let depth = t.depth in
-      t.depth <- depth + 1;
-      Fun.protect
-        ~finally:(fun () ->
-          t.depth <- depth;
-          t.rev_spans <-
-            {
-              label;
-              depth;
-              start_length;
-              start_hash;
-              end_length = t.length;
-              end_hash = t.hash;
-            }
-            :: t.rev_spans)
-        f
+      span_enter t label;
+      Fun.protect ~finally:(fun () -> span_exit t) f
 
 let spans t = List.rev t.rev_spans
 
@@ -167,7 +186,8 @@ let reset t =
      comparable run. *)
   t.ops_len <- 0;
   t.depth <- 0;
-  t.rev_spans <- []
+  t.rev_spans <- [];
+  t.open_spans <- []
 
 let pp_op ppf = function
   | Read addr -> Format.fprintf ppf "R%d" addr

@@ -69,6 +69,15 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
     (and recorded) even if [f] raises. No-op in [Off] mode. Spans may
     nest; [label] must depend only on public parameters. *)
 
+val span_enter : t -> string -> unit
+(** Open a span explicitly. Use when one phase must bracket several
+    traces at once (e.g. the per-shard traces mirroring the logical span
+    structure); prefer {!with_span} otherwise. No-op in [Off] mode. *)
+
+val span_exit : t -> unit
+(** Close the innermost open span (recording it). Raises
+    [Invalid_argument] when no span is open. No-op in [Off] mode. *)
+
 val spans : t -> span list
 (** Completed spans in completion order. *)
 

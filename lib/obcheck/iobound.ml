@@ -38,6 +38,13 @@ let butterfly_compaction ~n_blocks ~m_blocks ~actual =
     ~actual
     (Float.of_int (2 * n_blocks * (1 + phases)))
 
+let twoserver_compaction ~n_blocks ~capacity ~actual =
+  (* The two-server protocol is deterministic to the I/O: stage (2 N/B),
+     route (N/B reads + capacity writes), deliver (2 capacity). Exact —
+     any drift means the per-server schedule changed. *)
+  exact ~name:"twoserver-compaction" ~formula:"3*(N/B) + 3*cap" ~actual
+    ((3 * n_blocks) + (3 * capacity))
+
 let selection ~n_blocks ~actual =
   (* Theorem 12/13: O(N/B); the recursion residues decay geometrically
      so the total stays a small multiple of the input scan. *)

@@ -27,6 +27,14 @@ val butterfly_compaction : n_blocks:int -> m_blocks:int -> actual:int -> verdict
 (** Theorem 6: label pass plus one read+write of every block per routing
     phase. *)
 
+val twoserver_compaction : n_blocks:int -> capacity:int -> actual:int -> verdict
+(** The two-server tight compaction (DESIGN.md §14), exact:
+    [3*(N/B) + 3*cap] — strictly below {!butterfly_compaction}'s
+    [2*(N/B)*(1 + phases)] at every feasible shape. Applies to the
+    k >= 2 stripe path of {!Odex.Twoserver_compaction.run} only (the
+    single-server fallback is covered by the engine it dispatches
+    to). *)
+
 val selection : n_blocks:int -> actual:int -> verdict
 (** Theorems 12/13: linear I/O with a fitted constant. *)
 

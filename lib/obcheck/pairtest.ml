@@ -15,6 +15,8 @@ type run_info = {
   bytes_moved : int;
   batched_ios : int;
   shard_ios : int array;
+  shards : int option;
+  shard_digests : (int * int64) array;
 }
 
 type outcome = {
@@ -24,7 +26,10 @@ type outcome = {
   m : int;
   backend : string;
   oblivious : bool;
+  combined_ok : bool;
+  servers_ok : bool;
   diverging_span : string option;
+  diverging_shard : (int * string) option;
   run_a : run_info;
   run_b : run_info;
 }
@@ -103,6 +108,7 @@ let execute ?telemetry ?(prefetch = false) ?cipher ?cipher_engine ?seal_domains 
       let rng = Odex_crypto.Rng.create ~seed in
       subject.run ~rng ~m s arr;
       let tr = Storage.trace s and st = Storage.stats s in
+      let shard_traces = Storage.shard_traces s in
       let info =
         {
           trace_length = Trace.length tr;
@@ -114,12 +120,32 @@ let execute ?telemetry ?(prefetch = false) ?cipher ?cipher_engine ?seal_domains 
           bytes_moved = Stats.bytes_moved st;
           batched_ios = Stats.batched_ios st;
           shard_ios = Storage.shard_ios s;
+          shards = Storage.shard_count s;
+          shard_digests =
+            Array.map (fun str -> (Trace.length str, Trace.digest str)) shard_traces;
         }
       in
-      (tr, info, kind))
+      (tr, shard_traces, info, kind))
 
-let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch ?cipher
-    ?cipher_engine ?seal_domains ?(pair = `Disjoint) subject ~n_cells ~b ~m =
+(* First shard whose per-server traces part ways, with the span label of
+   the divergence — the multi-server analogue of [diverging_span]. *)
+let shard_divergence strs_a strs_b =
+  if Array.length strs_a <> Array.length strs_b then
+    Some (-1, "per-server trace counts differ across the pair")
+  else
+    let rec find i =
+      if i >= Array.length strs_a then None
+      else if Trace.equal strs_a.(i) strs_b.(i) then find (i + 1)
+      else
+        Some
+          (i, Option.value (Trace.diverging_label strs_a.(i) strs_b.(i)) ~default:"<unknown>")
+    in
+    find 0
+
+let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?backend_b ?telemetry ?prefetch ?cipher
+    ?cipher_engine ?seal_domains ?(pair = `Disjoint) ?(multi_server = false) subject ~n_cells
+    ~b ~m =
+  let backend_b = Option.value backend_b ~default:backend in
   let cells_a, cells_b =
     match pair with
     | `Disjoint -> pair_inputs ~seed ~n:n_cells
@@ -128,19 +154,36 @@ let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch ?ciph
   (* The sink (if any) instruments run A only, while run B stays
      uninstrumented: [oblivious = true] then also certifies that enabling
      telemetry changed not a single trace op. *)
-  let tr_a, run_a, kind =
+  let tr_a, strs_a, run_a, kind =
     execute ?telemetry ?prefetch ?cipher ?cipher_engine ?seal_domains subject ~backend ~b ~m
       ~seed cells_a
   in
-  let tr_b, run_b, _ =
-    execute ?prefetch ?cipher ?cipher_engine ?seal_domains subject ~backend ~b ~m ~seed
-      cells_b
+  let tr_b, strs_b, run_b, _ =
+    execute ?prefetch ?cipher ?cipher_engine ?seal_domains subject ~backend:backend_b ~b ~m
+      ~seed cells_b
   in
-  (* On a sharded backend the adversary also sees which physical device
-     serves each op: the per-shard op counts must line up exactly, not
-     just the logical trace. *)
-  let oblivious = Trace.equal tr_a tr_b && run_a.shard_ios = run_b.shard_ios in
-  let diverging_span = if oblivious then None else Trace.diverging_label tr_a tr_b in
+  let combined_ok = Trace.equal tr_a tr_b in
+  (* The per-server tier: each shard is its own adversary, so each
+     shard's trace must be value-independent on its own — alongside the
+     per-shard op counts (the coarse view) and the shard layout itself.
+     [None] (no stripe) and [Some 1] (a degenerate one-shard stripe) are
+     deliberately distinct layouts: a pair that runs one leg unsharded
+     and one leg on a 1-stripe is flagged, never vacuously passed. *)
+  let diverging_shard =
+    if run_a.shards <> run_b.shards then Some (-1, "shard layouts differ across the pair")
+    else shard_divergence strs_a strs_b
+  in
+  let servers_ok = diverging_shard = None && run_a.shard_ios = run_b.shard_ios in
+  (* A [`Multi_server]-certified subject running on a real (k >= 2)
+     stripe is allowed an occupancy-dependent combined trace — that is
+     the model it exploits — but every individual server must still see
+     a fixed sequence. Everywhere else the combined tier is required
+     too. *)
+  let combined_required =
+    (not multi_server) || (match run_a.shards with Some k -> k < 2 | None -> true)
+  in
+  let oblivious = servers_ok && ((not combined_required) || combined_ok) in
+  let diverging_span = if combined_ok then None else Trace.diverging_label tr_a tr_b in
   {
     subject = subject.name;
     n_cells;
@@ -148,16 +191,26 @@ let check ?(seed = 0x0b5e55) ?(backend = Storage.Mem) ?telemetry ?prefetch ?ciph
     m;
     backend = kind;
     oblivious;
+    combined_ok;
+    servers_ok;
     diverging_span;
+    diverging_shard;
     run_a;
     run_b;
   }
 
 let pp_outcome ppf o =
   if o.oblivious then
-    Format.fprintf ppf "%s[%s]: OBLIVIOUS (%d ops, digest %016Lx, %d spans%s)" o.subject
+    Format.fprintf ppf "%s[%s]: OBLIVIOUS (%d ops, digest %016Lx, %d spans%s%s)" o.subject
       o.backend o.run_a.trace_length o.run_a.digest o.run_a.span_count
       (if o.run_a.retries > 0 then Printf.sprintf ", %d retries" o.run_a.retries else "")
+      (match o.run_a.shards with
+      | Some k -> Printf.sprintf ", %d servers" k
+      | None -> "")
+  else if not o.servers_ok then
+    let shard, where = Option.value o.diverging_shard ~default:(-1, "<unknown>") in
+    Format.fprintf ppf "%s[%s]: PER-SERVER TRACES DIVERGE on shard %d in %s" o.subject
+      o.backend shard where
   else
     Format.fprintf ppf "%s[%s]: TRACES DIVERGE in %s (A: %d ops %016Lx, B: %d ops %016Lx)"
       o.subject o.backend

@@ -36,6 +36,17 @@ type run_info = {
       (** Per-shard op counts on a [Sharded] backend ([[||]] otherwise):
           the per-device view of the adversary, compared across the pair
           alongside the logical trace. *)
+  shards : int option;
+      (** The backend's shard layout ({!Odex_extmem.Storage.shard_count}):
+          [Some k] for a stripe of [k] members — including the
+          degenerate [Some 1] — and [None] with no stripe at all. The
+          two are compared across the pair explicitly, so a layout
+          mismatch is flagged instead of vacuously passing on empty
+          [shard_ios]. *)
+  shard_digests : (int * int64) array;
+      (** Per-server [(length, digest)] of each shard's own trace
+          ({!Odex_extmem.Storage.shard_traces}) — the view each
+          non-colluding server gets; [[||]] on unsharded backends. *)
 }
 
 type outcome = {
@@ -44,10 +55,23 @@ type outcome = {
   b : int;
   m : int;
   backend : string;  (** Backend kind both runs executed on. *)
-  oblivious : bool;  (** The two traces are identical. *)
+  oblivious : bool;
+      (** The verdict: [servers_ok] and — except for a [multi_server]
+          subject on a real (k >= 2) stripe — [combined_ok] too. *)
+  combined_ok : bool;  (** The two logical traces are identical. *)
+  servers_ok : bool;
+      (** The per-server tier: shard layouts agree, every shard's own
+          trace is identical across the pair, and so are the per-shard
+          op counts. Trivially true on unsharded backends (both layouts
+          [None], no per-server traces to compare). *)
   diverging_span : string option;
-      (** On failure: label of the first span whose entry state agrees
-          but whose exit digest differs (or a structural description). *)
+      (** On combined failure: label of the first span whose entry state
+          agrees but whose exit digest differs (or a structural
+          description). *)
+  diverging_shard : (int * string) option;
+      (** On per-server failure: the first diverging shard and the span
+          label of the divergence inside that shard's trace ([-1] with a
+          description when the shard layouts themselves differ). *)
   run_a : run_info;
   run_b : run_info;
 }
@@ -69,12 +93,14 @@ val pair_inputs_isomorphic : seed:int -> n:int -> Cell.t array * Cell.t array
 val check :
   ?seed:int ->
   ?backend:Storage.backend_spec ->
+  ?backend_b:Storage.backend_spec ->
   ?telemetry:Odex_telemetry.Telemetry.t ->
   ?prefetch:bool ->
   ?cipher:Odex_crypto.Cipher.key ->
   ?cipher_engine:Odex_crypto.Cipher.engine ->
   ?seal_domains:int ->
   ?pair:[ `Disjoint | `Isomorphic ] ->
+  ?multi_server:bool ->
   subject ->
   n_cells:int ->
   b:int ->
@@ -85,9 +111,28 @@ val check :
     sequential and each storage is closed when its run ends) and compare
     traces. With a [Faulty] backend the fault schedule restarts at the
     same point for both runs, so retries must line up exactly. On a
-    [Sharded] backend, [oblivious] additionally requires the per-shard
-    op counts ([shard_ios]) to agree — the adversary also sees which
-    physical device serves each op.
+    [Sharded] backend, [oblivious] additionally requires the whole
+    per-server tier ([servers_ok]): each shard's own trace and the
+    per-shard op counts must agree — every non-colluding server is an
+    adversary of its own, and a leak visible on one device only (e.g. a
+    data bit routed into the shard selection) never shows in the
+    combined logical trace.
+
+    [backend_b], when given, runs leg B on a different spec than leg A —
+    a harness hook for {e negative controls}: pairing two stripes that
+    differ only in PRP seed models an implementation that keys shard
+    selection on the data, which the combined tier provably cannot see
+    (the logical trace ignores routing) but the per-server tier must
+    catch. Defaults to [backend].
+
+    [multi_server] (default [false]) certifies the subject under the
+    non-colluding multi-server definition (DESIGN.md §14): on a real
+    (k >= 2) stripe, [oblivious] then requires only [servers_ok] — the
+    combined trace of such subjects is occupancy-dependent by design —
+    while on unsharded or 1-shard backends the combined tier is still
+    required (where the subject must fall back to a single-server
+    algorithm). Use {!Registry.multi_server} to derive it from an
+    entry's certificate.
 
     [telemetry], when given, instruments run A {e only} — run B runs on
     the bare, unwrapped backend. [oblivious = true] therefore doubles as

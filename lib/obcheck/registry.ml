@@ -1,7 +1,7 @@
 open Odex_extmem
 open Odex
 
-type cert = [ `Exact | `Isomorphic ]
+type cert = [ `Exact | `Isomorphic | `Multi_server ]
 
 type entry = {
   subject : Pairtest.subject;
@@ -29,6 +29,15 @@ let tight_compaction =
 let loose_compaction =
   sub "loose-compaction" (fun ~rng ~m _s a ->
       ignore (Loose_compaction.run ~m ~rng ~capacity:(max 1 (Ext_array.blocks a / 8)) a))
+
+(* The two-server protocol (DESIGN.md §14): on a k >= 2 stripe each
+   server individually sees a fixed sequence while the combined trace is
+   occupancy-dependent — hence the [`Multi_server] certificate; on
+   single-server backends it publicly falls back to [Compaction.tight]
+   and behaves [`Exact]. *)
+let twoserver_compaction =
+  sub "twoserver-compaction" (fun ~rng:_ ~m _s a ->
+      ignore (Twoserver_compaction.run ~m ~capacity_blocks:(Ext_array.blocks a) a))
 
 let logstar_compaction =
   sub "logstar-compaction" (fun ~rng ~m _s a ->
@@ -113,6 +122,7 @@ let all =
     { subject = tight_compaction; n_cells = 512; b = 4; m = 8; cert = `Exact };
     { subject = loose_compaction; n_cells = 1024; b = 4; m = 32; cert = `Exact };
     { subject = logstar_compaction; n_cells = 512; b = 4; m = 16; cert = `Exact };
+    { subject = twoserver_compaction; n_cells = 512; b = 4; m = 8; cert = `Multi_server };
     { subject = selection; n_cells = 1024; b = 4; m = 16; cert = `Exact };
     { subject = quantiles; n_cells = 1024; b = 4; m = 16; cert = `Exact };
     { subject = sort; n_cells = 768; b = 4; m = 16; cert = `Exact };
@@ -125,7 +135,10 @@ let all =
 
 let find name = List.find_opt (fun e -> e.subject.Pairtest.name = name) all
 
-let pair_mode e = match e.cert with `Exact -> `Disjoint | `Isomorphic -> `Isomorphic
+let pair_mode e =
+  match e.cert with `Exact | `Multi_server -> `Disjoint | `Isomorphic -> `Isomorphic
+
+let multi_server e = e.cert = `Multi_server
 
 (* Backends the obliviousness suite runs against. Each call returns a
    fresh spec: a file store gets its own temp path (remove it with

@@ -4,13 +4,18 @@
     three ORAM constructions, each with a default shape (N, B, m) big
     enough to leave its in-cache base case. *)
 
-type cert = [ `Exact | `Isomorphic ]
+type cert = [ `Exact | `Isomorphic | `Multi_server ]
 (** How a subject's obliviousness is certified: [`Exact] subjects have a
     fixed trace across value-disjoint inputs ({!Pairtest.pair_inputs});
     [`Isomorphic] subjects (comparison-driven schedules, e.g. the bucket
     sort's merge) are pair-tested on rank-isomorphic inputs
     ({!Pairtest.pair_inputs_isomorphic}) and additionally certified
-    statistically by {!Statcheck.trace_distribution}. *)
+    statistically by {!Statcheck.trace_distribution}; [`Multi_server]
+    subjects are oblivious per non-colluding server only (DESIGN.md
+    §14): on a k >= 2 stripe every individual shard trace must be fixed
+    while the combined trace may depend on occupancy, and on
+    single-server backends they must fall back to a fully oblivious
+    algorithm (pass [Pairtest.check ~multi_server:true]). *)
 
 type entry = {
   subject : Pairtest.subject;
@@ -24,6 +29,7 @@ val consolidation : Pairtest.subject
 val butterfly : Pairtest.subject
 val tight_compaction : Pairtest.subject
 val loose_compaction : Pairtest.subject
+val twoserver_compaction : Pairtest.subject
 val logstar_compaction : Pairtest.subject
 val selection : Pairtest.subject
 val quantiles : Pairtest.subject
@@ -40,6 +46,11 @@ val find : string -> entry option
 val pair_mode : entry -> [ `Disjoint | `Isomorphic ]
 (** The {!Pairtest.check} [pair] argument mandated by the entry's
     [cert]. *)
+
+val multi_server : entry -> bool
+(** Whether the entry carries the [`Multi_server] certificate — pass it
+    as {!Pairtest.check}'s [multi_server] argument so the verdict
+    applies the right tier on sharded backends. *)
 
 val backend_names : string list
 (** ["mem"; "file"; "faulty"] — every storage backend the obliviousness

@@ -122,6 +122,69 @@ let trace_distribution ?(samples = 200) ?(bins = 64) ?(z = 3.29) subject ~n_cell
     pass = stat <= critical;
   }
 
+(* Package one two-sample comparison, degrading gracefully on empty
+   histograms: both empty carries no information (vacuous pass with the
+   weakest gate), exactly one empty is itself maximal divergence. *)
+let two_sample_verdict ~name ~z ~samples ha hb =
+  let total = Array.fold_left ( + ) 0 in
+  match (total ha, total hb) with
+  | 0, 0 ->
+      { name; stat = 0.; df = 1; critical = chi_square_critical ~df:1 ~z; samples; pass = true }
+  | 0, _ | _, 0 ->
+      {
+        name;
+        stat = Float.infinity;
+        df = 1;
+        critical = chi_square_critical ~df:1 ~z;
+        samples;
+        pass = false;
+      }
+  | _ ->
+      let stat, df = two_sample ha hb in
+      let critical = chi_square_critical ~df ~z in
+      { name; stat; df; critical; samples; pass = stat <= critical }
+
+(* The per-server distributional tier. The combined histogram provably
+   cannot see a leak that lives in {e which shard} serves an op: the
+   logical address — all [trace_distribution] pools — is unchanged by
+   routing, and a data-dependent extra op at logical addresses colliding
+   modulo [bins] vanishes from the combined histogram entirely. Here the
+   subject runs on a [shards]-stripe and each shard's own trace (inner
+   addresses — what that server's device actually sees) is pooled and
+   chi-squared separately, so a skew visible on a single server fails
+   that server's verdict by name. *)
+let shard_distribution ?(samples = 200) ?(bins = 64) ?(z = 3.29) ?(shards = 2)
+    ?(stripe_seed = 0x5A4D) subject ~n_cells ~b ~m =
+  if samples < 2 then invalid_arg "Statcheck.shard_distribution: need >= 2 samples";
+  if samples > 1000 then
+    invalid_arg "Statcheck.shard_distribution: seed streams would collide";
+  if bins < 2 then invalid_arg "Statcheck.shard_distribution: need >= 2 bins";
+  if shards < 1 then invalid_arg "Statcheck.shard_distribution: shards must be >= 1";
+  let cells_a, cells_b = Pairtest.pair_inputs ~seed:0x57A7 ~n:n_cells in
+  let run cells seed accs =
+    let backend = Storage.Sharded { inner = Storage.Mem; shards; seed = stripe_seed } in
+    let s = Storage.create ~trace_mode:Trace.Full ~backoff:(0., 0.) ~backend ~block_size:b () in
+    Fun.protect
+      ~finally:(fun () -> Storage.close s)
+      (fun () ->
+        let arr = Ext_array.of_cells s ~block_size:b cells in
+        let rng = Odex_crypto.Rng.create ~seed in
+        subject.Pairtest.run ~rng ~m s arr;
+        Array.iteri
+          (fun i tr -> histogram_of_ops ~bins (Trace.ops tr) accs.(i))
+          (Storage.shard_traces s))
+  in
+  let ha = Array.init shards (fun _ -> Array.make (2 * bins) 0) in
+  let hb = Array.init shards (fun _ -> Array.make (2 * bins) 0) in
+  for i = 0 to samples - 1 do
+    run cells_a (seed_a i) ha;
+    run cells_b (seed_b i) hb
+  done;
+  Array.init shards (fun si ->
+      two_sample_verdict
+        ~name:(Printf.sprintf "%s/shard%d" subject.Pairtest.name si)
+        ~z ~samples ha.(si) hb.(si))
+
 let uniformity_verdict ~name ?(z = 3.29) obs =
   let stat, df = uniformity obs in
   let critical = chi_square_critical ~df ~z in

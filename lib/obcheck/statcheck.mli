@@ -67,6 +67,33 @@ val trace_distribution :
     independent of the stored values at significance [z]
     (default 3.29). *)
 
+val shard_distribution :
+  ?samples:int ->
+  ?bins:int ->
+  ?z:float ->
+  ?shards:int ->
+  ?stripe_seed:int ->
+  Pairtest.subject ->
+  n_cells:int ->
+  b:int ->
+  m:int ->
+  verdict array
+(** The per-server distributional tier: like {!trace_distribution}, but
+    the subject runs on a [shards]-member stripe (default 2, PRP seed
+    [stripe_seed], default [0x5A4D]) over [Mem], and each shard's {e
+    own} trace ({!Odex_extmem.Storage.shard_traces} — inner addresses,
+    the view that server's device actually gets) is pooled and
+    chi-squared separately. One verdict per shard, named
+    ["subject/shardN"].
+
+    This tier sees what the combined one provably cannot: pooling
+    logical addresses erases routing entirely, so an implementation that
+    keys {e which server} serves an op on the data — or issues a
+    data-dependent op at logical addresses colliding modulo [bins] —
+    passes {!trace_distribution} unchanged while skewing one shard's
+    histogram here. A shard trace empty under both inputs passes
+    vacuously; empty under exactly one input fails outright. *)
+
 val uniformity_verdict : name:string -> ?z:float -> int array -> verdict
 (** Package a {!uniformity} test of a histogram (e.g. observed shuffle
     swap partners against the uniform law the Knuth shuffle promises)

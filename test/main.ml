@@ -19,6 +19,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("obliviousness", Test_obliviousness.suite);
       ("shard", Test_shard.suite);
+      ("multiserver", Test_multiserver.suite);
       ("statcheck", Test_statcheck.suite);
       ("edge", Test_edge.suite);
     ]

@@ -865,6 +865,180 @@ let test_bucket_trace_parity_journal_on_off () =
       Alcotest.(check int) "same trace length" l0 l1;
       Alcotest.(check int64) "same trace digest" d0 d1)
 
+(* ---------------- sharded stripe: kill-at-every-op ---------------- *)
+
+(* The journal composes OUTSIDE the stripe (Journaled-inside-Sharded is
+   rejected), so its records carry logical addresses and replay pushes
+   each one back through the PRP routing — every server receives its own
+   slice of the recovery. The sweep kills a journaled K=2 stripe after
+   every op and asserts the per-server view of recovery is a function of
+   shape alone: same logical replay schedule, same per-server projection
+   of it, and bit-identical per-server traces of the resumed completion. *)
+
+let sh_shards = 2
+let sh_seed = 0x5A4D
+
+let sharded_spec ~crash_ops sp jp =
+  let stripe =
+    Storage.Sharded
+      { inner = Storage.File { path = sp }; shards = sh_shards; seed = sh_seed }
+  in
+  let inner =
+    match crash_ops with
+    | None -> stripe
+    | Some ops -> Storage.Crashing { inner = stripe; ops }
+  in
+  Storage.Journaled { inner; path = jp; durable = false }
+
+let sharded_cleanup sp jp =
+  Storage.remove_spec_files (sharded_spec ~crash_ops:None sp jp)
+
+(* Project a logical replay schedule [(addr, count); ...] onto each
+   server: the sequence of inner addresses it is asked to rewrite, in
+   replay order. *)
+let per_server_replays replays =
+  let per = Array.make sh_shards [] in
+  List.iter
+    (fun (addr, count) ->
+      for a = addr to addr + count - 1 do
+        let s, inner = Backend.shard_route ~shards:sh_shards ~seed:sh_seed a in
+        per.(s) <- inner :: per.(s)
+      done)
+    replays;
+  Array.map List.rev per
+
+let sharded_full_sort_ios keys =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> sharded_cleanup sp jp) @@ fun () ->
+  let s =
+    Storage.create ~trace_mode:Trace.Digest ~backend:(sharded_spec ~crash_ops:None sp jp)
+      ~block_size:sweep_b ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Storage.close s)
+    (fun () ->
+      let a = Ext_array.of_cells s ~block_size:sweep_b (Util.cells_of_keys keys) in
+      let before = Stats.total (Storage.stats s) in
+      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:sweep_m a;
+      Stats.total (Storage.stats s) - before)
+
+type sharded_obs = {
+  h_crashed : bool;
+  h_appends : (int * int) list;
+  h_server_replays : int list array;  (* per-server replay projections *)
+  h_resumed_phase : int;
+  h_server_traces : (int * int64) array;  (* per-server view of the completion *)
+}
+
+let sharded_sweep_point ~keys ~full_ios k =
+  let sp, jp = temp_pair () in
+  Fun.protect ~finally:(fun () -> sharded_cleanup sp jp) @@ fun () ->
+  let cells = Util.cells_of_keys keys in
+  let nblocks = (Array.length keys + sweep_b - 1) / sweep_b in
+  let s =
+    Storage.create ~trace_mode:Trace.Digest
+      ~backend:(sharded_spec ~crash_ops:(Some k) sp jp)
+      ~block_size:sweep_b ()
+  in
+  let crashed, appends =
+    match
+      let a = Ext_array.of_cells s ~block_size:sweep_b cells in
+      Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:sweep_m a;
+      Storage.close s
+    with
+    | () -> (false, [])
+    | exception Backend.Crashed ->
+        let ap = Storage.journal_appends s in
+        Storage.abandon s;
+        (true, ap)
+  in
+  let s2 =
+    Storage.create ~resume:true ~trace_mode:Trace.Digest
+      ~backend:(sharded_spec ~crash_ops:None sp jp)
+      ~block_size:sweep_b ()
+  in
+  Alcotest.(check (option int))
+    (Printf.sprintf "k=%d: reopened as a %d-stripe" k sh_shards)
+    (Some sh_shards) (Storage.shard_count s2);
+  let replays = Storage.journal_replay s2 in
+  let owner = Printf.sprintf "ext-sort/0/%d" nblocks in
+  let resumed_phase, _ = Storage.checkpoint_state s2 ~owner in
+  let a2 =
+    if resumed_phase > 0 && Storage.capacity s2 >= nblocks then
+      Ext_array.view s2 ~base:0 ~blocks:nblocks
+    else if Storage.capacity s2 >= nblocks then begin
+      let v = Ext_array.view s2 ~base:0 ~blocks:nblocks in
+      for i = 0 to nblocks - 1 do
+        let blk = Block.make sweep_b in
+        for j = 0 to sweep_b - 1 do
+          let idx = (i * sweep_b) + j in
+          if idx < Array.length cells then blk.(j) <- cells.(idx)
+        done;
+        Ext_array.write_block v i blk
+      done;
+      v
+    end
+    else Ext_array.of_cells s2 ~block_size:sweep_b cells
+  in
+  let before = Stats.total (Storage.stats s2) in
+  Odex_sortnet.Ext_sort.run Odex_sortnet.Ext_sort.bitonic_windowed ~m:sweep_m a2;
+  let resumed_ios = Stats.total (Storage.stats s2) - before in
+  let got = List.map (fun (it : Cell.item) -> it.key) (Ext_array.items a2) in
+  let expect = List.sort compare (Array.to_list keys) in
+  if got <> expect then Alcotest.failf "sharded k=%d: resumed sort wrong" k;
+  if resumed_phase > 0 && resumed_ios >= full_ios then
+    Alcotest.failf "sharded k=%d: resume from phase %d kept no progress" k resumed_phase;
+  let server_traces =
+    Array.map (fun tr -> (Trace.length tr, Trace.digest tr)) (Storage.shard_traces s2)
+  in
+  Storage.close s2;
+  {
+    h_crashed = crashed;
+    h_appends = appends;
+    h_server_replays = per_server_replays replays;
+    h_resumed_phase = resumed_phase;
+    h_server_traces = server_traces;
+  }
+
+let test_sharded_kill_at_every_op_sweep () =
+  let full_a = sharded_full_sort_ios keys_a in
+  let full_b = sharded_full_sort_ios keys_b in
+  Alcotest.(check int) "pair inputs cost the same full sort" full_a full_b;
+  let schedule = Alcotest.(list (pair int int)) in
+  let saw_server_replay = ref false in
+  let rec go k =
+    if k > 3000 then Alcotest.fail "sharded sweep never reached a crash-free run";
+    let oa = sharded_sweep_point ~keys:keys_a ~full_ios:full_a k in
+    let ob = sharded_sweep_point ~keys:keys_b ~full_ios:full_b k in
+    Alcotest.(check bool) (Printf.sprintf "sharded k=%d: same fate" k) oa.h_crashed
+      ob.h_crashed;
+    Alcotest.check schedule
+      (Printf.sprintf "sharded k=%d: same append schedule" k)
+      oa.h_appends ob.h_appends;
+    (* The per-server recovery view: each server is asked to rewrite the
+       same inner-address sequence regardless of the data... *)
+    Array.iteri
+      (fun srv ra ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "sharded k=%d: server %d same replay schedule" k srv)
+          ra
+          ob.h_server_replays.(srv))
+      oa.h_server_replays;
+    if Array.for_all (fun l -> l <> []) oa.h_server_replays then
+      saw_server_replay := true;
+    Alcotest.(check int)
+      (Printf.sprintf "sharded k=%d: same resumed phase" k)
+      oa.h_resumed_phase ob.h_resumed_phase;
+    (* ...and serves a bit-identical trace for the resumed completion. *)
+    Alcotest.(check (array (pair int int64)))
+      (Printf.sprintf "sharded k=%d: same per-server completion traces" k)
+      oa.h_server_traces ob.h_server_traces;
+    if oa.h_crashed then go (k + 1)
+  in
+  go 0;
+  Alcotest.(check bool) "some crash points replayed onto both servers" true
+    !saw_server_replay
+
 (* ---------------- ORAM checkpoint smoke ---------------- *)
 
 let test_oram_rebuild_checkpoints () =
@@ -1223,6 +1397,7 @@ let suite =
     ("bucket sort kill-at-every-op sweep", `Slow, test_bucket_kill_at_every_op_sweep);
     ("bucket sort journal on/off trace parity", `Quick,
       test_bucket_trace_parity_journal_on_off);
+    ("sharded stripe kill-at-every-op sweep", `Slow, test_sharded_kill_at_every_op_sweep);
     ("ORAM rebuild checkpoints clear", `Quick, test_oram_rebuild_checkpoints);
     ("ORAM session resume points", `Quick, test_oram_session_resume_points);
     ("session kill-at-every-op sweep", `Slow, test_session_kill_at_every_op_sweep);

@@ -29,6 +29,62 @@ let test_two_sample_basics () =
   let stat2, _ = Statcheck.two_sample [| 100; 0 |] [| 0; 100 |] in
   Alcotest.(check bool) "disjoint histograms score high" true (stat2 > 100.)
 
+(* --- the histogram fold at its edges ------------------------------- *)
+
+let test_histogram_empty_trace () =
+  let acc = Array.make 8 0 in
+  Statcheck.histogram_of_ops ~bins:4 [] acc;
+  Alcotest.(check (array int)) "empty trace leaves the accumulator zeroed"
+    (Array.make 8 0) acc
+
+let test_histogram_retry_direction () =
+  (* A retried op lands in the same directional bin as its clean
+     counterpart: Bob cannot tell them apart by address, only by
+     repetition — which the matched histograms preserve. *)
+  let clean = Array.make 8 0 and retried = Array.make 8 0 in
+  Statcheck.histogram_of_ops ~bins:4 [ Trace.Read 5; Trace.Write 6 ] clean;
+  Statcheck.histogram_of_ops ~bins:4 [ Trace.Retry_read 5; Trace.Retry_write 6 ] retried;
+  Alcotest.(check (array int)) "retries share their direction's bins" clean retried;
+  Alcotest.(check int) "read half populated" 1 clean.(1);
+  Alcotest.(check int) "write half populated" 1 clean.(4 + 2)
+
+let test_histogram_collision_conservative () =
+  (* Addresses congruent modulo [bins] pool into one bin: a collision
+     can hide a leak (the test stays conservative) but can never invent
+     a difference between matched histograms. *)
+  let ha = Array.make 8 0 and hb = Array.make 8 0 in
+  Statcheck.histogram_of_ops ~bins:4 [ Trace.Read 1; Trace.Read 9 ] ha;
+  Statcheck.histogram_of_ops ~bins:4 [ Trace.Read 5; Trace.Read 13 ] hb;
+  Alcotest.(check (array int)) "colliding addresses are indistinguishable" ha hb;
+  Alcotest.(check int) "both land in bin 1" 2 ha.(1)
+
+(* Matched histogram pairs: same bin count, arbitrary counts (including
+   all-zero bins and empty-in-one-sample bins). *)
+let hist_pair_gen =
+  QCheck2.Gen.(
+    int_range 2 16 >>= fun n ->
+    pair (array_size (return n) (int_bound 50)) (array_size (return n) (int_bound 50)))
+
+let qcheck_two_sample_symmetric =
+  Util.qcheck_case ~count:200 ~name:"two_sample is symmetric" hist_pair_gen
+    (fun (a, b) ->
+      let sab, dab = Statcheck.two_sample a b in
+      let sba, dba = Statcheck.two_sample b a in
+      if dab <> dba then
+        QCheck2.Test.fail_reportf "df asymmetric: %d vs %d" dab dba;
+      if Float.abs (sab -. sba) > 1e-9 then
+        QCheck2.Test.fail_reportf "stat asymmetric: %g vs %g" sab sba;
+      true)
+
+let qcheck_two_sample_identical_zero =
+  Util.qcheck_case ~count:200 ~name:"two_sample of identical histograms is zero"
+    QCheck2.Gen.(array_size (int_range 2 16) (int_bound 50))
+    (fun a ->
+      let stat, _ = Statcheck.two_sample a (Array.copy a) in
+      if Float.abs stat > 1e-9 then
+        QCheck2.Test.fail_reportf "identical histograms scored %g" stat;
+      true)
+
 (* --- randomized subjects: distribution must be data-independent ---- *)
 
 let shuffle_subject =
@@ -206,6 +262,12 @@ let suite =
     Alcotest.test_case "permutation planted-leak control" `Quick
       test_permutation_planted_leak;
     Alcotest.test_case "two-sample statistic basics" `Quick test_two_sample_basics;
+    Alcotest.test_case "histogram of empty trace" `Quick test_histogram_empty_trace;
+    Alcotest.test_case "histogram retry direction" `Quick test_histogram_retry_direction;
+    Alcotest.test_case "histogram collision conservative" `Quick
+      test_histogram_collision_conservative;
+    qcheck_two_sample_symmetric;
+    qcheck_two_sample_identical_zero;
     Alcotest.test_case "detects planted distributional leak" `Quick test_detects_leak;
     Alcotest.test_case "shuffle partner uniformity" `Quick test_partner_uniformity;
     Alcotest.test_case "uniformity rejects bias" `Quick test_uniformity_rejects_bias;
